@@ -1,0 +1,177 @@
+// Command phom computes the probability that a query graph has a
+// homomorphism to a probabilistic instance graph (the PHom problem of
+// Amarilli, Monet & Senellart, PODS 2017).
+//
+// Usage:
+//
+//	phom -query q.graph -instance h.graph [flags]
+//
+// Graph files use the text format of internal/graphio:
+//
+//	vertices 4
+//	edge 0 1 R
+//	edge 1 2 S 1/2
+//
+// Flags select the method (auto routes to a PTIME algorithm when the
+// input pair is tractable), print the class membership and the predicted
+// combined complexity of the pair, or export DOT.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"phom/internal/core"
+	"phom/internal/graph"
+	"phom/internal/graphio"
+)
+
+func main() {
+	var (
+		queryPath    = flag.String("query", "", "query graph file (required; repeat paths comma-separated for a union of conjunctive queries)")
+		instancePath = flag.String("instance", "", "probabilistic instance graph file (required)")
+		count        = flag.Bool("count", false, "unweighted mode: report the number of satisfying worlds (all uncertain edges must have probability 1/2)")
+		method       = flag.String("method", "auto", "auto | brute | lineage")
+		noFallback   = flag.Bool("no-fallback", false, "fail instead of using an exponential baseline on #P-hard inputs")
+		bruteLimit   = flag.Int("brute-limit", core.DefaultBruteForceLimit, "max uncertain edges for brute force")
+		classify     = flag.Bool("classify", false, "also print class membership and predicted complexity")
+		float        = flag.Bool("float", false, "also print the probability as a float64 approximation")
+		dot          = flag.String("dot", "", "write the instance as Graphviz DOT to this file and exit")
+	)
+	flag.Parse()
+	if *queryPath == "" || *instancePath == "" {
+		fmt.Fprintln(os.Stderr, "phom: -query and -instance are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	queryPaths := strings.Split(*queryPath, ",")
+	queries := make([]*graph.Graph, len(queryPaths))
+	for i, p := range queryPaths {
+		q, err := loadGraph(strings.TrimSpace(p))
+		if err != nil {
+			fatal(err)
+		}
+		queries[i] = q
+	}
+	query := queries[0]
+	instance, err := loadProbGraph(*instancePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := graphio.WriteDOT(f, instance, "H"); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *classify {
+		fmt.Printf("query classes:    %v\n", query.Classify())
+		fmt.Printf("instance classes: %v\n", instance.G.Classify())
+		qc := tightest(query)
+		ic := tightest(instance.G)
+		labeled := len(instance.G.Labels()) > 1 || len(query.Labels()) > 1
+		fmt.Printf("tightest cell:    (%v, %v) %s\n", qc, ic, settingName(labeled))
+		fmt.Printf("predicted:        %v\n", core.Predict(qc, ic, labeled))
+	}
+
+	if *count {
+		n, coins, err := core.CountWorlds(query, instance, &core.Options{
+			BruteForceLimit: *bruteLimit,
+			DisableFallback: *noFallback,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("satisfying worlds = %s of 2^%d\n", n, coins)
+		return
+	}
+
+	var res *core.Result
+	switch *method {
+	case "auto":
+		if len(queries) > 1 {
+			res, err = core.SolveUCQ(queries, instance, &core.Options{
+				BruteForceLimit: *bruteLimit,
+				DisableFallback: *noFallback,
+			})
+			break
+		}
+		res, err = core.Solve(query, instance, &core.Options{
+			BruteForceLimit: *bruteLimit,
+			DisableFallback: *noFallback,
+		})
+	case "brute":
+		var p = new(core.Result)
+		p.Method = core.MethodBruteForce
+		p.Prob, err = core.BruteForceLimit(query, instance, *bruteLimit)
+		res = p
+	case "lineage":
+		var p = new(core.Result)
+		p.Method = core.MethodLineage
+		p.Prob, err = core.LineageShannon(query, instance, 0)
+		res = p
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Pr(G ~> H) = %s\n", res.Prob.RatString())
+	if *float {
+		f, _ := res.Prob.Float64()
+		fmt.Printf("           ≈ %g\n", f)
+	}
+	fmt.Printf("method     = %s (ptime=%v)\n", res.Method, res.Method.PTime())
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graphio.ParseGraph(f)
+}
+
+func loadProbGraph(path string) (*graph.ProbGraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graphio.ParseProbGraph(f)
+}
+
+// tightest returns the smallest class (w.r.t. the Figure 2 lattice)
+// containing g.
+func tightest(g *graph.Graph) graph.Class {
+	best := graph.ClassAll
+	for _, c := range graph.AllClasses {
+		if g.InClass(c) && graph.ClassIncluded(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+func settingName(labeled bool) string {
+	if labeled {
+		return "labeled (PHomL)"
+	}
+	return "unlabeled (PHom̸L)"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phom:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Probabilistic XML-style document querying (the setting the paper's
+// conclusion highlights for Proposition 4.10): the instance is a labeled
+// downward tree — an XML-like document whose elements were extracted by
+// an uncertain information-extraction pipeline — and queries are labeled
+// one-way paths, evaluated in polynomial time via the β-acyclic lineage
+// algorithm.
+//
+// Run with: go run ./examples/probxml
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phom"
+)
+
+// The document: a product catalog with three products; annotations
+// (brand, review, rating) come from an extractor with confidence scores,
+// modeled as edge probabilities.
+func buildCatalog() *phom.ProbGraph {
+	g := phom.New(0)
+	add := func() phom.Vertex { return g.AddVertex() }
+	catalog := add()
+
+	type edge struct {
+		from, to phom.Vertex
+		prob     string
+	}
+	var uncertain []edge
+	certain := func(from, to phom.Vertex, l phom.Label) {
+		g.MustAddEdge(from, to, l)
+	}
+	maybe := func(from, to phom.Vertex, l phom.Label, p string) {
+		g.MustAddEdge(from, to, l)
+		uncertain = append(uncertain, edge{from, to, p})
+	}
+
+	for i := 0; i < 3; i++ {
+		product := add()
+		certain(catalog, product, "product")
+		brand := add()
+		// The brand annotation is extracted with varying confidence.
+		maybe(product, brand, "brand", []string{"9/10", "3/5", "1/2"}[i])
+		if i < 2 {
+			review := add()
+			maybe(product, review, "review", "4/5")
+			rating := add()
+			maybe(review, rating, "rating", []string{"2/3", "1/3"}[i])
+		}
+	}
+	h := phom.NewProbGraph(g)
+	for _, e := range uncertain {
+		h.MustSetEdgeProb(e.from, e.to, phom.Rat(e.prob))
+	}
+	return h
+}
+
+func main() {
+	doc := buildCatalog()
+	fmt.Printf("document: %d elements, %d edges (labeled DWT: %v)\n",
+		doc.G.NumVertices(), doc.G.NumEdges(), doc.G.InClass(phom.ClassDWT))
+
+	// Path queries, in the style of XPath child-axis queries
+	// /catalog/product/..., each a labeled 1WP.
+	queries := []struct {
+		name   string
+		labels []phom.Label
+	}{
+		{"/catalog/product", []phom.Label{"product"}},
+		{"/catalog/product/brand", []phom.Label{"product", "brand"}},
+		{"/catalog/product/review", []phom.Label{"product", "review"}},
+		{"/catalog/product/review/rating", []phom.Label{"product", "review", "rating"}},
+	}
+	for _, qspec := range queries {
+		q := phom.Path1WP(qspec.labels...)
+		res, err := phom.Solve(q, doc, &phom.Options{DisableFallback: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, _ := res.Prob.Float64()
+		fmt.Printf("  %-34s Pr = %-10s ≈ %.4f  via %s\n",
+			qspec.name, res.Prob.RatString(), f, res.Method)
+	}
+
+	// A cross-check with the exponential oracle, since the document is
+	// small enough.
+	q := phom.Path1WP("product", "review", "rating")
+	want := phom.BruteForce(q, doc)
+	res, _ := phom.Solve(q, doc, nil)
+	fmt.Printf("\noracle check: %s == %s: %v\n",
+		res.Prob.RatString(), want.RatString(), res.Prob.Cmp(want) == 0)
+}

@@ -1,0 +1,194 @@
+// Package acyclic implements Yannakakis-style evaluation of acyclic
+// conjunctive queries on (non-probabilistic) graphs: deciding G ⇝ H in
+// time O(|G| · |H|) when the query graph G is a polytree — the binary-
+// signature analogue of an α-acyclic (indeed Berge-acyclic) conjunctive
+// query. The paper's introduction cites Yannakakis' algorithm [36] as
+// the model of combined tractability that PHom aims for on the
+// probabilistic side; this package provides it as a deterministic
+// substrate and as a fast homomorphism test for tree-shaped queries.
+//
+// For tree-structured constraint networks, establishing directed arc
+// consistency leaf-to-root and then assigning root-to-first-support is
+// sound and complete (Freuder); this is exactly the semijoin program of
+// a join tree of the query.
+package acyclic
+
+import (
+	"fmt"
+
+	"phom/internal/graph"
+)
+
+// joinEdge is one parent-child constraint of the rooted query tree.
+type joinEdge struct {
+	parent, child graph.Vertex
+	label         graph.Label
+	// childToParent: the instance edge goes from the child's image to the
+	// parent's image (the query edge is child → parent).
+	childToParent bool
+}
+
+// plan is a rooted traversal of one connected component of the query.
+type plan struct {
+	root  graph.Vertex
+	edges []joinEdge // in BFS order from the root
+}
+
+// buildPlans roots every component of the polytree query q.
+func buildPlans(q *graph.Graph) ([]plan, error) {
+	if !q.InClass(graph.ClassUPT) {
+		return nil, fmt.Errorf("acyclic: query is not a forest of polytrees: %v", q)
+	}
+	var plans []plan
+	for _, comp := range q.ConnectedComponents() {
+		p := plan{root: comp[0]}
+		visited := map[graph.Vertex]bool{comp[0]: true}
+		queue := []graph.Vertex{comp[0]}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, ei := range q.OutEdges(v) {
+				e := q.Edge(ei)
+				if !visited[e.To] {
+					visited[e.To] = true
+					p.edges = append(p.edges, joinEdge{parent: v, child: e.To, label: e.Label, childToParent: false})
+					queue = append(queue, e.To)
+				}
+			}
+			for _, ei := range q.InEdges(v) {
+				e := q.Edge(ei)
+				if !visited[e.From] {
+					visited[e.From] = true
+					p.edges = append(p.edges, joinEdge{parent: v, child: e.From, label: e.Label, childToParent: true})
+					queue = append(queue, e.From)
+				}
+			}
+		}
+		plans = append(plans, p)
+	}
+	return plans, nil
+}
+
+// HasHomomorphism decides G ⇝ H for a forest-of-polytrees query G by the
+// upward semijoin pass of Yannakakis' algorithm: process the rooted query
+// tree leaves-first, keeping for each query vertex the set of instance
+// vertices that support a homomorphic image of its whole subtree. It
+// runs in O(|G| · |E(H)|) time.
+func HasHomomorphism(q, h *graph.Graph) (bool, error) {
+	hm, err := FindHomomorphism(q, h)
+	if err != nil {
+		return false, err
+	}
+	return hm != nil, nil
+}
+
+// FindHomomorphism returns a homomorphism from the forest-of-polytrees
+// query q to h, or nil if none exists. It performs the upward semijoin
+// pass and then extracts a witness top-down, choosing for each vertex
+// the smallest supported image.
+func FindHomomorphism(q, h *graph.Graph) (graph.Homomorphism, error) {
+	plans, err := buildPlans(q)
+	if err != nil {
+		return nil, err
+	}
+	n, m := q.NumVertices(), h.NumVertices()
+	if n == 0 {
+		return graph.Homomorphism{}, nil
+	}
+	if m == 0 {
+		return nil, nil
+	}
+	// dom[v][w]: instance vertex w supports the subtree of query vertex v.
+	dom := make([][]bool, n)
+	for v := range dom {
+		dom[v] = make([]bool, m)
+		for w := range dom[v] {
+			dom[v][w] = true
+		}
+	}
+	out := make(graph.Homomorphism, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for _, p := range plans {
+		// Upward pass: restrict each parent domain by each child's
+		// domain, in reverse BFS order (children before parents).
+		for i := len(p.edges) - 1; i >= 0; i-- {
+			je := p.edges[i]
+			for w := 0; w < m; w++ {
+				if !dom[je.parent][w] {
+					continue
+				}
+				if !supported(h, dom[je.child], graph.Vertex(w), je) {
+					dom[je.parent][w] = false
+				}
+			}
+		}
+		// Root choice.
+		root := -1
+		for w := 0; w < m; w++ {
+			if dom[p.root][w] {
+				root = w
+				break
+			}
+		}
+		if root < 0 {
+			return nil, nil
+		}
+		out[p.root] = graph.Vertex(root)
+		// Downward pass: pick any supported child image consistent with
+		// the parent's choice.
+		for _, je := range p.edges {
+			pw := out[je.parent]
+			img := graph.Vertex(-1)
+			for _, cand := range childCandidates(h, pw, je) {
+				if dom[je.child][cand] {
+					img = cand
+					break
+				}
+			}
+			if img < 0 {
+				return nil, fmt.Errorf("acyclic: internal error: no supported child image after semijoin pass")
+			}
+			out[je.child] = img
+		}
+	}
+	if !graph.IsHomomorphism(q, h, out) {
+		return nil, fmt.Errorf("acyclic: internal error: extracted witness is not a homomorphism")
+	}
+	return out, nil
+}
+
+// supported reports whether parent image w has a child image in
+// childDom across the constraint je.
+func supported(h *graph.Graph, childDom []bool, w graph.Vertex, je joinEdge) bool {
+	for _, cand := range childCandidates(h, w, je) {
+		if childDom[cand] {
+			return true
+		}
+	}
+	return false
+}
+
+// childCandidates lists the instance vertices adjacent to the parent
+// image w across the constraint je.
+func childCandidates(h *graph.Graph, w graph.Vertex, je joinEdge) []graph.Vertex {
+	var out []graph.Vertex
+	if je.childToParent {
+		// Query edge child → parent: instance edge must enter w.
+		for _, ei := range h.InEdges(w) {
+			e := h.Edge(ei)
+			if e.Label == je.label {
+				out = append(out, e.From)
+			}
+		}
+	} else {
+		for _, ei := range h.OutEdges(w) {
+			e := h.Edge(ei)
+			if e.Label == je.label {
+				out = append(out, e.To)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+// Package betadnf implements polynomial-time exact probability
+// computation for the two families of β-acyclic positive DNF formulas
+// produced by the tractable lineage constructions of §4.2 of the paper:
+//
+//   - interval systems: the variables are the edges of a path instance in
+//     order, and every clause is a contiguous interval of variables
+//     (the lineages of Proposition 4.11 on 2WP instances);
+//   - chain systems: the variables are the parent edges of a forest, and
+//     every clause is an ancestor chain of consecutive edges ending at a
+//     node (the lineages of Proposition 4.10 on DWT instances).
+//
+// Both families are β-acyclic — clauses containing the path's (resp. a
+// leaf's) last variable are totally ordered by inclusion, which yields a
+// β-elimination order — and both evaluators run in O(variables × longest
+// clause) arithmetic operations, realizing the PTIME bound that the paper
+// obtains by reduction to the β-acyclic #CSPd algorithm of
+// Brault-Baron, Capelli and Mengel (Theorem 4.9). See DESIGN.md for this
+// documented substitution.
+package betadnf
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Interval is a clause over path variables: the conjunction of the
+// variables Lo … Hi inclusive. An interval with Hi < Lo is empty and makes
+// the formula true.
+type Interval struct {
+	Lo, Hi int
+}
+
+// IntervalSystem is a positive DNF whose n variables are linearly ordered
+// and whose clauses are intervals.
+type IntervalSystem struct {
+	NumVars int
+	Clauses []Interval
+}
+
+// Prob returns the probability that at least one clause has all its
+// variables true, with variable i true independently with probability
+// probs[i].
+//
+// The dynamic program computes the complementary probability that no
+// clause is fully true: scanning variables left to right, the state is
+// the current streak of consecutive true variables (capped at the longest
+// clause length), and a clause [l, r] fires exactly when the streak at r
+// reaches r−l+1.
+func (s *IntervalSystem) Prob(probs []*big.Rat) (*big.Rat, error) {
+	if len(probs) != s.NumVars {
+		return nil, fmt.Errorf("betadnf: %d probabilities for %d variables", len(probs), s.NumVars)
+	}
+	maxLen := 0
+	// minEnd[r] = minimal clause length among clauses ending at r (0 = none).
+	minEnd := make([]int, s.NumVars)
+	for _, c := range s.Clauses {
+		if c.Hi < c.Lo {
+			return big.NewRat(1, 1), nil // empty clause: formula is true
+		}
+		if c.Lo < 0 || c.Hi >= s.NumVars {
+			return nil, fmt.Errorf("betadnf: clause [%d,%d] out of range", c.Lo, c.Hi)
+		}
+		l := c.Hi - c.Lo + 1
+		if l > maxLen {
+			maxLen = l
+		}
+		if minEnd[c.Hi] == 0 || l < minEnd[c.Hi] {
+			minEnd[c.Hi] = l
+		}
+	}
+	if len(s.Clauses) == 0 {
+		return new(big.Rat), nil // false
+	}
+	one := big.NewRat(1, 1)
+	// dist[st] = probability that the scan survives so far with streak st.
+	dist := make([]*big.Rat, maxLen+1)
+	for i := range dist {
+		dist[i] = new(big.Rat)
+	}
+	dist[0].SetInt64(1)
+	next := make([]*big.Rat, maxLen+1)
+	for i := range next {
+		next[i] = new(big.Rat)
+	}
+	tmp := new(big.Rat)
+	for r := 0; r < s.NumVars; r++ {
+		for i := range next {
+			next[i].SetInt64(0)
+		}
+		p := probs[r]
+		q := tmp.Sub(one, p)
+		for st, w := range dist {
+			if w.Sign() == 0 {
+				continue
+			}
+			// Variable r false: streak resets.
+			next[0].Add(next[0], new(big.Rat).Mul(w, q))
+			// Variable r true: streak extends (capped).
+			nst := st + 1
+			if nst > maxLen {
+				nst = maxLen
+			}
+			if minEnd[r] != 0 && nst >= minEnd[r] {
+				continue // a clause ending at r fired: world lost
+			}
+			next[nst].Add(next[nst], new(big.Rat).Mul(w, p))
+		}
+		dist, next = next, dist
+	}
+	alive := new(big.Rat)
+	for _, w := range dist {
+		alive.Add(alive, w)
+	}
+	return alive.Sub(one, alive), nil
+}
+
+// ChainSystem is a positive DNF over the parent edges of a rooted forest.
+// Node v (v ≠ root) has Parent[v] ≥ 0 and a variable "edge above v". Roots
+// have Parent[v] = −1 and no variable. A clause is attached to a node v
+// and consists of the ChainLen[v] consecutive edges on the path from v
+// towards the root, ending with v's parent edge; ChainLen[v] = 0 means no
+// clause at v. When several clauses end at the same node, record the
+// minimal length (the others are absorbed).
+type ChainSystem struct {
+	Parent   []int // per node; −1 for roots
+	ChainLen []int // per node; 0 = no clause ends here
+}
+
+// Validate checks structural consistency: parents form a forest and chain
+// lengths do not exceed node depths.
+func (c *ChainSystem) Validate() error {
+	n := len(c.Parent)
+	if len(c.ChainLen) != n {
+		return fmt.Errorf("betadnf: %d chain lengths for %d nodes", len(c.ChainLen), n)
+	}
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	var depthOf func(v int) (int, error)
+	depthOf = func(v int) (int, error) {
+		if depth[v] >= 0 {
+			return depth[v], nil
+		}
+		if depth[v] == -2 {
+			return 0, fmt.Errorf("betadnf: parent cycle at node %d", v)
+		}
+		depth[v] = -2
+		d := 0
+		if p := c.Parent[v]; p >= 0 {
+			if p >= len(c.Parent) {
+				return 0, fmt.Errorf("betadnf: parent %d out of range", p)
+			}
+			pd, err := depthOf(p)
+			if err != nil {
+				return 0, err
+			}
+			d = pd + 1
+		}
+		depth[v] = d
+		return d, nil
+	}
+	for v := 0; v < n; v++ {
+		d, err := depthOf(v)
+		if err != nil {
+			return err
+		}
+		if c.ChainLen[v] > d {
+			return fmt.Errorf("betadnf: clause of length %d at node %d of depth %d", c.ChainLen[v], v, d)
+		}
+	}
+	return nil
+}
+
+// Prob returns the probability that at least one clause has all its edges
+// present, with the edge above node v present independently with
+// probability probs[v] (probs of roots are ignored).
+//
+// The dynamic program computes the complementary probability top-down:
+// f(v, s) is the probability that no clause fires in the subtree of v
+// given that the streak of consecutive present edges ending at v is s.
+// Subtrees of distinct children are edge-disjoint, hence independent
+// given s, so f multiplies over children.
+func (c *ChainSystem) Prob(probs []*big.Rat) (*big.Rat, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(c.Parent)
+	if len(probs) != n {
+		return nil, fmt.Errorf("betadnf: %d probabilities for %d nodes", len(probs), n)
+	}
+	cap0 := 0
+	hasClause := false
+	for _, l := range c.ChainLen {
+		if l > cap0 {
+			cap0 = l
+		}
+		if l > 0 {
+			hasClause = true
+		}
+	}
+	if !hasClause {
+		return new(big.Rat), nil
+	}
+	children := make([][]int, n)
+	var roots []int
+	for v := 0; v < n; v++ {
+		if p := c.Parent[v]; p >= 0 {
+			children[p] = append(children[p], v)
+		} else {
+			roots = append(roots, v)
+		}
+	}
+	// Iterative post-order.
+	order := make([]int, 0, n)
+	stack := append([]int(nil), roots...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		stack = append(stack, children[v]...)
+	}
+	// f[v][s] for s in 0..cap0.
+	f := make([][]*big.Rat, n)
+	one := big.NewRat(1, 1)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		fv := make([]*big.Rat, cap0+1)
+		for s := 0; s <= cap0; s++ {
+			acc := big.NewRat(1, 1)
+			for _, u := range children[v] {
+				p := probs[u]
+				q := new(big.Rat).Sub(one, p)
+				// Edge to u absent: child streak 0.
+				term := new(big.Rat).Mul(q, f[u][0])
+				// Edge to u present: streak extends; clause at u may fire.
+				ns := s + 1
+				if ns > cap0 {
+					ns = cap0
+				}
+				if !(c.ChainLen[u] != 0 && ns >= c.ChainLen[u]) {
+					term.Add(term, new(big.Rat).Mul(p, f[u][ns]))
+				}
+				acc.Mul(acc, term)
+			}
+			fv[s] = acc
+		}
+		f[v] = fv
+	}
+	alive := big.NewRat(1, 1)
+	for _, r := range roots {
+		alive.Mul(alive, f[r][0])
+	}
+	return alive.Sub(one, alive), nil
+}

@@ -1,0 +1,198 @@
+package betadnf
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"phom/internal/boolform"
+)
+
+func randProbs(r *rand.Rand, n int) []*big.Rat {
+	out := make([]*big.Rat, n)
+	for i := range out {
+		d := int64(1 + r.Intn(8))
+		out[i] = big.NewRat(r.Int63n(d+1), d)
+	}
+	return out
+}
+
+// intervalToDNF converts an interval system to a generic DNF for the
+// Shannon oracle.
+func intervalToDNF(s *IntervalSystem) *boolform.DNF {
+	f := boolform.NewDNF(s.NumVars)
+	for _, c := range s.Clauses {
+		var vars []boolform.Var
+		for v := c.Lo; v <= c.Hi; v++ {
+			vars = append(vars, boolform.Var(v))
+		}
+		f.AddClause(vars...)
+	}
+	return f
+}
+
+func TestIntervalKnownValues(t *testing.T) {
+	half := big.NewRat(1, 2)
+	// Single interval [0,1] over two coins: probability 1/4.
+	s := &IntervalSystem{NumVars: 2, Clauses: []Interval{{0, 1}}}
+	got, err := s.Prob([]*big.Rat{half, half})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewRat(1, 4)) != 0 {
+		t.Fatalf("Prob = %s, want 1/4", got.RatString())
+	}
+	// Two disjoint singletons: 1 − (1/2)² = 3/4.
+	s2 := &IntervalSystem{NumVars: 2, Clauses: []Interval{{0, 0}, {1, 1}}}
+	got2, _ := s2.Prob([]*big.Rat{half, half})
+	if got2.Cmp(big.NewRat(3, 4)) != 0 {
+		t.Fatalf("Prob = %s, want 3/4", got2.RatString())
+	}
+}
+
+func TestIntervalEdgeCases(t *testing.T) {
+	s := &IntervalSystem{NumVars: 3}
+	p, err := s.Prob(randProbs(rand.New(rand.NewSource(1)), 3))
+	if err != nil || p.Sign() != 0 {
+		t.Fatalf("no clauses must give 0, got %v %v", p, err)
+	}
+	s.Clauses = []Interval{{2, 1}} // empty interval: true
+	p, err = s.Prob(randProbs(rand.New(rand.NewSource(1)), 3))
+	if err != nil || p.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("empty clause must give 1, got %v %v", p, err)
+	}
+	s.Clauses = []Interval{{0, 5}}
+	if _, err := s.Prob(randProbs(rand.New(rand.NewSource(1)), 3)); err == nil {
+		t.Fatal("out-of-range clause accepted")
+	}
+	if _, err := (&IntervalSystem{NumVars: 2}).Prob(randProbs(rand.New(rand.NewSource(1)), 3)); err == nil {
+		t.Fatal("probability length mismatch accepted")
+	}
+}
+
+// TestIntervalMatchesOracle cross-checks the DP against Shannon expansion
+// on random interval systems.
+func TestIntervalMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + r.Intn(10)
+		s := &IntervalSystem{NumVars: n}
+		for k := r.Intn(5); k > 0; k-- {
+			lo := r.Intn(n)
+			hi := lo + r.Intn(n-lo)
+			s.Clauses = append(s.Clauses, Interval{lo, hi})
+		}
+		probs := randProbs(r, n)
+		got, err := s.Prob(probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := intervalToDNF(s).ShannonProb(probs)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("interval DP mismatch on %v: got %s, want %s", s.Clauses, got.RatString(), want.RatString())
+		}
+	}
+}
+
+// chainToDNF converts a chain system to a generic DNF over node indices
+// (variable v = edge above node v).
+func chainToDNF(c *ChainSystem) *boolform.DNF {
+	f := boolform.NewDNF(len(c.Parent))
+	for v, l := range c.ChainLen {
+		if l == 0 {
+			continue
+		}
+		var vars []boolform.Var
+		cur := v
+		for k := 0; k < l; k++ {
+			vars = append(vars, boolform.Var(cur))
+			cur = c.Parent[cur]
+		}
+		f.AddClause(vars...)
+	}
+	return f
+}
+
+func randForest(r *rand.Rand, n int) []int {
+	parent := make([]int, n)
+	for i := 0; i < n; i++ {
+		if i == 0 || r.Intn(4) == 0 {
+			parent[i] = -1
+		} else {
+			parent[i] = r.Intn(i)
+		}
+	}
+	return parent
+}
+
+func depths(parent []int) []int {
+	d := make([]int, len(parent))
+	for i := range parent {
+		if parent[i] >= 0 {
+			d[i] = d[parent[i]] + 1
+		}
+	}
+	return d
+}
+
+func TestChainKnownValues(t *testing.T) {
+	half := big.NewRat(1, 2)
+	// Path of 2 edges: root 0, 0→1, 1→2; clause of length 2 at node 2.
+	c := &ChainSystem{Parent: []int{-1, 0, 1}, ChainLen: []int{0, 0, 2}}
+	got, err := c.Prob([]*big.Rat{nil, half, half})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewRat(1, 4)) != 0 {
+		t.Fatalf("Prob = %s, want 1/4", got.RatString())
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	// Chain longer than depth must be rejected.
+	c := &ChainSystem{Parent: []int{-1, 0}, ChainLen: []int{0, 5}}
+	if err := c.Validate(); err == nil {
+		t.Fatal("overlong chain accepted")
+	}
+	// Parent cycle must be rejected.
+	c2 := &ChainSystem{Parent: []int{1, 0}, ChainLen: []int{0, 0}}
+	if err := c2.Validate(); err == nil {
+		t.Fatal("parent cycle accepted")
+	}
+}
+
+// TestChainMatchesOracle cross-checks the forest DP against Shannon
+// expansion on random forests with random clauses.
+func TestChainMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + r.Intn(10)
+		parent := randForest(r, n)
+		d := depths(parent)
+		chain := make([]int, n)
+		for v := 0; v < n; v++ {
+			if d[v] > 0 && r.Intn(3) == 0 {
+				chain[v] = 1 + r.Intn(d[v])
+			}
+		}
+		c := &ChainSystem{Parent: parent, ChainLen: chain}
+		probs := randProbs(r, n)
+		got, err := c.Prob(probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := chainToDNF(c).ShannonProb(probs)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("chain DP mismatch: parent=%v chain=%v got=%s want=%s",
+				parent, chain, got.RatString(), want.RatString())
+		}
+	}
+}
+
+func TestChainNoClauses(t *testing.T) {
+	c := &ChainSystem{Parent: []int{-1, 0}, ChainLen: []int{0, 0}}
+	p, err := c.Prob([]*big.Rat{nil, big.NewRat(1, 2)})
+	if err != nil || p.Sign() != 0 {
+		t.Fatalf("no clauses must give 0, got %v %v", p, err)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"phom/internal/betadnf"
+	"phom/internal/graph"
+	"phom/internal/lineage"
+	"phom/internal/treeauto"
+)
+
+// combineComponents applies Lemma 3.7: for a connected query, the
+// probability over a disconnected instance is 1 − Π(1 − pᵢ) over the
+// per-component probabilities pᵢ.
+func combineComponents(probs []*big.Rat) *big.Rat {
+	one := big.NewRat(1, 1)
+	miss := big.NewRat(1, 1)
+	for _, p := range probs {
+		miss.Mul(miss, new(big.Rat).Sub(one, p))
+	}
+	return new(big.Rat).Sub(one, miss)
+}
+
+// SolvePath1WPOnDWT implements Proposition 4.10 extended to forests by
+// Lemma 3.7: Pr(G ⇝ H) for a 1WP query with at least one edge and an
+// instance whose components are downward trees, in polynomial time, by
+// building the β-acyclic DNF lineage of the query and evaluating it with
+// the chain-system dynamic program.
+func SolvePath1WPOnDWT(q *graph.Graph, h *graph.ProbGraph) (*big.Rat, error) {
+	if !q.Is1WP() || q.NumEdges() == 0 {
+		return nil, fmt.Errorf("core: SolvePath1WPOnDWT needs a 1WP query with ≥1 edge")
+	}
+	if !h.G.InClass(graph.ClassUDWT) {
+		return nil, fmt.Errorf("core: SolvePath1WPOnDWT needs a ⊔DWT instance")
+	}
+	var parts []*big.Rat
+	for _, comp := range h.Components() {
+		lin, err := lineage.Path1WPOnDWT(q, comp)
+		if err != nil {
+			return nil, err
+		}
+		p, err := lin.System.Prob(lin.Probs)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, p)
+	}
+	return combineComponents(parts), nil
+}
+
+// SolveConnectedOn2WP implements Proposition 4.11 extended to forests of
+// paths by Lemma 3.7: Pr(G ⇝ H) for a connected query with at least one
+// edge and an instance whose components are two-way paths, in polynomial
+// time, via the X-property homomorphism test and the interval-system
+// dynamic program on the β-acyclic lineage.
+func SolveConnectedOn2WP(q *graph.Graph, h *graph.ProbGraph) (*big.Rat, error) {
+	if !q.IsConnected() || q.NumEdges() == 0 {
+		return nil, fmt.Errorf("core: SolveConnectedOn2WP needs a connected query with ≥1 edge")
+	}
+	if !h.G.InClass(graph.ClassU2WP) {
+		return nil, fmt.Errorf("core: SolveConnectedOn2WP needs a ⊔2WP instance")
+	}
+	var parts []*big.Rat
+	for _, comp := range h.Components() {
+		lin, err := lineage.ConnectedOn2WP(q, comp)
+		if err != nil {
+			return nil, err
+		}
+		p, err := lin.System.Prob(lin.Probs)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, p)
+	}
+	return combineComponents(parts), nil
+}
+
+// DirectedPathProbOnPolytrees computes the probability that a possible
+// world of the ⊔PT instance h contains a directed path of m edges
+// (ignoring labels, as in the unlabeled setting), by running the
+// Proposition 5.4 automaton/d-DNNF pipeline on every polytree component
+// and combining with Lemma 3.7.
+func DirectedPathProbOnPolytrees(h *graph.ProbGraph, m int) (*big.Rat, error) {
+	if m == 0 {
+		return big.NewRat(1, 1), nil
+	}
+	if !h.G.InClass(graph.ClassUPT) {
+		return nil, fmt.Errorf("core: DirectedPathProbOnPolytrees needs a ⊔PT instance")
+	}
+	var parts []*big.Rat
+	for _, comp := range h.Components() {
+		p, err := treeauto.PathProbPolytree(comp, m)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, p)
+	}
+	return combineComponents(parts), nil
+}
+
+// DirectedPathProbOnDWTs computes the probability that a possible world
+// of the ⊔DWT instance h contains a directed path of m edges, using the
+// chain-system dynamic program (the unlabeled special case of the
+// Proposition 4.10 lineage). It is the workhorse of Proposition 3.6.
+func DirectedPathProbOnDWTs(h *graph.ProbGraph, m int) (*big.Rat, error) {
+	if m == 0 {
+		return big.NewRat(1, 1), nil
+	}
+	if !h.G.InClass(graph.ClassUDWT) {
+		return nil, fmt.Errorf("core: DirectedPathProbOnDWTs needs a ⊔DWT instance")
+	}
+	var parts []*big.Rat
+	for _, comp := range h.Components() {
+		g := comp.G
+		n := g.NumVertices()
+		parent := make([]int, n)
+		chain := make([]int, n)
+		probs := make([]*big.Rat, n)
+		depth := make([]int, n)
+		order, _ := g.TopologicalOrder() // a DWT is a DAG
+		for v := 0; v < n; v++ {
+			parent[v] = -1
+			probs[v] = graph.RatOne
+		}
+		for _, v := range order {
+			if in := g.InEdges(v); len(in) == 1 {
+				e := g.Edge(in[0])
+				parent[v] = int(e.From)
+				probs[v] = comp.Prob(in[0])
+				depth[v] = depth[e.From] + 1
+			}
+			if depth[v] >= m {
+				chain[v] = m
+			}
+		}
+		sys := &betadnf.ChainSystem{Parent: parent, ChainLen: chain}
+		p, err := sys.Prob(probs)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, p)
+	}
+	return combineComponents(parts), nil
+}
+
+// SolveAllOnDWT implements Proposition 3.6: Pr(G ⇝ H) for an arbitrary
+// unlabeled query (connected or not) on a ⊔DWT instance, in polynomial
+// time. If G is not a graded DAG the probability is 0; otherwise, on
+// every possible world of H, G is equivalent to the one-way path →^m
+// where m is G's difference of levels, so the answer is the probability
+// that a world contains a directed path of length m.
+//
+// The caller must ensure the unlabeled setting (G's labels occur in H and
+// |σ| ≤ 1); labels are ignored here.
+func SolveAllOnDWT(q *graph.Graph, h *graph.ProbGraph) (*big.Rat, error) {
+	if !h.G.InClass(graph.ClassUDWT) {
+		return nil, fmt.Errorf("core: SolveAllOnDWT needs a ⊔DWT instance")
+	}
+	m, graded := q.DifferenceOfLevels()
+	if !graded {
+		return new(big.Rat), nil
+	}
+	return DirectedPathProbOnDWTs(h, m)
+}
+
+// SolveUDWTQueryOnPolytrees implements Proposition 5.5 (with
+// Proposition 5.4 and Lemma 3.7): Pr(G ⇝ H) for an unlabeled ⊔DWT query
+// on a ⊔PT instance, in polynomial time. The query is equivalent to the
+// one-way path of length its height, over every instance.
+func SolveUDWTQueryOnPolytrees(q *graph.Graph, h *graph.ProbGraph) (*big.Rat, error) {
+	if !q.InClass(graph.ClassUDWT) {
+		return nil, fmt.Errorf("core: SolveUDWTQueryOnPolytrees needs a ⊔DWT query")
+	}
+	m := q.Height()
+	return DirectedPathProbOnPolytrees(h, m)
+}

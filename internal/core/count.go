@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"phom/internal/graph"
+)
+
+// This file implements the unweighted variant of PHom suggested in the
+// paper's conclusion (§6): all uncertain edges carry probability 1/2 (a
+// counting-CSP flavor), and the answer is the integer number of
+// satisfying worlds rather than a probability. The two are related by
+// #worlds = Pr · 2^#coins, so every tractability and hardness result
+// transfers; the API below enforces the {0, 1/2, 1} discipline and
+// recovers exact integer counts through the (PTIME when possible)
+// solver.
+
+// IsUnweighted reports whether every edge probability of h lies in
+// {0, 1/2, 1}.
+func IsUnweighted(h *graph.ProbGraph) bool {
+	for i := 0; i < h.G.NumEdges(); i++ {
+		p := h.Prob(i)
+		if p.Sign() != 0 && p.Cmp(graph.RatHalf) != 0 && p.Cmp(graph.RatOne) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CountWorlds computes the number of possible worlds of h (over its
+// uncertain edges, which must all have probability 1/2) to which q has a
+// homomorphism. It dispatches through Solve, so the count is obtained in
+// polynomial time exactly when the cell is tractable. The second result
+// is the number of coins: the count is out of 2^coins worlds.
+func CountWorlds(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*big.Int, int, error) {
+	if !IsUnweighted(h) {
+		return nil, 0, fmt.Errorf("core: CountWorlds requires all edge probabilities in {0, 1/2, 1}")
+	}
+	coins := len(h.UncertainEdges())
+	res, err := Solve(q, h, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	scaled := new(big.Rat).Mul(res.Prob, new(big.Rat).SetInt(new(big.Int).Lsh(big.NewInt(1), uint(coins))))
+	if !scaled.IsInt() {
+		return nil, 0, fmt.Errorf("core: internal error: count %s not integral", scaled.RatString())
+	}
+	return new(big.Int).Set(scaled.Num()), coins, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"phom/internal/graph"
+)
+
+// allDirectedGraphs enumerates every unlabeled directed graph on n
+// vertices without self-loops (self-loops are covered separately: the
+// paper's tree classes exclude them but homomorphism semantics must
+// still be right).
+func allDirectedGraphs(n int, withLoops bool) []*graph.Graph {
+	var pairs [][2]graph.Vertex
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j || withLoops {
+				pairs = append(pairs, [2]graph.Vertex{graph.Vertex(i), graph.Vertex(j)})
+			}
+		}
+	}
+	var out []*graph.Graph
+	for mask := 0; mask < 1<<uint(len(pairs)); mask++ {
+		g := graph.New(n)
+		for b, p := range pairs {
+			if mask&(1<<uint(b)) != 0 {
+				g.MustAddEdge(p[0], p[1], graph.Unlabeled)
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// TestExhaustiveSmallUnlabeled: for EVERY pair of unlabeled graphs with
+// ≤ 3 query vertices (no loops) and 3 instance vertices, with all
+// instance edges at probability 1/2, the dispatched solver must agree
+// with world enumeration whenever it takes a polynomial-time route. This
+// exhaustively covers every small shape: empty graphs, isolated
+// vertices, antiparallel pairs, stars, paths, and all their unions.
+func TestExhaustiveSmallUnlabeled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep skipped in -short mode")
+	}
+	queries := allDirectedGraphs(3, false)
+	instances := allDirectedGraphs(3, false)
+	checked := 0
+	for _, q := range queries {
+		for _, ig := range instances {
+			h := graph.NewProbGraph(ig)
+			for i := 0; i < ig.NumEdges(); i++ {
+				if err := h.SetProb(i, graph.RatHalf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := Solve(q, h, &Options{DisableFallback: true})
+			if err != nil {
+				continue // hard cell: no PTIME route for this pair
+			}
+			checked++
+			want := BruteForce(q, h)
+			if res.Prob.Cmp(want) != 0 {
+				t.Fatalf("exhaustive mismatch: Solve=%s (via %v) brute=%s\nq=%v\nh=%v",
+					res.Prob.RatString(), res.Method, want.RatString(), q, ig)
+			}
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d pairs took a PTIME route; expected broad coverage", checked)
+	}
+	t.Logf("exhaustively validated %d PTIME-solved pairs", checked)
+}
+
+// TestExhaustiveSelfLoops: instances with self-loops are legal graphs
+// (E ⊆ V²); they are never in the tree classes, but the brute-force path
+// and the trivial/label shortcuts must handle them.
+func TestExhaustiveSelfLoops(t *testing.T) {
+	queries := allDirectedGraphs(2, true)
+	instances := allDirectedGraphs(2, true)
+	for _, q := range queries {
+		for _, ig := range instances {
+			h := graph.NewProbGraph(ig)
+			for i := 0; i < ig.NumEdges(); i++ {
+				if err := h.SetProb(i, graph.RatHalf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := Solve(q, h, nil)
+			if err != nil {
+				t.Fatalf("solver failed on loops: %v\nq=%v\nh=%v", err, q, ig)
+			}
+			want := BruteForce(q, h)
+			if res.Prob.Cmp(want) != 0 {
+				t.Fatalf("self-loop mismatch: %s vs %s\nq=%v\nh=%v",
+					res.Prob.RatString(), want.RatString(), q, ig)
+			}
+		}
+	}
+}
+
+// TestExhaustivePathQueries: every unlabeled path query →^m for
+// m = 1 … 5 against every 4-vertex polytree-or-smaller instance shape,
+// at mixed probabilities. Covers the Prop 5.4 pipeline exhaustively on
+// small polytrees.
+func TestExhaustivePathQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep skipped in -short mode")
+	}
+	third := big.NewRat(1, 3)
+	for _, ig := range allDirectedGraphs(4, false) {
+		if !ig.InClass(graph.ClassUPT) {
+			continue
+		}
+		h := graph.NewProbGraph(ig)
+		for i := 0; i < ig.NumEdges(); i++ {
+			p := graph.RatHalf
+			if i%2 == 0 {
+				p = third
+			}
+			if err := h.SetProb(i, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for m := 1; m <= 5; m++ {
+			q := graph.UnlabeledPath(m)
+			res, err := Solve(q, h, &Options{DisableFallback: true})
+			if err != nil {
+				t.Fatalf("⊔PT instance refused: %v\nh=%v", err, ig)
+			}
+			want := BruteForce(q, h)
+			if res.Prob.Cmp(want) != 0 {
+				t.Fatalf("path query mismatch (m=%d): %s vs %s\nh=%v",
+					m, res.Prob.RatString(), want.RatString(), ig)
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"phom/internal/graph"
+)
+
+// Method identifies the algorithm the solver used.
+type Method int
+
+// Solver methods. PTIME methods realize the tractable cells of
+// Tables 1–3; the baselines are exponential and are used only on cells
+// the paper proves #P-hard (or when forced).
+const (
+	MethodTrivial        Method = iota // edgeless query: probability 1
+	MethodLabelMismatch                // query uses a label absent from the instance: probability 0
+	MethodGradedDWT                    // Proposition 3.6 (arbitrary query, ⊔DWT instance, unlabeled)
+	MethodBetaAcyclicDWT               // Proposition 4.10 (1WP query, ⊔DWT instance) via β-acyclic lineage
+	MethodXProperty2WP                 // Proposition 4.11 (connected query, ⊔2WP instance)
+	MethodAutomatonPT                  // Propositions 5.4/5.5 (⊔DWT query, ⊔PT instance) via tree automaton + d-DNNF
+	MethodBruteForce                   // possible-world enumeration (exponential baseline)
+	MethodLineage                      // match enumeration + Shannon expansion (exponential baseline)
+)
+
+var methodNames = map[Method]string{
+	MethodTrivial:        "trivial",
+	MethodLabelMismatch:  "label-mismatch",
+	MethodGradedDWT:      "graded-dwt (Prop 3.6)",
+	MethodBetaAcyclicDWT: "beta-acyclic-dwt (Prop 4.10)",
+	MethodXProperty2WP:   "x-property-2wp (Prop 4.11)",
+	MethodAutomatonPT:    "automaton-polytree (Props 5.4/5.5)",
+	MethodBruteForce:     "brute-force",
+	MethodLineage:        "lineage-shannon",
+}
+
+func (m Method) String() string {
+	if s, ok := methodNames[m]; ok {
+		return s
+	}
+	return "method(?)"
+}
+
+// PTime reports whether the method has polynomial-time combined
+// complexity.
+func (m Method) PTime() bool {
+	return m != MethodBruteForce && m != MethodLineage
+}
+
+// Options configures the solver.
+type Options struct {
+	// BruteForceLimit caps the number of uncertain edges accepted by the
+	// brute-force fallback. 0 means DefaultBruteForceLimit.
+	BruteForceLimit int
+	// MatchLimit caps the number of matches enumerated by the lineage
+	// fallback. 0 means 1 << 16.
+	MatchLimit int
+	// DisableFallback makes Solve fail instead of running an exponential
+	// baseline on an intractable case.
+	DisableFallback bool
+}
+
+func (o *Options) bruteLimit() int {
+	if o == nil || o.BruteForceLimit == 0 {
+		return DefaultBruteForceLimit
+	}
+	return o.BruteForceLimit
+}
+
+func (o *Options) matchLimit() int {
+	if o == nil || o.MatchLimit == 0 {
+		return 1 << 16
+	}
+	return o.MatchLimit
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Prob   *big.Rat
+	Method Method
+}
+
+// Solve computes Pr(G ⇝ H), dispatching to the polynomial-time algorithm
+// covering the input pair when one exists (following the tractability
+// frontier of Tables 1–3) and otherwise, unless disabled, to an
+// exponential exact baseline.
+func Solve(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*Result, error) {
+	if q.NumVertices() == 0 {
+		return nil, fmt.Errorf("core: empty query graph")
+	}
+	if h.G.NumVertices() == 0 {
+		return nil, fmt.Errorf("core: empty instance graph")
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	// An edgeless query maps every vertex to any instance vertex.
+	if q.NumEdges() == 0 {
+		return &Result{Prob: big.NewRat(1, 1), Method: MethodTrivial}, nil
+	}
+	// A query label absent from the instance kills every match.
+	hLabels := map[graph.Label]bool{}
+	for _, l := range h.G.Labels() {
+		hLabels[l] = true
+	}
+	for _, l := range q.Labels() {
+		if !hLabels[l] {
+			return &Result{Prob: new(big.Rat), Method: MethodLabelMismatch}, nil
+		}
+	}
+	// After the check above, the unlabeled setting (|σ| = 1) holds iff
+	// the instance uses at most one label.
+	unlabeled := len(hLabels) <= 1
+
+	if q.IsConnected() {
+		if h.G.InClass(graph.ClassU2WP) {
+			p, err := SolveConnectedOn2WP(q, h)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Prob: p, Method: MethodXProperty2WP}, nil
+		}
+		if h.G.InClass(graph.ClassUDWT) {
+			if unlabeled {
+				p, err := SolveAllOnDWT(q, h)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Prob: p, Method: MethodGradedDWT}, nil
+			}
+			if q.Is1WP() {
+				p, err := SolvePath1WPOnDWT(q, h)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Prob: p, Method: MethodBetaAcyclicDWT}, nil
+			}
+		}
+		if unlabeled && h.G.InClass(graph.ClassUPT) && q.InClass(graph.ClassDWT) {
+			p, err := SolveUDWTQueryOnPolytrees(q, h)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Prob: p, Method: MethodAutomatonPT}, nil
+		}
+	} else {
+		if unlabeled && h.G.InClass(graph.ClassUDWT) {
+			p, err := SolveAllOnDWT(q, h)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Prob: p, Method: MethodGradedDWT}, nil
+		}
+		if unlabeled && q.InClass(graph.ClassUDWT) && h.G.InClass(graph.ClassUPT) {
+			p, err := SolveUDWTQueryOnPolytrees(q, h)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Prob: p, Method: MethodAutomatonPT}, nil
+		}
+	}
+
+	if opts != nil && opts.DisableFallback {
+		return nil, fmt.Errorf("core: no polynomial-time algorithm applies (the case is #P-hard per Tables 1–3) and fallback is disabled")
+	}
+	if p, err := BruteForceLimit(q, h, opts.bruteLimit()); err == nil {
+		return &Result{Prob: p, Method: MethodBruteForce}, nil
+	}
+	p, err := LineageShannon(q, h, opts.matchLimit())
+	if err != nil {
+		return nil, fmt.Errorf("core: instance too large for exact baselines: %v", err)
+	}
+	return &Result{Prob: p, Method: MethodLineage}, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"phom/internal/gen"
+	"phom/internal/graph"
+)
+
+// TestFallbackChainUsesLineageWhenBruteTooLarge: on a #P-hard cell whose
+// instance has too many coins for world enumeration but few matches, the
+// solver must fall through to the match-enumeration baseline and stay
+// exact.
+func TestFallbackChainUsesLineageWhenBruteTooLarge(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	// A labeled branching DWT with 14 uncertain edges: 2WP query on DWT
+	// is #P-hard (Prop 4.5), and 2^14 worlds exceed the configured brute
+	// limit (the oracle below enumerates them without the limit).
+	inst := gen.RandDWT(r, 31, twoLabels)
+	h := graph.NewProbGraph(inst)
+	for i := 0; i < 14; i++ {
+		if err := h.SetProb(i, graph.RatHalf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := graph.Path2WP(graph.Fwd("R"), graph.Bwd("S"))
+	res, err := Solve(q, h, &Options{BruteForceLimit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != MethodLineage {
+		t.Fatalf("expected lineage fallback, got %v", res.Method)
+	}
+	// Cross-check against brute force (feasible without the limit).
+	want := BruteForce(q, h)
+	if res.Prob.Cmp(want) != 0 {
+		t.Fatalf("lineage fallback inexact: %s vs %s", res.Prob.RatString(), want.RatString())
+	}
+}
+
+// TestMatchLimitExhaustionSurfacesError: when both baselines are out of
+// budget the solver reports an error rather than an approximation.
+func TestMatchLimitExhaustionSurfacesError(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	// A dense unlabeled instance with many coins and many matches.
+	inst := gen.RandConnected(r, 26, 20, nil)
+	h := graph.NewProbGraph(inst)
+	for i := 0; i < inst.NumEdges(); i++ {
+		if err := h.SetProb(i, graph.RatHalf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := graph.UnlabeledPath(2)
+	_, err := Solve(q, h, &Options{BruteForceLimit: 5, MatchLimit: 2})
+	if err == nil {
+		t.Fatal("expected an error when both baselines are capped")
+	}
+}
+
+// TestOptionsDefaults: nil options behave like the documented defaults.
+func TestOptionsDefaults(t *testing.T) {
+	var o *Options
+	if o.bruteLimit() != DefaultBruteForceLimit {
+		t.Fatalf("nil options brute limit = %d", o.bruteLimit())
+	}
+	if o.matchLimit() != 1<<16 {
+		t.Fatalf("nil options match limit = %d", o.matchLimit())
+	}
+	o = &Options{BruteForceLimit: 7, MatchLimit: 9}
+	if o.bruteLimit() != 7 || o.matchLimit() != 9 {
+		t.Fatal("explicit options ignored")
+	}
+}
+
+// TestVerdictString covers the display form used by cmd/phomtables.
+func TestVerdictString(t *testing.T) {
+	v := Predict(graph.Class1WP, graph.ClassDWT, true)
+	if v.String() != "PTIME [Prop 4.10 + Lemma 3.7]" {
+		t.Fatalf("verdict renders as %q", v)
+	}
+	v = Predict(graph.Class1WP, graph.ClassPT, true)
+	if v.String() != "#P-hard [Prop 4.1]" {
+		t.Fatalf("verdict renders as %q", v)
+	}
+}
+
+// TestSolveIsDeterministic: the solver returns identical results and
+// methods across repeated invocations (no map-iteration dependence).
+func TestSolveIsDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		q := gen.RandInClass(r, graph.ClassConnected, 1+r.Intn(4), twoLabels)
+		h := gen.RandProb(r, gen.RandInClass(r, graph.ClassU2WP, 2+r.Intn(8), twoLabels), 0.3)
+		first, err := Solve(q, h, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			again, err := Solve(q, h, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Prob.Cmp(again.Prob) != 0 || first.Method != again.Method {
+				t.Fatalf("nondeterministic solve: %v/%s vs %v/%s",
+					first.Method, first.Prob.RatString(), again.Method, again.Prob.RatString())
+			}
+		}
+	}
+}

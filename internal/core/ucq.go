@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"phom/internal/betadnf"
+	"phom/internal/graph"
+	"phom/internal/lineage"
+)
+
+// This file extends the solver to unions of conjunctive queries (UCQs),
+// one of the query-language extensions suggested in the paper's
+// conclusion (§6, after [20]). A UCQ is a disjunction G₁ ∨ … ∨ G_k of
+// query graphs; PHom asks for the probability that at least one disjunct
+// has a homomorphism to the instance.
+//
+// The tractable cases lift to unions because the lineage of a disjunction
+// is the union of the disjunct lineages, and the β-acyclic clause
+// families used by Propositions 4.10 and 4.11 are closed under union:
+//
+//   - on ⊔2WP instances, the union of interval systems is an interval
+//     system (Proposition 4.11 lifts to UCQs of connected queries);
+//   - on ⊔DWT instances, the union of chain systems is a chain system
+//     after keeping, per node, the shortest clause (absorption;
+//     Proposition 4.10 lifts to UCQs of labeled 1WP queries);
+//   - in the unlabeled setting, a union of ⊔DWT queries is equivalent to
+//     →^m for m the minimum of the per-disjunct path lengths, so
+//     Propositions 3.6 and 5.5 lift as well.
+
+// UCQ is a union (disjunction) of query graphs.
+type UCQ []*graph.Graph
+
+// BruteForceUCQ computes Pr(G₁ ∨ … ∨ G_k ⇝ H) by world enumeration; it
+// is the oracle for SolveUCQ. maxUncertain caps the enumerated coins
+// (0 = unbounded).
+func BruteForceUCQ(qs UCQ, h *graph.ProbGraph, maxUncertain int) (*big.Rat, error) {
+	uncertain := h.UncertainEdges()
+	if maxUncertain > 0 && len(uncertain) > maxUncertain {
+		return nil, fmt.Errorf("core: %d uncertain edges exceed limit %d", len(uncertain), maxUncertain)
+	}
+	g := h.G
+	keep := make([]bool, g.NumEdges())
+	for i := 0; i < g.NumEdges(); i++ {
+		keep[i] = h.Prob(i).Cmp(graph.RatOne) == 0
+	}
+	one := big.NewRat(1, 1)
+	total := new(big.Rat)
+	var rec func(i int, w *big.Rat)
+	rec = func(i int, w *big.Rat) {
+		if w.Sign() == 0 {
+			return
+		}
+		if i == len(uncertain) {
+			world := g.SubgraphKeeping(keep)
+			for _, q := range qs {
+				if graph.HasHomomorphism(q, world) {
+					total.Add(total, w)
+					return
+				}
+			}
+			return
+		}
+		ei := uncertain[i]
+		keep[ei] = true
+		rec(i+1, new(big.Rat).Mul(w, h.Prob(ei)))
+		keep[ei] = false
+		rec(i+1, new(big.Rat).Mul(w, new(big.Rat).Sub(one, h.Prob(ei))))
+	}
+	rec(0, big.NewRat(1, 1))
+	return total, nil
+}
+
+// SolveUCQ computes Pr(G₁ ∨ … ∨ G_k ⇝ H), dispatching to a lifted
+// polynomial-time algorithm when every disjunct falls in a compatible
+// tractable cell, and otherwise to the exponential baseline (unless
+// disabled).
+func SolveUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*Result, error) {
+	if len(qs) == 0 {
+		return &Result{Prob: new(big.Rat), Method: MethodTrivial}, nil
+	}
+	if h.G.NumVertices() == 0 {
+		return nil, fmt.Errorf("core: empty instance graph")
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	hLabels := map[graph.Label]bool{}
+	for _, l := range h.G.Labels() {
+		hLabels[l] = true
+	}
+	// Drop disjuncts that can never match; an edgeless disjunct matches
+	// always.
+	var live UCQ
+	for _, q := range qs {
+		if q.NumVertices() == 0 {
+			return nil, fmt.Errorf("core: empty query graph in union")
+		}
+		if q.NumEdges() == 0 {
+			return &Result{Prob: big.NewRat(1, 1), Method: MethodTrivial}, nil
+		}
+		ok := true
+		for _, l := range q.Labels() {
+			if !hLabels[l] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			live = append(live, q)
+		}
+	}
+	if len(live) == 0 {
+		return &Result{Prob: new(big.Rat), Method: MethodLabelMismatch}, nil
+	}
+	unlabeled := len(hLabels) <= 1
+
+	allConnected := true
+	for _, q := range live {
+		if !q.IsConnected() {
+			allConnected = false
+			break
+		}
+	}
+
+	// Unlabeled ⊔DWT-equivalent unions collapse to the shortest path.
+	if unlabeled {
+		minM, graded := -1, true
+		for _, q := range live {
+			m, ok := q.DifferenceOfLevels()
+			if !ok {
+				continue // non-graded disjunct: contributes only on ⊔DWT instances, where it is 0
+			}
+			if minM < 0 || m < minM {
+				minM = m
+			}
+			_ = graded
+		}
+		if h.G.InClass(graph.ClassUDWT) {
+			// Prop 3.6 lifted: non-graded disjuncts never match a forest
+			// world; the rest collapse to →^minM.
+			if minM < 0 {
+				return &Result{Prob: new(big.Rat), Method: MethodGradedDWT}, nil
+			}
+			p, err := DirectedPathProbOnDWTs(h, minM)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Prob: p, Method: MethodGradedDWT}, nil
+		}
+		if h.G.InClass(graph.ClassUPT) {
+			// Prop 5.5 lifted, when every disjunct is a ⊔DWT query (the
+			// equivalence with →^m then holds on all instances).
+			allUDWT := true
+			for _, q := range live {
+				if !q.InClass(graph.ClassUDWT) {
+					allUDWT = false
+					break
+				}
+			}
+			if allUDWT {
+				m := 0
+				for i, q := range live {
+					hq := q.Height()
+					if i == 0 || hq < m {
+						m = hq
+					}
+				}
+				p, err := DirectedPathProbOnPolytrees(h, m)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Prob: p, Method: MethodAutomatonPT}, nil
+			}
+		}
+	}
+
+	// Connected disjuncts on ⊔2WP instances: merged interval lineage.
+	if allConnected && h.G.InClass(graph.ClassU2WP) {
+		var parts []*big.Rat
+		for _, comp := range h.Components() {
+			merged := &betadnf.IntervalSystem{NumVars: comp.G.NumVertices() - 1}
+			var probs []*big.Rat
+			for _, q := range live {
+				lin, err := lineage.ConnectedOn2WP(q, comp)
+				if err != nil {
+					return nil, err
+				}
+				merged.Clauses = append(merged.Clauses, lin.System.Clauses...)
+				probs = lin.Probs
+			}
+			if probs == nil {
+				probs = []*big.Rat{}
+			}
+			p, err := merged.Prob(probs)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, p)
+		}
+		return &Result{Prob: combineComponents(parts), Method: MethodXProperty2WP}, nil
+	}
+
+	// Labeled 1WP disjuncts on ⊔DWT instances: merged chain lineage
+	// (keep the shortest clause per node).
+	all1WP := true
+	for _, q := range live {
+		if !q.Is1WP() {
+			all1WP = false
+			break
+		}
+	}
+	if all1WP && h.G.InClass(graph.ClassUDWT) {
+		var parts []*big.Rat
+		for _, comp := range h.Components() {
+			var merged *betadnf.ChainSystem
+			var probs []*big.Rat
+			for _, q := range live {
+				lin, err := lineage.Path1WPOnDWT(q, comp)
+				if err != nil {
+					return nil, err
+				}
+				if merged == nil {
+					merged = lin.System
+					probs = lin.Probs
+					continue
+				}
+				for v, l := range lin.System.ChainLen {
+					if l != 0 && (merged.ChainLen[v] == 0 || l < merged.ChainLen[v]) {
+						merged.ChainLen[v] = l
+					}
+				}
+			}
+			p, err := merged.Prob(probs)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, p)
+		}
+		return &Result{Prob: combineComponents(parts), Method: MethodBetaAcyclicDWT}, nil
+	}
+
+	if opts != nil && opts.DisableFallback {
+		return nil, fmt.Errorf("core: no lifted polynomial-time algorithm applies to this UCQ and fallback is disabled")
+	}
+	p, err := BruteForceUCQ(live, h, opts.bruteLimit())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Prob: p, Method: MethodBruteForce}, nil
+}

@@ -1,0 +1,158 @@
+// Package counting implements the #P-hard counting problems the paper
+// reduces from — #Bipartite-Edge-Cover (Definition 3.1, Theorem 3.2) and
+// #PP2DNF (Definition 4.3) — together with exact (exponential)
+// brute-force counters used to validate the reductions of package
+// reductions, and the Hamming-weight signature problems of Appendix D.
+package counting
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// BipartiteGraph is an undirected bipartite graph with parts X (of size
+// NX) and Y (of size NY); edges connect an X-vertex to a Y-vertex.
+type BipartiteGraph struct {
+	NX, NY int
+	Edges  [][2]int // {x, y} with 0 ≤ x < NX, 0 ≤ y < NY
+}
+
+// Validate checks index ranges.
+func (g *BipartiteGraph) Validate() error {
+	if g.NX < 0 || g.NY < 0 {
+		return fmt.Errorf("counting: negative part size")
+	}
+	for _, e := range g.Edges {
+		if e[0] < 0 || e[0] >= g.NX || e[1] < 0 || e[1] >= g.NY {
+			return fmt.Errorf("counting: edge %v out of range", e)
+		}
+	}
+	return nil
+}
+
+// IsEdgeCover reports whether the edge subset given by the bitmask subset
+// covers every vertex of g (every vertex is incident to a chosen edge).
+// Vertices of degree 0 make any cover impossible.
+func (g *BipartiteGraph) IsEdgeCover(subset uint64) bool {
+	coveredX := make([]bool, g.NX)
+	coveredY := make([]bool, g.NY)
+	for i, e := range g.Edges {
+		if subset&(1<<uint(i)) != 0 {
+			coveredX[e[0]] = true
+			coveredY[e[1]] = true
+		}
+	}
+	for _, c := range coveredX {
+		if !c {
+			return false
+		}
+	}
+	for _, c := range coveredY {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// CountEdgeCovers counts the edge covers of g by enumerating all 2^|E|
+// edge subsets. #Bipartite-Edge-Cover is #P-complete (Theorem 3.2 /
+// Theorem D.1); this exponential counter is usable for |E| ≲ 24 and
+// exists to validate the reduction of Proposition 3.3.
+func (g *BipartiteGraph) CountEdgeCovers() (*big.Int, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(g.Edges)
+	if m > 30 {
+		return nil, fmt.Errorf("counting: %d edges too many for brute-force edge-cover counting", m)
+	}
+	count := big.NewInt(0)
+	for subset := uint64(0); subset < 1<<uint(m); subset++ {
+		if g.IsEdgeCover(subset) {
+			count.Add(count, big.NewInt(1))
+		}
+	}
+	return count, nil
+}
+
+// PP2DNF is a positive partitioned 2-DNF formula (Definition 4.3):
+// variables X₁…X_{N1} and Y₁…Y_{N2}, and clauses (X_{xⱼ} ∧ Y_{yⱼ}).
+// Indices in Clauses are 0-based.
+type PP2DNF struct {
+	N1, N2  int
+	Clauses [][2]int // {x, y} with 0 ≤ x < N1, 0 ≤ y < N2
+}
+
+// Validate checks index ranges.
+func (f *PP2DNF) Validate() error {
+	if f.N1 < 0 || f.N2 < 0 {
+		return fmt.Errorf("counting: negative variable count")
+	}
+	for _, c := range f.Clauses {
+		if c[0] < 0 || c[0] >= f.N1 || c[1] < 0 || c[1] >= f.N2 {
+			return fmt.Errorf("counting: clause %v out of range", c)
+		}
+	}
+	return nil
+}
+
+// Eval evaluates the formula under X and Y valuations given as bitmasks.
+func (f *PP2DNF) Eval(xs, ys uint64) bool {
+	for _, c := range f.Clauses {
+		if xs&(1<<uint(c[0])) != 0 && ys&(1<<uint(c[1])) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CountSatisfying counts the satisfying valuations of the formula over
+// all 2^(N1+N2) valuations. #PP2DNF is #P-hard [29, 32]. The counter
+// enumerates X-valuations only (2^N1 iterations): given an X-valuation,
+// the satisfying Y-valuations are those setting at least one variable of
+// S = {y : some clause (x, y) has X_x true}, i.e. 2^N2 − 2^(N2−|S|).
+func (f *PP2DNF) CountSatisfying() (*big.Int, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if f.N1 > 30 || f.N2 > 62 {
+		return nil, fmt.Errorf("counting: PP2DNF with %d+%d variables too large", f.N1, f.N2)
+	}
+	total := big.NewInt(0)
+	pow := func(k int) *big.Int { return new(big.Int).Lsh(big.NewInt(1), uint(k)) }
+	for xs := uint64(0); xs < 1<<uint(f.N1); xs++ {
+		var ymask uint64
+		for _, c := range f.Clauses {
+			if xs&(1<<uint(c[0])) != 0 {
+				ymask |= 1 << uint(c[1])
+			}
+		}
+		s := popcount(ymask)
+		// 2^N2 − 2^(N2−s) satisfying Y-valuations.
+		part := pow(f.N2)
+		part.Sub(part, pow(f.N2-s))
+		total.Add(total, part)
+	}
+	return total, nil
+}
+
+// Probability returns Pr(φ, π) where every variable has probability 1/2:
+// the satisfying count divided by 2^(N1+N2) (the #PP2DNF problem).
+func (f *PP2DNF) Probability() (*big.Rat, error) {
+	count, err := f.CountSatisfying()
+	if err != nil {
+		return nil, err
+	}
+	den := new(big.Int).Lsh(big.NewInt(1), uint(f.N1+f.N2))
+	return new(big.Rat).SetFrac(count, den), nil
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+package counting
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestEdgeCoverKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    BipartiteGraph
+		want int64
+	}{
+		{"single edge", BipartiteGraph{NX: 1, NY: 1, Edges: [][2]int{{0, 0}}}, 1},
+		{"two parallel paths", BipartiteGraph{NX: 2, NY: 2, Edges: [][2]int{{0, 0}, {1, 1}}}, 1},
+		// Star from x1 to y1..y3: the only cover is all edges.
+		{"star", BipartiteGraph{NX: 1, NY: 3, Edges: [][2]int{{0, 0}, {0, 1}, {0, 2}}}, 1},
+		// x1 with two edges to the same y? not possible (distinct ys):
+		// x1–y1, x1–y2, x2–y1: covers must include an edge at x2 ({x2,y1})
+		// and an edge at y2 ({x1,y2}); edge {x1,y1} optional → 2 covers.
+		{"triangle-ish", BipartiteGraph{NX: 2, NY: 2, Edges: [][2]int{{0, 0}, {0, 1}, {1, 0}}}, 2},
+		// Isolated vertex: no cover.
+		{"isolated", BipartiteGraph{NX: 2, NY: 1, Edges: [][2]int{{0, 0}}}, 0},
+		// K22: each xi needs an edge, each yj needs an edge; subsets of 4
+		// edges that cover all 4 vertices: 16 total, count manually = 7.
+		{"K22", BipartiteGraph{NX: 2, NY: 2, Edges: [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}}}, 7},
+	}
+	for _, c := range cases {
+		got, err := c.g.CountEdgeCovers()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got.Int64() != c.want {
+			t.Errorf("%s: count = %v, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestEdgeCoverValidation(t *testing.T) {
+	bad := BipartiteGraph{NX: 1, NY: 1, Edges: [][2]int{{0, 5}}}
+	if _, err := bad.CountEdgeCovers(); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	huge := BipartiteGraph{NX: 1, NY: 1, Edges: make([][2]int, 40)}
+	if _, err := huge.CountEdgeCovers(); err == nil {
+		t.Fatal("oversized enumeration accepted")
+	}
+}
+
+func TestPP2DNFEval(t *testing.T) {
+	f := PP2DNF{N1: 2, N2: 2, Clauses: [][2]int{{0, 1}, {1, 0}}}
+	if !f.Eval(0b01, 0b10) { // X1 ∧ Y2
+		t.Fatal("clause (X1,Y2) should fire")
+	}
+	if f.Eval(0b01, 0b01) { // X1 true but only Y1 true
+		t.Fatal("no clause should fire")
+	}
+}
+
+// TestCountSatisfyingAgainstFullEnumeration cross-checks the 2^N1-loop
+// counter against direct 2^(N1+N2) enumeration.
+func TestCountSatisfyingAgainstFullEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		f := PP2DNF{N1: 1 + r.Intn(4), N2: 1 + r.Intn(4)}
+		for k := r.Intn(6); k > 0; k-- {
+			f.Clauses = append(f.Clauses, [2]int{r.Intn(f.N1), r.Intn(f.N2)})
+		}
+		want := int64(0)
+		for xs := uint64(0); xs < 1<<uint(f.N1); xs++ {
+			for ys := uint64(0); ys < 1<<uint(f.N2); ys++ {
+				if f.Eval(xs, ys) {
+					want++
+				}
+			}
+		}
+		got, err := f.CountSatisfying()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != want {
+			t.Fatalf("count = %v, want %d for %+v", got, want, f)
+		}
+	}
+}
+
+func TestPP2DNFProbability(t *testing.T) {
+	f := PP2DNF{N1: 1, N2: 1, Clauses: [][2]int{{0, 0}}}
+	p, err := f.Probability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cmp(big.NewRat(1, 4)) != 0 {
+		t.Fatalf("Probability = %s, want 1/4", p.RatString())
+	}
+	empty := PP2DNF{N1: 2, N2: 2}
+	p, _ = empty.Probability()
+	if p.Sign() != 0 {
+		t.Fatal("empty formula must have probability 0")
+	}
+}
+
+func TestPP2DNFValidation(t *testing.T) {
+	bad := PP2DNF{N1: 1, N2: 1, Clauses: [][2]int{{0, 3}}}
+	if _, err := bad.CountSatisfying(); err == nil {
+		t.Fatal("out-of-range clause accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package ddnnf
+
+import (
+	"math/big"
+	"testing"
+)
+
+func half() *big.Rat { return big.NewRat(1, 2) }
+
+func TestConstants(t *testing.T) {
+	c := New(1)
+	tt, ff := c.True(), c.False()
+	if !c.Eval(tt, []bool{false}) || c.Eval(ff, []bool{false}) {
+		t.Fatal("constants broken")
+	}
+	if c.Prob(tt, []*big.Rat{half()}).Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatal("Prob(true) != 1")
+	}
+	if c.Prob(ff, []*big.Rat{half()}).Sign() != 0 {
+		t.Fatal("Prob(false) != 0")
+	}
+}
+
+func TestLiteralsAndNegation(t *testing.T) {
+	c := New(2)
+	x := c.Literal(0, false)
+	notY := c.Literal(1, true)
+	if !c.Eval(x, []bool{true, false}) || c.Eval(x, []bool{false, false}) {
+		t.Fatal("literal eval broken")
+	}
+	if !c.Eval(notY, []bool{false, false}) || c.Eval(notY, []bool{false, true}) {
+		t.Fatal("negated literal eval broken")
+	}
+	probs := []*big.Rat{big.NewRat(1, 3), big.NewRat(1, 4)}
+	if c.Prob(x, probs).Cmp(big.NewRat(1, 3)) != 0 {
+		t.Fatal("Prob(x) wrong")
+	}
+	if c.Prob(notY, probs).Cmp(big.NewRat(3, 4)) != 0 {
+		t.Fatal("Prob(¬y) wrong")
+	}
+}
+
+// xorCircuit builds the canonical d-DNNF for x ⊕ y:
+// (x ∧ ¬y) ∨ (¬x ∧ y).
+func xorCircuit() (*Circuit, Gate) {
+	c := New(2)
+	g := c.Or(
+		c.And(c.Literal(0, false), c.Literal(1, true)),
+		c.And(c.Literal(0, true), c.Literal(1, false)),
+	)
+	return c, g
+}
+
+func TestXorCircuit(t *testing.T) {
+	c, g := xorCircuit()
+	if err := c.CheckDecomposable(g); err != nil {
+		t.Fatalf("xor should be decomposable: %v", err)
+	}
+	if err := c.CheckDeterministicExhaustive(g); err != nil {
+		t.Fatalf("xor should be deterministic: %v", err)
+	}
+	probs := []*big.Rat{big.NewRat(1, 3), big.NewRat(1, 5)}
+	// Pr = (1/3)(4/5) + (2/3)(1/5) = 4/15 + 2/15 = 6/15 = 2/5.
+	if got := c.Prob(g, probs); got.Cmp(big.NewRat(2, 5)) != 0 {
+		t.Fatalf("Prob(xor) = %s, want 2/5", got.RatString())
+	}
+}
+
+func TestNonDecomposableDetected(t *testing.T) {
+	c := New(1)
+	g := c.And(c.Literal(0, false), c.Literal(0, false))
+	if err := c.CheckDecomposable(g); err == nil {
+		t.Fatal("x ∧ x should fail decomposability")
+	}
+}
+
+func TestNonDeterministicDetected(t *testing.T) {
+	c := New(2)
+	g := c.Or(c.Literal(0, false), c.Literal(1, false))
+	if err := c.CheckDeterministicExhaustive(g); err == nil {
+		t.Fatal("x ∨ y should fail determinism (both can be true)")
+	}
+}
+
+func TestOrSumOverstatesWithoutDeterminism(t *testing.T) {
+	// Documents why determinism matters: Prob on a non-deterministic OR
+	// overstates (1/2 + 1/2 = 1 instead of 3/4).
+	c := New(2)
+	g := c.Or(c.Literal(0, false), c.Literal(1, false))
+	got := c.Prob(g, []*big.Rat{half(), half()})
+	if got.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("expected the documented overcount of 1, got %s", got.RatString())
+	}
+}
+
+func TestVarSupport(t *testing.T) {
+	c := New(3)
+	g := c.And(c.Literal(0, false), c.Or(c.Literal(2, true), c.False()))
+	sup := c.VarSupport(g)
+	if len(sup) != 2 || sup[0] != 0 || sup[1] != 2 {
+		t.Fatalf("support = %v, want [0 2]", sup)
+	}
+}
+
+func TestSingleInputGatesCollapse(t *testing.T) {
+	c := New(1)
+	x := c.Literal(0, false)
+	if c.And(x) != x || c.Or(x) != x {
+		t.Fatal("single-input gates should collapse to their input")
+	}
+}
+
+func TestEmptyGates(t *testing.T) {
+	c := New(1)
+	if !c.Eval(c.And(), []bool{false}) {
+		t.Fatal("empty AND must be true")
+	}
+	if c.Eval(c.Or(), []bool{true}) {
+		t.Fatal("empty OR must be false")
+	}
+}
+
+func TestExhaustiveCheckRefusesLargeCircuits(t *testing.T) {
+	c := New(30)
+	g := c.True()
+	if err := c.CheckDeterministicExhaustive(g); err == nil {
+		t.Fatal("exhaustive check must refuse 30 variables")
+	}
+}

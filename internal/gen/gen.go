@@ -1,0 +1,240 @@
+// Package gen provides seeded, deterministic random generators for every
+// graph class of the paper and for the counting-problem inputs
+// (bipartite graphs, PP2DNF formulas). All generators take an explicit
+// *rand.Rand so experiments and tests are reproducible.
+package gen
+
+import (
+	"math/big"
+	"math/rand"
+
+	"phom/internal/counting"
+	"phom/internal/graph"
+)
+
+// RandLabel picks a label uniformly. An empty label set yields the
+// conventional unlabeled label.
+func RandLabel(r *rand.Rand, labels []graph.Label) graph.Label {
+	if len(labels) == 0 {
+		return graph.Unlabeled
+	}
+	return labels[r.Intn(len(labels))]
+}
+
+// Rand1WP returns a random one-way path with n vertices.
+func Rand1WP(r *rand.Rand, n int, labels []graph.Label) *graph.Graph {
+	ls := make([]graph.Label, n-1)
+	for i := range ls {
+		ls[i] = RandLabel(r, labels)
+	}
+	return graph.Path1WP(ls...)
+}
+
+// Rand2WP returns a random two-way path with n vertices (each edge
+// oriented by a fair coin).
+func Rand2WP(r *rand.Rand, n int, labels []graph.Label) *graph.Graph {
+	steps := make([]graph.Step, n-1)
+	for i := range steps {
+		steps[i] = graph.Step{Label: RandLabel(r, labels), Forward: r.Intn(2) == 0}
+	}
+	return graph.Path2WP(steps...)
+}
+
+// RandDWT returns a random downward tree with n vertices: vertex i > 0
+// gets a uniformly random parent among 0 … i−1.
+func RandDWT(r *rand.Rand, n int, labels []graph.Label) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(graph.Vertex(r.Intn(i)), graph.Vertex(i), RandLabel(r, labels))
+	}
+	return g
+}
+
+// RandPolytree returns a random polytree with n vertices: a random tree
+// with each edge oriented by a fair coin.
+func RandPolytree(r *rand.Rand, n int, labels []graph.Label) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		p := graph.Vertex(r.Intn(i))
+		if r.Intn(2) == 0 {
+			g.MustAddEdge(p, graph.Vertex(i), RandLabel(r, labels))
+		} else {
+			g.MustAddEdge(graph.Vertex(i), p, RandLabel(r, labels))
+		}
+	}
+	return g
+}
+
+// RandConnected returns a random connected graph with n vertices and
+// approximately extra additional non-tree edges.
+func RandConnected(r *rand.Rand, n, extra int, labels []graph.Label) *graph.Graph {
+	g := RandPolytree(r, n, labels)
+	for k := 0; k < extra; k++ {
+		u := graph.Vertex(r.Intn(n))
+		v := graph.Vertex(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if _, dup := g.HasEdge(u, v); dup {
+			continue
+		}
+		g.MustAddEdge(u, v, RandLabel(r, labels))
+	}
+	return g
+}
+
+// RandGraph returns a random graph with n vertices and approximately m
+// edges (no connectivity guarantee, self-loops excluded).
+func RandGraph(r *rand.Rand, n, m int, labels []graph.Label) *graph.Graph {
+	g := graph.New(n)
+	for k := 0; k < m; k++ {
+		u := graph.Vertex(r.Intn(n))
+		v := graph.Vertex(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if _, dup := g.HasEdge(u, v); dup {
+			continue
+		}
+		g.MustAddEdge(u, v, RandLabel(r, labels))
+	}
+	return g
+}
+
+// RandUnion returns a disjoint union of k graphs produced by part.
+func RandUnion(r *rand.Rand, k int, part func(*rand.Rand) *graph.Graph) *graph.Graph {
+	parts := make([]*graph.Graph, k)
+	for i := range parts {
+		parts[i] = part(r)
+	}
+	u, _ := graph.DisjointUnion(parts...)
+	return u
+}
+
+// RandInClass returns a random graph of the given class with roughly n
+// vertices (split across components for union classes).
+func RandInClass(r *rand.Rand, c graph.Class, n int, labels []graph.Label) *graph.Graph {
+	if n < 1 {
+		n = 1
+	}
+	switch c {
+	case graph.Class1WP:
+		return Rand1WP(r, n, labels)
+	case graph.Class2WP:
+		return Rand2WP(r, n, labels)
+	case graph.ClassDWT:
+		return RandDWT(r, n, labels)
+	case graph.ClassPT:
+		return RandPolytree(r, n, labels)
+	case graph.ClassConnected:
+		return RandConnected(r, n, 1+n/4, labels)
+	case graph.ClassAll:
+		return RandGraph(r, n, n+n/2, labels)
+	case graph.ClassU1WP, graph.ClassU2WP, graph.ClassUDWT, graph.ClassUPT:
+		k := 1 + r.Intn(3)
+		per := n / k
+		if per < 1 {
+			per = 1
+		}
+		return RandUnion(r, k, func(r *rand.Rand) *graph.Graph {
+			return RandInClass(r, c.Base(), per, labels)
+		})
+	}
+	panic("gen: unknown class")
+}
+
+// RandRat returns a random exact probability k/d with d ∈ {2, 4, 8} and
+// 0 ≤ k ≤ d.
+func RandRat(r *rand.Rand) *big.Rat {
+	d := int64(2 << uint(r.Intn(3)))
+	return big.NewRat(r.Int63n(d+1), d)
+}
+
+// RandProb wraps g with random probabilities: each edge is certain
+// (probability 1) with probability certainFrac, and gets a random
+// rational in [0, 1] otherwise.
+func RandProb(r *rand.Rand, g *graph.Graph, certainFrac float64) *graph.ProbGraph {
+	p := graph.NewProbGraph(g)
+	for i := 0; i < g.NumEdges(); i++ {
+		if r.Float64() >= certainFrac {
+			if err := p.SetProb(i, RandRat(r)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return p
+}
+
+// RandBipartite returns a random bipartite graph with parts of size nx
+// and ny and up to m distinct edges.
+func RandBipartite(r *rand.Rand, nx, ny, m int) *counting.BipartiteGraph {
+	g := &counting.BipartiteGraph{NX: nx, NY: ny}
+	seen := map[[2]int]bool{}
+	for k := 0; k < m; k++ {
+		e := [2]int{r.Intn(nx), r.Intn(ny)}
+		if !seen[e] {
+			seen[e] = true
+			g.Edges = append(g.Edges, e)
+		}
+	}
+	return g
+}
+
+// RandPP2DNF returns a random PP2DNF with n1 + n2 variables and roughly
+// m distinct clauses. Every variable occurs in some clause (Definition
+// 4.3 assumes this, and the Proposition 5.1 reduction needs it for
+// connectivity), so the result can have up to max(m, n1, n2) clauses and
+// never more than n1·n2.
+func RandPP2DNF(r *rand.Rand, n1, n2, m int) *counting.PP2DNF {
+	if m > n1*n2 {
+		m = n1 * n2 // only n1·n2 distinct clauses exist
+	}
+	f := &counting.PP2DNF{N1: n1, N2: n2}
+	seen := map[[2]int]bool{}
+	coveredY := map[int]bool{}
+	add := func(c [2]int) {
+		if !seen[c] {
+			seen[c] = true
+			coveredY[c[1]] = true
+			f.Clauses = append(f.Clauses, c)
+		}
+	}
+	for i := 0; i < n1; i++ {
+		add([2]int{i, r.Intn(n2)})
+	}
+	for y := 0; y < n2; y++ {
+		if !coveredY[y] {
+			add([2]int{r.Intn(n1), y})
+		}
+	}
+	for len(f.Clauses) < m {
+		add([2]int{r.Intn(n1), r.Intn(n2)})
+	}
+	return f
+}
+
+// RandGradedDAG returns a random graded DAG: vertices are assigned random
+// levels and every edge goes from a level-ℓ vertex to a level-(ℓ−1)
+// vertex, so a level mapping exists by construction.
+func RandGradedDAG(r *rand.Rand, n, m, levels int, labels []graph.Label) *graph.Graph {
+	if levels < 2 {
+		levels = 2
+	}
+	g := graph.New(n)
+	lvl := make([]int, n)
+	for i := range lvl {
+		lvl[i] = r.Intn(levels)
+	}
+	for k := 0; k < m; k++ {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		if lvl[u] != lvl[v]+1 {
+			continue
+		}
+		if _, dup := g.HasEdge(graph.Vertex(u), graph.Vertex(v)); dup {
+			continue
+		}
+		g.MustAddEdge(graph.Vertex(u), graph.Vertex(v), RandLabel(r, labels))
+	}
+	return g
+}

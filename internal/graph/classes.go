@@ -1,0 +1,256 @@
+package graph
+
+// Class identifies one of the paper's graph classes (§2, Figure 2).
+type Class int
+
+// The graph classes studied by the paper. U-prefixed classes are the
+// disjoint-union closures ⊔1WP, ⊔2WP, ⊔DWT, ⊔PT: graphs whose connected
+// components all lie in the base class.
+const (
+	Class1WP       Class = iota // one-way paths
+	Class2WP                    // two-way paths
+	ClassDWT                    // downward trees
+	ClassPT                     // polytrees
+	ClassConnected              // connected graphs
+	ClassU1WP                   // disjoint unions of one-way paths
+	ClassU2WP                   // disjoint unions of two-way paths
+	ClassUDWT                   // disjoint unions of downward trees
+	ClassUPT                    // disjoint unions of polytrees (forests)
+	ClassAll                    // all graphs
+	numClasses
+)
+
+// AllClasses lists every class in a fixed order.
+var AllClasses = []Class{
+	Class1WP, Class2WP, ClassDWT, ClassPT, ClassConnected,
+	ClassU1WP, ClassU2WP, ClassUDWT, ClassUPT, ClassAll,
+}
+
+var classNames = map[Class]string{
+	Class1WP:       "1WP",
+	Class2WP:       "2WP",
+	ClassDWT:       "DWT",
+	ClassPT:        "PT",
+	ClassConnected: "Connected",
+	ClassU1WP:      "⊔1WP",
+	ClassU2WP:      "⊔2WP",
+	ClassUDWT:      "⊔DWT",
+	ClassUPT:       "⊔PT",
+	ClassAll:       "All",
+}
+
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return "Class(?)"
+}
+
+// Base returns the connected base class of a disjoint-union class, and the
+// class itself otherwise.
+func (c Class) Base() Class {
+	switch c {
+	case ClassU1WP:
+		return Class1WP
+	case ClassU2WP:
+		return Class2WP
+	case ClassUDWT:
+		return ClassDWT
+	case ClassUPT:
+		return ClassPT
+	}
+	return c
+}
+
+// Union returns the disjoint-union closure of a base class (⊔C), the class
+// itself for classes already closed under disjoint union.
+func (c Class) Union() Class {
+	switch c {
+	case Class1WP:
+		return ClassU1WP
+	case Class2WP:
+		return ClassU2WP
+	case ClassDWT:
+		return ClassUDWT
+	case ClassPT:
+		return ClassUPT
+	case ClassConnected:
+		return ClassAll
+	}
+	return c
+}
+
+// Is1WP reports whether g is a one-way path a₁ → a₂ → … → aₘ covering all
+// vertices (Figure 3, top). The single-vertex graph is the 1WP of length 0.
+func (g *Graph) Is1WP() bool {
+	if g.n == 0 {
+		return false
+	}
+	if g.n == 1 {
+		return len(g.edges) == 0
+	}
+	if len(g.edges) != g.n-1 {
+		return false
+	}
+	start := Vertex(-1)
+	for v := 0; v < g.n; v++ {
+		if g.OutDegree(Vertex(v)) > 1 || g.InDegree(Vertex(v)) > 1 {
+			return false
+		}
+		if g.InDegree(Vertex(v)) == 0 {
+			if start >= 0 {
+				return false
+			}
+			start = Vertex(v)
+		}
+	}
+	if start < 0 {
+		return false
+	}
+	// Walk the path; with the degree bounds above it covers all vertices
+	// iff we can take n−1 steps.
+	v, steps := start, 0
+	for len(g.out[v]) == 1 {
+		v = g.edges[g.out[v][0]].To
+		steps++
+		if steps > g.n {
+			return false
+		}
+	}
+	return steps == g.n-1
+}
+
+// Is2WP reports whether g is a two-way path a₁ − a₂ − … − aₘ, each edge
+// oriented arbitrarily (Figure 3, bottom).
+func (g *Graph) Is2WP() bool {
+	if g.n == 0 {
+		return false
+	}
+	if g.n == 1 {
+		return len(g.edges) == 0
+	}
+	// n−1 directed edges + connected underlying graph ⇒ underlying tree
+	// with no antiparallel pairs; degree ≤ 2 then makes it a path.
+	if len(g.edges) != g.n-1 || !g.IsConnected() {
+		return false
+	}
+	for v := 0; v < g.n; v++ {
+		if g.UndirectedDegree(Vertex(v)) > 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsDWT reports whether g is a downward tree: a rooted unranked tree with
+// every edge oriented from parent to child (Figure 4, left).
+func (g *Graph) IsDWT() bool {
+	if g.n == 0 {
+		return false
+	}
+	if len(g.edges) != g.n-1 || !g.IsConnected() {
+		return false
+	}
+	for v := 0; v < g.n; v++ {
+		if g.InDegree(Vertex(v)) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// DWTRoot returns the root of a downward tree. It panics if g is not a DWT.
+func (g *Graph) DWTRoot() Vertex {
+	if !g.IsDWT() {
+		panic("graph: DWTRoot on a non-DWT graph")
+	}
+	for v := 0; v < g.n; v++ {
+		if g.InDegree(Vertex(v)) == 0 {
+			return Vertex(v)
+		}
+	}
+	panic("graph: DWT without a root")
+}
+
+// IsPolytree reports whether the underlying undirected graph of g is a
+// tree (Figure 4, right).
+func (g *Graph) IsPolytree() bool {
+	if g.n == 0 {
+		return false
+	}
+	return len(g.edges) == g.n-1 && g.IsConnected()
+}
+
+// InClass reports whether g belongs to the given class.
+func (g *Graph) InClass(c Class) bool {
+	switch c {
+	case Class1WP:
+		return g.Is1WP()
+	case Class2WP:
+		return g.Is2WP()
+	case ClassDWT:
+		return g.IsDWT()
+	case ClassPT:
+		return g.IsPolytree()
+	case ClassConnected:
+		return g.IsConnected()
+	case ClassAll:
+		return g.n > 0
+	case ClassU1WP, ClassU2WP, ClassUDWT, ClassUPT:
+		base := c.Base()
+		for _, comp := range g.Components() {
+			if !comp.InClass(base) {
+				return false
+			}
+		}
+		return g.n > 0
+	}
+	return false
+}
+
+// Classify returns every class g belongs to, in AllClasses order.
+func (g *Graph) Classify() []Class {
+	var out []Class
+	for _, c := range AllClasses {
+		if g.InClass(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ClassIncluded reports whether every graph of class a is a graph of
+// class b, following the inclusion diagram of Figure 2 extended to the
+// disjoint-union classes.
+func ClassIncluded(a, b Class) bool {
+	if a == b || b == ClassAll {
+		return true
+	}
+	direct := map[Class][]Class{
+		Class1WP:       {Class2WP, ClassDWT, ClassU1WP},
+		Class2WP:       {ClassPT, ClassU2WP},
+		ClassDWT:       {ClassPT, ClassUDWT},
+		ClassPT:        {ClassConnected, ClassUPT},
+		ClassConnected: {ClassAll},
+		ClassU1WP:      {ClassU2WP, ClassUDWT},
+		ClassU2WP:      {ClassUPT},
+		ClassUDWT:      {ClassUPT},
+		ClassUPT:       {ClassAll},
+	}
+	seen := map[Class]bool{a: true}
+	stack := []Class{a}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range direct[c] {
+			if d == b {
+				return true
+			}
+			if !seen[d] {
+				seen[d] = true
+				stack = append(stack, d)
+			}
+		}
+	}
+	return false
+}

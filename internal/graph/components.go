@@ -1,0 +1,74 @@
+package graph
+
+import "sort"
+
+// ConnectedComponents partitions the vertices of g into the connected
+// components of its underlying undirected graph. Components are returned
+// with vertices sorted, and components ordered by their smallest vertex,
+// so the output is deterministic.
+func (g *Graph) ConnectedComponents() [][]Vertex {
+	seen := make([]bool, g.n)
+	var comps [][]Vertex
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []Vertex
+		queue := []Vertex{Vertex(s)}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for _, u := range g.Neighbors(v) {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether the underlying undirected graph of g is
+// connected. Following the paper, the single-vertex graph is connected and
+// the empty graph is not a valid graph (we report it as not connected).
+func (g *Graph) IsConnected() bool {
+	if g.n == 0 {
+		return false
+	}
+	return len(g.ConnectedComponents()) == 1
+}
+
+// InducedSubgraph returns the subgraph of g induced by the given vertices
+// (renumbered 0 … len(vs)−1 in the given order) together with the mapping
+// old vertex → new vertex. Edges with an endpoint outside vs are dropped.
+func (g *Graph) InducedSubgraph(vs []Vertex) (*Graph, map[Vertex]Vertex) {
+	remap := make(map[Vertex]Vertex, len(vs))
+	for i, v := range vs {
+		remap[v] = Vertex(i)
+	}
+	h := New(len(vs))
+	for _, e := range g.edges {
+		nf, okf := remap[e.From]
+		nt, okt := remap[e.To]
+		if okf && okt {
+			h.MustAddEdge(nf, nt, e.Label)
+		}
+	}
+	return h, remap
+}
+
+// Components returns each connected component of g as a standalone graph
+// (vertices renumbered), in deterministic order.
+func (g *Graph) Components() []*Graph {
+	var out []*Graph
+	for _, comp := range g.ConnectedComponents() {
+		h, _ := g.InducedSubgraph(comp)
+		out = append(out, h)
+	}
+	return out
+}

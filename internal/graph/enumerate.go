@@ -1,0 +1,53 @@
+package graph
+
+// ForEachHomomorphism enumerates every homomorphism from query to
+// instance, invoking fn with each (the slice is reused; copy it to keep
+// it). Enumeration stops early when fn returns false. The count of
+// homomorphisms can be exponential; this is used by the match-enumeration
+// fallback solver and by tests.
+func ForEachHomomorphism(query, instance *Graph, fn func(Homomorphism) bool) {
+	if query.n == 0 {
+		fn(Homomorphism{})
+		return
+	}
+	if instance.n == 0 {
+		return
+	}
+	order := searchOrder(query)
+	h := make(Homomorphism, query.n)
+	for i := range h {
+		h[i] = -1
+	}
+	var rec func(pos int) bool
+	rec = func(pos int) bool {
+		if pos == len(order) {
+			return fn(h)
+		}
+		v := order[pos]
+		for _, cand := range candidates(query, instance, v, h) {
+			if consistent(query, instance, v, cand, h) {
+				h[v] = cand
+				if !rec(pos + 1) {
+					h[v] = -1
+					return false
+				}
+				h[v] = -1
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// CountHomomorphisms returns the number of homomorphisms from query to
+// instance, up to the given limit (0 = no limit). This differs from the
+// PHom problem (which weights worlds, not matches); it exists for tests
+// and diagnostics.
+func CountHomomorphisms(query, instance *Graph, limit int) int {
+	count := 0
+	ForEachHomomorphism(query, instance, func(Homomorphism) bool {
+		count++
+		return limit == 0 || count < limit
+	})
+	return count
+}

@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fig6DAG reproduces the DAG of Figure 6: a graded DAG whose difference
+// of levels (5) exceeds its longest directed path. We build a graded DAG
+// with levels 0…5 where no single directed path spans all levels.
+func fig6DAG() *Graph {
+	g := New(7)
+	// Levels: v0:5 v1:4 v2:3 v3:3 v4:2 v5:1 v6:0, edges drop one level.
+	g.MustAddEdge(0, 1, Unlabeled) // 5→4
+	g.MustAddEdge(1, 2, Unlabeled) // 4→3
+	g.MustAddEdge(1, 3, Unlabeled) // 4→3
+	g.MustAddEdge(3, 4, Unlabeled) // 3→2
+	g.MustAddEdge(4, 5, Unlabeled) // 2→1
+	g.MustAddEdge(5, 6, Unlabeled) // 1→0
+	return g
+}
+
+func TestLevelMappingValid(t *testing.T) {
+	g := fig6DAG()
+	level, ok := g.LevelMapping()
+	if !ok {
+		t.Fatal("Figure 6 DAG should be graded")
+	}
+	for _, e := range g.Edges() {
+		if level[e.To] != level[e.From]-1 {
+			t.Fatalf("edge %v violates level mapping: %d -> %d", e, level[e.From], level[e.To])
+		}
+	}
+	m, ok := g.DifferenceOfLevels()
+	if !ok || m != 5 {
+		t.Fatalf("difference of levels = %d, %v; want 5", m, ok)
+	}
+	lp, _ := g.LongestDirectedPath()
+	if lp != 6-0-1+1 && lp != 6 { // path 0→1→2 has length 2; 0→1→3→4→5→6 has length 5
+		// The longest path here is 5; the check below is the real one.
+	}
+	if lp != 5 {
+		t.Fatalf("longest directed path = %d, want 5", lp)
+	}
+}
+
+func TestJumpingEdgeNotGraded(t *testing.T) {
+	// Two directed paths of different lengths between u and v.
+	g := New(4)
+	g.MustAddEdge(0, 1, Unlabeled)
+	g.MustAddEdge(1, 2, Unlabeled)
+	g.MustAddEdge(0, 2, Unlabeled) // jumping edge
+	if g.IsGradedDAG() {
+		t.Fatal("jumping edge must not be graded")
+	}
+	if !g.IsDAG() {
+		t.Fatal("still a DAG")
+	}
+	if _, ok := g.DifferenceOfLevels(); ok {
+		t.Fatal("difference of levels must fail")
+	}
+}
+
+func TestCycleNotGraded(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, Unlabeled)
+	g.MustAddEdge(1, 2, Unlabeled)
+	g.MustAddEdge(2, 0, Unlabeled)
+	if g.IsDAG() {
+		t.Fatal("cycle reported acyclic")
+	}
+	if g.IsGradedDAG() {
+		t.Fatal("cycle reported graded")
+	}
+	if _, ok := g.LongestDirectedPath(); ok {
+		t.Fatal("longest path must fail on a cycle")
+	}
+	loop := New(1)
+	loop.MustAddEdge(0, 0, Unlabeled)
+	if loop.IsGradedDAG() {
+		t.Fatal("self-loop reported graded")
+	}
+}
+
+func TestDifferenceOfLevelsPerComponent(t *testing.T) {
+	// Two components with spans 2 and 4: overall difference is 4.
+	u, _ := DisjointUnion(UnlabeledPath(2), UnlabeledPath(4))
+	m, ok := u.DifferenceOfLevels()
+	if !ok || m != 4 {
+		t.Fatalf("difference of levels = %d, %v; want 4", m, ok)
+	}
+}
+
+func TestHeight(t *testing.T) {
+	dwt := New(5)
+	dwt.MustAddEdge(0, 1, Unlabeled)
+	dwt.MustAddEdge(1, 2, Unlabeled)
+	dwt.MustAddEdge(0, 3, Unlabeled)
+	dwt.MustAddEdge(2, 4, Unlabeled)
+	if h := dwt.Height(); h != 3 {
+		t.Fatalf("height = %d, want 3", h)
+	}
+	u, _ := DisjointUnion(dwt, UnlabeledPath(1))
+	if h := u.Height(); h != 3 {
+		t.Fatalf("union height = %d, want 3", h)
+	}
+}
+
+// TestEquivalentUnlabeledPathIsEquivalent: for random unlabeled ⊔DWT
+// queries, the normalized path must be homomorphically equivalent to the
+// query (Proposition 5.5), checked with the backtracking oracle.
+func TestEquivalentUnlabeledPathIsEquivalent(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(7)
+		g := New(n)
+		for i := 1; i < n; i++ {
+			g.MustAddEdge(Vertex(r.Intn(i)), Vertex(i), Unlabeled)
+		}
+		if r.Intn(2) == 0 { // sometimes a union of two DWTs
+			g2 := New(1 + r.Intn(4))
+			for i := 1; i < g2.NumVertices(); i++ {
+				g2.MustAddEdge(Vertex(r.Intn(i)), Vertex(i), Unlabeled)
+			}
+			g, _ = DisjointUnion(g, g2)
+		}
+		path, ok := g.EquivalentUnlabeledPath()
+		if !ok {
+			t.Fatalf("⊔DWT query not normalized: %v", g)
+		}
+		if !Equivalent(g, path) {
+			t.Fatalf("normalized path not equivalent:\ng=%v\npath=%v", g, path)
+		}
+	}
+}
+
+func TestLevelMappingDeterministic(t *testing.T) {
+	g := fig6DAG()
+	l1, _ := g.LevelMapping()
+	l2, _ := g.LevelMapping()
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("level mapping not deterministic")
+		}
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, Unlabeled)
+	g.MustAddEdge(0, 2, Unlabeled)
+	g.MustAddEdge(1, 3, Unlabeled)
+	g.MustAddEdge(2, 3, Unlabeled)
+	order, ok := g.TopologicalOrder()
+	if !ok || len(order) != 4 {
+		t.Fatalf("topo order failed: %v %v", order, ok)
+	}
+	posOf := make([]int, 4)
+	for i, v := range order {
+		posOf[v] = i
+	}
+	for _, e := range g.Edges() {
+		if posOf[e.From] >= posOf[e.To] {
+			t.Fatalf("edge %v violates topological order", e)
+		}
+	}
+}

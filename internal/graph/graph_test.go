@@ -1,0 +1,276 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1, "R"); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge(0, 1, "S"); err == nil {
+		t.Fatal("duplicate (0,1) edge accepted: multi-edges must be rejected")
+	}
+	if err := g.AddEdge(0, 3, "R"); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+	if err := g.AddEdge(-1, 0, "R"); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+	if err := g.AddEdge(1, 0, "S"); err != nil {
+		t.Fatalf("antiparallel edge must be allowed: %v", err)
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, "R")
+	g.MustAddEdge(1, 2, "S")
+	g.MustAddEdge(3, 2, "S")
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("got %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if l, ok := g.HasEdge(1, 2); !ok || l != "S" {
+		t.Fatalf("HasEdge(1,2) = %q, %v", l, ok)
+	}
+	if _, ok := g.HasEdge(2, 1); ok {
+		t.Fatal("HasEdge(2,1) should be false")
+	}
+	if g.OutDegree(1) != 1 || g.InDegree(2) != 2 {
+		t.Fatalf("degrees wrong: out(1)=%d in(2)=%d", g.OutDegree(1), g.InDegree(2))
+	}
+	if d := g.UndirectedDegree(2); d != 2 {
+		t.Fatalf("UndirectedDegree(2) = %d, want 2", d)
+	}
+	labels := g.Labels()
+	if len(labels) != 2 || labels[0] != "R" || labels[1] != "S" {
+		t.Fatalf("Labels = %v", labels)
+	}
+	if g.IsUnlabeled() {
+		t.Fatal("two-label graph reported unlabeled")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1, "R")
+	h := g.Clone()
+	h.AddVertex()
+	h.MustAddEdge(1, 2, "R")
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestSubgraphKeeping(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, "R")
+	g.MustAddEdge(1, 2, "S")
+	sub := g.SubgraphKeeping([]bool{true, false})
+	if sub.NumVertices() != 3 {
+		t.Fatal("subgraphs must keep the full vertex set (paper convention)")
+	}
+	if sub.NumEdges() != 1 {
+		t.Fatalf("subgraph has %d edges", sub.NumEdges())
+	}
+	if _, ok := sub.HasEdge(1, 2); ok {
+		t.Fatal("dropped edge still present")
+	}
+}
+
+// paperFig3Top is the labeled 1WP of Figure 3: R S S T.
+func paperFig3Top() *Graph { return Path1WP("R", "S", "S", "T") }
+
+// paperFig3Bottom is the labeled 2WP of Figure 3: →R ←S →S ←T →R.
+func paperFig3Bottom() *Graph {
+	return Path2WP(Fwd("R"), Bwd("S"), Fwd("S"), Bwd("T"), Fwd("R"))
+}
+
+func TestClassesOnPaperExamples(t *testing.T) {
+	oneWP := paperFig3Top()
+	twoWP := paperFig3Bottom()
+
+	dwt := New(6) // Figure 4, left: a root with branching children
+	dwt.MustAddEdge(0, 1, Unlabeled)
+	dwt.MustAddEdge(0, 2, Unlabeled)
+	dwt.MustAddEdge(1, 3, Unlabeled)
+	dwt.MustAddEdge(1, 4, Unlabeled)
+	dwt.MustAddEdge(2, 5, Unlabeled)
+
+	pt := New(6) // Figure 4, right: mixed orientations, branching, in-degree 2
+	pt.MustAddEdge(0, 1, Unlabeled)
+	pt.MustAddEdge(2, 1, Unlabeled) // vertex 1 has two parents: not a DWT
+	pt.MustAddEdge(2, 3, Unlabeled)
+	pt.MustAddEdge(4, 3, Unlabeled)
+	pt.MustAddEdge(2, 5, Unlabeled) // vertex 2 branches: not a 2WP
+
+	cases := []struct {
+		name string
+		g    *Graph
+		in   []Class
+		out  []Class
+	}{
+		{"1WP", oneWP, []Class{Class1WP, Class2WP, ClassDWT, ClassPT, ClassConnected, ClassU1WP, ClassAll}, nil},
+		{"2WP", twoWP, []Class{Class2WP, ClassPT, ClassConnected, ClassU2WP, ClassAll}, []Class{Class1WP, ClassDWT, ClassU1WP, ClassUDWT}},
+		{"DWT", dwt, []Class{ClassDWT, ClassPT, ClassConnected, ClassUDWT, ClassAll}, []Class{Class1WP, Class2WP}},
+		{"PT", pt, []Class{ClassPT, ClassConnected, ClassUPT, ClassAll}, []Class{Class1WP, Class2WP, ClassDWT, ClassUDWT}},
+	}
+	for _, c := range cases {
+		for _, cl := range c.in {
+			if !c.g.InClass(cl) {
+				t.Errorf("%s should be in %v", c.name, cl)
+			}
+		}
+		for _, cl := range c.out {
+			if c.g.InClass(cl) {
+				t.Errorf("%s should not be in %v", c.name, cl)
+			}
+		}
+	}
+}
+
+func TestSingleVertexIsEverything(t *testing.T) {
+	g := New(1)
+	for _, c := range AllClasses {
+		if !g.InClass(c) {
+			t.Errorf("single vertex should be in %v", c)
+		}
+	}
+}
+
+func TestAntiparallelPairClasses(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1, Unlabeled)
+	g.MustAddEdge(1, 0, Unlabeled)
+	for _, c := range []Class{Class1WP, Class2WP, ClassDWT, ClassPT, ClassU2WP, ClassUPT} {
+		if g.InClass(c) {
+			t.Errorf("antiparallel pair wrongly in %v", c)
+		}
+	}
+	if !g.IsConnected() {
+		t.Error("antiparallel pair should be connected")
+	}
+}
+
+func TestDisconnectedClasses(t *testing.T) {
+	u, _ := DisjointUnion(Path1WP("R", "S"), Path1WP("T"))
+	if u.IsConnected() {
+		t.Fatal("disjoint union reported connected")
+	}
+	for _, c := range []Class{ClassU1WP, ClassU2WP, ClassUDWT, ClassUPT, ClassAll} {
+		if !u.InClass(c) {
+			t.Errorf("union of 1WPs should be in %v", c)
+		}
+	}
+	for _, c := range []Class{Class1WP, Class2WP, ClassDWT, ClassPT, ClassConnected} {
+		if u.InClass(c) {
+			t.Errorf("union of 1WPs should not be in connected class %v", c)
+		}
+	}
+}
+
+// TestMembershipRespectsInclusionLattice is the Figure 2 check: for many
+// random graphs, membership must be upward closed along ClassIncluded.
+func TestMembershipRespectsInclusionLattice(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		g := randomGraphForClasses(r)
+		for _, a := range AllClasses {
+			for _, b := range AllClasses {
+				if ClassIncluded(a, b) && g.InClass(a) && !g.InClass(b) {
+					t.Fatalf("graph %v in %v but not in %v despite %v ⊆ %v", g, a, b, a, b)
+				}
+			}
+		}
+	}
+}
+
+// randomGraphForClasses produces a diverse mix of shapes.
+func randomGraphForClasses(r *rand.Rand) *Graph {
+	n := 1 + r.Intn(7)
+	g := New(n)
+	m := r.Intn(2 * n)
+	for k := 0; k < m; k++ {
+		u, v := Vertex(r.Intn(n)), Vertex(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if _, dup := g.HasEdge(u, v); dup {
+			continue
+		}
+		g.MustAddEdge(u, v, Label([]string{"R", "S"}[r.Intn(2)]))
+	}
+	return g
+}
+
+func TestClassIncludedLattice(t *testing.T) {
+	// Spot-check the Figure 2 inclusions and some non-inclusions.
+	wants := []struct {
+		a, b Class
+		want bool
+	}{
+		{Class1WP, Class2WP, true},
+		{Class1WP, ClassDWT, true},
+		{Class2WP, ClassPT, true},
+		{ClassDWT, ClassPT, true},
+		{ClassPT, ClassConnected, true},
+		{ClassConnected, ClassAll, true},
+		{Class1WP, ClassUPT, true},
+		{ClassU1WP, ClassUDWT, true},
+		{ClassUPT, ClassAll, true},
+		{Class2WP, ClassDWT, false},
+		{ClassDWT, Class2WP, false},
+		{ClassU1WP, ClassConnected, false},
+		{ClassConnected, ClassPT, false},
+		{ClassAll, ClassConnected, false},
+		{ClassU2WP, ClassUDWT, false},
+	}
+	for _, w := range wants {
+		if got := ClassIncluded(w.a, w.b); got != w.want {
+			t.Errorf("ClassIncluded(%v, %v) = %v, want %v", w.a, w.b, got, w.want)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	u, offsets := DisjointUnion(Path1WP("R"), Path1WP("S", "S"), New(1))
+	if len(offsets) != 3 {
+		t.Fatalf("offsets = %v", offsets)
+	}
+	comps := u.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components", len(comps))
+	}
+	if comps[0].NumEdges() != 1 || comps[1].NumEdges() != 2 || comps[2].NumEdges() != 0 {
+		t.Fatalf("component edge counts wrong: %d %d %d",
+			comps[0].NumEdges(), comps[1].NumEdges(), comps[2].NumEdges())
+	}
+	for _, c := range comps {
+		if !c.IsConnected() {
+			t.Fatal("component not connected")
+		}
+	}
+}
+
+func TestPathBuilders(t *testing.T) {
+	p := Path1WP("R", "S")
+	if !p.Is1WP() || p.NumVertices() != 3 {
+		t.Fatal("Path1WP broken")
+	}
+	q := Path2WP(Fwd("R"), Bwd("S"))
+	if !q.Is2WP() || q.Is1WP() {
+		t.Fatal("Path2WP broken")
+	}
+	if l, ok := q.HasEdge(2, 1); !ok || l != "S" {
+		t.Fatal("backward step misoriented")
+	}
+	single := Path1WP()
+	if !single.Is1WP() || single.NumVertices() != 1 {
+		t.Fatal("empty Path1WP should be the single vertex")
+	}
+	if UnlabeledPath(3).NumEdges() != 3 {
+		t.Fatal("UnlabeledPath length wrong")
+	}
+}

@@ -1,0 +1,196 @@
+package graph
+
+// This file implements general graph homomorphism testing by backtracking
+// search. It is used as the correctness oracle for the specialized
+// polynomial-time algorithms, inside the possible-world brute-force
+// solver, and for the candidate-match checks of §4.2 when the X-property
+// algorithm does not apply.
+
+// Homomorphism represents a homomorphism h : V(G) → V(H) as a slice
+// indexed by the vertices of G.
+type Homomorphism []Vertex
+
+// FindHomomorphism searches for a homomorphism from query to instance and
+// returns one if it exists. The search assigns query vertices in a
+// connectivity-aware order and propagates adjacency constraints, which
+// keeps it fast on the tree-shaped graphs of the paper, but the worst case
+// is exponential: graph homomorphism is NP-complete in general.
+func FindHomomorphism(query, instance *Graph) (Homomorphism, bool) {
+	if query.n == 0 {
+		return Homomorphism{}, true
+	}
+	if instance.n == 0 {
+		return nil, false
+	}
+	order := searchOrder(query)
+	h := make(Homomorphism, query.n)
+	for i := range h {
+		h[i] = -1
+	}
+	if assign(query, instance, order, 0, h) {
+		return h, true
+	}
+	return nil, false
+}
+
+// HasHomomorphism reports whether query ⇝ instance.
+func HasHomomorphism(query, instance *Graph) bool {
+	_, ok := FindHomomorphism(query, instance)
+	return ok
+}
+
+// Equivalent reports whether two query graphs are equivalent in the
+// paper's sense: G ⇝ H iff G′ ⇝ H for every H, which holds iff G ⇝ G′ and
+// G′ ⇝ G.
+func Equivalent(g1, g2 *Graph) bool {
+	return HasHomomorphism(g1, g2) && HasHomomorphism(g2, g1)
+}
+
+// IsHomomorphism verifies that h is a homomorphism from query to instance.
+func IsHomomorphism(query, instance *Graph, h Homomorphism) bool {
+	if len(h) != query.n {
+		return false
+	}
+	for _, v := range h {
+		if v < 0 || int(v) >= instance.n {
+			return false
+		}
+	}
+	for _, e := range query.edges {
+		l, ok := instance.HasEdge(h[e.From], h[e.To])
+		if !ok || l != e.Label {
+			return false
+		}
+	}
+	return true
+}
+
+// searchOrder returns the query vertices ordered so that each vertex
+// (except component starters) has at least one earlier neighbor, starting
+// each component from a vertex of maximum degree.
+func searchOrder(g *Graph) []Vertex {
+	visited := make([]bool, g.n)
+	order := make([]Vertex, 0, g.n)
+	for {
+		start, bestDeg := Vertex(-1), -1
+		for v := 0; v < g.n; v++ {
+			if !visited[v] && g.UndirectedDegree(Vertex(v)) > bestDeg {
+				start, bestDeg = Vertex(v), g.UndirectedDegree(Vertex(v))
+			}
+		}
+		if start < 0 {
+			break
+		}
+		queue := []Vertex{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, u := range g.Neighbors(v) {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// assign extends the partial homomorphism h to order[pos:].
+func assign(query, instance *Graph, order []Vertex, pos int, h Homomorphism) bool {
+	if pos == len(order) {
+		return true
+	}
+	v := order[pos]
+	for _, cand := range candidates(query, instance, v, h) {
+		if consistent(query, instance, v, cand, h) {
+			h[v] = cand
+			if assign(query, instance, order, pos+1, h) {
+				return true
+			}
+			h[v] = -1
+		}
+	}
+	return false
+}
+
+// candidates returns candidate images for query vertex v given the partial
+// assignment h, derived from the tightest constraint of an already
+// assigned neighbor, or all instance vertices when v starts a component.
+func candidates(query, instance *Graph, v Vertex, h Homomorphism) []Vertex {
+	best := []Vertex(nil)
+	bestN := -1
+	consider := func(cands []Vertex) {
+		if bestN < 0 || len(cands) < bestN {
+			best, bestN = cands, len(cands)
+		}
+	}
+	for _, ei := range query.out[v] {
+		e := query.edges[ei]
+		if h[e.To] >= 0 {
+			var cs []Vertex
+			for _, hi := range instance.in[h[e.To]] {
+				he := instance.edges[hi]
+				if he.Label == e.Label {
+					cs = append(cs, he.From)
+				}
+			}
+			consider(cs)
+		}
+	}
+	for _, ei := range query.in[v] {
+		e := query.edges[ei]
+		if h[e.From] >= 0 {
+			var cs []Vertex
+			for _, hi := range instance.out[h[e.From]] {
+				he := instance.edges[hi]
+				if he.Label == e.Label {
+					cs = append(cs, he.To)
+				}
+			}
+			consider(cs)
+		}
+	}
+	if bestN >= 0 {
+		return best
+	}
+	all := make([]Vertex, instance.n)
+	for i := range all {
+		all[i] = Vertex(i)
+	}
+	return all
+}
+
+// consistent checks every edge between v and assigned neighbors under
+// h[v] = img.
+func consistent(query, instance *Graph, v Vertex, img Vertex, h Homomorphism) bool {
+	for _, ei := range query.out[v] {
+		e := query.edges[ei]
+		to := h[e.To]
+		if e.To == v {
+			to = img // self-loop
+		}
+		if to >= 0 {
+			l, ok := instance.HasEdge(img, to)
+			if !ok || l != e.Label {
+				return false
+			}
+		}
+	}
+	for _, ei := range query.in[v] {
+		e := query.edges[ei]
+		from := h[e.From]
+		if e.From == v {
+			from = img
+		}
+		if from >= 0 {
+			l, ok := instance.HasEdge(from, img)
+			if !ok || l != e.Label {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestRatHelper(t *testing.T) {
+	if Rat("1/2").Cmp(big.NewRat(1, 2)) != 0 {
+		t.Fatal("Rat(1/2)")
+	}
+	if Rat("0.25").Cmp(big.NewRat(1, 4)) != 0 {
+		t.Fatal("Rat(0.25)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("malformed rational should panic")
+		}
+	}()
+	Rat("zz")
+}
+
+func TestProbGraphDefaultsAndValidation(t *testing.T) {
+	g := Path1WP("R", "S")
+	p := NewProbGraph(g)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("fresh ProbGraph invalid: %v", err)
+	}
+	if p.Prob(0).Cmp(RatOne) != 0 {
+		t.Fatal("default probability must be 1")
+	}
+	if err := p.SetProb(0, big.NewRat(3, 2)); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if err := p.SetProb(0, big.NewRat(-1, 2)); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	if err := p.SetProb(5, RatHalf); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := p.SetEdgeProb(0, 2, RatHalf); err == nil {
+		t.Fatal("missing edge accepted")
+	}
+	if err := p.SetEdgeProb(0, 1, RatHalf); err != nil {
+		t.Fatalf("SetEdgeProb: %v", err)
+	}
+	if pr, ok := p.EdgeProb(0, 1); !ok || pr.Cmp(RatHalf) != 0 {
+		t.Fatal("EdgeProb readback wrong")
+	}
+}
+
+func TestSetProbCopies(t *testing.T) {
+	g := Path1WP("R")
+	p := NewProbGraph(g)
+	r := big.NewRat(1, 2)
+	p.MustSetEdgeProb(0, 1, r)
+	r.SetInt64(0) // mutate caller's value
+	if p.Prob(0).Cmp(RatHalf) != 0 {
+		t.Fatal("SetProb must copy the rational")
+	}
+}
+
+// TestWorldProbsSumToOne: the probabilities of all 2^|E| possible worlds
+// must sum to exactly 1, for random probabilistic graphs.
+func TestWorldProbsSumToOne(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		g := randomGraphForClasses(r)
+		p := NewProbGraph(g)
+		for i := 0; i < g.NumEdges(); i++ {
+			d := int64(1 + r.Intn(8))
+			if err := p.SetProb(i, big.NewRat(r.Int63n(d+1), d)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m := g.NumEdges()
+		if m > 12 {
+			continue
+		}
+		total := new(big.Rat)
+		keep := make([]bool, m)
+		for mask := 0; mask < 1<<uint(m); mask++ {
+			for i := 0; i < m; i++ {
+				keep[i] = mask&(1<<uint(i)) != 0
+			}
+			total.Add(total, p.WorldProb(keep))
+		}
+		if total.Cmp(RatOne) != 0 {
+			t.Fatalf("world probabilities sum to %s, want 1", total.RatString())
+		}
+	}
+}
+
+func TestUncertainEdges(t *testing.T) {
+	g := Path1WP("R", "S", "T")
+	p := NewProbGraph(g)
+	p.MustSetEdgeProb(1, 2, RatHalf)
+	p.MustSetEdgeProb(2, 3, RatZero)
+	u := p.UncertainEdges()
+	if len(u) != 1 || u[0] != 1 {
+		t.Fatalf("UncertainEdges = %v, want [1]", u)
+	}
+}
+
+func TestProbGraphComponents(t *testing.T) {
+	u, _ := DisjointUnion(Path1WP("R"), Path1WP("S", "S"))
+	p := NewProbGraph(u)
+	p.MustSetEdgeProb(0, 1, RatHalf)          // first component's edge
+	p.MustSetEdgeProb(2, 3, big.NewRat(1, 4)) // second component's first edge
+	comps := p.Components()
+	if len(comps) != 2 {
+		t.Fatalf("got %d components", len(comps))
+	}
+	if comps[0].Prob(0).Cmp(RatHalf) != 0 {
+		t.Fatal("component 0 lost its probability")
+	}
+	if comps[1].Prob(0).Cmp(big.NewRat(1, 4)) != 0 {
+		t.Fatal("component 1 lost its probability")
+	}
+	if err := comps[0].Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneProbGraph(t *testing.T) {
+	g := Path1WP("R")
+	p := NewProbGraph(g)
+	p.MustSetEdgeProb(0, 1, RatHalf)
+	q := p.Clone()
+	q.MustSetEdgeProb(0, 1, RatZero)
+	if p.Prob(0).Cmp(RatHalf) != 0 {
+		t.Fatal("clone mutation leaked")
+	}
+}

@@ -1,0 +1,227 @@
+// Package graphio serializes query graphs and probabilistic instance
+// graphs to and from a small line-oriented text format, JSON, and
+// Graphviz DOT (export only). The text format is what the cmd/phom CLI
+// reads:
+//
+//	# comment
+//	vertices 4
+//	edge 0 1 R        # certain edge with label R
+//	edge 1 2 S 1/2    # probability 1/2
+//	edge 2 3 S 0.25   # decimal probabilities are parsed exactly
+//
+// Labels are arbitrary non-space tokens; use "_" for unlabeled graphs.
+package graphio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/big"
+	"strconv"
+	"strings"
+
+	"phom/internal/graph"
+)
+
+// ParseProbGraph reads the text format from r.
+func ParseProbGraph(r io.Reader) (*graph.ProbGraph, error) {
+	var g *graph.Graph
+	type probEdge struct {
+		idx int
+		p   *big.Rat
+	}
+	var probs []probEdge
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "vertices":
+			if g != nil {
+				return nil, fmt.Errorf("graphio: line %d: duplicate vertices directive", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graphio: line %d: vertices takes one argument", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("graphio: line %d: bad vertex count %q", lineNo, fields[1])
+			}
+			g = graph.New(n)
+		case "edge":
+			if g == nil {
+				return nil, fmt.Errorf("graphio: line %d: edge before vertices", lineNo)
+			}
+			if len(fields) != 4 && len(fields) != 5 {
+				return nil, fmt.Errorf("graphio: line %d: edge takes 3 or 4 arguments", lineNo)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graphio: line %d: bad endpoints", lineNo)
+			}
+			if err := g.AddEdge(graph.Vertex(from), graph.Vertex(to), graph.Label(fields[3])); err != nil {
+				return nil, fmt.Errorf("graphio: line %d: %v", lineNo, err)
+			}
+			if len(fields) == 5 {
+				p, ok := new(big.Rat).SetString(fields[4])
+				if !ok {
+					return nil, fmt.Errorf("graphio: line %d: bad probability %q", lineNo, fields[4])
+				}
+				probs = append(probs, probEdge{idx: g.NumEdges() - 1, p: p})
+			}
+		default:
+			return nil, fmt.Errorf("graphio: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graphio: no vertices directive")
+	}
+	pg := graph.NewProbGraph(g)
+	for _, pe := range probs {
+		if err := pg.SetProb(pe.idx, pe.p); err != nil {
+			return nil, err
+		}
+	}
+	return pg, nil
+}
+
+// ParseGraph reads the text format from r, rejecting probability
+// annotations (query graphs are deterministic).
+func ParseGraph(r io.Reader) (*graph.Graph, error) {
+	pg, err := ParseProbGraph(r)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < pg.G.NumEdges(); i++ {
+		if pg.Prob(i).Cmp(graph.RatOne) != 0 {
+			return nil, fmt.Errorf("graphio: query graph has a probability on edge %d", i)
+		}
+	}
+	return pg.G, nil
+}
+
+// WriteProbGraph writes p in the text format.
+func WriteProbGraph(w io.Writer, p *graph.ProbGraph) error {
+	if _, err := fmt.Fprintf(w, "vertices %d\n", p.G.NumVertices()); err != nil {
+		return err
+	}
+	for i, e := range p.G.Edges() {
+		pr := p.Prob(i)
+		if pr.Cmp(graph.RatOne) == 0 {
+			if _, err := fmt.Fprintf(w, "edge %d %d %s\n", e.From, e.To, e.Label); err != nil {
+				return err
+			}
+		} else if _, err := fmt.Fprintf(w, "edge %d %d %s %s\n", e.From, e.To, e.Label, pr.RatString()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteGraph writes g in the text format.
+func WriteGraph(w io.Writer, g *graph.Graph) error {
+	return WriteProbGraph(w, graph.NewProbGraph(g))
+}
+
+// jsonGraph is the JSON wire form.
+type jsonGraph struct {
+	Vertices int        `json:"vertices"`
+	Edges    []jsonEdge `json:"edges"`
+}
+
+type jsonEdge struct {
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+	Label string `json:"label"`
+	Prob  string `json:"prob,omitempty"` // rational string; omitted = 1
+}
+
+// MarshalProbGraphJSON encodes p as JSON.
+func MarshalProbGraphJSON(p *graph.ProbGraph) ([]byte, error) {
+	jg := jsonGraph{Vertices: p.G.NumVertices()}
+	for i, e := range p.G.Edges() {
+		je := jsonEdge{From: int(e.From), To: int(e.To), Label: string(e.Label)}
+		if pr := p.Prob(i); pr.Cmp(graph.RatOne) != 0 {
+			je.Prob = pr.RatString()
+		}
+		jg.Edges = append(jg.Edges, je)
+	}
+	return json.MarshalIndent(jg, "", "  ")
+}
+
+// UnmarshalProbGraphJSON decodes JSON produced by MarshalProbGraphJSON.
+func UnmarshalProbGraphJSON(data []byte) (*graph.ProbGraph, error) {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return nil, err
+	}
+	if jg.Vertices < 1 {
+		return nil, fmt.Errorf("graphio: bad vertex count %d", jg.Vertices)
+	}
+	g := graph.New(jg.Vertices)
+	type probEdge struct {
+		idx int
+		p   *big.Rat
+	}
+	var probs []probEdge
+	for _, je := range jg.Edges {
+		if err := g.AddEdge(graph.Vertex(je.From), graph.Vertex(je.To), graph.Label(je.Label)); err != nil {
+			return nil, err
+		}
+		if je.Prob != "" {
+			p, ok := new(big.Rat).SetString(je.Prob)
+			if !ok {
+				return nil, fmt.Errorf("graphio: bad probability %q", je.Prob)
+			}
+			probs = append(probs, probEdge{idx: g.NumEdges() - 1, p: p})
+		}
+	}
+	pg := graph.NewProbGraph(g)
+	for _, pe := range probs {
+		if err := pg.SetProb(pe.idx, pe.p); err != nil {
+			return nil, err
+		}
+	}
+	return pg, nil
+}
+
+// WriteDOT renders p as a Graphviz digraph; uncertain edges are dashed
+// and annotated with their probability, matching the figures of the
+// paper.
+func WriteDOT(w io.Writer, p *graph.ProbGraph, name string) error {
+	if name == "" {
+		name = "H"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %s {\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < p.G.NumVertices(); v++ {
+		if _, err := fmt.Fprintf(w, "  %d;\n", v); err != nil {
+			return err
+		}
+	}
+	for i, e := range p.G.Edges() {
+		attrs := fmt.Sprintf("label=%q", string(e.Label))
+		if pr := p.Prob(i); pr.Cmp(graph.RatOne) != 0 {
+			attrs = fmt.Sprintf("label=\"%s:%s\", style=dashed", e.Label, pr.RatString())
+		}
+		if _, err := fmt.Fprintf(w, "  %d -> %d [%s];\n", e.From, e.To, attrs); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

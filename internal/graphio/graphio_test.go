@@ -1,0 +1,123 @@
+package graphio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"phom/internal/gen"
+	"phom/internal/graph"
+)
+
+const sample = `
+# Example 2.2-style instance
+vertices 4
+edge 0 1 R
+edge 1 2 S 1/2
+edge 3 2 S 0.25
+`
+
+func TestParseProbGraph(t *testing.T) {
+	p, err := ParseProbGraph(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.G.NumVertices() != 4 || p.G.NumEdges() != 3 {
+		t.Fatalf("parsed %d vertices, %d edges", p.G.NumVertices(), p.G.NumEdges())
+	}
+	if pr, _ := p.EdgeProb(1, 2); pr.Cmp(graph.RatHalf) != 0 {
+		t.Fatalf("edge 1->2 prob = %s", pr.RatString())
+	}
+	if pr, _ := p.EdgeProb(3, 2); pr.Cmp(graph.Rat("1/4")) != 0 {
+		t.Fatalf("decimal probability parsed as %s", pr.RatString())
+	}
+	if pr, _ := p.EdgeProb(0, 1); pr.Cmp(graph.RatOne) != 0 {
+		t.Fatal("unannotated edge must be certain")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                                   // no vertices
+		"edge 0 1 R",                         // edge before vertices
+		"vertices 0",                         // empty graph
+		"vertices 2\nvertices 2",             // duplicate directive
+		"vertices 2\nedge 0 5 R",             // out of range
+		"vertices 2\nedge 0 1 R zz",          // bad probability
+		"vertices 2\nedge 0 1 R 2",           // probability > 1
+		"vertices 2\nedge 0 1",               // missing label
+		"vertices 2\nfoo",                    // unknown directive
+		"vertices 2\nedge 0 1 R\nedge 0 1 S", // multi-edge
+	}
+	for _, s := range bad {
+		if _, err := ParseProbGraph(strings.NewReader(s)); err == nil {
+			t.Errorf("accepted bad input %q", s)
+		}
+	}
+}
+
+func TestParseGraphRejectsProbabilities(t *testing.T) {
+	if _, err := ParseGraph(strings.NewReader("vertices 2\nedge 0 1 R 1/2")); err == nil {
+		t.Fatal("query parser accepted a probability")
+	}
+	g, err := ParseGraph(strings.NewReader("vertices 2\nedge 0 1 R"))
+	if err != nil || g.NumEdges() != 1 {
+		t.Fatalf("query parse failed: %v", err)
+	}
+}
+
+// TestTextRoundTrip: Write then Parse must reproduce the graph exactly,
+// for random probabilistic graphs.
+func TestTextRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		g := gen.RandInClass(r, graph.ClassAll, 1+r.Intn(8), []graph.Label{"R", "S"})
+		p := gen.RandProb(r, g, 0.3)
+		var buf bytes.Buffer
+		if err := WriteProbGraph(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		q, err := ParseProbGraph(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\n%s", err, buf.String())
+		}
+		if p.String() != q.String() {
+			t.Fatalf("round trip changed the graph:\nbefore %s\nafter  %s", p, q)
+		}
+	}
+}
+
+// TestJSONRoundTrip mirrors the text round trip for JSON.
+func TestJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		g := gen.RandInClass(r, graph.ClassAll, 1+r.Intn(8), []graph.Label{"R", "S"})
+		p := gen.RandProb(r, g, 0.3)
+		data, err := MarshalProbGraphJSON(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := UnmarshalProbGraphJSON(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() != q.String() {
+			t.Fatalf("JSON round trip changed the graph")
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	p, _ := ParseProbGraph(strings.NewReader(sample))
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, p, "H"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph H {", "0 -> 1", "style=dashed", "1/2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package hypergraph implements hypergraphs and the acyclicity notions the
+// paper relies on: β-leaves, β-elimination orders and β-acyclicity
+// (Definition 4.7), plus α-acyclicity (GYO reduction) for context. The
+// β-acyclicity test certifies that the lineages built by the tractable
+// cases of §4.2 have the structure required by Theorem 4.9.
+package hypergraph
+
+import "sort"
+
+// Hypergraph is a finite hypergraph over vertices 0 … NumVertices−1.
+// Hyperedges are stored as sorted slices of distinct vertices; empty
+// hyperedges are not allowed at construction (they arise only internally
+// during elimination, where they are dropped, following Definition 4.7).
+type Hypergraph struct {
+	NumVertices int
+	Edges       [][]int
+}
+
+// New returns a hypergraph with n vertices and no hyperedges.
+func New(n int) *Hypergraph { return &Hypergraph{NumVertices: n} }
+
+// AddEdge inserts a hyperedge (normalized: sorted, deduplicated). Empty
+// edges and out-of-range vertices panic.
+func (h *Hypergraph) AddEdge(vs ...int) {
+	if len(vs) == 0 {
+		panic("hypergraph: empty hyperedge")
+	}
+	e := append([]int(nil), vs...)
+	sort.Ints(e)
+	out := e[:0]
+	for i, v := range e {
+		if v < 0 || v >= h.NumVertices {
+			panic("hypergraph: vertex out of range")
+		}
+		if i == 0 || v != e[i-1] {
+			out = append(out, v)
+		}
+	}
+	h.Edges = append(h.Edges, out)
+}
+
+// incident returns (copies of) the current hyperedges containing v.
+func incident(edges [][]int, v int) [][]int {
+	var out [][]int
+	for _, e := range edges {
+		if contains(e, v) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func contains(sorted []int, v int) bool {
+	i := sort.SearchInts(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}
+
+func subset(a, b []int) bool { // both sorted
+	i := 0
+	for _, v := range b {
+		if i < len(a) && a[i] == v {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// IsBetaLeaf reports whether vertex v is a β-leaf of the hypergraph: the
+// hyperedges containing v are totally ordered by inclusion
+// (Definition 4.7, after [10]).
+func (h *Hypergraph) IsBetaLeaf(v int) bool {
+	return isBetaLeaf(h.Edges, v)
+}
+
+func isBetaLeaf(edges [][]int, v int) bool {
+	inc := incident(edges, v)
+	sort.Slice(inc, func(i, j int) bool { return len(inc[i]) < len(inc[j]) })
+	for i := 0; i+1 < len(inc); i++ {
+		if !subset(inc[i], inc[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// BetaEliminationOrder returns a β-elimination order for h if one exists
+// (Definition 4.7): a sequence of vertices such that each is a β-leaf of
+// the hypergraph obtained by removing the previous ones (dropping emptied
+// hyperedges). The order lists every vertex of h; vertices in no
+// hyperedge are trivially β-leaves. The second result reports whether h
+// is β-acyclic.
+//
+// β-leaf elimination is confluent (removing one β-leaf cannot destroy
+// another's property in a way that blocks elimination — see [10]), so the
+// greedy strategy used here is a correct and polynomial-time decision
+// procedure.
+func (h *Hypergraph) BetaEliminationOrder() ([]int, bool) {
+	edges := make([][]int, 0, len(h.Edges))
+	for _, e := range h.Edges {
+		edges = append(edges, append([]int(nil), e...))
+	}
+	alive := make([]bool, h.NumVertices)
+	remaining := 0
+	for v := 0; v < h.NumVertices; v++ {
+		alive[v] = true
+		remaining++
+	}
+	order := make([]int, 0, h.NumVertices)
+	for remaining > 0 {
+		found := -1
+		for v := 0; v < h.NumVertices; v++ {
+			if alive[v] && isBetaLeaf(edges, v) {
+				found = v
+				break
+			}
+		}
+		if found < 0 {
+			return nil, false
+		}
+		order = append(order, found)
+		alive[found] = false
+		remaining--
+		edges = removeVertex(edges, found)
+	}
+	return order, true
+}
+
+func removeVertex(edges [][]int, v int) [][]int {
+	var out [][]int
+	for _, e := range edges {
+		if !contains(e, v) {
+			out = append(out, e)
+			continue
+		}
+		ne := make([]int, 0, len(e)-1)
+		for _, u := range e {
+			if u != v {
+				ne = append(ne, u)
+			}
+		}
+		if len(ne) > 0 {
+			out = append(out, ne)
+		}
+	}
+	return out
+}
+
+// IsBetaAcyclic reports whether h admits a β-elimination order.
+func (h *Hypergraph) IsBetaAcyclic() bool {
+	_, ok := h.BetaEliminationOrder()
+	return ok
+}
+
+// VerifyBetaEliminationOrder checks that order is a valid β-elimination
+// order for h: it must enumerate each vertex exactly once, and each
+// vertex must be a β-leaf at its turn.
+func (h *Hypergraph) VerifyBetaEliminationOrder(order []int) bool {
+	if len(order) != h.NumVertices {
+		return false
+	}
+	seen := make([]bool, h.NumVertices)
+	edges := make([][]int, 0, len(h.Edges))
+	for _, e := range h.Edges {
+		edges = append(edges, append([]int(nil), e...))
+	}
+	for _, v := range order {
+		if v < 0 || v >= h.NumVertices || seen[v] {
+			return false
+		}
+		seen[v] = true
+		if !isBetaLeaf(edges, v) {
+			return false
+		}
+		edges = removeVertex(edges, v)
+	}
+	return true
+}
+
+// IsAlphaAcyclic reports whether h is α-acyclic, via the GYO reduction:
+// repeatedly remove vertices occurring in a single hyperedge ("ears") and
+// hyperedges contained in other hyperedges; h is α-acyclic iff this
+// empties the hypergraph. β-acyclicity strictly implies α-acyclicity;
+// this is provided for completeness of the acyclicity toolbox.
+func (h *Hypergraph) IsAlphaAcyclic() bool {
+	edges := make([][]int, 0, len(h.Edges))
+	for _, e := range h.Edges {
+		edges = append(edges, append([]int(nil), e...))
+	}
+	for {
+		changed := false
+		// Remove vertices occurring in exactly one hyperedge.
+		count := map[int]int{}
+		for _, e := range edges {
+			for _, v := range e {
+				count[v]++
+			}
+		}
+		var next [][]int
+		for _, e := range edges {
+			ne := e[:0:0]
+			for _, v := range e {
+				if count[v] > 1 {
+					ne = append(ne, v)
+				} else {
+					changed = true
+				}
+			}
+			if len(ne) > 0 {
+				next = append(next, ne)
+			} else {
+				changed = true
+			}
+		}
+		edges = next
+		// Remove hyperedges contained in another hyperedge.
+		var kept [][]int
+		for i, e := range edges {
+			dominated := false
+			for j, f := range edges {
+				if i == j {
+					continue
+				}
+				if subset(e, f) && (len(e) < len(f) || i > j) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				changed = true
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+		if len(edges) == 0 {
+			return true
+		}
+		if !changed {
+			return false
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNestedFamilyIsBetaAcyclic(t *testing.T) {
+	// Clauses totally ordered by inclusion: the canonical β-acyclic case.
+	h := New(4)
+	h.AddEdge(0)
+	h.AddEdge(0, 1)
+	h.AddEdge(0, 1, 2)
+	h.AddEdge(0, 1, 2, 3)
+	order, ok := h.BetaEliminationOrder()
+	if !ok {
+		t.Fatal("nested family should be β-acyclic")
+	}
+	if !h.VerifyBetaEliminationOrder(order) {
+		t.Fatalf("returned order %v does not verify", order)
+	}
+}
+
+func TestTriangleNotBetaAcyclic(t *testing.T) {
+	// {a,b}, {b,c}, {a,c}: every vertex lies in two incomparable edges.
+	h := New(3)
+	h.AddEdge(0, 1)
+	h.AddEdge(1, 2)
+	h.AddEdge(0, 2)
+	if h.IsBetaAcyclic() {
+		t.Fatal("triangle should not be β-acyclic")
+	}
+	if h.IsAlphaAcyclic() {
+		t.Fatal("triangle should not be α-acyclic either")
+	}
+}
+
+func TestAlphaButNotBetaAcyclic(t *testing.T) {
+	// The classic separator: adding {a,b,c} to the triangle makes it
+	// α-acyclic but not β-acyclic.
+	h := New(3)
+	h.AddEdge(0, 1)
+	h.AddEdge(1, 2)
+	h.AddEdge(0, 2)
+	h.AddEdge(0, 1, 2)
+	if !h.IsAlphaAcyclic() {
+		t.Fatal("triangle + cover should be α-acyclic")
+	}
+	if h.IsBetaAcyclic() {
+		t.Fatal("triangle + cover must not be β-acyclic (β-acyclicity is hereditary)")
+	}
+}
+
+func TestBetaImpliesAlpha(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		h := randHypergraph(r)
+		if h.IsBetaAcyclic() && !h.IsAlphaAcyclic() {
+			t.Fatalf("β-acyclic hypergraph not α-acyclic: %v", h.Edges)
+		}
+	}
+}
+
+func randHypergraph(r *rand.Rand) *Hypergraph {
+	n := 1 + r.Intn(6)
+	h := New(n)
+	m := r.Intn(6)
+	for k := 0; k < m; k++ {
+		w := 1 + r.Intn(n)
+		vs := make([]int, w)
+		for i := range vs {
+			vs[i] = r.Intn(n)
+		}
+		h.AddEdge(vs...)
+	}
+	return h
+}
+
+// TestEliminationOrderAlwaysVerifies: whenever the greedy finds an order,
+// the independent verifier must accept it.
+func TestEliminationOrderAlwaysVerifies(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		h := randHypergraph(r)
+		if order, ok := h.BetaEliminationOrder(); ok {
+			if !h.VerifyBetaEliminationOrder(order) {
+				t.Fatalf("greedy order %v rejected by verifier on %v", order, h.Edges)
+			}
+		}
+	}
+}
+
+// TestBetaAcyclicityHereditary: removing a vertex from a β-acyclic
+// hypergraph keeps it β-acyclic (β-acyclicity is closed under vertex
+// deletion, unlike α-acyclicity).
+func TestBetaAcyclicityHereditary(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		h := randHypergraph(r)
+		if !h.IsBetaAcyclic() {
+			continue
+		}
+		v := r.Intn(h.NumVertices)
+		sub := New(h.NumVertices)
+		for _, e := range h.Edges {
+			var ne []int
+			for _, u := range e {
+				if u != v {
+					ne = append(ne, u)
+				}
+			}
+			if len(ne) > 0 {
+				sub.AddEdge(ne...)
+			}
+		}
+		if !sub.IsBetaAcyclic() {
+			t.Fatalf("vertex deletion broke β-acyclicity: %v minus %d", h.Edges, v)
+		}
+	}
+}
+
+func TestIsBetaLeaf(t *testing.T) {
+	h := New(3)
+	h.AddEdge(0, 1)
+	h.AddEdge(0, 1, 2)
+	if !h.IsBetaLeaf(0) {
+		t.Fatal("vertex 0's edges are nested: should be a β-leaf")
+	}
+	h2 := New(3)
+	h2.AddEdge(0, 1)
+	h2.AddEdge(0, 2)
+	if h2.IsBetaLeaf(0) {
+		t.Fatal("vertex 0 lies in incomparable edges: not a β-leaf")
+	}
+	if !h2.IsBetaLeaf(1) || !h2.IsBetaLeaf(2) {
+		t.Fatal("vertices 1 and 2 are in a single edge each: β-leaves")
+	}
+}
+
+func TestVerifyRejectsBadOrders(t *testing.T) {
+	h := New(3)
+	h.AddEdge(0, 1)
+	h.AddEdge(0, 2)
+	// 0 first is invalid (not a β-leaf); 1, 2, 0 is valid.
+	if h.VerifyBetaEliminationOrder([]int{0, 1, 2}) {
+		t.Fatal("verifier accepted a non-β-leaf first")
+	}
+	if !h.VerifyBetaEliminationOrder([]int{1, 2, 0}) {
+		t.Fatal("verifier rejected a valid order")
+	}
+	if h.VerifyBetaEliminationOrder([]int{1, 1, 0}) {
+		t.Fatal("verifier accepted a repeated vertex")
+	}
+	if h.VerifyBetaEliminationOrder([]int{1, 2}) {
+		t.Fatal("verifier accepted a short order")
+	}
+}
+
+func TestEmptyHypergraph(t *testing.T) {
+	h := New(3) // vertices but no edges
+	order, ok := h.BetaEliminationOrder()
+	if !ok || len(order) != 3 {
+		t.Fatal("edgeless hypergraph is trivially β-acyclic")
+	}
+	if !h.IsAlphaAcyclic() {
+		t.Fatal("edgeless hypergraph is α-acyclic")
+	}
+}

@@ -1,0 +1,362 @@
+// Package reductions implements the hardness constructions of the paper
+// as executable polynomial-time reductions. Each construction converts an
+// instance of a #P-hard counting problem into a PHom input pair that
+// satisfies an exact counting identity; the test suite validates the
+// identity against brute-force counters, which is the strongest
+// machine-checkable evidence for the #P-hard cells of Tables 1–3.
+//
+//   - EdgeCoverLabeled: #Bipartite-Edge-Cover → PHomL(⊔1WP, 1WP)
+//     (Proposition 3.3, Figure 5).
+//   - EdgeCoverUnlabeled: the same with labels simulated by two-wayness,
+//     → PHom̸L(⊔2WP, 2WP) (Proposition 3.4).
+//   - PP2DNFLabeled: #PP2DNF → PHomL(1WP, PT) (Proposition 4.1, Figure 7).
+//   - PP2DNFUnlabeled: #PP2DNF → PHom̸L(2WP, PT) (Proposition 5.6,
+//     Figure 8).
+//   - PP2DNFConnected: #PP2DNF → PHom̸L(1WP, Connected), a graph-only
+//     variant of [32, Example 3.3] cited by Proposition 5.1 (see the
+//     substitution note in DESIGN.md).
+package reductions
+
+import (
+	"fmt"
+	"math/big"
+
+	"phom/internal/counting"
+	"phom/internal/graph"
+)
+
+// Reduction is a PHom input pair constructed from a counting problem,
+// with the denominator of the counting identity:
+//
+//	Pr(Query ⇝ Instance) = count / 2^CoinExponent
+//
+// where count is the number of edge covers (edge-cover reductions) or
+// satisfying valuations (PP2DNF reductions) of the source instance.
+type Reduction struct {
+	Query        *graph.Graph
+	Instance     *graph.ProbGraph
+	CoinExponent int
+}
+
+// CountFromProb inverts the identity: the exact source count recovered
+// from the PHom probability.
+func (r *Reduction) CountFromProb(p *big.Rat) *big.Int {
+	scaled := new(big.Rat).Mul(p, new(big.Rat).SetInt(new(big.Int).Lsh(big.NewInt(1), uint(r.CoinExponent))))
+	if !scaled.IsInt() {
+		panic(fmt.Sprintf("reductions: probability %s times 2^%d is not integral", p.RatString(), r.CoinExponent))
+	}
+	return new(big.Int).Set(scaled.Num())
+}
+
+// asm incrementally assembles a probabilistic graph with named vertices.
+type asm struct {
+	g     *graph.Graph
+	names map[string]graph.Vertex
+	probs map[int]*big.Rat // edge index → probability (default 1)
+}
+
+func newAsm() *asm {
+	return &asm{g: graph.New(0), names: map[string]graph.Vertex{}, probs: map[int]*big.Rat{}}
+}
+
+func (a *asm) v(name string) graph.Vertex {
+	if v, ok := a.names[name]; ok {
+		return v
+	}
+	v := a.g.AddVertex()
+	a.names[name] = v
+	return v
+}
+
+// fresh returns an anonymous vertex.
+func (a *asm) fresh() graph.Vertex { return a.g.AddVertex() }
+
+func (a *asm) edge(from, to graph.Vertex, l graph.Label, p *big.Rat) {
+	a.g.MustAddEdge(from, to, l)
+	if p != nil {
+		a.probs[a.g.NumEdges()-1] = p
+	}
+}
+
+func (a *asm) build() *graph.ProbGraph {
+	pg := graph.NewProbGraph(a.g)
+	for i, p := range a.probs {
+		if err := pg.SetProb(i, p); err != nil {
+			panic(err)
+		}
+	}
+	return pg
+}
+
+// Labels of the Proposition 3.3 construction.
+const (
+	labelC graph.Label = "C"
+	labelL graph.Label = "L"
+	labelR graph.Label = "R"
+	labelV graph.Label = "V"
+	labelS graph.Label = "S"
+	labelT graph.Label = "T"
+)
+
+// EdgeCoverLabeled builds the Proposition 3.3 reduction (Figure 5): a
+// ⊔1WP query and a 1WP instance over σ = {C, L, R, V} such that
+// Pr(G ⇝ H) · 2^|E(Γ)| is the number of edge covers of the bipartite
+// graph Γ. V-edges carry probability 1/2 (one coin per edge of Γ); all
+// other edges are certain.
+func EdgeCoverLabeled(bg *counting.BipartiteGraph) (*Reduction, error) {
+	if err := bg.Validate(); err != nil {
+		return nil, err
+	}
+	// Instance H = C→ He₁ C→ He₂ C→ … C→ He_m C→ with
+	// He_j = (L→)^{l_j} V→ (R→)^{r_j}, where e_j = (x_{l_j}, y_{r_j})
+	// (1-based in the paper; 0-based vertices here, so lengths are
+	// index+1).
+	a := newAsm()
+	cur := a.fresh()
+	next := func() graph.Vertex { return a.fresh() }
+	step := func(l graph.Label, p *big.Rat) {
+		n := next()
+		a.edge(cur, n, l, p)
+		cur = n
+	}
+	step(labelC, nil)
+	for _, e := range bg.Edges {
+		for k := 0; k <= e[0]; k++ { // l_j = e[0]+1 L-edges
+			step(labelL, nil)
+		}
+		step(labelV, graph.RatHalf)
+		for k := 0; k <= e[1]; k++ { // r_j = e[1]+1 R-edges
+			step(labelR, nil)
+		}
+		step(labelC, nil)
+	}
+	instance := a.build()
+
+	// Query G: per X-vertex xᵢ the component C→ (L→)^{i+1} V→; per
+	// Y-vertex yᵢ the component V→ (R→)^{i+1} C→.
+	var comps []*graph.Graph
+	for i := 0; i < bg.NX; i++ {
+		labels := []graph.Label{labelC}
+		for k := 0; k <= i; k++ {
+			labels = append(labels, labelL)
+		}
+		labels = append(labels, labelV)
+		comps = append(comps, graph.Path1WP(labels...))
+	}
+	for i := 0; i < bg.NY; i++ {
+		labels := []graph.Label{labelV}
+		for k := 0; k <= i; k++ {
+			labels = append(labels, labelR)
+		}
+		labels = append(labels, labelC)
+		comps = append(comps, graph.Path1WP(labels...))
+	}
+	query, _ := graph.DisjointUnion(comps...)
+	return &Reduction{Query: query, Instance: instance, CoinExponent: len(bg.Edges)}, nil
+}
+
+// rewrite2W rewrites a labeled graph into an unlabeled one per
+// Proposition 3.4: each L- or R-edge a → b becomes a →→← b, each C-edge
+// becomes a ←←← b, and each V-edge becomes a →→→→→← b whose first edge
+// inherits the original edge's probability. Edge probabilities of the
+// source are read from probs (nil = all certain).
+func rewrite2W(g *graph.Graph, probs func(i int) *big.Rat) (*graph.Graph, map[int]*big.Rat) {
+	out := graph.New(g.NumVertices())
+	outProbs := map[int]*big.Rat{}
+	addEdge := func(from, to graph.Vertex, p *big.Rat) {
+		out.MustAddEdge(from, to, graph.Unlabeled)
+		if p != nil {
+			outProbs[out.NumEdges()-1] = p
+		}
+	}
+	for i, e := range g.Edges() {
+		var p *big.Rat
+		if probs != nil {
+			p = probs(i)
+		}
+		switch e.Label {
+		case labelL, labelR: // a →→← b
+			c1, c2 := out.AddVertex(), out.AddVertex()
+			addEdge(e.From, c1, nil)
+			addEdge(c1, c2, nil)
+			addEdge(e.To, c2, nil)
+		case labelC: // a ←←← b
+			c1, c2 := out.AddVertex(), out.AddVertex()
+			addEdge(c1, e.From, nil)
+			addEdge(c2, c1, nil)
+			addEdge(e.To, c2, nil)
+		case labelV: // a →→→→→← b, first edge carries the coin
+			cs := make([]graph.Vertex, 5)
+			for k := range cs {
+				cs[k] = out.AddVertex()
+			}
+			addEdge(e.From, cs[0], p)
+			for k := 0; k < 4; k++ {
+				addEdge(cs[k], cs[k+1], nil)
+			}
+			addEdge(e.To, cs[4], nil)
+		default:
+			panic(fmt.Sprintf("reductions: unexpected label %q", e.Label))
+		}
+	}
+	return out, outProbs
+}
+
+// EdgeCoverUnlabeled builds the Proposition 3.4 reduction: the
+// Proposition 3.3 pair rewritten to simulate the labels with
+// two-wayness, yielding a ⊔2WP query and a 2WP instance over a single
+// label with the same counting identity.
+func EdgeCoverUnlabeled(bg *counting.BipartiteGraph) (*Reduction, error) {
+	base, err := EdgeCoverLabeled(bg)
+	if err != nil {
+		return nil, err
+	}
+	query, _ := rewrite2W(base.Query, nil)
+	instG, instProbs := rewrite2W(base.Instance.G, func(i int) *big.Rat { return base.Instance.Prob(i) })
+	inst := graph.NewProbGraph(instG)
+	for i, p := range instProbs {
+		if err := inst.SetProb(i, p); err != nil {
+			return nil, err
+		}
+	}
+	return &Reduction{Query: query, Instance: inst, CoinExponent: base.CoinExponent}, nil
+}
+
+// PP2DNFLabeled builds the Proposition 4.1 reduction (Figure 7): a 1WP
+// query and a polytree instance over σ = {S, T} such that
+// Pr(G ⇝ H) · 2^(N1+N2) is the number of satisfying valuations of the
+// PP2DNF formula. The S-edges Xᵢ → R and R → Yᵢ carry probability 1/2
+// (one coin per variable); all other edges are certain.
+func PP2DNFLabeled(f *counting.PP2DNF) (*Reduction, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(f.Clauses)
+	a := newAsm()
+	r := a.v("R")
+	// Variable coins.
+	for i := 1; i <= f.N1; i++ {
+		a.edge(a.v(fmt.Sprintf("X%d", i)), r, labelS, graph.RatHalf)
+	}
+	for i := 1; i <= f.N2; i++ {
+		a.edge(r, a.v(fmt.Sprintf("Y%d", i)), labelS, graph.RatHalf)
+	}
+	// Index chains.
+	for i := 1; i <= f.N1; i++ {
+		if m > 0 {
+			a.edge(a.v(fmt.Sprintf("X%d,%d", i, m)), a.v(fmt.Sprintf("X%d", i)), labelS, nil)
+		}
+		for j := 1; j < m; j++ {
+			a.edge(a.v(fmt.Sprintf("X%d,%d", i, j)), a.v(fmt.Sprintf("X%d,%d", i, j+1)), labelS, nil)
+		}
+	}
+	for i := 1; i <= f.N2; i++ {
+		if m > 0 {
+			a.edge(a.v(fmt.Sprintf("Y%d", i)), a.v(fmt.Sprintf("Y%d,1", i)), labelS, nil)
+		}
+		for j := 1; j < m; j++ {
+			a.edge(a.v(fmt.Sprintf("Y%d,%d", i, j)), a.v(fmt.Sprintf("Y%d,%d", i, j+1)), labelS, nil)
+		}
+	}
+	// Clause gadgets: A_j −T→ X_{x_j, j} and Y_{y_j, j} −T→ B_j.
+	for j, c := range f.Clauses {
+		xj, yj := c[0]+1, c[1]+1
+		a.edge(a.v(fmt.Sprintf("A%d", j+1)), a.v(fmt.Sprintf("X%d,%d", xj, j+1)), labelT, nil)
+		a.edge(a.v(fmt.Sprintf("Y%d,%d", yj, j+1)), a.v(fmt.Sprintf("B%d", j+1)), labelT, nil)
+	}
+	// Query: T→ (S→)^{m+3} T→.
+	labels := []graph.Label{labelT}
+	for k := 0; k < m+3; k++ {
+		labels = append(labels, labelS)
+	}
+	labels = append(labels, labelT)
+	return &Reduction{
+		Query:        graph.Path1WP(labels...),
+		Instance:     a.build(),
+		CoinExponent: f.N1 + f.N2,
+	}, nil
+}
+
+// PP2DNFUnlabeled builds the Proposition 5.6 reduction (Figure 8): the
+// Proposition 4.1 pair rewritten to simulate labels with two-wayness in
+// the query, yielding a 2WP query and a polytree instance over a single
+// label. Each S-edge a → b becomes a →→← b (the middle edge of a former
+// coin edge carries the coin) and each T-edge becomes a →→→ b.
+func PP2DNFUnlabeled(f *counting.PP2DNF) (*Reduction, error) {
+	base, err := PP2DNFLabeled(f)
+	if err != nil {
+		return nil, err
+	}
+	rewrite := func(g *graph.Graph, probs func(i int) *big.Rat) (*graph.Graph, map[int]*big.Rat) {
+		out := graph.New(g.NumVertices())
+		outProbs := map[int]*big.Rat{}
+		addEdge := func(from, to graph.Vertex, p *big.Rat) {
+			out.MustAddEdge(from, to, graph.Unlabeled)
+			if p != nil {
+				outProbs[out.NumEdges()-1] = p
+			}
+		}
+		for i, e := range g.Edges() {
+			var p *big.Rat
+			if probs != nil {
+				p = probs(i)
+			}
+			switch e.Label {
+			case labelS: // a →→← b, middle edge carries the coin
+				c1, c2 := out.AddVertex(), out.AddVertex()
+				addEdge(e.From, c1, nil)
+				addEdge(c1, c2, p)
+				addEdge(e.To, c2, nil)
+			case labelT: // a →→→ b
+				c1, c2 := out.AddVertex(), out.AddVertex()
+				addEdge(e.From, c1, nil)
+				addEdge(c1, c2, nil)
+				addEdge(c2, e.To, nil)
+			default:
+				panic(fmt.Sprintf("reductions: unexpected label %q", e.Label))
+			}
+		}
+		return out, outProbs
+	}
+	query, _ := rewrite(base.Query, nil)
+	instG, instProbs := rewrite(base.Instance.G, func(i int) *big.Rat { return base.Instance.Prob(i) })
+	inst := graph.NewProbGraph(instG)
+	for i, p := range instProbs {
+		if err := inst.SetProb(i, p); err != nil {
+			return nil, err
+		}
+	}
+	return &Reduction{Query: query, Instance: inst, CoinExponent: base.CoinExponent}, nil
+}
+
+// PP2DNFConnected builds a graph-only analogue of [32, Example 3.3] for
+// Proposition 5.1: an unlabeled 1WP query of length 4 and a connected
+// unlabeled instance such that Pr(G ⇝ H) · 2^(N1+N2) is the number of
+// satisfying valuations. The instance is the layered graph
+// w →(½) xᵢ → c_{ij} → y_j →(½) t_j, whose only directed paths of
+// length 4 are w → x_{x_j} → c_j → y_{y_j} → t_{y_j}; the formula must
+// mention every variable (Definition 4.3) for the instance to be
+// connected.
+func PP2DNFConnected(f *counting.PP2DNF) (*Reduction, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	a := newAsm()
+	w := a.v("w")
+	for i := 1; i <= f.N1; i++ {
+		a.edge(w, a.v(fmt.Sprintf("x%d", i)), graph.Unlabeled, graph.RatHalf)
+	}
+	for i := 1; i <= f.N2; i++ {
+		a.edge(a.v(fmt.Sprintf("y%d", i)), a.v(fmt.Sprintf("t%d", i)), graph.Unlabeled, graph.RatHalf)
+	}
+	for j, c := range f.Clauses {
+		cj := a.v(fmt.Sprintf("c%d", j+1))
+		a.edge(a.v(fmt.Sprintf("x%d", c[0]+1)), cj, graph.Unlabeled, nil)
+		a.edge(cj, a.v(fmt.Sprintf("y%d", c[1]+1)), graph.Unlabeled, nil)
+	}
+	return &Reduction{
+		Query:        graph.UnlabeledPath(4),
+		Instance:     a.build(),
+		CoinExponent: f.N1 + f.N2,
+	}, nil
+}

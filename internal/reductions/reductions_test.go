@@ -1,0 +1,217 @@
+package reductions
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"phom/internal/core"
+	"phom/internal/counting"
+	"phom/internal/gen"
+	"phom/internal/graph"
+)
+
+// checkIdentity verifies the counting identity of a reduction by brute
+// force: Pr(Query ⇝ Instance) · 2^CoinExponent must equal want.
+func checkIdentity(t *testing.T, r *Reduction, want *big.Int, context string) {
+	t.Helper()
+	p := core.BruteForce(r.Query, r.Instance)
+	got := r.CountFromProb(p)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("%s: recovered count %s, want %s (Pr=%s, coins=%d)",
+			context, got.String(), want.String(), p.RatString(), r.CoinExponent)
+	}
+}
+
+func TestEdgeCoverLabeledIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		bg := gen.RandBipartite(r, 1+r.Intn(3), 1+r.Intn(3), 1+r.Intn(6))
+		red, err := EdgeCoverLabeled(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Class assertions (Proposition 3.3: ⊔1WP query, 1WP instance).
+		if !red.Query.InClass(graph.ClassU1WP) {
+			t.Fatalf("query not in ⊔1WP: %v", red.Query)
+		}
+		if !red.Instance.G.Is1WP() {
+			t.Fatalf("instance not a 1WP: %v", red.Instance.G)
+		}
+		want, err := bg.CountEdgeCovers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkIdentity(t, red, want, "edge-cover labeled")
+	}
+}
+
+func TestEdgeCoverLabeledKnownValues(t *testing.T) {
+	// Single edge between x1 and y1: exactly one edge cover.
+	bg := &counting.BipartiteGraph{NX: 1, NY: 1, Edges: [][2]int{{0, 0}}}
+	red, err := EdgeCoverLabeled(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.BruteForce(red.Query, red.Instance)
+	if p.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Fatalf("single-edge cover probability = %s, want 1/2", p.RatString())
+	}
+	// Two parallel edges x1–y1, x1–y2 … every cover must hit both y's:
+	// covers = {e1,e2} only → 1 of 4 subsets.
+	bg2 := &counting.BipartiteGraph{NX: 1, NY: 2, Edges: [][2]int{{0, 0}, {0, 1}}}
+	want2, _ := bg2.CountEdgeCovers()
+	if want2.Int64() != 1 {
+		t.Fatalf("expected exactly 1 edge cover, got %v", want2)
+	}
+	red2, _ := EdgeCoverLabeled(bg2)
+	checkIdentity(t, red2, want2, "two-edge star")
+}
+
+func TestEdgeCoverUnlabeledIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		bg := gen.RandBipartite(r, 1+r.Intn(2), 1+r.Intn(2), 1+r.Intn(4))
+		red, err := EdgeCoverUnlabeled(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Proposition 3.4: ⊔2WP query, 2WP instance, single label.
+		if !red.Query.InClass(graph.ClassU2WP) {
+			t.Fatalf("query not in ⊔2WP")
+		}
+		if !red.Instance.G.Is2WP() {
+			t.Fatalf("instance not a 2WP")
+		}
+		if !red.Query.IsUnlabeled() || !red.Instance.G.IsUnlabeled() {
+			t.Fatalf("rewriting must produce unlabeled graphs")
+		}
+		want, err := bg.CountEdgeCovers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkIdentity(t, red, want, "edge-cover unlabeled")
+	}
+}
+
+func TestPP2DNFLabeledIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		f := gen.RandPP2DNF(r, 1+r.Intn(3), 1+r.Intn(3), 1+r.Intn(4))
+		red, err := PP2DNFLabeled(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Proposition 4.1: 1WP query, PT instance.
+		if !red.Query.Is1WP() {
+			t.Fatalf("query not a 1WP")
+		}
+		if !red.Instance.G.IsPolytree() {
+			t.Fatalf("instance not a polytree: %v", red.Instance.G)
+		}
+		want, err := f.CountSatisfying()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkIdentity(t, red, want, "PP2DNF labeled")
+	}
+}
+
+func TestPP2DNFLabeledKnownValue(t *testing.T) {
+	// Single clause X1 ∧ Y1: 1 of 4 valuations satisfies.
+	f := &counting.PP2DNF{N1: 1, N2: 1, Clauses: [][2]int{{0, 0}}}
+	red, err := PP2DNFLabeled(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.BruteForce(red.Query, red.Instance)
+	if p.Cmp(big.NewRat(1, 4)) != 0 {
+		t.Fatalf("single-clause probability = %s, want 1/4", p.RatString())
+	}
+}
+
+func TestPP2DNFUnlabeledIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		f := gen.RandPP2DNF(r, 1+r.Intn(2), 1+r.Intn(2), 1+r.Intn(3))
+		red, err := PP2DNFUnlabeled(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Proposition 5.6: 2WP query, PT instance, single label.
+		if !red.Query.Is2WP() {
+			t.Fatalf("query not a 2WP: %v", red.Query)
+		}
+		if !red.Instance.G.IsPolytree() {
+			t.Fatalf("instance not a polytree")
+		}
+		if !red.Query.IsUnlabeled() || !red.Instance.G.IsUnlabeled() {
+			t.Fatalf("rewriting must be unlabeled")
+		}
+		want, err := f.CountSatisfying()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkIdentity(t, red, want, "PP2DNF unlabeled")
+	}
+}
+
+func TestPP2DNFConnectedIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		f := gen.RandPP2DNF(r, 1+r.Intn(3), 1+r.Intn(3), 1+r.Intn(5))
+		red, err := PP2DNFConnected(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Proposition 5.1: 1WP query, connected instance, single label.
+		if !red.Query.Is1WP() || !red.Query.IsUnlabeled() {
+			t.Fatalf("query not an unlabeled 1WP")
+		}
+		if !red.Instance.G.IsConnected() {
+			t.Fatalf("instance not connected: %v", red.Instance.G)
+		}
+		want, err := f.CountSatisfying()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkIdentity(t, red, want, "PP2DNF connected")
+	}
+}
+
+func TestCountFromProbPanicsOnNonIntegral(t *testing.T) {
+	red := &Reduction{CoinExponent: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-integral recovery should panic")
+		}
+	}()
+	red.CountFromProb(big.NewRat(1, 3))
+}
+
+// TestReductionSizesPolynomial sanity-checks that the constructions are
+// polynomial-size in their sources (they are PTIME reductions).
+func TestReductionSizesPolynomial(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	bg := gen.RandBipartite(r, 5, 5, 12)
+	red, err := EdgeCoverLabeled(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := red.Instance.G.NumVertices()
+	bound := 4 * (len(bg.Edges)*(bg.NX+bg.NY+2) + 2)
+	if n > bound {
+		t.Fatalf("instance has %d vertices, exceeds bound %d", n, bound)
+	}
+	f := gen.RandPP2DNF(r, 6, 6, 10)
+	red2, err := PP2DNFLabeled(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := len(f.Clauses)
+	bound2 := 2 + f.N1 + f.N2 + (f.N1+f.N2)*m + 2*m
+	if red2.Instance.G.NumVertices() > bound2 {
+		t.Fatalf("PP2DNF instance has %d vertices, exceeds bound %d",
+			red2.Instance.G.NumVertices(), bound2)
+	}
+}

@@ -1,0 +1,405 @@
+// Package treeauto implements the automaton-based algorithm of
+// Proposition 5.4: probabilistic evaluation of an unlabeled one-way path
+// query of length m on a polytree instance, by (1) encoding the polytree
+// as a full binary tree whose nodes carry uncertain Boolean annotations,
+// (2) building a bottom-up deterministic tree automaton (Definition 5.2)
+// whose states track the longest directed path into, out of, and within
+// the processed subinstance, capped at m, and (3) compiling the
+// automaton's lineage on the uncertain tree into a d-DNNF circuit whose
+// probability is the answer.
+//
+// The binary encoding differs cosmetically from the left-child-right-
+// sibling variant in the paper's appendix but has the same shape: every
+// internal node represents one polytree edge (an uncertain annotation),
+// its left child encodes the subtree hanging off that edge, and its right
+// child encodes the remaining edges incident to the same polytree vertex
+// (an ε-continuation). Leaves are ε-nodes. The automaton states are the
+// triples ⟨↑:i, ↓:j, Max:k⟩ of the appendix.
+package treeauto
+
+import (
+	"fmt"
+	"math/big"
+
+	"phom/internal/ddnnf"
+	"phom/internal/graph"
+)
+
+// Dir is the alphabet Γ of the encoded tree: the orientation of the
+// polytree edge a binary node represents, or Eps for structural nodes.
+type Dir uint8
+
+// Alphabet symbols.
+const (
+	Eps  Dir = iota // structural node: merges two groups of the same vertex
+	Down            // polytree edge parent → child
+	Up              // polytree edge child → parent
+)
+
+func (d Dir) String() string {
+	switch d {
+	case Eps:
+		return "ε"
+	case Down:
+		return "↓"
+	case Up:
+		return "↑"
+	}
+	return "?"
+}
+
+// BNode is a node of the full binary encoding. Internal nodes (Dir Down
+// or Up) carry the index Var of the polytree edge they represent and its
+// probability; their annotation bit is "edge kept". Leaves are Eps nodes
+// with no variable. Every node has either zero or two children.
+type BNode struct {
+	Dir         Dir
+	Var         int // polytree edge index; −1 for Eps nodes
+	Prob        *big.Rat
+	Left, Right *BNode
+}
+
+// IsLeaf reports whether n has no children.
+func (n *BNode) IsLeaf() bool { return n.Left == nil }
+
+// Size returns the number of nodes of the binary tree.
+func (n *BNode) Size() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.Left.Size() + n.Right.Size()
+}
+
+// Encode roots the polytree instance h at vertex 0 and builds its full
+// binary encoding. It fails if h is not a polytree (its underlying graph
+// must be a tree).
+func Encode(h *graph.ProbGraph) (*BNode, error) {
+	g := h.G
+	if !g.IsPolytree() {
+		return nil, fmt.Errorf("treeauto: instance is not a polytree: %v", g)
+	}
+	return encodeVertex(h, 0, -1), nil
+}
+
+// encodeVertex builds the encoding of the subinstance hanging at vertex v
+// (entered from parent; parent < 0 at the root). The returned subtree's
+// "group vertex" is v.
+func encodeVertex(h *graph.ProbGraph, v graph.Vertex, parent graph.Vertex) *BNode {
+	g := h.G
+	type childEdge struct {
+		child graph.Vertex
+		dir   Dir
+		idx   int
+	}
+	var kids []childEdge
+	for _, ei := range g.OutEdges(v) {
+		e := g.Edge(ei)
+		if e.To != parent {
+			kids = append(kids, childEdge{child: e.To, dir: Down, idx: ei})
+		}
+	}
+	for _, ei := range g.InEdges(v) {
+		e := g.Edge(ei)
+		if e.From != parent {
+			kids = append(kids, childEdge{child: e.From, dir: Up, idx: ei})
+		}
+	}
+	node := &BNode{Dir: Eps, Var: -1, Prob: graph.RatOne}
+	// Fold the children right-to-left so the chain reads left-to-right in
+	// the original order.
+	for i := len(kids) - 1; i >= 0; i-- {
+		k := kids[i]
+		node = &BNode{
+			Dir:   k.dir,
+			Var:   k.idx,
+			Prob:  h.Prob(k.idx),
+			Left:  encodeVertex(h, k.child, v),
+			Right: node,
+		}
+	}
+	return node
+}
+
+// State is an automaton state ⟨↑:In, ↓:Out, Max⟩: within the subinstance
+// encoded by the processed subtree, In is the length of the longest
+// directed path ending at the group vertex, Out the longest starting at
+// it, and Max the longest anywhere, all capped at the automaton bound m.
+type State struct {
+	In, Out, Max int
+}
+
+// Automaton is the bottom-up deterministic tree automaton A_G of
+// Proposition 5.4 for the unlabeled path query →^M: it accepts exactly
+// the annotated trees whose world contains a directed path of length ≥ M.
+// Q is the set of triples with 0 ≤ In, Out ≤ Max ≤ M (O(M³) states); the
+// transition function is computed on demand.
+type Automaton struct {
+	M int
+}
+
+func (a *Automaton) cap(x int) int {
+	if x > a.M {
+		return a.M
+	}
+	return x
+}
+
+// Init is the initialization function ι: the state of a leaf given its
+// annotated symbol. Leaves are ε-nodes representing a bare vertex.
+func (a *Automaton) Init(dir Dir, kept bool) State { return State{} }
+
+// Delta is the transition function Δ: the state of an internal node with
+// annotated symbol (dir, kept) from its children's states. left is the
+// subtree hanging off the represented edge (group: the far endpoint);
+// right is the continuation of the same group vertex.
+func (a *Automaton) Delta(dir Dir, kept bool, left, right State) State {
+	// First fold the represented edge into the left summary, re-rooting
+	// it at the near (group) vertex.
+	var s State
+	switch {
+	case dir == Eps:
+		s = left // ε internal nodes merge two groups of the same vertex
+	case !kept:
+		s = State{In: 0, Out: 0, Max: left.Max}
+	case dir == Down: // group → far endpoint
+		out := a.cap(1 + left.Out)
+		s = State{In: 0, Out: out, Max: max(left.Max, out)}
+	default: // Up: far endpoint → group
+		in := a.cap(1 + left.In)
+		s = State{In: in, Out: 0, Max: max(left.Max, in)}
+	}
+	// Then merge with the continuation: same group vertex, edge-disjoint
+	// subinstances, so paths through the vertex combine across sides.
+	return State{
+		In:  max(s.In, right.In),
+		Out: max(s.Out, right.Out),
+		Max: a.cap(max(max(s.Max, right.Max), max(s.In+right.Out, right.In+s.Out))),
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Accepting reports whether s is a final state: the subinstance contains
+// a directed path of length ≥ M (capped, so == M).
+func (a *Automaton) Accepting(s State) bool { return s.Max >= a.M }
+
+// Run executes the automaton deterministically on the binary tree with
+// the annotation bits given by kept (indexed by polytree edge variable;
+// ε-nodes are always annotated 1). Used to validate the automaton against
+// direct longest-path computation.
+func (a *Automaton) Run(n *BNode, kept []bool) State {
+	if n.IsLeaf() {
+		return a.Init(n.Dir, true)
+	}
+	l := a.Run(n.Left, kept)
+	r := a.Run(n.Right, kept)
+	b := true
+	if n.Var >= 0 {
+		b = kept[n.Var]
+	}
+	return a.Delta(n.Dir, b, l, r)
+}
+
+// CompileLineage builds the d-DNNF lineage circuit of the automaton on
+// the uncertain tree rooted at n: the circuit over the polytree edge
+// variables that is true exactly on the worlds the automaton accepts
+// (following [5, Proposition 3.1] and [6, Theorem 6.11]). It returns the
+// circuit and its output gate.
+//
+// For every binary node the compiler tracks the reachable states with a
+// gate each; OR gates combine (bit, left-state, right-state) triples that
+// lead to the same state, which are mutually exclusive because the
+// automaton is deterministic bottom-up, and AND gates combine the node's
+// own literal with the two children's gates, which depend on disjoint
+// edge variables. Hence the circuit is d-DNNF by construction.
+func (a *Automaton) CompileLineage(n *BNode, numVars int) (*ddnnf.Circuit, ddnnf.Gate) {
+	c := ddnnf.New(numVars)
+	states := a.compile(c, n)
+	var accepting []ddnnf.Gate
+	for s, g := range states {
+		if a.Accepting(s) {
+			accepting = append(accepting, g)
+		}
+	}
+	// Deterministic order for reproducible circuits.
+	sortGates(accepting)
+	return c, c.Or(accepting...)
+}
+
+func sortGates(gs []ddnnf.Gate) {
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && gs[j] < gs[j-1]; j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+}
+
+type combo struct {
+	state State
+	gate  ddnnf.Gate
+}
+
+func (a *Automaton) compile(c *ddnnf.Circuit, n *BNode) map[State]ddnnf.Gate {
+	if n.IsLeaf() {
+		return map[State]ddnnf.Gate{a.Init(n.Dir, true): c.True()}
+	}
+	left := a.compileSorted(c, n.Left)
+	right := a.compileSorted(c, n.Right)
+	acc := make(map[State][]ddnnf.Gate)
+	addCombo := func(s State, gs ...ddnnf.Gate) {
+		acc[s] = append(acc[s], c.And(gs...))
+	}
+	if n.Var < 0 {
+		// ε internal node: no variable, always annotated 1.
+		for _, l := range left {
+			for _, r := range right {
+				addCombo(a.Delta(n.Dir, true, l.state, r.state), l.gate, r.gate)
+			}
+		}
+	} else {
+		lit1 := c.Literal(n.Var, false)
+		lit0 := c.Literal(n.Var, true)
+		for _, l := range left {
+			for _, r := range right {
+				addCombo(a.Delta(n.Dir, true, l.state, r.state), lit1, l.gate, r.gate)
+				addCombo(a.Delta(n.Dir, false, l.state, r.state), lit0, l.gate, r.gate)
+			}
+		}
+	}
+	out := make(map[State]ddnnf.Gate, len(acc))
+	for _, s := range sortedStates(acc) {
+		gs := acc[s]
+		sortGates(gs)
+		out[s] = c.Or(gs...)
+	}
+	return out
+}
+
+func (a *Automaton) compileSorted(c *ddnnf.Circuit, n *BNode) []combo {
+	m := a.compile(c, n)
+	out := make([]combo, 0, len(m))
+	for _, s := range sortedStateKeys(m) {
+		out = append(out, combo{state: s, gate: m[s]})
+	}
+	return out
+}
+
+func stateLess(a, b State) bool {
+	if a.In != b.In {
+		return a.In < b.In
+	}
+	if a.Out != b.Out {
+		return a.Out < b.Out
+	}
+	return a.Max < b.Max
+}
+
+func sortedStates(m map[State][]ddnnf.Gate) []State {
+	out := make([]State, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sortStateSlice(out)
+	return out
+}
+
+func sortedStateKeys(m map[State]ddnnf.Gate) []State {
+	out := make([]State, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sortStateSlice(out)
+	return out
+}
+
+func sortStateSlice(out []State) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && stateLess(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+}
+
+// PathProbPolytree computes the probability that a possible world of the
+// polytree instance h contains a directed path of length ≥ m, via the
+// full d-DNNF pipeline of Proposition 5.4. It is the tractable core of
+// PHom̸L(1WP, PT).
+func PathProbPolytree(h *graph.ProbGraph, m int) (*big.Rat, error) {
+	if m == 0 {
+		return big.NewRat(1, 1), nil
+	}
+	root, err := Encode(h)
+	if err != nil {
+		return nil, err
+	}
+	a := &Automaton{M: m}
+	c, out := a.CompileLineage(root, h.G.NumEdges())
+	probs := make([]*big.Rat, h.G.NumEdges())
+	for i := range probs {
+		probs[i] = h.Prob(i)
+	}
+	return c.Prob(out, probs), nil
+}
+
+// PathProbPolytreeDirect computes the same probability without
+// materializing the circuit, by propagating a probability distribution
+// over automaton states bottom-up. Used as the ablation counterpart of
+// PathProbPolytree (experiment E18) and as an internal cross-check.
+func PathProbPolytreeDirect(h *graph.ProbGraph, m int) (*big.Rat, error) {
+	if m == 0 {
+		return big.NewRat(1, 1), nil
+	}
+	root, err := Encode(h)
+	if err != nil {
+		return nil, err
+	}
+	a := &Automaton{M: m}
+	dist := a.distribute(h, root)
+	total := new(big.Rat)
+	for s, p := range dist {
+		if a.Accepting(s) {
+			total.Add(total, p)
+		}
+	}
+	return total, nil
+}
+
+func (a *Automaton) distribute(h *graph.ProbGraph, n *BNode) map[State]*big.Rat {
+	if n.IsLeaf() {
+		return map[State]*big.Rat{a.Init(n.Dir, true): big.NewRat(1, 1)}
+	}
+	left := a.distribute(h, n.Left)
+	right := a.distribute(h, n.Right)
+	out := make(map[State]*big.Rat)
+	accum := func(s State, w *big.Rat) {
+		if cur, ok := out[s]; ok {
+			cur.Add(cur, w)
+		} else {
+			out[s] = new(big.Rat).Set(w)
+		}
+	}
+	one := big.NewRat(1, 1)
+	for ls, lp := range left {
+		for rs, rp := range right {
+			w := new(big.Rat).Mul(lp, rp)
+			if n.Var < 0 {
+				accum(a.Delta(n.Dir, true, ls, rs), w)
+				continue
+			}
+			p := n.Prob
+			if p.Sign() != 0 {
+				accum(a.Delta(n.Dir, true, ls, rs), new(big.Rat).Mul(w, p))
+			}
+			q := new(big.Rat).Sub(one, p)
+			if q.Sign() != 0 {
+				accum(a.Delta(n.Dir, false, ls, rs), new(big.Rat).Mul(w, q))
+			}
+		}
+	}
+	return out
+}

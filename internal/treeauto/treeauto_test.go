@@ -1,0 +1,219 @@
+package treeauto
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"phom/internal/gen"
+	"phom/internal/graph"
+)
+
+// longestDirectedPathInWorld computes the length of the longest directed
+// path of the world of h keeping exactly the edges in keep, by DAG DP
+// (polytree worlds are acyclic).
+func longestDirectedPathInWorld(h *graph.ProbGraph, keep []bool) int {
+	world := h.G.SubgraphKeeping(keep)
+	m, ok := world.LongestDirectedPath()
+	if !ok {
+		panic("polytree world has a cycle")
+	}
+	return m
+}
+
+func TestEncodeFullBinary(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		g := gen.RandPolytree(r, 1+r.Intn(10), nil)
+		h := graph.NewProbGraph(g)
+		root, err := Encode(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Full binary: every node has 0 or 2 children; every polytree
+		// edge appears exactly once.
+		seen := map[int]int{}
+		var walk func(n *BNode)
+		var bad bool
+		walk = func(n *BNode) {
+			if (n.Left == nil) != (n.Right == nil) {
+				bad = true
+			}
+			if n.Var >= 0 {
+				seen[n.Var]++
+			}
+			if n.Left != nil {
+				walk(n.Left)
+				walk(n.Right)
+			}
+		}
+		walk(root)
+		if bad {
+			t.Fatalf("encoding is not full binary")
+		}
+		if len(seen) != g.NumEdges() {
+			t.Fatalf("encoding covers %d of %d edges", len(seen), g.NumEdges())
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("edge %d appears %d times", v, c)
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsNonPolytree(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, graph.Unlabeled)
+	h := graph.NewProbGraph(g) // disconnected: not a polytree
+	if _, err := Encode(h); err == nil {
+		t.Fatal("disconnected instance accepted")
+	}
+}
+
+// TestAutomatonComputesLongestPath: on every world of random small
+// polytrees, the automaton's Max component must equal the true longest
+// directed path (capped at M).
+func TestAutomatonComputesLongestPath(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 150; trial++ {
+		g := gen.RandPolytree(r, 1+r.Intn(7), nil)
+		h := graph.NewProbGraph(g)
+		root, err := Encode(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := 1 + r.Intn(5)
+		a := &Automaton{M: m}
+		ne := g.NumEdges()
+		keep := make([]bool, ne)
+		for mask := 0; mask < 1<<uint(ne); mask++ {
+			for i := 0; i < ne; i++ {
+				keep[i] = mask&(1<<uint(i)) != 0
+			}
+			state := a.Run(root, keep)
+			want := longestDirectedPathInWorld(h, keep)
+			if want > m {
+				want = m
+			}
+			if state.Max != want {
+				t.Fatalf("automaton Max=%d, true longest=%d (m=%d)\ninstance=%v keep=%v",
+					state.Max, want, m, g, keep)
+			}
+			if a.Accepting(state) != (want >= m) {
+				t.Fatalf("acceptance wrong")
+			}
+		}
+	}
+}
+
+// TestPipelineMatchesDirect: the d-DNNF pipeline and the direct state
+// distribution must agree exactly.
+func TestPipelineMatchesDirect(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 150; trial++ {
+		g := gen.RandPolytree(r, 1+r.Intn(9), nil)
+		h := gen.RandProb(r, g, 0.3)
+		m := r.Intn(6)
+		viaCircuit, err := PathProbPolytree(h, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := PathProbPolytreeDirect(h, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaCircuit.Cmp(direct) != 0 {
+			t.Fatalf("circuit=%s direct=%s (m=%d)", viaCircuit.RatString(), direct.RatString(), m)
+		}
+	}
+}
+
+// TestPipelineMatchesBruteForce: the full Proposition 5.4 pipeline must
+// agree with world enumeration.
+func TestPipelineMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	one := big.NewRat(1, 1)
+	for trial := 0; trial < 100; trial++ {
+		g := gen.RandPolytree(r, 1+r.Intn(8), nil)
+		h := gen.RandProb(r, g, 0.3)
+		m := r.Intn(5)
+		got, err := PathProbPolytree(h, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force over all worlds.
+		ne := g.NumEdges()
+		want := new(big.Rat)
+		keep := make([]bool, ne)
+		for mask := 0; mask < 1<<uint(ne); mask++ {
+			for i := 0; i < ne; i++ {
+				keep[i] = mask&(1<<uint(i)) != 0
+			}
+			if longestDirectedPathInWorld(h, keep) >= m {
+				want.Add(want, h.WorldProb(keep))
+			}
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("pipeline=%s brute=%s (m=%d, h=%v)", got.RatString(), want.RatString(), m, h)
+		}
+		if got.Sign() < 0 || got.Cmp(one) > 0 {
+			t.Fatalf("probability out of range: %s", got.RatString())
+		}
+	}
+}
+
+// TestCircuitIsDDNNF: the compiled lineage must pass the structural
+// decomposability check and the exhaustive determinism check.
+func TestCircuitIsDDNNF(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		g := gen.RandPolytree(r, 1+r.Intn(7), nil)
+		h := gen.RandProb(r, g, 0.3)
+		m := 1 + r.Intn(4)
+		root, err := Encode(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := &Automaton{M: m}
+		c, out := a.CompileLineage(root, g.NumEdges())
+		if err := c.CheckDecomposable(out); err != nil {
+			t.Fatalf("not decomposable: %v", err)
+		}
+		if err := c.CheckDeterministicExhaustive(out); err != nil {
+			t.Fatalf("not deterministic: %v", err)
+		}
+		// The circuit must compute the acceptance function.
+		ne := g.NumEdges()
+		nu := make([]bool, ne)
+		for mask := 0; mask < 1<<uint(ne); mask++ {
+			for i := 0; i < ne; i++ {
+				nu[i] = mask&(1<<uint(i)) != 0
+			}
+			got := c.Eval(out, nu)
+			want := longestDirectedPathInWorld(h, nu) >= m
+			if got != want {
+				t.Fatalf("circuit disagrees with semantics at %v", nu)
+			}
+		}
+	}
+}
+
+func TestPathProbTrivial(t *testing.T) {
+	g := graph.Path1WP(graph.Unlabeled)
+	h := graph.NewProbGraph(g)
+	p, err := PathProbPolytree(h, 0)
+	if err != nil || p.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("m=0 must give probability 1, got %v %v", p, err)
+	}
+	p, err = PathProbPolytree(h, 5)
+	if err != nil || p.Sign() != 0 {
+		t.Fatalf("m beyond instance size must give 0, got %v %v", p, err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Eps.String() != "ε" || Down.String() != "↓" || Up.String() != "↑" {
+		t.Fatal("Dir String broken")
+	}
+}

@@ -1,0 +1,142 @@
+// Package xprop implements the X-property of Gutjahr, Welzl and Woeginger
+// [25] in the labeled formulation of Gottlob, Koch and Schulz [23]
+// (Definition 4.12 of the paper), and the polynomial-time homomorphism
+// test of Theorem 4.13 for instances that have the X-property with
+// respect to a total order of their vertices.
+//
+// The algorithm is the classical one for min-closed constraint languages:
+// for each label R, the X-property states exactly that the edge relation
+// of R is min-closed w.r.t. the order, so establishing arc consistency and
+// then mapping every query vertex to the minimum of its domain yields a
+// homomorphism whenever one exists.
+package xprop
+
+import (
+	"phom/internal/graph"
+)
+
+// HasXProperty reports whether instance H has the X-property w.r.t. the
+// order of vertices given by pos (pos[v] = rank of v): for every label R
+// and vertices n0 < n1, n2 < n3, if n0 −R→ n3 and n1 −R→ n2 are edges then
+// n0 −R→ n2 is an edge. Used to validate applicability; the check is
+// O(|E|²).
+func HasXProperty(h *graph.Graph, pos []int) bool {
+	edges := h.Edges()
+	for _, e1 := range edges {
+		for _, e2 := range edges {
+			if e1.Label != e2.Label {
+				continue
+			}
+			// e1 = n0 → n3, e2 = n1 → n2 with n0 < n1 and n2 < n3.
+			if pos[e1.From] < pos[e2.From] && pos[e2.To] < pos[e1.To] {
+				if l, ok := h.HasEdge(e1.From, e2.To); !ok || l != e1.Label {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// HasHomomorphism decides G ⇝ H for an instance H that has the X-property
+// w.r.t. the vertex order pos, in time O(|G|·|H|·iterations) via arc
+// consistency followed by the minimum assignment. The result is sound and
+// complete only when the X-property holds; callers should validate with
+// HasXProperty (tests do) or rely on structural guarantees (subpaths of a
+// 2WP trivially have the X-property, §4.2).
+func HasHomomorphism(g, h *graph.Graph, pos []int) bool {
+	if g.NumVertices() == 0 {
+		return true
+	}
+	if h.NumVertices() == 0 {
+		return false
+	}
+	// dom[v][w] = instance vertex w is still a candidate image for query
+	// vertex v.
+	n, m := g.NumVertices(), h.NumVertices()
+	dom := make([][]bool, n)
+	size := make([]int, n)
+	for v := range dom {
+		dom[v] = make([]bool, m)
+		for w := range dom[v] {
+			dom[v][w] = true
+		}
+		size[v] = m
+	}
+	// Arc consistency: repeat until fixpoint. For every query edge
+	// (u, v, R): u's domain keeps w iff some w' in v's domain has
+	// w −R→ w'; symmetrically for v.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range g.Edges() {
+			// Revise dom[e.From] against dom[e.To].
+			for w := 0; w < m; w++ {
+				if !dom[e.From][w] {
+					continue
+				}
+				ok := false
+				for _, ei := range h.OutEdges(graph.Vertex(w)) {
+					he := h.Edge(ei)
+					if he.Label == e.Label && dom[e.To][he.To] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					dom[e.From][w] = false
+					size[e.From]--
+					changed = true
+				}
+			}
+			if size[e.From] == 0 {
+				return false
+			}
+			// Revise dom[e.To] against dom[e.From].
+			for w := 0; w < m; w++ {
+				if !dom[e.To][w] {
+					continue
+				}
+				ok := false
+				for _, ei := range h.InEdges(graph.Vertex(w)) {
+					he := h.Edge(ei)
+					if he.Label == e.Label && dom[e.From][he.From] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					dom[e.To][w] = false
+					size[e.To]--
+					changed = true
+				}
+			}
+			if size[e.To] == 0 {
+				return false
+			}
+		}
+	}
+	// Minimum assignment: map each query vertex to the <-minimum of its
+	// domain. For min-closed (X-property) instances this is a
+	// homomorphism; verify defensively.
+	hmap := make(graph.Homomorphism, n)
+	for v := 0; v < n; v++ {
+		best := -1
+		for w := 0; w < m; w++ {
+			if dom[v][w] && (best < 0 || pos[w] < pos[best]) {
+				best = w
+			}
+		}
+		hmap[v] = graph.Vertex(best)
+	}
+	return graph.IsHomomorphism(g, h, hmap)
+}
+
+// IdentityOrder returns pos with pos[v] = v, the natural order used for
+// subpaths a_i < a_{i+1} < … of a 2WP instance.
+func IdentityOrder(n int) []int {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = i
+	}
+	return pos
+}
