@@ -77,11 +77,9 @@ func main() {
 	if *classify {
 		fmt.Printf("query classes:    %v\n", query.Classify())
 		fmt.Printf("instance classes: %v\n", instance.G.Classify())
-		qc := tightest(query)
-		ic := tightest(instance.G)
-		labeled := len(instance.G.Labels()) > 1 || len(query.Labels()) > 1
+		qc, ic, labeled, v := core.PredictInput(query, instance)
 		fmt.Printf("tightest cell:    (%v, %v) %s\n", qc, ic, settingName(labeled))
-		fmt.Printf("predicted:        %v\n", core.Predict(qc, ic, labeled))
+		fmt.Printf("predicted:        %v\n", v)
 	}
 
 	if *count {
@@ -150,18 +148,6 @@ func loadProbGraph(path string) (*graph.ProbGraph, error) {
 	}
 	defer f.Close()
 	return graphio.ParseProbGraph(f)
-}
-
-// tightest returns the smallest class (w.r.t. the Figure 2 lattice)
-// containing g.
-func tightest(g *graph.Graph) graph.Class {
-	best := graph.ClassAll
-	for _, c := range graph.AllClasses {
-		if g.InClass(c) && graph.ClassIncluded(c, best) {
-			best = c
-		}
-	}
-	return best
 }
 
 func settingName(labeled bool) string {

@@ -1,28 +1,34 @@
 // Command phombench is the experiment harness: for every table and
 // figure of the paper it regenerates the corresponding artifact
-// empirically (see EXPERIMENTS.md for the index E1–E18). For PTIME cells
+// empirically (see EXPERIMENTS.md for the index E1–E19). For PTIME cells
 // it measures runtime scaling of the dispatched algorithm over growing
 // instances; for #P-hard cells it executes the paper's reduction, checks
 // the exact counting identity, and measures the exponential growth of the
-// exact baseline. Results are printed as aligned tables; -csv emits
+// exact baseline. E19 drives the concurrent engine of internal/engine
+// over a mixed batch workload and measures the speedup over sequential
+// solving. Results are printed as aligned tables; -csv emits
 // machine-readable rows.
 //
 // Usage:
 //
 //	phombench [-experiment E13] [-seed 1] [-maxn 4096] [-csv]
+//	          [-workers 0] [-batchjobs 128]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/big"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	"phom/internal/core"
 	"phom/internal/counting"
+	"phom/internal/engine"
 	"phom/internal/gen"
 	"phom/internal/graph"
 	"phom/internal/reductions"
@@ -33,6 +39,8 @@ var (
 	seed       = flag.Int64("seed", 1, "random seed")
 	maxN       = flag.Int("maxn", 4096, "largest instance size for scaling sweeps")
 	csvOut     = flag.Bool("csv", false, "emit CSV rows instead of aligned text")
+	workers    = flag.Int("workers", 0, "E19: fixed engine worker count (0 = sweep 1, 2, 4, NumCPU)")
+	batchJobs  = flag.Int("batchjobs", 128, "E19: number of jobs in the engine batch workload")
 )
 
 type row struct {
@@ -72,6 +80,7 @@ func main() {
 	runFigures()
 	runPropositions()
 	runAblations()
+	runEngineBatch()
 	if !*csvOut {
 		fmt.Printf("\n%d measurements.\n", len(results))
 	}
@@ -344,6 +353,97 @@ func runAblations() {
 		fmt.Sprintf("agree=%v speedup=×%.1f", pb.Cmp(pl) == 0, float64(dBrute)/float64(dLin)), dBrute+dLin)
 	// Order the report deterministically for the summary.
 	sort.SliceStable(results, func(i, j int) bool { return results[i].experiment < results[j].experiment })
+}
+
+// runEngineBatch covers E19: a mixed workload of tractable jobs (with
+// duplicates, shuffled) solved sequentially and then through the engine
+// at increasing worker counts. Every engine result is checked
+// byte-identical to the sequential one, and the reported value includes
+// the cache hit count and the wall-clock speedup.
+func runEngineBatch() {
+	if !section("E19", "Engine batch throughput (workers, dedup, memoization)") {
+		return
+	}
+	r := rand.New(rand.NewSource(*seed))
+	rs := []graph.Label{"R", "S"}
+	un := []graph.Label{graph.Unlabeled}
+	n := *maxN / 16
+	if n < 32 {
+		n = 32
+	}
+	var distinct []engine.Job
+	for len(distinct)*4 < *batchJobs {
+		distinct = append(distinct,
+			engine.Job{ // Prop 4.10
+				Query:    gen.Rand1WP(r, 5, rs),
+				Instance: gen.RandProb(r, gen.RandInClass(r, graph.ClassUDWT, n, rs), 0.5),
+			},
+			engine.Job{ // Prop 4.11
+				Query:    gen.RandConnected(r, 5, 1, rs),
+				Instance: gen.RandProb(r, gen.RandInClass(r, graph.ClassU2WP, n, rs), 0.5),
+			},
+			engine.Job{ // Prop 3.6
+				Query:    gen.RandGraph(r, 6, 9, un),
+				Instance: gen.RandProb(r, gen.RandInClass(r, graph.ClassUDWT, n, un), 0.5),
+			},
+			engine.Job{ // Props 5.4/5.5
+				Query:    gen.RandDWT(r, 4, un),
+				Instance: gen.RandProb(r, gen.RandInClass(r, graph.ClassUPT, n/2, un), 0.5),
+			},
+		)
+	}
+	jobs := make([]engine.Job, 0, len(distinct)*4)
+	for _, j := range distinct {
+		jobs = append(jobs, j, j, j, j)
+	}
+	r.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+	if *batchJobs > 0 && len(jobs) > *batchJobs {
+		jobs = jobs[:*batchJobs] // honor -batchjobs exactly
+	}
+
+	// Sequential baseline.
+	seq := make([]*big.Rat, len(jobs))
+	start := time.Now()
+	for i, j := range jobs {
+		res, err := core.Solve(j.Query, j.Instance, nil)
+		if err != nil {
+			fatal(err)
+		}
+		seq[i] = res.Prob
+	}
+	dSeq := time.Since(start)
+	emit("E19", fmt.Sprintf("sequential jobs=%d", len(jobs)), "baseline ×1.00", dSeq)
+
+	sweep := []int{1, 2, 4, runtime.NumCPU()}
+	if *workers > 0 {
+		sweep = []int{*workers}
+	}
+	seen := map[int]bool{}
+	for _, w := range sweep {
+		if seen[w] {
+			continue // NumCPU may coincide with a fixed sweep entry
+		}
+		seen[w] = true
+		e := engine.New(engine.Options{Workers: w})
+		start = time.Now()
+		out := e.SolveBatch(jobs)
+		d := time.Since(start)
+		st := e.Stats()
+		if err := e.Close(); err != nil {
+			fatal(err)
+		}
+		match := true
+		for i := range jobs {
+			if out[i].Err != nil {
+				fatal(out[i].Err)
+			}
+			if out[i].Result.Prob.Cmp(seq[i]) != 0 {
+				match = false
+			}
+		}
+		emit("E19", fmt.Sprintf("workers=%d jobs=%d", w, len(jobs)),
+			fmt.Sprintf("match=%v hits=%d ×%.2f", match, st.CacheHits, float64(dSeq)/float64(d)), d)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,76 @@
+// Command phomserve serves PHom evaluation over HTTP JSON, backed by the
+// concurrent engine of internal/engine (worker pool, in-flight
+// deduplication, LRU memoization). Probabilities are computed exactly and
+// returned both as rational strings and float64 approximations, together
+// with the algorithm used and the predicted combined complexity of the
+// input pair (the Tables 1–3 verdict).
+//
+// Endpoints:
+//
+//	POST /solve    one job: {"query": {...} | "query_text": "...",
+//	               "instance": {...} | "instance_text": "...",
+//	               "options": {...}}; unions use "queries"/"queries_text".
+//	POST /batch    {"jobs": [ ... ]}; results in job order, per-job errors.
+//	GET  /healthz  liveness plus engine statistics.
+//
+// Graphs are accepted as graphio JSON objects or as the line-oriented
+// text format that cmd/phom reads. See DESIGN.md (Serving layer) and
+// README.md for examples.
+//
+// Usage:
+//
+//	phomserve [-addr :8080] [-workers 0] [-cache 4096]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"phom/internal/engine"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 0, fmt.Sprintf("result cache capacity (0 = %d, negative disables)", engine.DefaultCacheSize))
+	)
+	flag.Parse()
+
+	eng := engine.New(engine.Options{Workers: *workers, CacheSize: *cache})
+	defer eng.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng).handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("phomserve: listening on %s (%d workers)", *addr, eng.Workers())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("phomserve: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("phomserve: shutdown: %v", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("phomserve: %v", err)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"phom/internal/core"
+	"phom/internal/engine"
+	"phom/internal/graph"
+	"phom/internal/graphio"
+)
+
+// Request limits: a single request must not be able to exhaust the
+// server's memory or pin a worker on unbounded exponential work.
+const (
+	maxBodyBytes       = 32 << 20 // 32 MiB of JSON per request
+	maxBatchJobs       = 4096     // jobs per /batch request
+	maxBruteForceLimit = 26       // client-requested coins cap (2^26 worlds)
+	maxMatchLimit      = 1 << 20  // client-requested match-enumeration cap
+)
+
+// Wire types. Graphs are accepted in both formats understood by the
+// repo's tooling: the graphio JSON object ({"vertices": n, "edges":
+// [...]}) and the line-oriented text format that cmd/phom reads
+// ("vertices 4\nedge 0 1 R 1/2\n..."), the latter in the *_text fields.
+
+type solveOptions struct {
+	BruteForceLimit int  `json:"brute_force_limit,omitempty"`
+	MatchLimit      int  `json:"match_limit,omitempty"`
+	DisableFallback bool `json:"disable_fallback,omitempty"`
+}
+
+type solveRequest struct {
+	Query        json.RawMessage   `json:"query,omitempty"`
+	Queries      []json.RawMessage `json:"queries,omitempty"`
+	QueryText    string            `json:"query_text,omitempty"`
+	QueriesText  []string          `json:"queries_text,omitempty"`
+	Instance     json.RawMessage   `json:"instance,omitempty"`
+	InstanceText string            `json:"instance_text,omitempty"`
+	Options      *solveOptions     `json:"options,omitempty"`
+}
+
+type verdictResponse struct {
+	QueryClass    string `json:"query_class"`
+	InstanceClass string `json:"instance_class"`
+	Labeled       bool   `json:"labeled"`
+	Tractable     bool   `json:"tractable"`
+	Verdict       string `json:"verdict"`
+}
+
+type solveResponse struct {
+	Prob      string           `json:"prob,omitempty"`
+	ProbFloat float64          `json:"prob_float,omitempty"`
+	Method    string           `json:"method,omitempty"`
+	PTime     bool             `json:"ptime,omitempty"`
+	CacheHit  bool             `json:"cache_hit,omitempty"`
+	Shared    bool             `json:"shared,omitempty"`
+	Predicted *verdictResponse `json:"predicted,omitempty"`
+	ElapsedUS int64            `json:"elapsed_us"`
+	Error     string           `json:"error,omitempty"`
+}
+
+type batchRequest struct {
+	Jobs []solveRequest `json:"jobs"`
+}
+
+type batchResponse struct {
+	Results []solveResponse `json:"results"`
+	Stats   engine.Stats    `json:"stats"`
+	// ElapsedUS is the wall-clock time of the whole batch; each
+	// result's elapsed_us is that job's own latency.
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+type healthResponse struct {
+	Status  string       `json:"status"`
+	Workers int          `json:"workers"`
+	Stats   engine.Stats `json:"stats"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// server routes HTTP requests onto a shared engine.
+type server struct {
+	engine *engine.Engine
+}
+
+func newServer(e *engine.Engine) *server { return &server{engine: e} }
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:  "ok",
+		Workers: s.engine.Workers(),
+		Stats:   s.engine.Stats(),
+	})
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req solveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	job, err := req.toJob()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := s.runJob(job)
+	if resp.Error != "" {
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no jobs")
+		return
+	}
+	if len(req.Jobs) > maxBatchJobs {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch has %d jobs, limit is %d", len(req.Jobs), maxBatchJobs))
+		return
+	}
+	// Parse every job first; parse failures surface per job, and only
+	// well-formed jobs reach the engine. Each job is timed individually
+	// (runJob), so elapsed_us is that job's latency, not the batch's;
+	// the engine's worker pool bounds the actual compute concurrency.
+	results := make([]solveResponse, len(req.Jobs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, jr := range req.Jobs {
+		job, err := jr.toJob()
+		if err != nil {
+			results[i] = solveResponse{Error: err.Error()}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, job engine.Job) {
+			defer wg.Done()
+			results[i] = s.runJob(job)
+		}(i, job)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, batchResponse{
+		Results:   results,
+		Stats:     s.engine.Stats(),
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
+}
+
+func (s *server) runJob(job engine.Job) solveResponse {
+	start := time.Now()
+	return buildResponse(job, s.engine.Do(job), time.Since(start))
+}
+
+func buildResponse(job engine.Job, jr engine.JobResult, elapsed time.Duration) solveResponse {
+	resp := solveResponse{ElapsedUS: elapsed.Microseconds(), CacheHit: jr.CacheHit, Shared: jr.Shared}
+	if jr.Err != nil {
+		resp.Error = jr.Err.Error()
+		return resp
+	}
+	resp.Prob = jr.Result.Prob.RatString()
+	resp.ProbFloat, _ = jr.Result.Prob.Float64()
+	resp.Method = jr.Result.Method.String()
+	resp.PTime = jr.Result.Method.PTime()
+	// The Tables 1–3 verdict is defined per conjunctive query; report it
+	// for single-query jobs only.
+	if job.Query != nil {
+		qc, ic, labeled, v := core.PredictInput(job.Query, job.Instance)
+		resp.Predicted = &verdictResponse{
+			QueryClass:    qc.String(),
+			InstanceClass: ic.String(),
+			Labeled:       labeled,
+			Tractable:     v.Tractable,
+			Verdict:       v.String(),
+		}
+	}
+	return resp
+}
+
+// toJob parses the wire request into an engine job.
+func (r *solveRequest) toJob() (engine.Job, error) {
+	var job engine.Job
+
+	queries, err := r.parseQueries()
+	if err != nil {
+		return job, err
+	}
+	switch len(queries) {
+	case 0:
+		return job, fmt.Errorf("no query: provide query, queries, query_text or queries_text")
+	case 1:
+		job.Query = queries[0]
+	default:
+		job.Queries = queries
+	}
+
+	switch {
+	case r.Instance != nil && r.InstanceText != "":
+		return job, fmt.Errorf("provide instance or instance_text, not both")
+	case r.Instance != nil:
+		job.Instance, err = graphio.UnmarshalProbGraphJSON(r.Instance)
+	case r.InstanceText != "":
+		job.Instance, err = graphio.ParseProbGraph(strings.NewReader(r.InstanceText))
+	default:
+		return job, fmt.Errorf("no instance: provide instance or instance_text")
+	}
+	if err != nil {
+		return job, fmt.Errorf("bad instance: %v", err)
+	}
+
+	if r.Options != nil {
+		// Negative limits would mean "unbounded" to the solver; reject
+		// them along with values above the server-side caps so one
+		// request cannot pin a worker on days of exponential work.
+		if r.Options.BruteForceLimit < 0 || r.Options.BruteForceLimit > maxBruteForceLimit {
+			return job, fmt.Errorf("brute_force_limit %d outside [0, %d]", r.Options.BruteForceLimit, maxBruteForceLimit)
+		}
+		if r.Options.MatchLimit < 0 || r.Options.MatchLimit > maxMatchLimit {
+			return job, fmt.Errorf("match_limit %d outside [0, %d]", r.Options.MatchLimit, maxMatchLimit)
+		}
+		job.Opts = &core.Options{
+			BruteForceLimit: r.Options.BruteForceLimit,
+			MatchLimit:      r.Options.MatchLimit,
+			DisableFallback: r.Options.DisableFallback,
+		}
+	}
+	return job, nil
+}
+
+func (r *solveRequest) parseQueries() ([]*graph.Graph, error) {
+	forms := 0
+	for _, set := range []bool{r.Query != nil, len(r.Queries) > 0, r.QueryText != "", len(r.QueriesText) > 0} {
+		if set {
+			forms++
+		}
+	}
+	if forms > 1 {
+		return nil, fmt.Errorf("provide exactly one of query, queries, query_text, queries_text")
+	}
+	var raw []json.RawMessage
+	var texts []string
+	switch {
+	case r.Query != nil:
+		raw = []json.RawMessage{r.Query}
+	case len(r.Queries) > 0:
+		raw = r.Queries
+	case r.QueryText != "":
+		texts = []string{r.QueryText}
+	case len(r.QueriesText) > 0:
+		texts = r.QueriesText
+	}
+	var out []*graph.Graph
+	for i, m := range raw {
+		q, err := parseQueryJSON(m)
+		if err != nil {
+			return nil, fmt.Errorf("bad query %d: %v", i, err)
+		}
+		out = append(out, q)
+	}
+	for i, t := range texts {
+		q, err := graphio.ParseGraph(strings.NewReader(t))
+		if err != nil {
+			return nil, fmt.Errorf("bad query %d: %v", i, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// parseQueryJSON decodes a query graph from the JSON wire form,
+// rejecting probability annotations (query graphs are deterministic).
+func parseQueryJSON(data []byte) (*graph.Graph, error) {
+	pg, err := graphio.UnmarshalProbGraphJSON(data)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < pg.G.NumEdges(); i++ {
+		if pg.Prob(i).Cmp(graph.RatOne) != 0 {
+			return nil, fmt.Errorf("query graph has a probability on edge %d", i)
+		}
+	}
+	return pg.G, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

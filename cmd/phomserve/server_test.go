@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"phom/internal/engine"
+)
+
+// Example 2.2 / Figure 1 of the paper: Pr(G ⇝ H) = 287/500 = 0.574.
+const (
+	exampleQueryText = `
+vertices 4
+edge 0 1 R
+edge 1 2 S
+edge 3 2 S
+`
+	exampleInstanceText = `
+vertices 4
+edge 0 1 R
+edge 0 2 R 0.1
+edge 1 2 R 0.8
+edge 1 3 R 0.1
+edge 0 3 R 0.05
+edge 2 3 S 0.7
+`
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := engine.New(engine.Options{Workers: 4})
+	t.Cleanup(func() { eng.Close() })
+	ts := httptest.NewServer(newServer(eng).handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func TestSolveTextFormat(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/solve", solveRequest{
+		QueryText:    exampleQueryText,
+		InstanceText: exampleInstanceText,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr solveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Prob != "287/500" {
+		t.Errorf("prob = %q, want 287/500 (Example 2.2)", sr.Prob)
+	}
+	if sr.ProbFloat != 0.574 {
+		t.Errorf("prob_float = %v, want 0.574", sr.ProbFloat)
+	}
+	if sr.PTime {
+		t.Errorf("method %q reported as PTIME; Example 2.2 needs a baseline", sr.Method)
+	}
+	if sr.Predicted == nil || sr.Predicted.Tractable {
+		t.Errorf("predicted = %+v, want a #P-hard verdict", sr.Predicted)
+	}
+	if !sr.Predicted.Labeled {
+		t.Error("predicted verdict should be for the labeled setting")
+	}
+}
+
+func TestSolveJSONFormatAndCacheHit(t *testing.T) {
+	ts := newTestServer(t)
+	// The same instance in the JSON wire form; "1/2"-style and decimal
+	// rationals are equivalent.
+	req := map[string]any{
+		"query": map[string]any{
+			"vertices": 4,
+			"edges": []map[string]any{
+				{"from": 0, "to": 1, "label": "R"},
+				{"from": 1, "to": 2, "label": "S"},
+				{"from": 3, "to": 2, "label": "S"},
+			},
+		},
+		"instance": map[string]any{
+			"vertices": 4,
+			"edges": []map[string]any{
+				{"from": 0, "to": 1, "label": "R"},
+				{"from": 0, "to": 2, "label": "R", "prob": "1/10"},
+				{"from": 1, "to": 2, "label": "R", "prob": "4/5"},
+				{"from": 1, "to": 3, "label": "R", "prob": "1/10"},
+				{"from": 0, "to": 3, "label": "R", "prob": "1/20"},
+				{"from": 2, "to": 3, "label": "S", "prob": "7/10"},
+			},
+		},
+	}
+	var first, second solveResponse
+	for i, dst := range []*solveResponse{&first, &second} {
+		resp, body := postJSON(t, ts.URL+"/solve", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if first.Prob != "287/500" || second.Prob != "287/500" {
+		t.Errorf("probs = %q, %q, want 287/500", first.Prob, second.Prob)
+	}
+	if first.CacheHit {
+		t.Error("first request was a cache hit")
+	}
+	if !second.CacheHit {
+		t.Error("identical second request missed the cache")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	good := solveRequest{QueryText: exampleQueryText, InstanceText: exampleInstanceText}
+	ucq := solveRequest{
+		QueriesText:  []string{"vertices 2\nedge 0 1 R\n", "vertices 2\nedge 0 1 S\n"},
+		InstanceText: exampleInstanceText,
+	}
+	bad := solveRequest{QueryText: "vertices zero\n", InstanceText: exampleInstanceText}
+	hard := solveRequest{
+		QueryText:    exampleQueryText,
+		InstanceText: exampleInstanceText,
+		Options:      &solveOptions{DisableFallback: true},
+	}
+	resp, body := postJSON(t, ts.URL+"/batch", batchRequest{Jobs: []solveRequest{good, ucq, bad, good, hard}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 5 {
+		t.Fatalf("got %d results, want 5", len(br.Results))
+	}
+	if br.Results[0].Prob != "287/500" {
+		t.Errorf("job 0: prob = %q, want 287/500", br.Results[0].Prob)
+	}
+	if br.Results[1].Error != "" || br.Results[1].Prob == "" {
+		t.Errorf("job 1 (UCQ): %+v", br.Results[1])
+	}
+	if br.Results[1].Predicted != nil {
+		t.Error("job 1 (UCQ): per-CQ verdict reported for a union")
+	}
+	if br.Results[2].Error == "" {
+		t.Error("job 2: parse error not reported")
+	}
+	if br.Results[3].Prob != "287/500" {
+		t.Errorf("job 3: prob = %q, want 287/500", br.Results[3].Prob)
+	}
+	// Jobs 0 and 3 are identical and run concurrently; whichever
+	// registers second is a cache hit or coalesces onto the leader.
+	if !(br.Results[0].CacheHit || br.Results[0].Shared || br.Results[3].CacheHit || br.Results[3].Shared) {
+		t.Error("duplicate jobs neither cached nor coalesced")
+	}
+	if br.Results[4].Error == "" {
+		t.Error("job 4: disable_fallback on a hard input did not error")
+	}
+	if br.Stats.Submitted == 0 || br.Stats.Solved == 0 {
+		t.Errorf("stats not populated: %+v", br.Stats)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var hr healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.Workers != 4 {
+		t.Errorf("health = %+v", hr)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name   string
+		path   string
+		body   string
+		status int
+	}{
+		{"malformed json", "/solve", "{", http.StatusBadRequest},
+		{"no query", "/solve", `{"instance_text": "vertices 1\n"}`, http.StatusBadRequest},
+		{"no instance", "/solve", fmt.Sprintf(`{"query_text": %q}`, "vertices 2\nedge 0 1 R\n"), http.StatusBadRequest},
+		{"two query forms", "/solve", fmt.Sprintf(`{"query_text": %q, "queries_text": [%q], "instance_text": %q}`,
+			"vertices 2\nedge 0 1 R\n", "vertices 2\nedge 0 1 R\n", "vertices 1\n"), http.StatusBadRequest},
+		{"probability on query", "/solve", fmt.Sprintf(`{"query_text": %q, "instance_text": %q}`,
+			"vertices 2\nedge 0 1 R 1/2\n", "vertices 1\n"), http.StatusBadRequest},
+		{"brute limit above cap", "/solve", fmt.Sprintf(`{"query_text": %q, "instance_text": %q, "options": {"brute_force_limit": 64}}`,
+			"vertices 2\nedge 0 1 R\n", "vertices 2\nedge 0 1 R\n"), http.StatusBadRequest},
+		{"negative match limit", "/solve", fmt.Sprintf(`{"query_text": %q, "instance_text": %q, "options": {"match_limit": -1}}`,
+			"vertices 2\nedge 0 1 R\n", "vertices 2\nedge 0 1 R\n"), http.StatusBadRequest},
+		{"empty batch", "/batch", `{"jobs": []}`, http.StatusBadRequest},
+		{"oversize batch", "/batch",
+			`{"jobs": [` + strings.Repeat("{},", maxBatchJobs) + `{}]}`,
+			http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.status)
+		}
+	}
+	// Wrong methods.
+	if resp, _ := http.Get(ts.URL + "/solve"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /solve: status %d", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/healthz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,36 @@
+package phom
+
+import "phom/internal/engine"
+
+// Concurrent batch evaluation, re-exported from internal/engine. An
+// Engine owns a worker pool that executes Solve/SolveUCQ jobs,
+// deduplicates identical in-flight jobs (singleflight), and memoizes
+// completed results in a bounded LRU cache keyed by a canonical hash of
+// (query, instance, options). Results are byte-identical to sequential
+// Solve: the engine changes scheduling, never arithmetic.
+type (
+	// Engine is a concurrent batch evaluator; create with NewEngine and
+	// release with Close.
+	Engine = engine.Engine
+	// EngineOptions configures NewEngine.
+	EngineOptions = engine.Options
+	// Job is one (query or UCQ, instance, options) evaluation for
+	// Engine.Do and Engine.SolveBatch.
+	Job = engine.Job
+	// JobResult is the outcome of one Job, with cache provenance.
+	JobResult = engine.JobResult
+	// EngineStats is a snapshot of engine counters.
+	EngineStats = engine.Stats
+)
+
+// DefaultEngineCacheSize is the default capacity of an Engine's result
+// cache.
+const DefaultEngineCacheSize = engine.DefaultCacheSize
+
+// ErrEngineClosed is returned by Engine methods after Close.
+var ErrEngineClosed = engine.ErrClosed
+
+// NewEngine starts a concurrent evaluation engine with the given
+// options; EngineOptions{} gives GOMAXPROCS workers and the default
+// cache size. Callers must Close the engine when done.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }

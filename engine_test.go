@@ -1,0 +1,54 @@
+package phom
+
+import (
+	"math/rand"
+	"testing"
+
+	"phom/internal/gen"
+)
+
+// TestEnginePublicAPI exercises the public Engine surface: NewEngine,
+// Solve, SolveBatch, Stats and Close, checking batch results against
+// sequential Solve.
+func TestEnginePublicAPI(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	labels := []Label{"R", "S"}
+	var jobs []Job
+	for i := 0; i < 10; i++ {
+		jobs = append(jobs, Job{
+			Query:    gen.Rand1WP(r, 3, labels),
+			Instance: gen.RandProb(r, gen.RandInClass(r, ClassUDWT, 25, labels), 0.5),
+		})
+	}
+	jobs = append(jobs, jobs...) // duplicates exercise the cache
+
+	e := NewEngine(EngineOptions{Workers: 4})
+	results := e.SolveBatch(jobs)
+	for i, jr := range results {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", i, jr.Err)
+		}
+		want, err := Solve(jobs[i].Query, jobs[i].Instance, nil)
+		if err != nil {
+			t.Fatalf("sequential job %d: %v", i, err)
+		}
+		if jr.Result.Prob.RatString() != want.Prob.RatString() {
+			t.Errorf("job %d: engine %s, sequential %s", i, jr.Result.Prob.RatString(), want.Prob.RatString())
+		}
+	}
+	if st := e.Stats(); st.CacheHits+st.Coalesced == 0 {
+		t.Errorf("no deduplication on duplicate jobs: %+v", st)
+	}
+
+	// Single-job path and close semantics.
+	res, err := e.Solve(jobs[0].Query, jobs[0].Instance, nil)
+	if err != nil || res.Prob.Sign() < 0 {
+		t.Fatalf("Solve: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Solve(jobs[0].Query, jobs[0].Instance, nil); err != ErrEngineClosed {
+		t.Errorf("after Close: err = %v, want ErrEngineClosed", err)
+	}
+}

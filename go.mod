@@ -1,0 +1,3 @@
+module phom
+
+go 1.21

@@ -57,6 +57,18 @@ var (
 	}
 )
 
+// PredictInput locates the tightest Tables 1–3 cell of a concrete input
+// pair — the tightest classes of query and instance, and whether the
+// pair is in the labeled setting — and returns that cell's verdict.
+// Shared by cmd/phom -classify and the cmd/phomserve responses so the
+// two never diverge.
+func PredictInput(q *graph.Graph, h *graph.ProbGraph) (qc, ic graph.Class, labeled bool, v Verdict) {
+	qc = q.TightestClass()
+	ic = h.G.TightestClass()
+	labeled = len(h.G.Labels()) > 1 || len(q.Labels()) > 1
+	return qc, ic, labeled, Predict(qc, ic, labeled)
+}
+
 // Predict returns the combined complexity of PHom restricted to query
 // graphs in qc and instance graphs in ic, in the labeled (PHomL) or
 // unlabeled (PHom̸L) setting, as classified by the paper's Tables 1–3.

@@ -48,13 +48,17 @@ func (m Method) PTime() bool {
 	return m != MethodBruteForce && m != MethodLineage
 }
 
+// DefaultMatchLimit is the default cap on the number of matches
+// enumerated by the lineage fallback.
+const DefaultMatchLimit = 1 << 16
+
 // Options configures the solver.
 type Options struct {
 	// BruteForceLimit caps the number of uncertain edges accepted by the
 	// brute-force fallback. 0 means DefaultBruteForceLimit.
 	BruteForceLimit int
 	// MatchLimit caps the number of matches enumerated by the lineage
-	// fallback. 0 means 1 << 16.
+	// fallback. 0 means DefaultMatchLimit.
 	MatchLimit int
 	// DisableFallback makes Solve fail instead of running an exponential
 	// baseline on an intractable case.
@@ -70,9 +74,22 @@ func (o *Options) bruteLimit() int {
 
 func (o *Options) matchLimit() int {
 	if o == nil || o.MatchLimit == 0 {
-		return 1 << 16
+		return DefaultMatchLimit
 	}
 	return o.MatchLimit
+}
+
+func (o *Options) disableFallback() bool {
+	return o != nil && o.DisableFallback
+}
+
+// Fingerprint renders the options with defaults resolved, uniquely
+// identifying the solver behavior they select; nil options and
+// explicitly spelled-out defaults fingerprint identically. Package
+// engine keys its result cache on this, so any new Options field that
+// affects results MUST be added here.
+func (o *Options) Fingerprint() string {
+	return fmt.Sprintf("brute=%d;match=%d;nofallback=%t", o.bruteLimit(), o.matchLimit(), o.disableFallback())
 }
 
 // Result is the outcome of Solve.
@@ -161,7 +178,7 @@ func Solve(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*Result, error) {
 		}
 	}
 
-	if opts != nil && opts.DisableFallback {
+	if opts.disableFallback() {
 		return nil, fmt.Errorf("core: no polynomial-time algorithm applies (the case is #P-hard per Tables 1–3) and fallback is disabled")
 	}
 	if p, err := BruteForceLimit(q, h, opts.bruteLimit()); err == nil {

@@ -1,0 +1,382 @@
+// Package engine provides a concurrent batch-evaluation engine on top of
+// the core solver. An Engine owns a bounded pool of worker goroutines
+// that execute solver jobs, deduplicates identical in-flight jobs
+// (singleflight: concurrent submissions of the same job share one
+// execution), and memoizes completed results in a bounded LRU cache
+// keyed by the canonical job hash of package graphio.
+//
+// All results are exact *big.Rat probabilities, byte-identical to what a
+// sequential call to core.Solve / core.SolveUCQ would return: the engine
+// changes scheduling, never arithmetic. Cached results are deep-copied on
+// the way out, so callers may mutate what they receive.
+package engine
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"math/big"
+	"runtime"
+	"sort"
+	"sync"
+
+	"phom/internal/core"
+	"phom/internal/graph"
+	"phom/internal/graphio"
+)
+
+// DefaultCacheSize is the default capacity of the result cache.
+const DefaultCacheSize = 4096
+
+// ErrClosed is returned by Solve and SolveBatch after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of worker goroutines. 0 means GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the number of memoized results. 0 means
+	// DefaultCacheSize; negative disables memoization entirely
+	// (in-flight deduplication still applies).
+	CacheSize int
+}
+
+// Job is one evaluation: a query (or a union of conjunctive queries), a
+// probabilistic instance, and solver options.
+type Job struct {
+	// Query is the query graph of a single conjunctive query. For a
+	// union of conjunctive queries, set Queries instead and leave Query
+	// nil; a one-element Queries is equivalent to Query.
+	Query *graph.Graph
+	// Queries are the disjuncts of a union of conjunctive queries.
+	Queries []*graph.Graph
+	// Instance is the probabilistic instance graph (H, π).
+	Instance *graph.ProbGraph
+	// Opts configures the solver; nil means defaults. Options take part
+	// in the cache key (with defaults normalized, so nil and the
+	// explicit default options share cache entries).
+	Opts *core.Options
+}
+
+func (j Job) disjuncts() []*graph.Graph {
+	if len(j.Queries) > 0 {
+		return j.Queries
+	}
+	if j.Query != nil {
+		return []*graph.Graph{j.Query}
+	}
+	return nil
+}
+
+// JobResult is the outcome of one Job in a batch.
+type JobResult struct {
+	Result *core.Result
+	Err    error
+	// CacheHit reports that the result was served from the memo cache
+	// without running the solver.
+	CacheHit bool
+	// Shared reports that the job was coalesced onto an identical job
+	// already in flight (singleflight) rather than executed itself.
+	Shared bool
+}
+
+// Stats is a snapshot of engine counters. The JSON tags match the
+// snake_case wire style of cmd/phomserve, which exposes these counters.
+type Stats struct {
+	// Submitted counts jobs accepted by Solve, SolveUCQ, Do and
+	// SolveBatch (including ones that later failed).
+	Submitted uint64 `json:"submitted"`
+	// Solved counts jobs actually executed by a worker.
+	Solved uint64 `json:"solved"`
+	// CacheHits counts jobs answered from the memo cache.
+	CacheHits uint64 `json:"cache_hits"`
+	// Coalesced counts jobs deduplicated onto an identical in-flight job.
+	Coalesced uint64 `json:"coalesced"`
+	// Rejected counts jobs refused before execution (no query, no
+	// instance, …).
+	Rejected uint64 `json:"rejected"`
+	// Errors counts executed jobs whose solver returned an error.
+	Errors uint64 `json:"errors"`
+	// CacheLen is the current number of memoized results.
+	CacheLen int `json:"cache_len"`
+}
+
+// call is one singleflight execution shared by all identical jobs that
+// arrive while it is in flight.
+type call struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// Engine is a concurrent batch evaluator. Create with New; an Engine
+// must not be copied. All methods are safe for concurrent use.
+type Engine struct {
+	workers int
+	jobs    chan func()
+	wg      sync.WaitGroup // worker goroutines
+
+	mu       sync.Mutex
+	closed   bool
+	active   sync.WaitGroup // Solve/SolveBatch calls in flight, for Close
+	inflight map[string]*call
+	cache    *lruCache // nil when memoization is disabled
+	stats    Stats
+}
+
+// New starts an Engine with the given options.
+func New(opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var cache *lruCache
+	switch {
+	case opts.CacheSize == 0:
+		cache = newLRUCache(DefaultCacheSize)
+	case opts.CacheSize > 0:
+		cache = newLRUCache(opts.CacheSize)
+	}
+	e := &Engine{
+		workers:  workers,
+		jobs:     make(chan func()),
+		inflight: make(map[string]*call),
+		cache:    cache,
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer e.wg.Done()
+			for task := range e.jobs {
+				task()
+			}
+		}()
+	}
+	return e
+}
+
+// Workers returns the size of the worker pool.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	if e.cache != nil {
+		s.CacheLen = e.cache.len()
+	}
+	return s
+}
+
+// Solve computes Pr(G ⇝ H) through the engine, equivalent to core.Solve
+// but scheduled on the worker pool, deduplicated and memoized.
+func (e *Engine) Solve(q *graph.Graph, h *graph.ProbGraph, opts *core.Options) (*core.Result, error) {
+	r := e.Do(Job{Query: q, Instance: h, Opts: opts})
+	return r.Result, r.Err
+}
+
+// SolveUCQ computes Pr(G₁ ∨ … ∨ G_k ⇝ H) through the engine, equivalent
+// to core.SolveUCQ.
+func (e *Engine) SolveUCQ(qs []*graph.Graph, h *graph.ProbGraph, opts *core.Options) (*core.Result, error) {
+	r := e.Do(Job{Queries: qs, Instance: h, Opts: opts})
+	return r.Result, r.Err
+}
+
+// Do runs a single job to completion, blocking until its result is
+// available (possibly computed by a concurrent identical job).
+func (e *Engine) Do(job Job) JobResult {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return JobResult{Err: ErrClosed}
+	}
+	e.active.Add(1)
+	e.stats.Submitted++
+	e.mu.Unlock()
+	defer e.active.Done()
+
+	key, run, err := e.prepare(job)
+	if err != nil {
+		e.mu.Lock()
+		e.stats.Rejected++
+		e.mu.Unlock()
+		return JobResult{Err: err}
+	}
+	return e.do(key, run)
+}
+
+// SolveBatch evaluates all jobs concurrently on the worker pool and
+// returns their results in job order. Identical jobs (within the batch
+// or with other concurrent callers) are solved once and shared; results
+// of previously solved jobs come from the cache. The call blocks until
+// every job is done; per-job failures are reported in the corresponding
+// JobResult, not by failing the batch.
+func (e *Engine) SolveBatch(jobs []Job) []JobResult {
+	out := make([]JobResult, len(jobs))
+	// Bound the submission fan-out: beyond a few jobs per worker,
+	// additional goroutines could only block on the pool anyway, and an
+	// unbounded spawn would cost gigabytes of stacks on huge batches.
+	// Coalesced waiters holding a slot cannot deadlock the batch: a
+	// waiter only ever waits on a call whose leader has already
+	// enqueued, and the workers drain independently of these slots.
+	sem := make(chan struct{}, 4*e.workers)
+	var wg sync.WaitGroup
+	wg.Add(len(jobs))
+	for i, job := range jobs {
+		sem <- struct{}{}
+		go func(i int, job Job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = e.Do(job)
+		}(i, job)
+	}
+	wg.Wait()
+	return out
+}
+
+// Close shuts the engine down: it waits for in-flight jobs to finish,
+// stops the workers, and makes further submissions fail with ErrClosed.
+// Close is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.active.Wait() // no submission can enqueue after closed is set
+	close(e.jobs)
+	e.wg.Wait()
+	return nil
+}
+
+// prepare validates the job and returns its canonical key and the solver
+// thunk that executes it.
+func (e *Engine) prepare(job Job) (string, func() (*core.Result, error), error) {
+	qs := job.disjuncts()
+	if len(qs) == 0 {
+		return "", nil, fmt.Errorf("engine: job has no query graph")
+	}
+	for _, q := range qs {
+		if q == nil {
+			return "", nil, fmt.Errorf("engine: nil query graph in job")
+		}
+	}
+	if job.Instance == nil {
+		return "", nil, fmt.Errorf("engine: job has no instance graph")
+	}
+
+	canon := make([]string, len(qs))
+	for i, q := range qs {
+		canon[i] = graphio.CanonicalGraph(q)
+	}
+	// Disjunct order is irrelevant to the probability of a union.
+	sort.Strings(canon)
+	key := graphio.JobKey(canon, graphio.CanonicalProbGraph(job.Instance), job.Opts.Fingerprint())
+
+	run := func() (*core.Result, error) {
+		if len(qs) > 1 {
+			return core.SolveUCQ(qs, job.Instance, job.Opts)
+		}
+		return core.Solve(qs[0], job.Instance, job.Opts)
+	}
+	return key, run, nil
+}
+
+// do answers the keyed job from the cache, an in-flight identical call,
+// or a fresh execution on the worker pool, in that order.
+func (e *Engine) do(key string, run func() (*core.Result, error)) JobResult {
+	e.mu.Lock()
+	if e.cache != nil {
+		if res, ok := e.cache.get(key); ok {
+			e.stats.CacheHits++
+			e.mu.Unlock()
+			return JobResult{Result: cloneResult(res), CacheHit: true}
+		}
+	}
+	if c, ok := e.inflight[key]; ok {
+		e.stats.Coalesced++
+		e.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return JobResult{Err: c.err, Shared: true}
+		}
+		return JobResult{Result: cloneResult(c.res), Shared: true}
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.mu.Unlock()
+
+	e.jobs <- func() {
+		c.res, c.err = run()
+		e.mu.Lock()
+		e.stats.Solved++
+		if c.err != nil {
+			e.stats.Errors++
+		} else if e.cache != nil {
+			e.cache.add(key, c.res)
+		}
+		delete(e.inflight, key)
+		e.mu.Unlock()
+		close(c.done)
+	}
+	<-c.done
+	if c.err != nil {
+		return JobResult{Err: c.err}
+	}
+	return JobResult{Result: cloneResult(c.res)}
+}
+
+// cloneResult deep-copies a result so cache entries and singleflight
+// peers never share a mutable *big.Rat with a caller.
+func cloneResult(r *core.Result) *core.Result {
+	return &core.Result{Prob: new(big.Rat).Set(r.Prob), Method: r.Method}
+}
+
+// lruCache is a plain bounded LRU over canonical job keys. It is not
+// itself synchronized; the Engine's mutex guards it.
+type lruCache struct {
+	capacity int
+	order    *list.List // front = most recently used; values are *lruEntry
+	entries  map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res *core.Result
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }
+
+func (c *lruCache) get(key string) (*core.Result, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+func (c *lruCache) add(key string, res *core.Result) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+	}
+}

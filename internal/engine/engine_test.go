@@ -1,0 +1,384 @@
+package engine
+
+import (
+	"math/big"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"phom/internal/core"
+	"phom/internal/gen"
+	"phom/internal/graph"
+)
+
+// mixedWorkload builds distinct jobs spanning the tractable cells of
+// Tables 1–3 (plus small brute-force and UCQ jobs), duplicates each dup
+// times, and returns the shuffled list.
+func mixedWorkload(t *testing.T, seed int64, dup int) []Job {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	rs := []graph.Label{"R", "S"}
+	un := []graph.Label{graph.Unlabeled}
+	var distinct []Job
+	for i := 0; i < 6; i++ {
+		// Prop 4.10: labeled 1WP query on a ⊔DWT instance.
+		distinct = append(distinct, Job{
+			Query:    gen.Rand1WP(r, 4, rs),
+			Instance: gen.RandProb(r, gen.RandInClass(r, graph.ClassUDWT, 40, rs), 0.5),
+		})
+		// Prop 4.11: connected query on a ⊔2WP instance.
+		distinct = append(distinct, Job{
+			Query:    gen.RandConnected(r, 4, 1, rs),
+			Instance: gen.RandProb(r, gen.RandInClass(r, graph.ClassU2WP, 40, rs), 0.5),
+		})
+		// Prop 3.6: arbitrary unlabeled query on a ⊔DWT instance.
+		distinct = append(distinct, Job{
+			Query:    gen.RandGraph(r, 5, 7, un),
+			Instance: gen.RandProb(r, gen.RandInClass(r, graph.ClassUDWT, 40, un), 0.5),
+		})
+		// Props 5.4/5.5: unlabeled DWT query on a ⊔PT instance.
+		distinct = append(distinct, Job{
+			Query:    gen.RandDWT(r, 4, un),
+			Instance: gen.RandProb(r, gen.RandInClass(r, graph.ClassUPT, 30, un), 0.5),
+		})
+		// Exponential baseline on a small general instance.
+		distinct = append(distinct, Job{
+			Query:    gen.Rand1WP(r, 3, rs),
+			Instance: gen.RandProb(r, gen.RandGraph(r, 5, 8, rs), 0.3),
+		})
+		// A union of conjunctive queries on a ⊔2WP instance.
+		distinct = append(distinct, Job{
+			Queries:  []*graph.Graph{gen.Rand1WP(r, 3, rs), gen.Rand1WP(r, 4, rs)},
+			Instance: gen.RandProb(r, gen.RandInClass(r, graph.ClassU2WP, 30, rs), 0.5),
+		})
+	}
+	var jobs []Job
+	for _, j := range distinct {
+		for d := 0; d < dup; d++ {
+			jobs = append(jobs, j)
+		}
+	}
+	r.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+	return jobs
+}
+
+func solveSequential(t *testing.T, jobs []Job) []*core.Result {
+	t.Helper()
+	out := make([]*core.Result, len(jobs))
+	for i, j := range jobs {
+		var err error
+		if len(j.Queries) > 0 {
+			out[i], err = core.SolveUCQ(j.Queries, j.Instance, j.Opts)
+		} else {
+			out[i], err = core.Solve(j.Query, j.Instance, j.Opts)
+		}
+		if err != nil {
+			t.Fatalf("sequential job %d: %v", i, err)
+		}
+	}
+	return out
+}
+
+// TestBatchMatchesSequential is the acceptance stress test: a 100+ job
+// mixed workload with shuffled duplicates must produce byte-identical
+// *big.Rat results to sequential core.Solve, under any worker count
+// (run with -race in CI).
+func TestBatchMatchesSequential(t *testing.T) {
+	jobs := mixedWorkload(t, 1, 4)
+	if len(jobs) < 100 {
+		t.Fatalf("workload too small: %d jobs", len(jobs))
+	}
+	want := solveSequential(t, jobs)
+
+	for _, workers := range []int{1, 4, 8} {
+		e := New(Options{Workers: workers})
+		got := e.SolveBatch(jobs)
+		st := e.Stats()
+		if err := e.Close(); err != nil {
+			t.Fatalf("workers=%d: Close: %v", workers, err)
+		}
+		for i := range jobs {
+			if got[i].Err != nil {
+				t.Fatalf("workers=%d job %d: %v", workers, i, got[i].Err)
+			}
+			if got[i].Result.Prob.RatString() != want[i].Prob.RatString() {
+				t.Errorf("workers=%d job %d: engine %s, sequential %s",
+					workers, i, got[i].Result.Prob.RatString(), want[i].Prob.RatString())
+			}
+			if got[i].Result.Method != want[i].Method {
+				t.Errorf("workers=%d job %d: engine method %v, sequential %v",
+					workers, i, got[i].Result.Method, want[i].Method)
+			}
+		}
+		if st.Submitted != uint64(len(jobs)) {
+			t.Errorf("workers=%d: Submitted = %d, want %d", workers, st.Submitted, len(jobs))
+		}
+		// Each distinct job must be solved exactly once; its three
+		// duplicates are served by the cache or coalesced in flight.
+		if st.Solved != uint64(len(jobs)/4) {
+			t.Errorf("workers=%d: Solved = %d, want %d", workers, st.Solved, len(jobs)/4)
+		}
+		if st.CacheHits+st.Coalesced != uint64(len(jobs)-len(jobs)/4) {
+			t.Errorf("workers=%d: CacheHits+Coalesced = %d+%d, want %d",
+				workers, st.CacheHits, st.Coalesced, len(jobs)-len(jobs)/4)
+		}
+		if st.CacheHits == 0 {
+			t.Errorf("workers=%d: expected a cache hit rate > 0 on duplicate jobs", workers)
+		}
+	}
+}
+
+// TestCanonicalDeduplication checks that jobs whose graphs were built
+// with different edge insertion orders still share one cache entry.
+func TestCanonicalDeduplication(t *testing.T) {
+	build := func(reversed bool) Job {
+		g := graph.New(3)
+		if reversed {
+			g.MustAddEdge(1, 2, "S")
+			g.MustAddEdge(0, 1, "R")
+		} else {
+			g.MustAddEdge(0, 1, "R")
+			g.MustAddEdge(1, 2, "S")
+		}
+		h := graph.New(4)
+		if reversed {
+			h.MustAddEdge(1, 2, "S")
+			h.MustAddEdge(0, 1, "R")
+			h.MustAddEdge(2, 3, "S")
+		} else {
+			h.MustAddEdge(0, 1, "R")
+			h.MustAddEdge(1, 2, "S")
+			h.MustAddEdge(2, 3, "S")
+		}
+		pg := graph.NewProbGraph(h)
+		pg.MustSetEdgeProb(1, 2, graph.Rat("1/2"))
+		return Job{Query: g, Instance: pg}
+	}
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	a := e.Do(build(false))
+	b := e.Do(build(true))
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("solve failed: %v / %v", a.Err, b.Err)
+	}
+	if !b.CacheHit {
+		t.Error("insertion-order variant missed the cache")
+	}
+	if a.Result.Prob.RatString() != b.Result.Prob.RatString() {
+		t.Errorf("variants disagree: %s vs %s", a.Result.Prob.RatString(), b.Result.Prob.RatString())
+	}
+}
+
+// TestOptionsAffectKey checks that solver options take part in the cache
+// key, with defaults normalized.
+func TestOptionsAffectKey(t *testing.T) {
+	job := mixedWorkload(t, 7, 1)[0]
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	if r := e.Do(job); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	// nil options and explicit defaults share a cache entry.
+	withDefaults := job
+	withDefaults.Opts = &core.Options{BruteForceLimit: core.DefaultBruteForceLimit, MatchLimit: core.DefaultMatchLimit}
+	if r := e.Do(withDefaults); r.Err != nil || !r.CacheHit {
+		t.Errorf("explicit default options missed the cache (err=%v, hit=%v)", r.Err, r.CacheHit)
+	}
+	// Distinct options do not.
+	withOther := job
+	withOther.Opts = &core.Options{BruteForceLimit: 3}
+	if r := e.Do(withOther); r.Err == nil && r.CacheHit {
+		t.Error("distinct options hit the cache")
+	}
+}
+
+func TestCacheHitAccounting(t *testing.T) {
+	job := mixedWorkload(t, 2, 1)[0]
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	first := e.Do(job)
+	second := e.Do(job)
+	if first.Err != nil || second.Err != nil {
+		t.Fatalf("solve failed: %v / %v", first.Err, second.Err)
+	}
+	if first.CacheHit || first.Shared {
+		t.Error("first submission should execute, not hit")
+	}
+	if !second.CacheHit {
+		t.Error("second submission should be a cache hit")
+	}
+	st := e.Stats()
+	if st.Solved != 1 || st.CacheHits != 1 || st.Submitted != 2 || st.CacheLen != 1 {
+		t.Errorf("stats = %+v, want Solved=1 CacheHits=1 Submitted=2 CacheLen=1", st)
+	}
+	// Mutating a returned result must not poison the cache.
+	second.Result.Prob.SetInt64(42)
+	third := e.Do(job)
+	if third.Result.Prob.RatString() != first.Result.Prob.RatString() {
+		t.Error("cache entry was mutated through a returned result")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	job := mixedWorkload(t, 3, 1)[0]
+	e := New(Options{Workers: 1, CacheSize: -1})
+	defer e.Close()
+	e.Do(job)
+	r := e.Do(job)
+	if r.CacheHit {
+		t.Error("cache hit with memoization disabled")
+	}
+	if st := e.Stats(); st.Solved != 2 || st.CacheHits != 0 || st.CacheLen != 0 {
+		t.Errorf("stats = %+v, want Solved=2 CacheHits=0 CacheLen=0", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	jobs := mixedWorkload(t, 4, 1)[:3]
+	e := New(Options{Workers: 1, CacheSize: 2})
+	defer e.Close()
+	for _, j := range jobs { // fill: cache ends holding jobs[1], jobs[2]
+		if r := e.Do(j); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if st := e.Stats(); st.CacheLen != 2 {
+		t.Fatalf("CacheLen = %d, want 2", st.CacheLen)
+	}
+	if r := e.Do(jobs[0]); r.CacheHit {
+		t.Error("oldest entry should have been evicted")
+	}
+	if r := e.Do(jobs[2]); !r.CacheHit {
+		// jobs[2] was most recently used before jobs[0] re-entered.
+		t.Error("recently used entry was evicted")
+	}
+}
+
+// TestSingleflightCoalescing drives the internal do() with a controlled
+// slow call, so coalescing is deterministic rather than timing-dependent.
+func TestSingleflightCoalescing(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	want := &core.Result{Prob: big.NewRat(1, 3), Method: core.MethodBruteForce}
+
+	var leader JobResult
+	var leaderWG sync.WaitGroup
+	leaderWG.Add(1)
+	go func() {
+		defer leaderWG.Done()
+		leader = e.do("key", func() (*core.Result, error) {
+			close(started)
+			<-block
+			return want, nil
+		})
+	}()
+	<-started // the call is now in flight on the only worker
+
+	const followers = 3
+	results := make([]JobResult, followers)
+	var wg sync.WaitGroup
+	wg.Add(followers)
+	for i := 0; i < followers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e.do("key", func() (*core.Result, error) {
+				t.Error("coalesced job must not execute")
+				return want, nil
+			})
+		}(i)
+	}
+	// Wait until every follower is registered as coalesced, then release.
+	for {
+		if st := e.Stats(); st.Coalesced == followers {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(block)
+	leaderWG.Wait()
+	wg.Wait()
+
+	if leader.Shared || leader.CacheHit {
+		t.Errorf("leader flags = %+v, want executed", leader)
+	}
+	for i, r := range results {
+		if !r.Shared {
+			t.Errorf("follower %d not marked shared", i)
+		}
+		if r.Result.Prob.RatString() != "1/3" {
+			t.Errorf("follower %d got %s", i, r.Result.Prob.RatString())
+		}
+	}
+	if st := e.Stats(); st.Solved != 1 || st.Coalesced != followers {
+		t.Errorf("stats = %+v, want Solved=1 Coalesced=%d", st, followers)
+	}
+}
+
+// TestErrorsNotCached checks that failing jobs are counted and retried,
+// never memoized.
+func TestErrorsNotCached(t *testing.T) {
+	// A labeled ⊔1WP query on a 1WP instance is #P-hard (Prop 3.3); with
+	// the fallback disabled the solver must error.
+	q, _ := graph.DisjointUnion(graph.Path1WP("R"), graph.Path1WP("S"))
+	h := graph.NewProbGraph(graph.Path1WP("R", "S", "R"))
+	h.MustSetEdgeProb(0, 1, graph.Rat("1/2"))
+	job := Job{Query: q, Instance: h, Opts: &core.Options{DisableFallback: true}}
+
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	for i := 0; i < 2; i++ {
+		if r := e.Do(job); r.Err == nil {
+			t.Fatal("expected an error on a hard cell with fallback disabled")
+		}
+	}
+	if st := e.Stats(); st.Errors != 2 || st.Solved != 2 || st.CacheLen != 0 {
+		t.Errorf("stats = %+v, want Errors=2 Solved=2 CacheLen=0", st)
+	}
+}
+
+func TestInvalidJobs(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	h := graph.NewProbGraph(graph.Path1WP("R"))
+	for name, job := range map[string]Job{
+		"no query":    {Instance: h},
+		"nil query":   {Queries: []*graph.Graph{nil}, Instance: h},
+		"no instance": {Query: graph.Path1WP("R")},
+	} {
+		if r := e.Do(job); r.Err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+	// Rejections are counted apart from solver errors.
+	if st := e.Stats(); st.Rejected != 3 || st.Errors != 0 || st.Solved != 0 {
+		t.Errorf("stats = %+v, want Rejected=3 Errors=0 Solved=0", st)
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	e := New(Options{Workers: 2})
+	job := mixedWorkload(t, 5, 1)[0]
+	if r := e.Do(job); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close not idempotent: %v", err)
+	}
+	if r := e.Do(job); r.Err != ErrClosed {
+		t.Errorf("Do after Close: err = %v, want ErrClosed", r.Err)
+	}
+	if _, err := e.Solve(job.Query, job.Instance, nil); err != ErrClosed {
+		t.Errorf("Solve after Close: err = %v, want ErrClosed", err)
+	}
+	for _, r := range e.SolveBatch([]Job{job}) {
+		if r.Err != ErrClosed {
+			t.Errorf("SolveBatch after Close: err = %v, want ErrClosed", r.Err)
+		}
+	}
+}

@@ -219,6 +219,19 @@ func (g *Graph) Classify() []Class {
 	return out
 }
 
+// TightestClass returns the smallest class (w.r.t. the Figure 2
+// inclusion lattice) that contains g; every class g belongs to includes
+// the result. Used to locate the Tables 1–3 cell of an input pair.
+func (g *Graph) TightestClass() Class {
+	best := ClassAll
+	for _, c := range AllClasses {
+		if g.InClass(c) && ClassIncluded(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
 // ClassIncluded reports whether every graph of class a is a graph of
 // class b, following the inclusion diagram of Figure 2 extended to the
 // disjoint-union classes.

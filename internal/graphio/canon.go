@@ -1,0 +1,60 @@
+package graphio
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"phom/internal/graph"
+)
+
+// This file defines a canonical serialization of graphs and solver jobs,
+// used by package engine to key its memoization cache and to deduplicate
+// identical in-flight jobs. Canonical means insertion-order independent:
+// two graphs with the same vertex count and the same edge set serialize
+// identically no matter in which order the edges were added, and two
+// probabilistic graphs additionally need identical (normalized) edge
+// probabilities. It is NOT an isomorphism canonical form — vertex
+// numbering matters, exactly as it does for the solver itself.
+
+// CanonicalGraph returns the canonical serialization of g. Labels are
+// quoted so that arbitrary label tokens cannot collide with the
+// serialization syntax.
+func CanonicalGraph(g *graph.Graph) string {
+	lines := make([]string, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		lines = append(lines, fmt.Sprintf("%d>%d:%q", e.From, e.To, string(e.Label)))
+	}
+	sort.Strings(lines)
+	return fmt.Sprintf("g;n=%d;%s", g.NumVertices(), strings.Join(lines, ";"))
+}
+
+// CanonicalProbGraph returns the canonical serialization of p. Edge
+// probabilities are rendered with RatString, which is unique per rational
+// (big.Rat normalizes), so "0.5" and "1/2" canonicalize identically.
+func CanonicalProbGraph(p *graph.ProbGraph) string {
+	lines := make([]string, 0, p.G.NumEdges())
+	for i, e := range p.G.Edges() {
+		lines = append(lines, fmt.Sprintf("%d>%d:%q=%s", e.From, e.To, string(e.Label), p.Prob(i).RatString()))
+	}
+	sort.Strings(lines)
+	return fmt.Sprintf("pg;n=%d;%s", p.G.NumVertices(), strings.Join(lines, ";"))
+}
+
+// JobKey hashes a solver job — the canonical serializations of its query
+// disjuncts, the canonical serialization of its instance, and an opaque
+// options fingerprint — into a fixed-size hexadecimal key. Every section
+// is length-prefixed, so distinct jobs cannot collide by concatenation
+// tricks. Callers should sort queryCanon first if they want union
+// disjunct order not to matter (Pr(G₁ ∨ G₂) = Pr(G₂ ∨ G₁)).
+func JobKey(queryCanon []string, instanceCanon, optsFingerprint string) string {
+	h := sha256.New()
+	for _, q := range queryCanon {
+		fmt.Fprintf(h, "q %d\n%s\n", len(q), q)
+	}
+	fmt.Fprintf(h, "i %d\n%s\n", len(instanceCanon), instanceCanon)
+	fmt.Fprintf(h, "o %d\n%s\n", len(optsFingerprint), optsFingerprint)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -24,7 +24,10 @@
 //     (Propositions 3.6, 4.10, 4.11, 5.4, 5.5 and Lemma 3.7), and
 //     otherwise to an exact exponential baseline;
 //   - Predict, the complexity classifier reproducing Tables 1–3;
-//   - BruteForce and LineageShannon, the exact exponential baselines.
+//   - BruteForce and LineageShannon, the exact exponential baselines;
+//   - Engine, a concurrent batch evaluator (worker pool, in-flight
+//     deduplication, memoization) over Solve and SolveUCQ, which also
+//     backs the cmd/phomserve HTTP service.
 //
 // All probability arithmetic is exact. See DESIGN.md for the system
 // inventory and EXPERIMENTS.md for the reproduction of every table and
