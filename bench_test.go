@@ -1,6 +1,6 @@
 // Benchmarks regenerating every table and figure of the paper; see the
-// experiment index (E1–E18) in DESIGN.md and the recorded results in
-// EXPERIMENTS.md. Run with:
+// experiment index (E1–E20) and the recorded results in EXPERIMENTS.md.
+// Run with:
 //
 //	go test -bench=. -benchmem
 //

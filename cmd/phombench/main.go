@@ -1,18 +1,21 @@
 // Command phombench is the experiment harness: for every table and
 // figure of the paper it regenerates the corresponding artifact
-// empirically (see EXPERIMENTS.md for the index E1–E19). For PTIME cells
+// empirically (see EXPERIMENTS.md for the index E1–E20). For PTIME cells
 // it measures runtime scaling of the dispatched algorithm over growing
 // instances; for #P-hard cells it executes the paper's reduction, checks
 // the exact counting identity, and measures the exponential growth of the
 // exact baseline. E19 drives the concurrent engine of internal/engine
 // over a mixed batch workload and measures the speedup over sequential
-// solving. Results are printed as aligned tables; -csv emits
-// machine-readable rows.
+// solving; E20 measures the compile/evaluate split of the solver plans
+// (internal/plan): how much a one-time structural compilation amortizes
+// over repeated reweighted evaluations, directly and through the
+// engine's structure-keyed plan cache. Results are printed as aligned
+// tables; -csv emits machine-readable rows.
 //
 // Usage:
 //
 //	phombench [-experiment E13] [-seed 1] [-maxn 4096] [-csv]
-//	          [-workers 0] [-batchjobs 128]
+//	          [-workers 0] [-batchjobs 128] [-reweights 64]
 package main
 
 import (
@@ -41,6 +44,7 @@ var (
 	csvOut     = flag.Bool("csv", false, "emit CSV rows instead of aligned text")
 	workers    = flag.Int("workers", 0, "E19: fixed engine worker count (0 = sweep 1, 2, 4, NumCPU)")
 	batchJobs  = flag.Int("batchjobs", 128, "E19: number of jobs in the engine batch workload")
+	reweights  = flag.Int("reweights", 64, "E20: reweighted evaluations per compiled plan")
 )
 
 type row struct {
@@ -81,6 +85,7 @@ func main() {
 	runPropositions()
 	runAblations()
 	runEngineBatch()
+	runPlanReweight()
 	if !*csvOut {
 		fmt.Printf("\n%d measurements.\n", len(results))
 	}
@@ -443,6 +448,129 @@ func runEngineBatch() {
 		}
 		emit("E19", fmt.Sprintf("workers=%d jobs=%d", w, len(jobs)),
 			fmt.Sprintf("match=%v hits=%d ×%.2f", match, st.CacheHits, float64(dSeq)/float64(d)), d)
+	}
+}
+
+// runPlanReweight covers E20: the compile/evaluate amortization of the
+// solver plans. For each tractable workload it measures (a) the cold
+// path — a full core.Solve per probability assignment, recompiling the
+// structure every time; (b) one core.Compile; (c) plan evaluation per
+// assignment; and (d) the same reweight stream through the engine,
+// where every job after the first hits the structure-keyed plan cache.
+// Every plan evaluation is checked byte-identical to its cold solve.
+func runPlanReweight() {
+	if !section("E20", "Plan compile/evaluate amortization (structure-keyed reweighting)") {
+		return
+	}
+	r := rand.New(rand.NewSource(*seed))
+	rs := []graph.Label{"R", "S"}
+	un := []graph.Label{graph.Unlabeled}
+	n := *maxN / 4
+	if n < 64 {
+		n = 64
+	}
+	workloads := []struct {
+		name string
+		q    *graph.Graph
+		h    *graph.ProbGraph
+	}{
+		{"2WP (Prop 4.11)", gen.RandConnected(r, 5, 1, rs),
+			gen.RandProb(r, gen.RandInClass(r, graph.ClassU2WP, n, rs), 0.5)},
+		{"DWT (Prop 4.10)", gen.Rand1WP(r, 7, rs),
+			gen.RandProb(r, gen.RandInClass(r, graph.ClassUDWT, n, rs), 0.5)},
+		{"DWT (Prop 3.6)", gen.RandGradedDAG(r, 8, 12, 3, nil),
+			gen.RandProb(r, gen.RandInClass(r, graph.ClassUDWT, n, un), 0.5)},
+	}
+	for _, wl := range workloads {
+		// One probability assignment per reweight, over the fixed structure.
+		assignments := make([][]*big.Rat, *reweights)
+		for i := range assignments {
+			probs := make([]*big.Rat, wl.h.G.NumEdges())
+			for ei := range probs {
+				probs[ei] = big.NewRat(int64(r.Intn(17)), 16)
+			}
+			assignments[i] = probs
+		}
+		// Reweighted instances are prebuilt: the measurements below time
+		// the solving/serving stack, not test-data construction.
+		variants := make([]*graph.ProbGraph, len(assignments))
+		for i, probs := range assignments {
+			h2 := graph.NewProbGraph(wl.h.G)
+			for ei, p := range probs {
+				if err := h2.SetProb(ei, p); err != nil {
+					fatal(err)
+				}
+			}
+			variants[i] = h2
+		}
+
+		// (a) Cold: full solve per assignment.
+		cold := make([]*big.Rat, len(assignments))
+		start := time.Now()
+		for i, h2 := range variants {
+			res, err := core.Solve(wl.q, h2, &core.Options{DisableFallback: true})
+			if err != nil {
+				fatal(err)
+			}
+			cold[i] = res.Prob
+		}
+		dCold := time.Since(start)
+
+		// (b) Compile once.
+		start = time.Now()
+		cp, err := core.Compile(wl.q, wl.h, &core.Options{DisableFallback: true})
+		if err != nil {
+			fatal(err)
+		}
+		dCompile := time.Since(start)
+
+		// (c) Evaluate per assignment, checking exactness.
+		match := true
+		start = time.Now()
+		for i, probs := range assignments {
+			res, err := cp.Evaluate(probs)
+			if err != nil {
+				fatal(err)
+			}
+			if res.Prob.Cmp(cold[i]) != 0 {
+				match = false
+			}
+		}
+		dEval := time.Since(start)
+
+		// (d) The same stream through the engine, plan cache off vs on:
+		// both sides pay the serving overhead (canonical hashing, result
+		// cache), so the ratio isolates what the plan cache saves.
+		runEngine := func(planCacheSize int) (time.Duration, int) {
+			e := engine.New(engine.Options{Workers: 1, PlanCacheSize: planCacheSize})
+			defer e.Close()
+			if res := e.Do(engine.Job{Query: wl.q, Instance: wl.h}); res.Err != nil {
+				fatal(res.Err)
+			}
+			hits := 0
+			start := time.Now()
+			for _, h2 := range variants {
+				res := e.Do(engine.Job{Query: wl.q, Instance: h2})
+				if res.Err != nil {
+					fatal(res.Err)
+				}
+				if res.PlanHit {
+					hits++
+				}
+			}
+			return time.Since(start), hits
+		}
+		dEngineCold, _ := runEngine(-1)
+		dEngineHot, planHits := runEngine(0)
+
+		k := len(assignments)
+		emit("E20", fmt.Sprintf("%s n=%d compile", wl.name, n), "1 compilation", dCompile)
+		emit("E20", fmt.Sprintf("%s n=%d cold x%d", wl.name, n, k), "baseline ×1.00", dCold)
+		emit("E20", fmt.Sprintf("%s n=%d eval x%d", wl.name, n, k),
+			fmt.Sprintf("match=%v ×%.1f", match, float64(dCold)/float64(dEval)), dEval)
+		emit("E20", fmt.Sprintf("%s n=%d engine-nocache x%d", wl.name, n, k), "engine baseline", dEngineCold)
+		emit("E20", fmt.Sprintf("%s n=%d engine-plan x%d", wl.name, n, k),
+			fmt.Sprintf("plan_hits=%d/%d ×%.1f", planHits, k, float64(dEngineCold)/float64(dEngineHot)), dEngineHot)
 	}
 }
 

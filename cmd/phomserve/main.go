@@ -10,8 +10,15 @@
 //	POST /solve    one job: {"query": {...} | "query_text": "...",
 //	               "instance": {...} | "instance_text": "...",
 //	               "options": {...}}; unions use "queries"/"queries_text".
+//	POST /reweight a solve job plus {"probs": {"from>to": "1/2", ...}}:
+//	               solves with the given probabilities substituted. Jobs
+//	               whose structure was seen before evaluate a cached
+//	               compiled plan instead of re-solving ("plan_hit": true
+//	               in the response) — the fast path for what-if analysis
+//	               and probability sweeps.
 //	POST /batch    {"jobs": [ ... ]}; results in job order, per-job errors.
-//	GET  /healthz  liveness plus engine statistics.
+//	GET  /healthz  liveness plus engine statistics (including the
+//	               plan-cache counters plan_hits/plan_compiles).
 //
 // Graphs are accepted as graphio JSON objects or as the line-oriented
 // text format that cmd/phom reads. See DESIGN.md (Serving layer) and
@@ -19,7 +26,7 @@
 //
 // Usage:
 //
-//	phomserve [-addr :8080] [-workers 0] [-cache 4096]
+//	phomserve [-addr :8080] [-workers 0] [-cache 4096] [-plancache 1024]
 package main
 
 import (
@@ -39,13 +46,14 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", 0, fmt.Sprintf("result cache capacity (0 = %d, negative disables)", engine.DefaultCacheSize))
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		cache     = flag.Int("cache", 0, fmt.Sprintf("result cache capacity (0 = %d, negative disables)", engine.DefaultCacheSize))
+		planCache = flag.Int("plancache", 0, fmt.Sprintf("compiled-plan cache capacity (0 = %d, negative disables)", engine.DefaultPlanCacheSize))
 	)
 	flag.Parse()
 
-	eng := engine.New(engine.Options{Workers: *workers, CacheSize: *cache})
+	eng := engine.New(engine.Options{Workers: *workers, CacheSize: *cache, PlanCacheSize: *planCache})
 	defer eng.Close()
 
 	srv := &http.Server{

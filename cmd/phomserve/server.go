@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -59,9 +60,22 @@ type solveResponse struct {
 	PTime     bool             `json:"ptime,omitempty"`
 	CacheHit  bool             `json:"cache_hit,omitempty"`
 	Shared    bool             `json:"shared,omitempty"`
+	PlanHit   bool             `json:"plan_hit,omitempty"`
 	Predicted *verdictResponse `json:"predicted,omitempty"`
 	ElapsedUS int64            `json:"elapsed_us"`
 	Error     string           `json:"error,omitempty"`
+}
+
+// reweightRequest is a solve request plus a probability remap: the
+// /reweight endpoint solves the job with the given edge probabilities
+// substituted into the instance. Structure-identical jobs share a
+// compiled plan in the engine, so a reweight of a previously seen
+// structure pays only linear evaluation (plan_hit in the response).
+type reweightRequest struct {
+	solveRequest
+	// Probs overrides edge probabilities: keys are "from>to" endpoint
+	// pairs, values exact rationals in [0, 1] ("1/2", "0.35").
+	Probs map[string]string `json:"probs,omitempty"`
 }
 
 type batchRequest struct {
@@ -96,6 +110,7 @@ func newServer(e *engine.Engine) *server { return &server{engine: e} }
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/reweight", s.handleReweight)
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	return mux
@@ -134,6 +149,74 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReweight solves a job with updated edge probabilities: the wire
+// job plus a {"from>to": "p"} probability map applied on top of the
+// instance. It exists for the dominant serving pattern — re-evaluating
+// a known query/instance topology under new weights — which the
+// engine's structure-keyed plan cache answers without recompiling
+// (plan_hit reports whether that happened).
+func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req reweightRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	job, err := req.solveRequest.toJob()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Probs) > 0 {
+		inst := job.Instance.Clone()
+		// Distinct JSON keys can normalize to the same edge ("0>1" vs
+		// " 0>1"); map iteration order must never decide which wins.
+		seen := make(map[[2]int]bool, len(req.Probs))
+		for key, val := range req.Probs {
+			from, to, ok := parseEdgeKey(key)
+			if !ok {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("bad probs key %q: want \"from>to\"", key))
+				return
+			}
+			if seen[[2]int{from, to}] {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("duplicate probs entry for edge %d>%d", from, to))
+				return
+			}
+			seen[[2]int{from, to}] = true
+			p, err := graphio.ParseRat(val)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("bad probability for edge %q: %v", key, err))
+				return
+			}
+			if err := inst.SetEdgeProb(graph.Vertex(from), graph.Vertex(to), p); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("probs[%q]: %v", key, err))
+				return
+			}
+		}
+		job.Instance = inst
+	}
+	resp := s.runJob(job)
+	if resp.Error != "" {
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseEdgeKey splits a "from>to" edge designator.
+func parseEdgeKey(key string) (from, to int, ok bool) {
+	a, b, found := strings.Cut(key, ">")
+	if !found {
+		return 0, 0, false
+	}
+	from, err1 := strconv.Atoi(strings.TrimSpace(a))
+	to, err2 := strconv.Atoi(strings.TrimSpace(b))
+	return from, to, err1 == nil && err2 == nil
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -187,7 +270,7 @@ func (s *server) runJob(job engine.Job) solveResponse {
 }
 
 func buildResponse(job engine.Job, jr engine.JobResult, elapsed time.Duration) solveResponse {
-	resp := solveResponse{ElapsedUS: elapsed.Microseconds(), CacheHit: jr.CacheHit, Shared: jr.Shared}
+	resp := solveResponse{ElapsedUS: elapsed.Microseconds(), CacheHit: jr.CacheHit, Shared: jr.Shared, PlanHit: jr.PlanHit}
 	if jr.Err != nil {
 		resp.Error = jr.Err.Error()
 		return resp

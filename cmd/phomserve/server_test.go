@@ -252,3 +252,126 @@ func TestBadRequests(t *testing.T) {
 		t.Errorf("POST /healthz: status %d", resp.StatusCode)
 	}
 }
+
+// TestReweight: the reweight endpoint applies the probability map, hits
+// the engine's plan cache on a previously seen structure, and returns
+// exact results for the new weights.
+func TestReweight(t *testing.T) {
+	ts := newTestServer(t)
+	// Prop 4.10 cell: 1WP query on a DWT instance, so the reweight path
+	// evaluates a cached plan rather than re-solving a baseline.
+	queryText := "vertices 3\nedge 0 1 R\nedge 1 2 S\n"
+	instanceText := "vertices 4\nedge 0 1 R 1/2\nedge 1 2 S 1/3\nedge 1 3 S 1/5\n"
+
+	// Prime the plan cache through /solve.
+	resp, body := postJSON(t, ts.URL+"/solve", solveRequest{
+		QueryText: queryText, InstanceText: instanceText,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Reweight all three edges; the oracle value is derived below.
+	rw := map[string]any{
+		"query_text":    queryText,
+		"instance_text": instanceText,
+		"probs":         map[string]string{"0>1": "1/4", "1>2": "1/2", "1>3": "0.25"},
+	}
+	resp, body = postJSON(t, ts.URL+"/reweight", rw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reweight: status %d: %s", resp.StatusCode, body)
+	}
+	var sr solveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.PlanHit {
+		t.Errorf("reweight of a seen structure missed the plan cache: %s", body)
+	}
+	if sr.CacheHit {
+		t.Error("reweight with fresh probabilities must not be a result-cache hit")
+	}
+	// Oracle: Pr(R01·S12 ∨ R01·S13) = p01·(1 − (1 − p12)(1 − p13))
+	//       = 1/4 · (1 − 1/2 · 3/4) = 1/4 · 5/8 = 5/32.
+	if sr.Prob != "5/32" {
+		t.Errorf("reweighted prob = %q, want 5/32", sr.Prob)
+	}
+
+	// A second identical reweight is a plain result-cache hit.
+	resp, body = postJSON(t, ts.URL+"/reweight", rw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat: status %d: %s", resp.StatusCode, body)
+	}
+	var sr2 solveResponse
+	if err := json.Unmarshal(body, &sr2); err != nil {
+		t.Fatal(err)
+	}
+	if !sr2.CacheHit || sr2.Prob != "5/32" {
+		t.Errorf("repeat reweight: %+v", sr2)
+	}
+
+	// The plan counters surface in /healthz.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var hr healthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Stats.PlanHits == 0 || hr.Stats.PlanCompiles == 0 || hr.Stats.PlanCacheLen == 0 {
+		t.Errorf("plan counters not surfaced: %+v", hr.Stats)
+	}
+}
+
+// TestReweightWithoutProbs: omitting probs solves the instance as sent,
+// so /reweight degrades to /solve (plus plan-cache provenance).
+func TestReweightWithoutProbs(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/reweight", solveRequest{
+		QueryText:    exampleQueryText,
+		InstanceText: exampleInstanceText,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr solveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Prob != "287/500" {
+		t.Errorf("prob = %q, want 287/500", sr.Prob)
+	}
+}
+
+func TestReweightBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	queryText := "vertices 2\nedge 0 1 R\n"
+	instanceText := "vertices 2\nedge 0 1 R 1/2\n"
+	cases := []struct {
+		name  string
+		probs map[string]string
+	}{
+		{"bad key", map[string]string{"zero>one": "1/2"}},
+		{"missing arrow", map[string]string{"01": "1/2"}},
+		{"no such edge", map[string]string{"1>0": "1/2"}},
+		{"bad rational", map[string]string{"0>1": "a/b"}},
+		{"out of range", map[string]string{"0>1": "3/2"}},
+		{"huge exponent", map[string]string{"0>1": "1e999999"}},
+		{"duplicate edge after normalization", map[string]string{"0>1": "1/2", " 0>1": "1/3"}},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+"/reweight", map[string]any{
+			"query_text":    queryText,
+			"instance_text": instanceText,
+			"probs":         c.probs,
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, resp.StatusCode, body)
+		}
+	}
+	if resp, _ := http.Get(ts.URL + "/reweight"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /reweight: status %d", resp.StatusCode)
+	}
+}

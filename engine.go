@@ -6,8 +6,11 @@ import "phom/internal/engine"
 // Engine owns a worker pool that executes Solve/SolveUCQ jobs,
 // deduplicates identical in-flight jobs (singleflight), and memoizes
 // completed results in a bounded LRU cache keyed by a canonical hash of
-// (query, instance, options). Results are byte-identical to sequential
-// Solve: the engine changes scheduling, never arithmetic.
+// (query, instance, options). A second, structure-keyed cache holds
+// compiled plans (see Compile), so jobs that differ from earlier ones
+// only in edge probabilities skip recompilation and pay only linear
+// evaluation. Results are byte-identical to sequential Solve: the
+// engine changes scheduling, never arithmetic.
 type (
 	// Engine is a concurrent batch evaluator; create with NewEngine and
 	// release with Close.
@@ -26,6 +29,10 @@ type (
 // DefaultEngineCacheSize is the default capacity of an Engine's result
 // cache.
 const DefaultEngineCacheSize = engine.DefaultCacheSize
+
+// DefaultEnginePlanCacheSize is the default capacity of an Engine's
+// structure-keyed compiled-plan cache.
+const DefaultEnginePlanCacheSize = engine.DefaultPlanCacheSize
 
 // ErrEngineClosed is returned by Engine methods after Close.
 var ErrEngineClosed = engine.ErrClosed

@@ -174,33 +174,50 @@ func (c *ChainSystem) Validate() error {
 
 // Prob returns the probability that at least one clause has all its edges
 // present, with the edge above node v present independently with
-// probability probs[v] (probs of roots are ignored).
-//
-// The dynamic program computes the complementary probability top-down:
-// f(v, s) is the probability that no clause fires in the subtree of v
-// given that the streak of consecutive present edges ending at v is s.
-// Subtrees of distinct children are edge-disjoint, hence independent
-// given s, so f multiplies over children.
+// probability probs[v] (probs of roots are ignored). It is the one-shot
+// form of Compile followed by CompiledChain.Prob.
 func (c *ChainSystem) Prob(probs []*big.Rat) (*big.Rat, error) {
+	cc, err := c.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return cc.Prob(probs)
+}
+
+// CompiledChain is the probability-independent part of the chain-system
+// dynamic program: validated structure, children lists, traversal order,
+// and the live-subtree pruning mask. Compile once and evaluate under
+// many probability assignments (the plans of internal/plan do exactly
+// this); evaluation then runs pure arithmetic, with no per-call
+// validation or traversal setup. A CompiledChain is immutable and safe
+// for concurrent Prob calls.
+type CompiledChain struct {
+	chainLen []int
+	children [][]int
+	roots    []int
+	order    []int // pre-order over live subtrees only
+	live     []bool
+	cap0     int // longest clause; 0 means no clause at all
+}
+
+// Compile validates the system and precomputes the evaluation structure.
+func (c *ChainSystem) Compile() (*CompiledChain, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(c.Parent)
-	if len(probs) != n {
-		return nil, fmt.Errorf("betadnf: %d probabilities for %d nodes", len(probs), n)
-	}
 	cap0 := 0
-	hasClause := false
 	for _, l := range c.ChainLen {
 		if l > cap0 {
 			cap0 = l
 		}
-		if l > 0 {
-			hasClause = true
-		}
 	}
-	if !hasClause {
-		return new(big.Rat), nil
+	cc := &CompiledChain{
+		chainLen: append([]int(nil), c.ChainLen...),
+		cap0:     cap0,
+	}
+	if cap0 == 0 {
+		return cc, nil // no clause: the formula is constant false
 	}
 	children := make([][]int, n)
 	var roots []int
@@ -211,7 +228,7 @@ func (c *ChainSystem) Prob(probs []*big.Rat) (*big.Rat, error) {
 			roots = append(roots, v)
 		}
 	}
-	// Iterative post-order.
+	// Iterative pre-order (children after their parent).
 	order := make([]int, 0, n)
 	stack := append([]int(nil), roots...)
 	for len(stack) > 0 {
@@ -220,25 +237,78 @@ func (c *ChainSystem) Prob(probs []*big.Rat) (*big.Rat, error) {
 		order = append(order, v)
 		stack = append(stack, children[v]...)
 	}
-	// f[v][s] for s in 0..cap0.
-	f := make([][]*big.Rat, n)
-	one := big.NewRat(1, 1)
+	// live[v]: the subtree of v contains a clause (bottom-up on the
+	// reversed pre-order). Dead subtrees are pruned from evaluation: no
+	// clause can fire there under any streak, so their f ≡ 1 and a dead
+	// child's factor is exactly q + p·1 = 1. On sparse clause sets
+	// (labeled lineages, where only nodes ending a label-matching path
+	// carry a clause) this collapses evaluation from O(nodes × longest
+	// clause) to O(clause-bearing ancestors × longest clause) big.Rat
+	// operations.
+	live := make([]bool, n)
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
-		fv := make([]*big.Rat, cap0+1)
-		for s := 0; s <= cap0; s++ {
+		live[v] = c.ChainLen[v] > 0
+		for _, u := range children[v] {
+			if live[u] {
+				live[v] = true
+				break
+			}
+		}
+	}
+	// Keep only live nodes in the traversal order; dead subtrees are
+	// never visited at evaluation time.
+	liveOrder := make([]int, 0, len(order))
+	for _, v := range order {
+		if live[v] {
+			liveOrder = append(liveOrder, v)
+		}
+	}
+	cc.children = children
+	cc.roots = roots
+	cc.order = liveOrder
+	cc.live = live
+	return cc, nil
+}
+
+// Prob evaluates the chain dynamic program under probs (indexed by
+// node; probs of roots are ignored; length must match the system).
+//
+// The dynamic program computes the complementary probability top-down:
+// f(v, s) is the probability that no clause fires in the subtree of v
+// given that the streak of consecutive present edges ending at v is s.
+// Subtrees of distinct children are edge-disjoint, hence independent
+// given s, so f multiplies over children.
+func (cc *CompiledChain) Prob(probs []*big.Rat) (*big.Rat, error) {
+	n := len(cc.chainLen)
+	if len(probs) != n {
+		return nil, fmt.Errorf("betadnf: %d probabilities for %d nodes", len(probs), n)
+	}
+	if cc.cap0 == 0 {
+		return new(big.Rat), nil
+	}
+	// f[v][s] for s in 0..cap0, computed only on live subtrees.
+	f := make([][]*big.Rat, n)
+	one := big.NewRat(1, 1)
+	for i := len(cc.order) - 1; i >= 0; i-- {
+		v := cc.order[i]
+		fv := make([]*big.Rat, cc.cap0+1)
+		for s := 0; s <= cc.cap0; s++ {
 			acc := big.NewRat(1, 1)
-			for _, u := range children[v] {
+			for _, u := range cc.children[v] {
+				if !cc.live[u] {
+					continue // f[u] ≡ 1: the child's factor is q + p = 1
+				}
 				p := probs[u]
 				q := new(big.Rat).Sub(one, p)
 				// Edge to u absent: child streak 0.
 				term := new(big.Rat).Mul(q, f[u][0])
 				// Edge to u present: streak extends; clause at u may fire.
 				ns := s + 1
-				if ns > cap0 {
-					ns = cap0
+				if ns > cc.cap0 {
+					ns = cc.cap0
 				}
-				if !(c.ChainLen[u] != 0 && ns >= c.ChainLen[u]) {
+				if !(cc.chainLen[u] != 0 && ns >= cc.chainLen[u]) {
 					term.Add(term, new(big.Rat).Mul(p, f[u][ns]))
 				}
 				acc.Mul(acc, term)
@@ -248,8 +318,10 @@ func (c *ChainSystem) Prob(probs []*big.Rat) (*big.Rat, error) {
 		f[v] = fv
 	}
 	alive := big.NewRat(1, 1)
-	for _, r := range roots {
-		alive.Mul(alive, f[r][0])
+	for _, r := range cc.roots {
+		if cc.live[r] {
+			alive.Mul(alive, f[r][0])
+		}
 	}
 	return alive.Sub(one, alive), nil
 }

@@ -4,23 +4,15 @@ import (
 	"fmt"
 	"math/big"
 
-	"phom/internal/betadnf"
 	"phom/internal/graph"
-	"phom/internal/lineage"
-	"phom/internal/treeauto"
+	"phom/internal/plan"
 )
 
-// combineComponents applies Lemma 3.7: for a connected query, the
-// probability over a disconnected instance is 1 − Π(1 − pᵢ) over the
-// per-component probabilities pᵢ.
-func combineComponents(probs []*big.Rat) *big.Rat {
-	one := big.NewRat(1, 1)
-	miss := big.NewRat(1, 1)
-	for _, p := range probs {
-		miss.Mul(miss, new(big.Rat).Sub(one, p))
-	}
-	return new(big.Rat).Sub(one, miss)
-}
+// The per-proposition solvers below are kept as the stable names of the
+// paper's algorithms; since the compile/evaluate split they are thin
+// wrappers that build the cell's probability-independent plan (package
+// plan) and evaluate it against the instance's own probabilities. The
+// Lemma 3.7 component combination lives in plan.Components.
 
 // SolvePath1WPOnDWT implements Proposition 4.10 extended to forests by
 // Lemma 3.7: Pr(G ⇝ H) for a 1WP query with at least one edge and an
@@ -34,19 +26,11 @@ func SolvePath1WPOnDWT(q *graph.Graph, h *graph.ProbGraph) (*big.Rat, error) {
 	if !h.G.InClass(graph.ClassUDWT) {
 		return nil, fmt.Errorf("core: SolvePath1WPOnDWT needs a ⊔DWT instance")
 	}
-	var parts []*big.Rat
-	for _, comp := range h.Components() {
-		lin, err := lineage.Path1WPOnDWT(q, comp)
-		if err != nil {
-			return nil, err
-		}
-		p, err := lin.System.Prob(lin.Probs)
-		if err != nil {
-			return nil, err
-		}
-		parts = append(parts, p)
+	p, err := plan.Path1WPOnDWT(q, h)
+	if err != nil {
+		return nil, err
 	}
-	return combineComponents(parts), nil
+	return p.Evaluate(h.Probs())
 }
 
 // SolveConnectedOn2WP implements Proposition 4.11 extended to forests of
@@ -61,19 +45,11 @@ func SolveConnectedOn2WP(q *graph.Graph, h *graph.ProbGraph) (*big.Rat, error) {
 	if !h.G.InClass(graph.ClassU2WP) {
 		return nil, fmt.Errorf("core: SolveConnectedOn2WP needs a ⊔2WP instance")
 	}
-	var parts []*big.Rat
-	for _, comp := range h.Components() {
-		lin, err := lineage.ConnectedOn2WP(q, comp)
-		if err != nil {
-			return nil, err
-		}
-		p, err := lin.System.Prob(lin.Probs)
-		if err != nil {
-			return nil, err
-		}
-		parts = append(parts, p)
+	p, err := plan.ConnectedOn2WP(q, h)
+	if err != nil {
+		return nil, err
 	}
-	return combineComponents(parts), nil
+	return p.Evaluate(h.Probs())
 }
 
 // DirectedPathProbOnPolytrees computes the probability that a possible
@@ -88,15 +64,11 @@ func DirectedPathProbOnPolytrees(h *graph.ProbGraph, m int) (*big.Rat, error) {
 	if !h.G.InClass(graph.ClassUPT) {
 		return nil, fmt.Errorf("core: DirectedPathProbOnPolytrees needs a ⊔PT instance")
 	}
-	var parts []*big.Rat
-	for _, comp := range h.Components() {
-		p, err := treeauto.PathProbPolytree(comp, m)
-		if err != nil {
-			return nil, err
-		}
-		parts = append(parts, p)
+	p, err := plan.DirectedPathOnPolytrees(h, m)
+	if err != nil {
+		return nil, err
 	}
-	return combineComponents(parts), nil
+	return p.Evaluate(h.Probs())
 }
 
 // DirectedPathProbOnDWTs computes the probability that a possible world
@@ -110,38 +82,11 @@ func DirectedPathProbOnDWTs(h *graph.ProbGraph, m int) (*big.Rat, error) {
 	if !h.G.InClass(graph.ClassUDWT) {
 		return nil, fmt.Errorf("core: DirectedPathProbOnDWTs needs a ⊔DWT instance")
 	}
-	var parts []*big.Rat
-	for _, comp := range h.Components() {
-		g := comp.G
-		n := g.NumVertices()
-		parent := make([]int, n)
-		chain := make([]int, n)
-		probs := make([]*big.Rat, n)
-		depth := make([]int, n)
-		order, _ := g.TopologicalOrder() // a DWT is a DAG
-		for v := 0; v < n; v++ {
-			parent[v] = -1
-			probs[v] = graph.RatOne
-		}
-		for _, v := range order {
-			if in := g.InEdges(v); len(in) == 1 {
-				e := g.Edge(in[0])
-				parent[v] = int(e.From)
-				probs[v] = comp.Prob(in[0])
-				depth[v] = depth[e.From] + 1
-			}
-			if depth[v] >= m {
-				chain[v] = m
-			}
-		}
-		sys := &betadnf.ChainSystem{Parent: parent, ChainLen: chain}
-		p, err := sys.Prob(probs)
-		if err != nil {
-			return nil, err
-		}
-		parts = append(parts, p)
+	p, err := plan.DirectedPathOnDWTs(h, m)
+	if err != nil {
+		return nil, err
 	}
-	return combineComponents(parts), nil
+	return p.Evaluate(h.Probs())
 }
 
 // SolveAllOnDWT implements Proposition 3.6: Pr(G ⇝ H) for an arbitrary

@@ -8,6 +8,7 @@ import (
 
 	"phom/internal/gen"
 	"phom/internal/graph"
+	"phom/internal/plan"
 )
 
 // fig1Instance builds the probabilistic graph of Figure 1 / Example 2.1:
@@ -376,9 +377,17 @@ func TestMethodStrings(t *testing.T) {
 }
 
 func TestCombineComponents(t *testing.T) {
+	// Lemma 3.7 combination, now hosted by plan.Components:
 	// 1 − (1 − 1/2)(1 − 1/3) = 1 − 1/3 = 2/3.
-	got := combineComponents([]*big.Rat{big.NewRat(1, 2), big.NewRat(1, 3)})
+	c := plan.Components{Parts: []plan.Plan{
+		plan.NewConst(big.NewRat(1, 2)),
+		plan.NewConst(big.NewRat(1, 3)),
+	}}
+	got, err := c.Evaluate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got.Cmp(big.NewRat(2, 3)) != 0 {
-		t.Fatalf("combineComponents = %s, want 2/3", got.RatString())
+		t.Fatalf("Components.Evaluate = %s, want 2/3", got.RatString())
 	}
 }

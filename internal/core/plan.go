@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"phom/internal/graph"
+	"phom/internal/plan"
+)
+
+// This file implements the two-stage solver pipeline: Compile runs the
+// probability-independent phase of Solve (classification, dispatch,
+// lineage/circuit construction) and returns a CompiledPlan; Evaluate
+// replays only the linear probability computation. Solve and SolveUCQ
+// are thin compositions of the two, so a compiled plan evaluated
+// against any probability assignment is byte-identical to a fresh
+// solve of the reweighted instance.
+
+// CompiledPlan is an evaluable solver plan for one (query or UCQ,
+// instance structure, options) job. Plans are immutable and safe for
+// concurrent Evaluate calls.
+type CompiledPlan struct {
+	method   Method
+	opaque   bool
+	p        plan.Plan                         // structural evaluator; nil when opaque
+	resolve  func([]*big.Rat) (*Result, error) // opaque re-solve; picks the baseline per evaluation
+	numEdges int
+}
+
+// NumEdges returns the length of the probability vector Evaluate
+// expects: the number of edges of the instance the plan was compiled
+// from.
+func (cp *CompiledPlan) NumEdges() int { return cp.numEdges }
+
+// Opaque reports whether the plan has no exploitable structure (an
+// exponential-baseline cell): evaluation re-solves from scratch, so
+// reuse is correct but not faster.
+func (cp *CompiledPlan) Opaque() bool { return cp.opaque }
+
+// Method returns the solver method a structural plan evaluates with.
+// For opaque plans ok is false: the baseline (brute force vs lineage)
+// is chosen per evaluation, since it depends on how many edges the
+// probability assignment leaves uncertain.
+func (cp *CompiledPlan) Method() (m Method, ok bool) {
+	if cp.opaque {
+		return 0, false
+	}
+	return cp.method, true
+}
+
+// Evaluate computes Pr(G ⇝ H) under the probability assignment probs,
+// indexed by the edge list of the instance the plan was compiled from
+// (see graph.ProbGraph.Probs). The result is byte-identical to Solve on
+// the correspondingly reweighted instance.
+func (cp *CompiledPlan) Evaluate(probs []*big.Rat) (*Result, error) {
+	if len(probs) != cp.numEdges {
+		return nil, fmt.Errorf("core: %d probabilities for a plan over %d edges", len(probs), cp.numEdges)
+	}
+	for i, p := range probs {
+		if p == nil {
+			return nil, fmt.Errorf("core: nil probability for edge %d", i)
+		}
+		if p.Sign() < 0 || p.Cmp(graph.RatOne) > 0 {
+			return nil, fmt.Errorf("core: edge %d probability %s outside [0,1]", i, p.RatString())
+		}
+	}
+	if cp.opaque {
+		return cp.resolve(probs)
+	}
+	pr, err := cp.p.Evaluate(probs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Prob: pr, Method: cp.method}, nil
+}
+
+// EvaluateInstance evaluates the plan against the probabilities of h,
+// which must carry the structure the plan was compiled from.
+func (cp *CompiledPlan) EvaluateInstance(h *graph.ProbGraph) (*Result, error) {
+	return cp.Evaluate(h.Probs())
+}
+
+// solveRoute is one tractable cell the solver can dispatch a single
+// conjunctive query to: a guard over the input pair and the
+// probability-independent compiler realizing the cell's algorithm. The
+// guard table below replaces the previously mirrored connected /
+// disconnected dispatch arms of Solve; routes are tried in order and
+// the first applicable one wins, preserving the historical dispatch
+// priority exactly (2WP intervals, then graded normalization, then
+// labeled chains, then the polytree automaton).
+type solveRoute struct {
+	method  Method
+	applies func(q *graph.Graph, h *graph.ProbGraph, unlabeled bool) bool
+	compile func(q *graph.Graph, h *graph.ProbGraph) (plan.Plan, error)
+}
+
+var solveRoutes = []solveRoute{
+	{
+		// Proposition 4.11 + Lemma 3.7.
+		method: MethodXProperty2WP,
+		applies: func(q *graph.Graph, h *graph.ProbGraph, _ bool) bool {
+			return q.IsConnected() && h.G.InClass(graph.ClassU2WP)
+		},
+		compile: func(q *graph.Graph, h *graph.ProbGraph) (plan.Plan, error) {
+			return plan.ConnectedOn2WP(q, h)
+		},
+	},
+	{
+		// Proposition 3.6: any unlabeled query on ⊔DWT, graded or not
+		// (a non-graded query has probability 0 on forest worlds).
+		method: MethodGradedDWT,
+		applies: func(_ *graph.Graph, h *graph.ProbGraph, unlabeled bool) bool {
+			return unlabeled && h.G.InClass(graph.ClassUDWT)
+		},
+		compile: func(q *graph.Graph, h *graph.ProbGraph) (plan.Plan, error) {
+			m, graded := q.DifferenceOfLevels()
+			if !graded {
+				return plan.NewConst(new(big.Rat)), nil
+			}
+			return plan.DirectedPathOnDWTs(h, m)
+		},
+	},
+	{
+		// Proposition 4.10 + Lemma 3.7 (labeled: the unlabeled case was
+		// caught by the graded route above). A 1WP is connected, so this
+		// route subsumes the old connected-arm guard.
+		method: MethodBetaAcyclicDWT,
+		applies: func(q *graph.Graph, h *graph.ProbGraph, _ bool) bool {
+			return q.Is1WP() && h.G.InClass(graph.ClassUDWT)
+		},
+		compile: func(q *graph.Graph, h *graph.ProbGraph) (plan.Plan, error) {
+			return plan.Path1WPOnDWT(q, h)
+		},
+	},
+	{
+		// Propositions 5.4/5.5 + Lemma 3.7. For a connected query,
+		// membership in ⊔DWT coincides with membership in DWT, so one
+		// guard covers both historical dispatch arms.
+		method: MethodAutomatonPT,
+		applies: func(q *graph.Graph, h *graph.ProbGraph, unlabeled bool) bool {
+			return unlabeled && q.InClass(graph.ClassUDWT) && h.G.InClass(graph.ClassUPT)
+		},
+		compile: func(q *graph.Graph, h *graph.ProbGraph) (plan.Plan, error) {
+			return plan.DirectedPathOnPolytrees(h, q.Height())
+		},
+	},
+}
+
+// Compile runs the probability-independent phase of Solve on (q, h):
+// validation, classification, dispatch, and construction of the cell's
+// evaluation artifact. The probabilities of h are used only for
+// validation — the returned plan depends solely on the structure of q
+// and h (and on opts, for the baseline limits), so it can be evaluated
+// against any probability assignment over h's edge list.
+func Compile(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if q.NumVertices() == 0 {
+		return nil, fmt.Errorf("core: empty query graph")
+	}
+	if h.G.NumVertices() == 0 {
+		return nil, fmt.Errorf("core: empty instance graph")
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	n := h.G.NumEdges()
+	// An edgeless query maps every vertex to any instance vertex.
+	if q.NumEdges() == 0 {
+		return constPlan(MethodTrivial, graph.RatOne, n), nil
+	}
+	// A query label absent from the instance kills every match.
+	hLabels := map[graph.Label]bool{}
+	for _, l := range h.G.Labels() {
+		hLabels[l] = true
+	}
+	for _, l := range q.Labels() {
+		if !hLabels[l] {
+			return constPlan(MethodLabelMismatch, new(big.Rat), n), nil
+		}
+	}
+	// After the check above, the unlabeled setting (|σ| = 1) holds iff
+	// the instance uses at most one label.
+	unlabeled := len(hLabels) <= 1
+
+	for _, rt := range solveRoutes {
+		if rt.applies(q, h, unlabeled) {
+			p, err := rt.compile(q, h)
+			if err != nil {
+				return nil, err
+			}
+			return &CompiledPlan{method: rt.method, p: p, numEdges: n}, nil
+		}
+	}
+
+	if opts.disableFallback() {
+		return nil, fmt.Errorf("core: no polynomial-time algorithm applies (the case is #P-hard per Tables 1–3) and fallback is disabled")
+	}
+	bruteLimit, matchLimit := opts.bruteLimit(), opts.matchLimit()
+	resolve := func(probs []*big.Rat) (*Result, error) {
+		h2, err := reweighted(h, probs)
+		if err != nil {
+			return nil, err
+		}
+		if p, err := BruteForceLimit(q, h2, bruteLimit); err == nil {
+			return &Result{Prob: p, Method: MethodBruteForce}, nil
+		}
+		p, err := LineageShannon(q, h2, matchLimit)
+		if err != nil {
+			return nil, fmt.Errorf("core: instance too large for exact baselines: %v", err)
+		}
+		return &Result{Prob: p, Method: MethodLineage}, nil
+	}
+	return opaquePlan(resolve, n), nil
+}
+
+// CompileUCQ runs the probability-independent phase of SolveUCQ,
+// dispatching to a lifted polynomial-time compiler when every disjunct
+// falls in a compatible tractable cell and to an opaque re-solve plan
+// otherwise (unless fallback is disabled).
+func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(qs) == 0 {
+		return constPlan(MethodTrivial, new(big.Rat), h.G.NumEdges()), nil
+	}
+	if h.G.NumVertices() == 0 {
+		return nil, fmt.Errorf("core: empty instance graph")
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	n := h.G.NumEdges()
+	hLabels := map[graph.Label]bool{}
+	for _, l := range h.G.Labels() {
+		hLabels[l] = true
+	}
+	// Drop disjuncts that can never match; an edgeless disjunct matches
+	// always.
+	var live UCQ
+	for _, q := range qs {
+		if q.NumVertices() == 0 {
+			return nil, fmt.Errorf("core: empty query graph in union")
+		}
+		if q.NumEdges() == 0 {
+			return constPlan(MethodTrivial, graph.RatOne, n), nil
+		}
+		ok := true
+		for _, l := range q.Labels() {
+			if !hLabels[l] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			live = append(live, q)
+		}
+	}
+	if len(live) == 0 {
+		return constPlan(MethodLabelMismatch, new(big.Rat), n), nil
+	}
+	unlabeled := len(hLabels) <= 1
+
+	allConnected := true
+	for _, q := range live {
+		if !q.IsConnected() {
+			allConnected = false
+			break
+		}
+	}
+
+	// Unlabeled ⊔DWT-equivalent unions collapse to the shortest path.
+	if unlabeled {
+		minM := -1
+		for _, q := range live {
+			m, ok := q.DifferenceOfLevels()
+			if !ok {
+				continue // non-graded disjunct: contributes only on ⊔DWT instances, where it is 0
+			}
+			if minM < 0 || m < minM {
+				minM = m
+			}
+		}
+		if h.G.InClass(graph.ClassUDWT) {
+			// Prop 3.6 lifted: non-graded disjuncts never match a forest
+			// world; the rest collapse to →^minM.
+			if minM < 0 {
+				return constPlan(MethodGradedDWT, new(big.Rat), n), nil
+			}
+			p, err := plan.DirectedPathOnDWTs(h, minM)
+			if err != nil {
+				return nil, err
+			}
+			return &CompiledPlan{method: MethodGradedDWT, p: p, numEdges: n}, nil
+		}
+		if h.G.InClass(graph.ClassUPT) {
+			// Prop 5.5 lifted, when every disjunct is a ⊔DWT query (the
+			// equivalence with →^m then holds on all instances).
+			allUDWT := true
+			for _, q := range live {
+				if !q.InClass(graph.ClassUDWT) {
+					allUDWT = false
+					break
+				}
+			}
+			if allUDWT {
+				m := 0
+				for i, q := range live {
+					hq := q.Height()
+					if i == 0 || hq < m {
+						m = hq
+					}
+				}
+				p, err := plan.DirectedPathOnPolytrees(h, m)
+				if err != nil {
+					return nil, err
+				}
+				return &CompiledPlan{method: MethodAutomatonPT, p: p, numEdges: n}, nil
+			}
+		}
+	}
+
+	// Connected disjuncts on ⊔2WP instances: merged interval lineage.
+	if allConnected && h.G.InClass(graph.ClassU2WP) {
+		p, err := plan.UnionConnectedOn2WP(live, h)
+		if err != nil {
+			return nil, err
+		}
+		return &CompiledPlan{method: MethodXProperty2WP, p: p, numEdges: n}, nil
+	}
+
+	// Labeled 1WP disjuncts on ⊔DWT instances: merged chain lineage
+	// (keep the shortest clause per node).
+	all1WP := true
+	for _, q := range live {
+		if !q.Is1WP() {
+			all1WP = false
+			break
+		}
+	}
+	if all1WP && h.G.InClass(graph.ClassUDWT) {
+		p, err := plan.Union1WPOnDWT(live, h)
+		if err != nil {
+			return nil, err
+		}
+		return &CompiledPlan{method: MethodBetaAcyclicDWT, p: p, numEdges: n}, nil
+	}
+
+	if opts.disableFallback() {
+		return nil, fmt.Errorf("core: no lifted polynomial-time algorithm applies to this UCQ and fallback is disabled")
+	}
+	bruteLimit := opts.bruteLimit()
+	resolve := func(probs []*big.Rat) (*Result, error) {
+		h2, err := reweighted(h, probs)
+		if err != nil {
+			return nil, err
+		}
+		p, err := BruteForceUCQ(live, h2, bruteLimit)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Prob: p, Method: MethodBruteForce}, nil
+	}
+	return opaquePlan(resolve, n), nil
+}
+
+func constPlan(m Method, v *big.Rat, numEdges int) *CompiledPlan {
+	return &CompiledPlan{method: m, p: plan.NewConst(v), numEdges: numEdges}
+}
+
+func opaquePlan(resolve func([]*big.Rat) (*Result, error), numEdges int) *CompiledPlan {
+	return &CompiledPlan{opaque: true, resolve: resolve, numEdges: numEdges}
+}
+
+// reweighted returns h's structure carrying the given probability
+// assignment; the underlying graph is shared (it is read-only to the
+// solver), the probabilities are fresh.
+func reweighted(h *graph.ProbGraph, probs []*big.Rat) (*graph.ProbGraph, error) {
+	h2 := graph.NewProbGraph(h.G)
+	for i, p := range probs {
+		if err := h2.SetProb(i, p); err != nil {
+			return nil, err
+		}
+	}
+	return h2, nil
+}

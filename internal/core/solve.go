@@ -83,6 +83,23 @@ func (o *Options) disableFallback() bool {
 	return o != nil && o.DisableFallback
 }
 
+// Validate rejects option values the solver would otherwise silently
+// misread: negative limits are not "unbounded" (0 means default; the
+// baselines treat a negative cap as no cap, which callers almost never
+// intend). Solve, SolveUCQ and Compile call this on entry.
+func (o *Options) Validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.BruteForceLimit < 0 {
+		return fmt.Errorf("core: negative BruteForceLimit %d (use 0 for the default)", o.BruteForceLimit)
+	}
+	if o.MatchLimit < 0 {
+		return fmt.Errorf("core: negative MatchLimit %d (use 0 for the default)", o.MatchLimit)
+	}
+	return nil
+}
+
 // Fingerprint renders the options with defaults resolved, uniquely
 // identifying the solver behavior they select; nil options and
 // explicitly spelled-out defaults fingerprint identically. Package
@@ -102,91 +119,17 @@ type Result struct {
 // covering the input pair when one exists (following the tractability
 // frontier of Tables 1–3) and otherwise, unless disabled, to an
 // exponential exact baseline.
+//
+// Solve is the composition of the two pipeline stages: Compile builds
+// the probability-independent plan (the guard table over the tractable
+// cells lives there), and Evaluate runs the linear probability phase
+// against h's own edge probabilities. Callers that re-solve the same
+// structure under changing probabilities should call Compile once and
+// Evaluate per assignment.
 func Solve(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*Result, error) {
-	if q.NumVertices() == 0 {
-		return nil, fmt.Errorf("core: empty query graph")
-	}
-	if h.G.NumVertices() == 0 {
-		return nil, fmt.Errorf("core: empty instance graph")
-	}
-	if err := h.Validate(); err != nil {
+	cp, err := Compile(q, h, opts)
+	if err != nil {
 		return nil, err
 	}
-	// An edgeless query maps every vertex to any instance vertex.
-	if q.NumEdges() == 0 {
-		return &Result{Prob: big.NewRat(1, 1), Method: MethodTrivial}, nil
-	}
-	// A query label absent from the instance kills every match.
-	hLabels := map[graph.Label]bool{}
-	for _, l := range h.G.Labels() {
-		hLabels[l] = true
-	}
-	for _, l := range q.Labels() {
-		if !hLabels[l] {
-			return &Result{Prob: new(big.Rat), Method: MethodLabelMismatch}, nil
-		}
-	}
-	// After the check above, the unlabeled setting (|σ| = 1) holds iff
-	// the instance uses at most one label.
-	unlabeled := len(hLabels) <= 1
-
-	if q.IsConnected() {
-		if h.G.InClass(graph.ClassU2WP) {
-			p, err := SolveConnectedOn2WP(q, h)
-			if err != nil {
-				return nil, err
-			}
-			return &Result{Prob: p, Method: MethodXProperty2WP}, nil
-		}
-		if h.G.InClass(graph.ClassUDWT) {
-			if unlabeled {
-				p, err := SolveAllOnDWT(q, h)
-				if err != nil {
-					return nil, err
-				}
-				return &Result{Prob: p, Method: MethodGradedDWT}, nil
-			}
-			if q.Is1WP() {
-				p, err := SolvePath1WPOnDWT(q, h)
-				if err != nil {
-					return nil, err
-				}
-				return &Result{Prob: p, Method: MethodBetaAcyclicDWT}, nil
-			}
-		}
-		if unlabeled && h.G.InClass(graph.ClassUPT) && q.InClass(graph.ClassDWT) {
-			p, err := SolveUDWTQueryOnPolytrees(q, h)
-			if err != nil {
-				return nil, err
-			}
-			return &Result{Prob: p, Method: MethodAutomatonPT}, nil
-		}
-	} else {
-		if unlabeled && h.G.InClass(graph.ClassUDWT) {
-			p, err := SolveAllOnDWT(q, h)
-			if err != nil {
-				return nil, err
-			}
-			return &Result{Prob: p, Method: MethodGradedDWT}, nil
-		}
-		if unlabeled && q.InClass(graph.ClassUDWT) && h.G.InClass(graph.ClassUPT) {
-			p, err := SolveUDWTQueryOnPolytrees(q, h)
-			if err != nil {
-				return nil, err
-			}
-			return &Result{Prob: p, Method: MethodAutomatonPT}, nil
-		}
-	}
-
-	if opts.disableFallback() {
-		return nil, fmt.Errorf("core: no polynomial-time algorithm applies (the case is #P-hard per Tables 1–3) and fallback is disabled")
-	}
-	if p, err := BruteForceLimit(q, h, opts.bruteLimit()); err == nil {
-		return &Result{Prob: p, Method: MethodBruteForce}, nil
-	}
-	p, err := LineageShannon(q, h, opts.matchLimit())
-	if err != nil {
-		return nil, fmt.Errorf("core: instance too large for exact baselines: %v", err)
-	}
-	return &Result{Prob: p, Method: MethodLineage}, nil
+	return cp.EvaluateInstance(h)
 }

@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"math/big"
 
-	"phom/internal/betadnf"
 	"phom/internal/graph"
-	"phom/internal/lineage"
 )
 
 // This file extends the solver to unions of conjunctive queries (UCQs),
@@ -74,178 +72,13 @@ func BruteForceUCQ(qs UCQ, h *graph.ProbGraph, maxUncertain int) (*big.Rat, erro
 // SolveUCQ computes Pr(G₁ ∨ … ∨ G_k ⇝ H), dispatching to a lifted
 // polynomial-time algorithm when every disjunct falls in a compatible
 // tractable cell, and otherwise to the exponential baseline (unless
-// disabled).
+// disabled). Like Solve it is the composition of the two pipeline
+// stages: CompileUCQ builds the probability-independent plan and
+// Evaluate runs the linear phase against h's own probabilities.
 func SolveUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*Result, error) {
-	if len(qs) == 0 {
-		return &Result{Prob: new(big.Rat), Method: MethodTrivial}, nil
-	}
-	if h.G.NumVertices() == 0 {
-		return nil, fmt.Errorf("core: empty instance graph")
-	}
-	if err := h.Validate(); err != nil {
-		return nil, err
-	}
-	hLabels := map[graph.Label]bool{}
-	for _, l := range h.G.Labels() {
-		hLabels[l] = true
-	}
-	// Drop disjuncts that can never match; an edgeless disjunct matches
-	// always.
-	var live UCQ
-	for _, q := range qs {
-		if q.NumVertices() == 0 {
-			return nil, fmt.Errorf("core: empty query graph in union")
-		}
-		if q.NumEdges() == 0 {
-			return &Result{Prob: big.NewRat(1, 1), Method: MethodTrivial}, nil
-		}
-		ok := true
-		for _, l := range q.Labels() {
-			if !hLabels[l] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			live = append(live, q)
-		}
-	}
-	if len(live) == 0 {
-		return &Result{Prob: new(big.Rat), Method: MethodLabelMismatch}, nil
-	}
-	unlabeled := len(hLabels) <= 1
-
-	allConnected := true
-	for _, q := range live {
-		if !q.IsConnected() {
-			allConnected = false
-			break
-		}
-	}
-
-	// Unlabeled ⊔DWT-equivalent unions collapse to the shortest path.
-	if unlabeled {
-		minM, graded := -1, true
-		for _, q := range live {
-			m, ok := q.DifferenceOfLevels()
-			if !ok {
-				continue // non-graded disjunct: contributes only on ⊔DWT instances, where it is 0
-			}
-			if minM < 0 || m < minM {
-				minM = m
-			}
-			_ = graded
-		}
-		if h.G.InClass(graph.ClassUDWT) {
-			// Prop 3.6 lifted: non-graded disjuncts never match a forest
-			// world; the rest collapse to →^minM.
-			if minM < 0 {
-				return &Result{Prob: new(big.Rat), Method: MethodGradedDWT}, nil
-			}
-			p, err := DirectedPathProbOnDWTs(h, minM)
-			if err != nil {
-				return nil, err
-			}
-			return &Result{Prob: p, Method: MethodGradedDWT}, nil
-		}
-		if h.G.InClass(graph.ClassUPT) {
-			// Prop 5.5 lifted, when every disjunct is a ⊔DWT query (the
-			// equivalence with →^m then holds on all instances).
-			allUDWT := true
-			for _, q := range live {
-				if !q.InClass(graph.ClassUDWT) {
-					allUDWT = false
-					break
-				}
-			}
-			if allUDWT {
-				m := 0
-				for i, q := range live {
-					hq := q.Height()
-					if i == 0 || hq < m {
-						m = hq
-					}
-				}
-				p, err := DirectedPathProbOnPolytrees(h, m)
-				if err != nil {
-					return nil, err
-				}
-				return &Result{Prob: p, Method: MethodAutomatonPT}, nil
-			}
-		}
-	}
-
-	// Connected disjuncts on ⊔2WP instances: merged interval lineage.
-	if allConnected && h.G.InClass(graph.ClassU2WP) {
-		var parts []*big.Rat
-		for _, comp := range h.Components() {
-			merged := &betadnf.IntervalSystem{NumVars: comp.G.NumVertices() - 1}
-			var probs []*big.Rat
-			for _, q := range live {
-				lin, err := lineage.ConnectedOn2WP(q, comp)
-				if err != nil {
-					return nil, err
-				}
-				merged.Clauses = append(merged.Clauses, lin.System.Clauses...)
-				probs = lin.Probs
-			}
-			if probs == nil {
-				probs = []*big.Rat{}
-			}
-			p, err := merged.Prob(probs)
-			if err != nil {
-				return nil, err
-			}
-			parts = append(parts, p)
-		}
-		return &Result{Prob: combineComponents(parts), Method: MethodXProperty2WP}, nil
-	}
-
-	// Labeled 1WP disjuncts on ⊔DWT instances: merged chain lineage
-	// (keep the shortest clause per node).
-	all1WP := true
-	for _, q := range live {
-		if !q.Is1WP() {
-			all1WP = false
-			break
-		}
-	}
-	if all1WP && h.G.InClass(graph.ClassUDWT) {
-		var parts []*big.Rat
-		for _, comp := range h.Components() {
-			var merged *betadnf.ChainSystem
-			var probs []*big.Rat
-			for _, q := range live {
-				lin, err := lineage.Path1WPOnDWT(q, comp)
-				if err != nil {
-					return nil, err
-				}
-				if merged == nil {
-					merged = lin.System
-					probs = lin.Probs
-					continue
-				}
-				for v, l := range lin.System.ChainLen {
-					if l != 0 && (merged.ChainLen[v] == 0 || l < merged.ChainLen[v]) {
-						merged.ChainLen[v] = l
-					}
-				}
-			}
-			p, err := merged.Prob(probs)
-			if err != nil {
-				return nil, err
-			}
-			parts = append(parts, p)
-		}
-		return &Result{Prob: combineComponents(parts), Method: MethodBetaAcyclicDWT}, nil
-	}
-
-	if opts != nil && opts.DisableFallback {
-		return nil, fmt.Errorf("core: no lifted polynomial-time algorithm applies to this UCQ and fallback is disabled")
-	}
-	p, err := BruteForceUCQ(live, h, opts.bruteLimit())
+	cp, err := CompileUCQ(qs, h, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Prob: p, Method: MethodBruteForce}, nil
+	return cp.EvaluateInstance(h)
 }

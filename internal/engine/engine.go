@@ -5,6 +5,15 @@
 // execution), and memoizes completed results in a bounded LRU cache
 // keyed by the canonical job hash of package graphio.
 //
+// Below the result cache sits a second, structure-keyed cache of
+// compiled solver plans (core.Compile / internal/plan), keyed by
+// graphio.StructKey — the job hash with probabilities stripped. Jobs
+// that differ from a previously executed job only in edge probabilities
+// skip the structural phase (classification, lineage and circuit
+// construction) and pay only the linear evaluation, which is the
+// dominant serving pattern: what-if analysis, probability sweeps and
+// streaming weight updates over a fixed query/instance topology.
+//
 // All results are exact *big.Rat probabilities, byte-identical to what a
 // sequential call to core.Solve / core.SolveUCQ would return: the engine
 // changes scheduling, never arithmetic. Cached results are deep-copied on
@@ -28,6 +37,11 @@ import (
 // DefaultCacheSize is the default capacity of the result cache.
 const DefaultCacheSize = 4096
 
+// DefaultPlanCacheSize is the default capacity of the compiled-plan
+// cache. Plans are heavier than results (they hold lineage systems and
+// d-DNNF circuits), so the default is smaller than the result cache.
+const DefaultPlanCacheSize = 1024
+
 // ErrClosed is returned by Solve and SolveBatch after Close.
 var ErrClosed = errors.New("engine: closed")
 
@@ -39,6 +53,11 @@ type Options struct {
 	// DefaultCacheSize; negative disables memoization entirely
 	// (in-flight deduplication still applies).
 	CacheSize int
+	// PlanCacheSize bounds the number of cached compiled plans, keyed by
+	// job structure (probabilities stripped). 0 means
+	// DefaultPlanCacheSize; negative disables plan caching, making every
+	// executed job compile from scratch.
+	PlanCacheSize int
 }
 
 // Job is one evaluation: a query (or a union of conjunctive queries), a
@@ -78,6 +97,12 @@ type JobResult struct {
 	// Shared reports that the job was coalesced onto an identical job
 	// already in flight (singleflight) rather than executed itself.
 	Shared bool
+	// PlanHit reports that this call executed the job by evaluating a
+	// cached compiled plan (a structure match with different
+	// probabilities) instead of compiling from scratch. It is false for
+	// results served from the result cache or coalesced onto another
+	// call.
+	PlanHit bool
 }
 
 // Stats is a snapshot of engine counters. The JSON tags match the
@@ -97,8 +122,16 @@ type Stats struct {
 	Rejected uint64 `json:"rejected"`
 	// Errors counts executed jobs whose solver returned an error.
 	Errors uint64 `json:"errors"`
+	// PlanHits counts executed jobs evaluated against a cached compiled
+	// plan (structure-only cache; the job's probabilities differed from
+	// every memoized result), whether or not the evaluation succeeded.
+	PlanHits uint64 `json:"plan_hits"`
+	// PlanCompiles counts executed jobs that compiled a fresh plan.
+	PlanCompiles uint64 `json:"plan_compiles"`
 	// CacheLen is the current number of memoized results.
 	CacheLen int `json:"cache_len"`
+	// PlanCacheLen is the current number of cached compiled plans.
+	PlanCacheLen int `json:"plan_cache_len"`
 }
 
 // call is one singleflight execution shared by all identical jobs that
@@ -116,12 +149,22 @@ type Engine struct {
 	jobs    chan func()
 	wg      sync.WaitGroup // worker goroutines
 
-	mu       sync.Mutex
-	closed   bool
-	active   sync.WaitGroup // Solve/SolveBatch calls in flight, for Close
-	inflight map[string]*call
-	cache    *lruCache // nil when memoization is disabled
-	stats    Stats
+	mu         sync.Mutex
+	closed     bool
+	active     sync.WaitGroup // Solve/SolveBatch calls in flight, for Close
+	inflight   map[string]*call
+	cache      *lruCache[*core.Result]  // nil when memoization is disabled
+	plans      *lruCache[*planEntry]    // nil when plan caching is disabled
+	planFlight map[string]chan struct{} // structures being compiled right now
+	stats      Stats
+}
+
+// planEntry is a cached compiled plan together with the canonical edge
+// order of the instance it was compiled from, which transports a fresh
+// instance's probability vector onto the plan's edge numbering.
+type planEntry struct {
+	cp         *core.CompiledPlan
+	canonOrder []int
 }
 
 // New starts an Engine with the given options.
@@ -130,18 +173,27 @@ func New(opts Options) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	var cache *lruCache
+	var cache *lruCache[*core.Result]
 	switch {
 	case opts.CacheSize == 0:
-		cache = newLRUCache(DefaultCacheSize)
+		cache = newLRUCache[*core.Result](DefaultCacheSize)
 	case opts.CacheSize > 0:
-		cache = newLRUCache(opts.CacheSize)
+		cache = newLRUCache[*core.Result](opts.CacheSize)
+	}
+	var plans *lruCache[*planEntry]
+	switch {
+	case opts.PlanCacheSize == 0:
+		plans = newLRUCache[*planEntry](DefaultPlanCacheSize)
+	case opts.PlanCacheSize > 0:
+		plans = newLRUCache[*planEntry](opts.PlanCacheSize)
 	}
 	e := &Engine{
-		workers:  workers,
-		jobs:     make(chan func()),
-		inflight: make(map[string]*call),
-		cache:    cache,
+		workers:    workers,
+		jobs:       make(chan func()),
+		inflight:   make(map[string]*call),
+		cache:      cache,
+		plans:      plans,
+		planFlight: make(map[string]chan struct{}),
 	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -165,6 +217,9 @@ func (e *Engine) Stats() Stats {
 	s := e.stats
 	if e.cache != nil {
 		s.CacheLen = e.cache.len()
+	}
+	if e.plans != nil {
+		s.PlanCacheLen = e.plans.len()
 	}
 	return s
 }
@@ -196,14 +251,21 @@ func (e *Engine) Do(job Job) JobResult {
 	e.mu.Unlock()
 	defer e.active.Done()
 
-	key, run, err := e.prepare(job)
+	key, run, planHit, err := e.prepare(job)
 	if err != nil {
 		e.mu.Lock()
 		e.stats.Rejected++
 		e.mu.Unlock()
 		return JobResult{Err: err}
 	}
-	return e.do(key, run)
+	r := e.do(key, run)
+	// planHit is written by run before the call's done channel closes, so
+	// reading it here is race-free; it is only meaningful when this call
+	// was the one that executed (not served from cache or coalesced).
+	if !r.CacheHit && !r.Shared && *planHit {
+		r.PlanHit = true
+	}
+	return r
 }
 
 // SolveBatch evaluates all jobs concurrently on the worker pool and
@@ -253,19 +315,23 @@ func (e *Engine) Close() error {
 }
 
 // prepare validates the job and returns its canonical key and the solver
-// thunk that executes it.
-func (e *Engine) prepare(job Job) (string, func() (*core.Result, error), error) {
+// thunk that executes it. The thunk routes through the structure-keyed
+// plan cache: a job whose structure was compiled before (under any
+// probabilities) evaluates the cached plan, everything else compiles
+// fresh and populates the cache. The returned bool is set by the thunk
+// when it served a plan-cache hit.
+func (e *Engine) prepare(job Job) (string, func() (*core.Result, error), *bool, error) {
 	qs := job.disjuncts()
 	if len(qs) == 0 {
-		return "", nil, fmt.Errorf("engine: job has no query graph")
+		return "", nil, nil, fmt.Errorf("engine: job has no query graph")
 	}
 	for _, q := range qs {
 		if q == nil {
-			return "", nil, fmt.Errorf("engine: nil query graph in job")
+			return "", nil, nil, fmt.Errorf("engine: nil query graph in job")
 		}
 	}
 	if job.Instance == nil {
-		return "", nil, fmt.Errorf("engine: job has no instance graph")
+		return "", nil, nil, fmt.Errorf("engine: job has no instance graph")
 	}
 
 	canon := make([]string, len(qs))
@@ -274,15 +340,115 @@ func (e *Engine) prepare(job Job) (string, func() (*core.Result, error), error) 
 	}
 	// Disjunct order is irrelevant to the probability of a union.
 	sort.Strings(canon)
-	key := graphio.JobKey(canon, graphio.CanonicalProbGraph(job.Instance), job.Opts.Fingerprint())
+	key, structKey, canonOrder := graphio.JobKeys(canon, job.Instance, job.Opts.Fingerprint())
 
+	planHit := new(bool)
 	run := func() (*core.Result, error) {
-		if len(qs) > 1 {
-			return core.SolveUCQ(qs, job.Instance, job.Opts)
-		}
-		return core.Solve(qs[0], job.Instance, job.Opts)
+		return e.runPlanned(structKey, canonOrder, job, qs, planHit)
 	}
-	return key, run, nil
+	return key, run, planHit, nil
+}
+
+// runPlanned executes a job through the compile/evaluate pipeline,
+// consulting and feeding the structure-keyed plan cache. canonOrder is
+// the job instance's canonical edge order, already computed during key
+// derivation.
+//
+// Compilation is deduplicated per structure: the singleflight table of
+// do() coalesces only byte-identical jobs (probabilities included), so
+// without this a cold burst of reweighted variants of one structure —
+// the dominant serving pattern — would compile the same plan once per
+// worker. A job that finds its structure being compiled waits for that
+// compilation and then evaluates the cached plan. Waiting holds a
+// worker, which cannot deadlock: the flight is only ever registered by
+// a task already running on some worker, which finishes independently.
+func (e *Engine) runPlanned(structKey string, canonOrder []int, job Job, qs []*graph.Graph, planHit *bool) (*core.Result, error) {
+	registered := false
+	for {
+		var ent *planEntry
+		var wait chan struct{}
+		e.mu.Lock()
+		if e.plans == nil {
+			e.mu.Unlock()
+			break
+		}
+		if got, ok := e.plans.get(structKey); ok {
+			ent = got
+		} else if ch, ok := e.planFlight[structKey]; ok {
+			wait = ch
+		} else {
+			e.planFlight[structKey] = make(chan struct{})
+			registered = true
+		}
+		e.mu.Unlock()
+		if wait != nil {
+			<-wait
+			continue // the leader finished; re-check the plan cache
+		}
+		if ent == nil {
+			break // this call is the compile leader
+		}
+		// The fresh-compile path validates probabilities inside
+		// core.Compile; mirror it so both paths fail identically.
+		if err := job.Instance.Validate(); err != nil {
+			return nil, err
+		}
+		// A transport mismatch (only possible under a structure-hash
+		// collision) falls through to a fresh compile; an evaluation
+		// error does not — a fresh compile of the same structure would
+		// produce the same plan and the same error, and for opaque
+		// (baseline) plans retrying would re-run exponential work just
+		// to fail identically.
+		probs, ok := transportProbs(ent, canonOrder, job.Instance)
+		if !ok {
+			break
+		}
+		*planHit = true
+		e.mu.Lock()
+		e.stats.PlanHits++
+		e.mu.Unlock()
+		return ent.cp.Evaluate(probs)
+	}
+	var cp *core.CompiledPlan
+	var err error
+	if len(qs) > 1 {
+		cp, err = core.CompileUCQ(qs, job.Instance, job.Opts)
+	} else {
+		cp, err = core.Compile(qs[0], job.Instance, job.Opts)
+	}
+	e.mu.Lock()
+	if err == nil {
+		e.stats.PlanCompiles++
+		if e.plans != nil {
+			e.plans.add(structKey, &planEntry{cp: cp, canonOrder: canonOrder})
+		}
+	}
+	if registered {
+		// Release waiters; on error nothing was cached, so one of them
+		// becomes the next leader and retries (errors are never cached).
+		close(e.planFlight[structKey])
+		delete(e.planFlight, structKey)
+	}
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return cp.EvaluateInstance(job.Instance)
+}
+
+// transportProbs maps the probability vector of h onto the edge
+// numbering of the cached plan: rank k of h's canonical edge order cur
+// corresponds to rank k of the compile-time instance's canonical order,
+// because equal StructKeys mean equal canonical edge sequences.
+func transportProbs(ent *planEntry, cur []int, h *graph.ProbGraph) ([]*big.Rat, bool) {
+	if len(cur) != len(ent.canonOrder) || ent.cp.NumEdges() != len(ent.canonOrder) {
+		return nil, false
+	}
+	probs := make([]*big.Rat, len(cur))
+	for k, ei := range cur {
+		probs[ent.canonOrder[k]] = h.Prob(ei)
+	}
+	return probs, true
 }
 
 // do answers the keyed job from the cache, an in-flight identical call,
@@ -335,48 +501,50 @@ func cloneResult(r *core.Result) *core.Result {
 	return &core.Result{Prob: new(big.Rat).Set(r.Prob), Method: r.Method}
 }
 
-// lruCache is a plain bounded LRU over canonical job keys. It is not
-// itself synchronized; the Engine's mutex guards it.
-type lruCache struct {
+// lruCache is a plain bounded LRU over canonical job keys, generic in
+// the cached value (solver results, compiled plans). It is not itself
+// synchronized; the Engine's mutex guards it.
+type lruCache[V any] struct {
 	capacity int
-	order    *list.List // front = most recently used; values are *lruEntry
+	order    *list.List // front = most recently used; values are *lruEntry[V]
 	entries  map[string]*list.Element
 }
 
-type lruEntry struct {
+type lruEntry[V any] struct {
 	key string
-	res *core.Result
+	val V
 }
 
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{
+func newLRUCache[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{
 		capacity: capacity,
 		order:    list.New(),
 		entries:  make(map[string]*list.Element),
 	}
 }
 
-func (c *lruCache) len() int { return c.order.Len() }
+func (c *lruCache[V]) len() int { return c.order.Len() }
 
-func (c *lruCache) get(key string) (*core.Result, bool) {
+func (c *lruCache[V]) get(key string) (V, bool) {
 	el, ok := c.entries[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).res, true
+	return el.Value.(*lruEntry[V]).val, true
 }
 
-func (c *lruCache) add(key string, res *core.Result) {
+func (c *lruCache[V]) add(key string, val V) {
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*lruEntry).res = res
+		el.Value.(*lruEntry[V]).val = val
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	c.entries[key] = c.order.PushFront(&lruEntry[V]{key: key, val: val})
 	for c.order.Len() > c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*lruEntry).key)
+		delete(c.entries, oldest.Value.(*lruEntry[V]).key)
 	}
 }

@@ -382,3 +382,244 @@ func TestCloseSemantics(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanCacheReweight: jobs sharing a structure but differing in edge
+// probabilities must hit the compiled-plan cache, produce results
+// byte-identical to sequential core.Solve, and be counted in PlanHits.
+func TestPlanCacheReweight(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	base := mixedWorkload(t, 21, 1)[0] // Prop 4.10 job
+	variants := make([]Job, 8)
+	for i := range variants {
+		inst := base.Instance.Clone()
+		for ei := 0; ei < inst.G.NumEdges(); ei++ {
+			if err := inst.SetProb(ei, big.NewRat(int64(r.Intn(17)), 16)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		variants[i] = Job{Query: base.Query, Instance: inst}
+	}
+	want := solveSequential(t, variants)
+
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	if r := e.Do(base); r.Err != nil {
+		t.Fatal(r.Err)
+	} else if r.PlanHit {
+		t.Error("first job of a structure cannot be a plan hit")
+	}
+	for i, v := range variants {
+		res := e.Do(v)
+		if res.Err != nil {
+			t.Fatalf("variant %d: %v", i, res.Err)
+		}
+		if !res.PlanHit {
+			t.Errorf("variant %d missed the plan cache", i)
+		}
+		if res.CacheHit {
+			t.Errorf("variant %d hit the result cache despite fresh probabilities", i)
+		}
+		if res.Result.Prob.RatString() != want[i].Prob.RatString() {
+			t.Errorf("variant %d: plan-evaluated %s, sequential %s",
+				i, res.Result.Prob.RatString(), want[i].Prob.RatString())
+		}
+		if res.Result.Method != want[i].Method {
+			t.Errorf("variant %d: method %v vs %v", i, res.Result.Method, want[i].Method)
+		}
+	}
+	st := e.Stats()
+	if st.PlanHits != uint64(len(variants)) {
+		t.Errorf("PlanHits = %d, want %d", st.PlanHits, len(variants))
+	}
+	if st.PlanCompiles != 1 {
+		t.Errorf("PlanCompiles = %d, want 1", st.PlanCompiles)
+	}
+	if st.PlanCacheLen != 1 {
+		t.Errorf("PlanCacheLen = %d, want 1", st.PlanCacheLen)
+	}
+}
+
+// TestPlanCacheReweightConcurrent race-tests the plan path: a batch of
+// reweightings of a handful of structures, solved concurrently, must
+// stay byte-identical to sequential solving (run with -race in CI).
+func TestPlanCacheReweightConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	bases := mixedWorkload(t, 23, 1)[:4]
+	var jobs []Job
+	for round := 0; round < 8; round++ {
+		for _, b := range bases {
+			inst := b.Instance.Clone()
+			for ei := 0; ei < inst.G.NumEdges(); ei++ {
+				if err := inst.SetProb(ei, big.NewRat(int64(r.Intn(17)), 16)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			j := b
+			j.Instance = inst
+			jobs = append(jobs, j)
+		}
+	}
+	r.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+	want := solveSequential(t, jobs)
+
+	e := New(Options{Workers: 8})
+	defer e.Close()
+	got := e.SolveBatch(jobs)
+	for i := range jobs {
+		if got[i].Err != nil {
+			t.Fatalf("job %d: %v", i, got[i].Err)
+		}
+		if got[i].Result.Prob.RatString() != want[i].Prob.RatString() {
+			t.Errorf("job %d: engine %s, sequential %s",
+				i, got[i].Result.Prob.RatString(), want[i].Prob.RatString())
+		}
+	}
+	st := e.Stats()
+	if st.PlanHits == 0 {
+		t.Error("expected plan-cache hits across reweighted duplicates")
+	}
+	if st.PlanHits+st.PlanCompiles != st.Solved {
+		t.Errorf("PlanHits+PlanCompiles = %d+%d, want Solved = %d",
+			st.PlanHits, st.PlanCompiles, st.Solved)
+	}
+}
+
+// TestPlanCacheEdgeOrderIndependent: a reweighted instance whose edges
+// were inserted in a different order must still hit the plan cache and
+// evaluate correctly through the canonical edge-order transport.
+func TestPlanCacheEdgeOrderIndependent(t *testing.T) {
+	build := func(reversed bool, p1, p2 string) Job {
+		h := graph.New(4)
+		if reversed {
+			h.MustAddEdge(2, 3, "S")
+			h.MustAddEdge(1, 2, "S")
+			h.MustAddEdge(0, 1, "R")
+		} else {
+			h.MustAddEdge(0, 1, "R")
+			h.MustAddEdge(1, 2, "S")
+			h.MustAddEdge(2, 3, "S")
+		}
+		pg := graph.NewProbGraph(h)
+		pg.MustSetEdgeProb(1, 2, graph.Rat(p1))
+		pg.MustSetEdgeProb(2, 3, graph.Rat(p2))
+		return Job{Query: graph.Path1WP("R", "S"), Instance: pg}
+	}
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	if r := e.Do(build(false, "1/2", "1/3")); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	// Same structure, permuted insertion order, fresh probabilities.
+	r2 := e.Do(build(true, "1/5", "1/7"))
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if !r2.PlanHit {
+		t.Error("permuted reweighted instance missed the plan cache")
+	}
+	seq, err := core.Solve(graph.Path1WP("R", "S"), build(true, "1/5", "1/7").Instance, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Result.Prob.RatString() != seq.Prob.RatString() {
+		t.Errorf("plan transport: engine %s, sequential %s",
+			r2.Result.Prob.RatString(), seq.Prob.RatString())
+	}
+}
+
+// TestPlanCacheDisabled: PlanCacheSize < 0 turns the plan layer off.
+func TestPlanCacheDisabled(t *testing.T) {
+	base := mixedWorkload(t, 29, 1)[0]
+	inst := base.Instance.Clone()
+	for ei := 0; ei < inst.G.NumEdges(); ei++ {
+		if err := inst.SetProb(ei, graph.RatHalf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := New(Options{Workers: 1, PlanCacheSize: -1})
+	defer e.Close()
+	e.Do(base)
+	r := e.Do(Job{Query: base.Query, Instance: inst})
+	if r.PlanHit {
+		t.Error("plan hit with plan caching disabled")
+	}
+	if st := e.Stats(); st.PlanHits != 0 || st.PlanCacheLen != 0 {
+		t.Errorf("stats = %+v, want no plan activity", st)
+	}
+}
+
+// TestPlanCacheInvalidProbs: a plan-cache hit must report the same
+// validation error a fresh solve would on out-of-range probabilities.
+func TestPlanCacheInvalidProbs(t *testing.T) {
+	job := Job{Query: graph.Path1WP("R"), Instance: graph.NewProbGraph(graph.Path1WP("R", "R"))}
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	if r := e.Do(job); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	bad := graph.NewProbGraph(graph.Path1WP("R", "R"))
+	// Corrupt a probability past SetProb's validation.
+	badProbs := bad.Probs()
+	badProbs[0].SetFrac64(3, 2)
+	r := e.Do(Job{Query: graph.Path1WP("R"), Instance: bad})
+	if r.Err == nil {
+		t.Fatal("expected a validation error for an out-of-range probability")
+	}
+	want, wantErr := core.Solve(graph.Path1WP("R"), bad, nil)
+	if wantErr == nil {
+		t.Fatalf("sequential solve unexpectedly succeeded: %v", want)
+	}
+	if r.Err.Error() != wantErr.Error() {
+		t.Errorf("engine error %q, sequential error %q", r.Err, wantErr)
+	}
+}
+
+// TestPlanCacheOpaqueErrorNotRetried: when a cached opaque plan's
+// evaluation fails (both baselines exceed their limits), the error is
+// returned directly — the job must not be recompiled and re-run through
+// the exponential baselines a second time.
+func TestPlanCacheOpaqueErrorNotRetried(t *testing.T) {
+	// A hard cell (1WP query on a connected non-polytree instance) with
+	// tiny limits: with 4 uncertain edges and 4 matches, both baselines
+	// exceed their caps.
+	g := graph.New(4)
+	g.MustAddEdge(0, 2, "R")
+	g.MustAddEdge(1, 2, "R")
+	g.MustAddEdge(0, 3, "R")
+	g.MustAddEdge(1, 3, "R")
+	q := graph.Path1WP("R")
+	base := graph.NewProbGraph(g)
+	opts := &core.Options{BruteForceLimit: 1, MatchLimit: 1}
+
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	// Prime the plan cache with a succeeding evaluation (no uncertainty).
+	if res := e.Do(Job{Query: q, Instance: base, Opts: opts}); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	st0 := e.Stats()
+	// Reweight to many uncertain edges: both baselines must fail.
+	bad := base.Clone()
+	for i := 0; i < bad.G.NumEdges(); i++ {
+		if err := bad.SetProb(i, graph.RatHalf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := e.Do(Job{Query: q, Instance: bad, Opts: opts})
+	if res.Err == nil {
+		t.Fatal("expected both baselines to exceed their limits")
+	}
+	if !res.PlanHit {
+		t.Error("failing evaluation still served by the cached plan must report PlanHit")
+	}
+	st := e.Stats()
+	if st.PlanCompiles != st0.PlanCompiles {
+		t.Errorf("failing plan hit triggered a recompile: PlanCompiles %d -> %d", st0.PlanCompiles, st.PlanCompiles)
+	}
+	if st.PlanHits != st0.PlanHits+1 {
+		t.Errorf("PlanHits = %d, want %d", st.PlanHits, st0.PlanHits+1)
+	}
+	if st.Errors != st0.Errors+1 {
+		t.Errorf("Errors = %d, want %d", st.Errors, st0.Errors+1)
+	}
+}

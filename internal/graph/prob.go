@@ -141,19 +141,44 @@ func (p *ProbGraph) Validate() error {
 // for a connected query G, Pr(G ⇝ H) = 1 − Π_i (1 − Pr(G ⇝ Hᵢ)) over the
 // components Hᵢ.
 func (p *ProbGraph) Components() []*ProbGraph {
+	out, _ := p.ComponentsWithEdges()
+	return out
+}
+
+// ComponentsWithEdges is Components together with, per component, the map
+// from the component's edge indices back to the edge indices of p. The
+// maps let probability-independent artifacts compiled per component (the
+// plans of internal/plan) be re-evaluated against fresh probability
+// vectors indexed by p's full edge list.
+func (p *ProbGraph) ComponentsWithEdges() ([]*ProbGraph, [][]int) {
 	var out []*ProbGraph
+	var edgeMaps [][]int
 	for _, comp := range p.G.ConnectedComponents() {
 		sub, remap := p.G.InducedSubgraph(comp)
 		q := NewProbGraph(sub)
+		// InducedSubgraph scans p's edge list in order, so the component's
+		// j-th edge is the j-th edge of p with both endpoints in comp.
+		em := make([]int, 0, sub.NumEdges())
 		for i, e := range p.G.edges {
 			nf, okf := remap[e.From]
 			nt, okt := remap[e.To]
 			if okf && okt {
 				q.MustSetEdgeProb(nf, nt, p.probs[i])
+				em = append(em, i)
 			}
 		}
 		out = append(out, q)
+		edgeMaps = append(edgeMaps, em)
 	}
+	return out, edgeMaps
+}
+
+// Probs returns the probability vector π in edge-list order, as a fresh
+// slice sharing the underlying (read-only) *big.Rat values. It is the
+// canonical argument to evaluate a compiled plan against p itself.
+func (p *ProbGraph) Probs() []*big.Rat {
+	out := make([]*big.Rat, len(p.probs))
+	copy(out, p.probs)
 	return out
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"phom/internal/graph"
@@ -19,13 +20,24 @@ import (
 // probabilities. It is NOT an isomorphism canonical form — vertex
 // numbering matters, exactly as it does for the solver itself.
 
-// CanonicalGraph returns the canonical serialization of g. Labels are
-// quoted so that arbitrary label tokens cannot collide with the
-// serialization syntax.
+// canonEdgeLine appends the canonical line of an edge — "from>to:"label""
+// — to b. Labels are quoted so that arbitrary label tokens cannot
+// collide with the serialization syntax. Built with strconv rather than
+// fmt: canonicalization runs on every engine submission, so it is part
+// of the serving hot path.
+func canonEdgeLine(b []byte, e graph.Edge) []byte {
+	b = strconv.AppendInt(b, int64(e.From), 10)
+	b = append(b, '>')
+	b = strconv.AppendInt(b, int64(e.To), 10)
+	b = append(b, ':')
+	return strconv.AppendQuote(b, string(e.Label))
+}
+
+// CanonicalGraph returns the canonical serialization of g.
 func CanonicalGraph(g *graph.Graph) string {
 	lines := make([]string, 0, g.NumEdges())
 	for _, e := range g.Edges() {
-		lines = append(lines, fmt.Sprintf("%d>%d:%q", e.From, e.To, string(e.Label)))
+		lines = append(lines, string(canonEdgeLine(nil, e)))
 	}
 	sort.Strings(lines)
 	return fmt.Sprintf("g;n=%d;%s", g.NumVertices(), strings.Join(lines, ";"))
@@ -37,7 +49,10 @@ func CanonicalGraph(g *graph.Graph) string {
 func CanonicalProbGraph(p *graph.ProbGraph) string {
 	lines := make([]string, 0, p.G.NumEdges())
 	for i, e := range p.G.Edges() {
-		lines = append(lines, fmt.Sprintf("%d>%d:%q=%s", e.From, e.To, string(e.Label), p.Prob(i).RatString()))
+		b := canonEdgeLine(nil, e)
+		b = append(b, '=')
+		b = append(b, p.Prob(i).RatString()...)
+		lines = append(lines, string(b))
 	}
 	sort.Strings(lines)
 	return fmt.Sprintf("pg;n=%d;%s", p.G.NumVertices(), strings.Join(lines, ";"))
@@ -57,4 +72,92 @@ func JobKey(queryCanon []string, instanceCanon, optsFingerprint string) string {
 	fmt.Fprintf(h, "i %d\n%s\n", len(instanceCanon), instanceCanon)
 	fmt.Fprintf(h, "o %d\n%s\n", len(optsFingerprint), optsFingerprint)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// StructKey hashes the structure of a solver job: like JobKey, but the
+// instance section is the probability-stripped CanonicalGraph of the
+// instance's underlying graph, so jobs that differ only in edge
+// probabilities share a key. It is the string-based reference form of
+// the structure key; package engine derives its cache keys with the
+// one-pass JobKeys below instead, which hashes a different byte stream
+// — the two schemes define the same equivalence on jobs but produce
+// different key values, so a single cache must use one consistently. A
+// leading domain tag keeps StructKey and JobKey values disjoint even
+// for identical sections.
+func StructKey(queryCanon []string, instanceStructCanon, optsFingerprint string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "struct\n")
+	for _, q := range queryCanon {
+		fmt.Fprintf(h, "q %d\n%s\n", len(q), q)
+	}
+	fmt.Fprintf(h, "i %d\n%s\n", len(instanceStructCanon), instanceStructCanon)
+	fmt.Fprintf(h, "o %d\n%s\n", len(optsFingerprint), optsFingerprint)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// JobKeys computes JobKey and StructKey for an instance in one pass:
+// the instance's edges are visited once in canonical edge order
+// (numeric, no string sort) and streamed into both hashes, instead of
+// materializing the CanonicalProbGraph / CanonicalGraph strings and
+// hashing them separately. Equal inputs up to edge insertion order
+// yield equal keys, like the string-based forms; the key VALUES differ
+// from JobKey/StructKey over Canonical* strings (different byte
+// streams), so a cache must consistently use one scheme. Package engine
+// uses this one — key derivation runs on every submission, and the
+// plan-hit fast path should not spend its win on hashing. The canonical
+// edge order is returned so callers can reuse it (probability
+// transport) without re-sorting.
+func JobKeys(queryCanon []string, p *graph.ProbGraph, optsFingerprint string) (jobKey, structKey string, order []int) {
+	hj, hs := sha256.New(), sha256.New()
+	fmt.Fprintf(hs, "struct\n")
+	for _, q := range queryCanon {
+		fmt.Fprintf(hj, "q %d\n%s\n", len(q), q)
+		fmt.Fprintf(hs, "q %d\n%s\n", len(q), q)
+	}
+	fmt.Fprintf(hj, "i n=%d\n", p.G.NumVertices())
+	fmt.Fprintf(hs, "i n=%d\n", p.G.NumVertices())
+	order = CanonicalEdgeOrder(p.G)
+	var buf []byte
+	for _, ei := range order {
+		// Lines self-delimit: labels are quoted, so '\n' cannot occur
+		// unescaped inside one.
+		buf = canonEdgeLine(buf[:0], p.G.Edge(ei))
+		buf = append(buf, '\n')
+		hs.Write(buf)
+		buf = buf[:len(buf)-1]
+		buf = append(buf, '=')
+		buf = p.Prob(ei).Num().Append(buf, 10)
+		buf = append(buf, '/')
+		buf = p.Prob(ei).Denom().Append(buf, 10)
+		buf = append(buf, '\n')
+		hj.Write(buf)
+	}
+	fmt.Fprintf(hj, "o %d\n%s\n", len(optsFingerprint), optsFingerprint)
+	fmt.Fprintf(hs, "o %d\n%s\n", len(optsFingerprint), optsFingerprint)
+	return hex.EncodeToString(hj.Sum(nil)), hex.EncodeToString(hs.Sum(nil)), order
+}
+
+// CanonicalEdgeOrder returns the edge indices of g sorted by endpoint
+// pair (from, to) — a deterministic, insertion-order-independent order.
+// The ordered pair identifies an edge uniquely (graphs have no
+// multi-edges), so two graphs with equal CanonicalGraph serializations
+// have pointwise-equal edges (including labels) under their respective
+// canonical edge orders. This lets a probability vector indexed by one
+// edge numbering be transported onto the other, which is how the engine
+// evaluates a cached plan against an instance whose edges were inserted
+// in a different order. Sorting integers rather than canonical strings
+// keeps the transport cheap: it runs on every plan-cache hit.
+func CanonicalEdgeOrder(g *graph.Graph) []int {
+	order := make([]int, g.NumEdges())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := g.Edge(order[a]), g.Edge(order[b])
+		if ea.From != eb.From {
+			return ea.From < eb.From
+		}
+		return ea.To < eb.To
+	})
+	return order
 }

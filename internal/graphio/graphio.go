@@ -24,6 +24,48 @@ import (
 	"phom/internal/graph"
 )
 
+// MaxParseVertices caps the vertex count accepted by the text and JSON
+// parsers. A "vertices" directive is a handful of bytes but makes the
+// graph constructor allocate per-vertex adjacency state, so without a
+// cap a tiny malicious input could demand gigabytes (the parsers back
+// the HTTP serving layer). Raise it here if a workload ever legitimately
+// needs more.
+const MaxParseVertices = 1 << 20
+
+// maxRatLen caps the length of a probability token, and maxRatExpDigits
+// the number of digits of a decimal exponent inside one: big.Rat parses
+// "1e9999999999" by materializing the power of ten, so unbounded
+// exponents are another tiny-input/huge-allocation vector.
+const (
+	maxRatLen       = 4096
+	maxRatExpDigits = 4
+)
+
+// ParseRat parses an exact rational probability token ("1/2", "0.35",
+// "1", "2.5e-3") with the malicious-input guards of this package: the
+// token length and any decimal exponent are bounded before big.Rat
+// allocates. It does not enforce the [0,1] probability range — that is
+// the job of graph.ProbGraph.SetProb.
+func ParseRat(s string) (*big.Rat, error) {
+	if len(s) > maxRatLen {
+		return nil, fmt.Errorf("graphio: rational token longer than %d bytes", maxRatLen)
+	}
+	if i := strings.IndexAny(s, "eE"); i >= 0 {
+		exp := s[i+1:]
+		if len(exp) > 0 && (exp[0] == '+' || exp[0] == '-') {
+			exp = exp[1:]
+		}
+		if len(exp) > maxRatExpDigits {
+			return nil, fmt.Errorf("graphio: exponent %q too large", s[i+1:])
+		}
+	}
+	p, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return nil, fmt.Errorf("graphio: bad rational %q", s)
+	}
+	return p, nil
+}
+
 // ParseProbGraph reads the text format from r.
 func ParseProbGraph(r io.Reader) (*graph.ProbGraph, error) {
 	var g *graph.Graph
@@ -56,6 +98,9 @@ func ParseProbGraph(r io.Reader) (*graph.ProbGraph, error) {
 			if err != nil || n < 1 {
 				return nil, fmt.Errorf("graphio: line %d: bad vertex count %q", lineNo, fields[1])
 			}
+			if n > MaxParseVertices {
+				return nil, fmt.Errorf("graphio: line %d: vertex count %d exceeds limit %d", lineNo, n, MaxParseVertices)
+			}
 			g = graph.New(n)
 		case "edge":
 			if g == nil {
@@ -73,9 +118,9 @@ func ParseProbGraph(r io.Reader) (*graph.ProbGraph, error) {
 				return nil, fmt.Errorf("graphio: line %d: %v", lineNo, err)
 			}
 			if len(fields) == 5 {
-				p, ok := new(big.Rat).SetString(fields[4])
-				if !ok {
-					return nil, fmt.Errorf("graphio: line %d: bad probability %q", lineNo, fields[4])
+				p, err := ParseRat(fields[4])
+				if err != nil {
+					return nil, fmt.Errorf("graphio: line %d: bad probability %q: %v", lineNo, fields[4], err)
 				}
 				probs = append(probs, probEdge{idx: g.NumEdges() - 1, p: p})
 			}
@@ -171,6 +216,9 @@ func UnmarshalProbGraphJSON(data []byte) (*graph.ProbGraph, error) {
 	if jg.Vertices < 1 {
 		return nil, fmt.Errorf("graphio: bad vertex count %d", jg.Vertices)
 	}
+	if jg.Vertices > MaxParseVertices {
+		return nil, fmt.Errorf("graphio: vertex count %d exceeds limit %d", jg.Vertices, MaxParseVertices)
+	}
 	g := graph.New(jg.Vertices)
 	type probEdge struct {
 		idx int
@@ -182,9 +230,9 @@ func UnmarshalProbGraphJSON(data []byte) (*graph.ProbGraph, error) {
 			return nil, err
 		}
 		if je.Prob != "" {
-			p, ok := new(big.Rat).SetString(je.Prob)
-			if !ok {
-				return nil, fmt.Errorf("graphio: bad probability %q", je.Prob)
+			p, err := ParseRat(je.Prob)
+			if err != nil {
+				return nil, fmt.Errorf("graphio: bad probability %q: %v", je.Prob, err)
 			}
 			probs = append(probs, probEdge{idx: g.NumEdges() - 1, p: p})
 		}

@@ -29,9 +29,10 @@ import (
 // generic DNF form (over instance edge indices) and the chain-system form
 // consumed by the PTIME evaluator.
 type ChainLineage struct {
-	DNF    *boolform.DNF        // variables: instance edge indices
-	System *betadnf.ChainSystem // nodes: instance vertices
-	Probs  []*big.Rat           // per node: probability of its parent edge
+	DNF        *boolform.DNF        // variables: instance edge indices
+	System     *betadnf.ChainSystem // nodes: instance vertices
+	Probs      []*big.Rat           // per node: probability of its parent edge
+	ParentEdge []int                // per node: instance edge index of its parent edge; −1 for roots
 }
 
 // Path1WPOnDWT builds the lineage of the 1WP query q on the DWT instance
@@ -87,9 +88,10 @@ func Path1WPOnDWT(q *graph.Graph, h *graph.ProbGraph) (*ChainLineage, error) {
 		}
 	}
 	return &ChainLineage{
-		DNF:    dnf,
-		System: &betadnf.ChainSystem{Parent: parent, ChainLen: chainLen},
-		Probs:  probs,
+		DNF:        dnf,
+		System:     &betadnf.ChainSystem{Parent: parent, ChainLen: chainLen},
+		Probs:      probs,
+		ParentEdge: parentEdge,
 	}, nil
 }
 

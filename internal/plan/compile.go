@@ -1,0 +1,215 @@
+package plan
+
+import (
+	"fmt"
+
+	"phom/internal/betadnf"
+	"phom/internal/graph"
+	"phom/internal/lineage"
+	"phom/internal/treeauto"
+)
+
+// This file hosts the per-cell compilers: for every tractable cell of
+// Tables 1–3 they run the structural phase of the cell's algorithm on
+// (q, h) and return a Plan over h's full edge list. Probabilities of h
+// are never read — h serves purely as the structural template — so a
+// compiled plan can be evaluated against any probability assignment on
+// the same structure. The dispatching between cells stays in package
+// core (the guard table of core.Compile), which owns the classification
+// logic.
+
+// Path1WPOnDWT compiles Proposition 4.10 extended to forests by
+// Lemma 3.7: the β-acyclic chain lineage of a labeled 1WP query with at
+// least one edge on a ⊔DWT instance.
+func Path1WPOnDWT(q *graph.Graph, h *graph.ProbGraph) (Plan, error) {
+	comps, edgeMaps := h.ComponentsWithEdges()
+	parts := make([]Plan, len(comps))
+	for ci, comp := range comps {
+		lin, err := lineage.Path1WPOnDWT(q, comp)
+		if err != nil {
+			return nil, err
+		}
+		cc, err := lin.System.Compile()
+		if err != nil {
+			return nil, err
+		}
+		parts[ci] = Chain{
+			System:   cc,
+			NodeEdge: mapEdges(lin.ParentEdge, edgeMaps[ci]),
+		}
+	}
+	return Components{Parts: parts}, nil
+}
+
+// ConnectedOn2WP compiles Proposition 4.11 extended to forests of paths
+// by Lemma 3.7: the interval lineage of a connected query with at least
+// one edge on a ⊔2WP instance.
+func ConnectedOn2WP(q *graph.Graph, h *graph.ProbGraph) (Plan, error) {
+	comps, edgeMaps := h.ComponentsWithEdges()
+	parts := make([]Plan, len(comps))
+	for ci, comp := range comps {
+		lin, err := lineage.ConnectedOn2WP(q, comp)
+		if err != nil {
+			return nil, err
+		}
+		parts[ci] = Interval{
+			System:  lin.System,
+			VarEdge: mapEdges(lin.EdgeAt, edgeMaps[ci]),
+		}
+	}
+	return Components{Parts: parts}, nil
+}
+
+// DirectedPathOnDWTs compiles the workhorse of Proposition 3.6: the
+// chain system deciding whether a world of the ⊔DWT instance h contains
+// a directed path of m edges. The per-component structure (parents,
+// depths, chain clauses) is exactly the one core.DirectedPathProbOnDWTs
+// used to build inline; the probability inputs are lifted out into the
+// plan's NodeEdge mapping.
+func DirectedPathOnDWTs(h *graph.ProbGraph, m int) (Plan, error) {
+	if m == 0 {
+		return NewConst(graph.RatOne), nil
+	}
+	if !h.G.InClass(graph.ClassUDWT) {
+		return nil, fmt.Errorf("plan: DirectedPathOnDWTs needs a ⊔DWT instance")
+	}
+	comps, edgeMaps := h.ComponentsWithEdges()
+	parts := make([]Plan, len(comps))
+	for ci, comp := range comps {
+		g := comp.G
+		n := g.NumVertices()
+		parent := make([]int, n)
+		chain := make([]int, n)
+		nodeEdge := make([]int, n)
+		depth := make([]int, n)
+		order, _ := g.TopologicalOrder() // a DWT is a DAG
+		for v := 0; v < n; v++ {
+			parent[v] = -1
+			nodeEdge[v] = -1
+		}
+		for _, v := range order {
+			if in := g.InEdges(v); len(in) == 1 {
+				e := g.Edge(in[0])
+				parent[v] = int(e.From)
+				nodeEdge[v] = in[0]
+				depth[v] = depth[e.From] + 1
+			}
+			if depth[v] >= m {
+				chain[v] = m
+			}
+		}
+		cc, err := (&betadnf.ChainSystem{Parent: parent, ChainLen: chain}).Compile()
+		if err != nil {
+			return nil, err
+		}
+		parts[ci] = Chain{
+			System:   cc,
+			NodeEdge: mapEdges(nodeEdge, edgeMaps[ci]),
+		}
+	}
+	return Components{Parts: parts}, nil
+}
+
+// DirectedPathOnPolytrees compiles Proposition 5.4 (with Lemma 3.7): the
+// d-DNNF lineage circuits of the automaton for the unlabeled path query
+// →^m on every polytree component of the ⊔PT instance h.
+func DirectedPathOnPolytrees(h *graph.ProbGraph, m int) (Plan, error) {
+	if m == 0 {
+		return NewConst(graph.RatOne), nil
+	}
+	if !h.G.InClass(graph.ClassUPT) {
+		return nil, fmt.Errorf("plan: DirectedPathOnPolytrees needs a ⊔PT instance")
+	}
+	comps, edgeMaps := h.ComponentsWithEdges()
+	parts := make([]Plan, len(comps))
+	for ci, comp := range comps {
+		root, err := treeauto.Encode(comp)
+		if err != nil {
+			return nil, err
+		}
+		a := &treeauto.Automaton{M: m}
+		c, out := a.CompileLineage(root, comp.G.NumEdges())
+		parts[ci] = Circuit{C: c, Out: out, VarEdge: edgeMaps[ci]}
+	}
+	return Components{Parts: parts}, nil
+}
+
+// UnionConnectedOn2WP compiles the UCQ lift of Proposition 4.11: the
+// union of the disjuncts' interval lineages is itself an interval
+// system, merged per component.
+func UnionConnectedOn2WP(qs []*graph.Graph, h *graph.ProbGraph) (Plan, error) {
+	comps, edgeMaps := h.ComponentsWithEdges()
+	parts := make([]Plan, len(comps))
+	for ci, comp := range comps {
+		merged := &betadnf.IntervalSystem{NumVars: comp.G.NumVertices() - 1}
+		var varEdge []int
+		for _, q := range qs {
+			lin, err := lineage.ConnectedOn2WP(q, comp)
+			if err != nil {
+				return nil, err
+			}
+			merged.Clauses = append(merged.Clauses, lin.System.Clauses...)
+			if varEdge == nil {
+				// EdgeAt is instance-side (the component's path order),
+				// identical across disjuncts: map it once.
+				varEdge = mapEdges(lin.EdgeAt, edgeMaps[ci])
+			}
+		}
+		if varEdge == nil {
+			varEdge = []int{}
+		}
+		parts[ci] = Interval{System: merged, VarEdge: varEdge}
+	}
+	return Components{Parts: parts}, nil
+}
+
+// Union1WPOnDWT compiles the UCQ lift of Proposition 4.10: the union of
+// the disjuncts' chain lineages is a chain system after keeping, per
+// node, the shortest clause (absorption), merged per component.
+func Union1WPOnDWT(qs []*graph.Graph, h *graph.ProbGraph) (Plan, error) {
+	comps, edgeMaps := h.ComponentsWithEdges()
+	parts := make([]Plan, len(comps))
+	for ci, comp := range comps {
+		var merged *betadnf.ChainSystem
+		var nodeEdge []int
+		for _, q := range qs {
+			lin, err := lineage.Path1WPOnDWT(q, comp)
+			if err != nil {
+				return nil, err
+			}
+			if merged == nil {
+				merged = &betadnf.ChainSystem{
+					Parent:   lin.System.Parent,
+					ChainLen: append([]int(nil), lin.System.ChainLen...),
+				}
+				nodeEdge = mapEdges(lin.ParentEdge, edgeMaps[ci])
+				continue
+			}
+			for v, l := range lin.System.ChainLen {
+				if l != 0 && (merged.ChainLen[v] == 0 || l < merged.ChainLen[v]) {
+					merged.ChainLen[v] = l
+				}
+			}
+		}
+		cc, err := merged.Compile()
+		if err != nil {
+			return nil, err
+		}
+		parts[ci] = Chain{System: cc, NodeEdge: nodeEdge}
+	}
+	return Components{Parts: parts}, nil
+}
+
+// mapEdges rewrites component-local edge indices to indices into the
+// full instance edge list, preserving the −1 "no edge" sentinel.
+func mapEdges(local, toGlobal []int) []int {
+	out := make([]int, len(local))
+	for i, ei := range local {
+		if ei < 0 {
+			out[i] = -1
+		} else {
+			out[i] = toGlobal[ei]
+		}
+	}
+	return out
+}

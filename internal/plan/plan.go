@@ -1,0 +1,160 @@
+// Package plan defines compiled solver plans: probability-independent
+// evaluation artifacts that split PHom solving into a structural
+// *compile* phase and a linear *evaluate* phase.
+//
+// Every tractable cell of the paper (Propositions 3.6, 4.10, 4.11 and
+// 5.4/5.5, with Lemma 3.7 for disconnected instances) factors the same
+// way: the expensive part of the algorithm — lineage construction,
+// automaton compilation, class-driven normalization — depends only on
+// the *structure* of the query and instance graphs, while the edge
+// probabilities enter exclusively through a final linear dynamic program
+// (betadnf.IntervalSystem.Prob, betadnf.ChainSystem.Prob,
+// ddnnf.Circuit.Prob). A Plan captures the output of the structural
+// phase; Evaluate replays only the linear phase against a probability
+// vector indexed by the instance's edge list.
+//
+// Plans therefore amortize: one compilation serves arbitrarily many
+// probability assignments over the same graph pair, which is the
+// dominant serving pattern (what-if analysis, probability sweeps,
+// streaming weight updates). Package engine caches plans keyed by the
+// structure-only job hash of package graphio, and package core builds
+// them via the compile functions of this package.
+//
+// All plans are immutable after construction and safe for concurrent
+// Evaluate calls; every Evaluate returns a freshly allocated *big.Rat.
+package plan
+
+import (
+	"fmt"
+	"math/big"
+
+	"phom/internal/betadnf"
+	"phom/internal/ddnnf"
+	"phom/internal/graph"
+)
+
+// Plan is a compiled, probability-independent evaluation artifact. The
+// probs argument is indexed by the edge list of the instance the plan
+// was compiled from (position i holds π of edge i); callers reweighting
+// a structurally identical instance with a different edge numbering must
+// permute the vector first (see graphio.CanonicalEdgeOrder).
+type Plan interface {
+	Evaluate(probs []*big.Rat) (*big.Rat, error)
+}
+
+// Const is the plan of a job decided by structure alone: a trivial
+// (edgeless) query, a query label absent from the instance, or a
+// non-graded query on forest worlds. Its value is independent of π.
+type Const struct {
+	Value *big.Rat
+}
+
+// NewConst returns a Const plan with the given value (copied).
+func NewConst(v *big.Rat) Const {
+	return Const{Value: new(big.Rat).Set(v)}
+}
+
+// Evaluate returns a fresh copy of the constant.
+func (c Const) Evaluate(probs []*big.Rat) (*big.Rat, error) {
+	return new(big.Rat).Set(c.Value), nil
+}
+
+// Chain evaluates a β-acyclic chain system (the lineages of
+// Propositions 4.10 and 3.6 on downward-tree instances), precompiled so
+// evaluation runs the dynamic program with no per-call setup. NodeEdge
+// maps each system node to the instance edge above it (−1 for roots,
+// whose probability is fixed to 1).
+type Chain struct {
+	System   *betadnf.CompiledChain
+	NodeEdge []int
+}
+
+// Evaluate runs the chain dynamic program under π.
+func (c Chain) Evaluate(probs []*big.Rat) (*big.Rat, error) {
+	nodeProbs := make([]*big.Rat, len(c.NodeEdge))
+	for v, ei := range c.NodeEdge {
+		if ei < 0 {
+			nodeProbs[v] = graph.RatOne
+			continue
+		}
+		if ei >= len(probs) {
+			return nil, fmt.Errorf("plan: chain node %d references edge %d of %d", v, ei, len(probs))
+		}
+		nodeProbs[v] = probs[ei]
+	}
+	return c.System.Prob(nodeProbs)
+}
+
+// Interval evaluates a β-acyclic interval system (the lineages of
+// Proposition 4.11 on two-way-path instances). VarEdge maps each path
+// position to the instance edge at that position.
+type Interval struct {
+	System  *betadnf.IntervalSystem
+	VarEdge []int
+}
+
+// Evaluate runs the interval dynamic program under π.
+func (iv Interval) Evaluate(probs []*big.Rat) (*big.Rat, error) {
+	varProbs := make([]*big.Rat, len(iv.VarEdge))
+	for i, ei := range iv.VarEdge {
+		if ei < 0 || ei >= len(probs) {
+			return nil, fmt.Errorf("plan: interval position %d references edge %d of %d", i, ei, len(probs))
+		}
+		varProbs[i] = probs[ei]
+	}
+	return iv.System.Prob(varProbs)
+}
+
+// Circuit evaluates a d-DNNF lineage circuit (the automaton pipeline of
+// Proposition 5.4 on polytree instances). VarEdge maps each circuit
+// variable to an instance edge.
+type Circuit struct {
+	C       *ddnnf.Circuit
+	Out     ddnnf.Gate
+	VarEdge []int
+}
+
+// Evaluate computes the circuit probability under π in linear time.
+func (c Circuit) Evaluate(probs []*big.Rat) (*big.Rat, error) {
+	varProbs := make([]*big.Rat, len(c.VarEdge))
+	for i, ei := range c.VarEdge {
+		if ei < 0 || ei >= len(probs) {
+			return nil, fmt.Errorf("plan: circuit variable %d references edge %d of %d", i, ei, len(probs))
+		}
+		varProbs[i] = probs[ei]
+	}
+	return c.C.Prob(c.Out, varProbs), nil
+}
+
+// Components is the Lemma 3.7 composite: for a connected query over a
+// disconnected instance, Pr = 1 − Π_i (1 − p_i) over the per-component
+// plans, whose edge references all index the full instance edge list.
+type Components struct {
+	Parts []Plan
+}
+
+// Evaluate combines the component probabilities per Lemma 3.7.
+func (c Components) Evaluate(probs []*big.Rat) (*big.Rat, error) {
+	miss := big.NewRat(1, 1)
+	for _, part := range c.Parts {
+		p, err := part.Evaluate(probs)
+		if err != nil {
+			return nil, err
+		}
+		miss.Mul(miss, p.Sub(graph.RatOne, p))
+	}
+	return miss.Sub(graph.RatOne, miss), nil
+}
+
+// Opaque is a plan with no exploitable structure: evaluation re-solves
+// the captured job against each probability assignment. It is the plan
+// form of the exponential baselines, kept so that structure-keyed plan
+// caching stays total — an opaque hit is correct, merely not faster.
+type Opaque struct {
+	Eval func(probs []*big.Rat) (*big.Rat, error)
+}
+
+// Evaluate re-solves under π.
+func (o Opaque) Evaluate(probs []*big.Rat) (*big.Rat, error) {
+	return o.Eval(probs)
+}

@@ -23,6 +23,10 @@
 //     input pair falls in a tractable cell of the paper's classification
 //     (Propositions 3.6, 4.10, 4.11, 5.4, 5.5 and Lemma 3.7), and
 //     otherwise to an exact exponential baseline;
+//   - Compile and Plan, the two-stage form of Solve: one probability-
+//     independent compilation serves arbitrarily many probability
+//     assignments over the same structure, each at linear evaluation
+//     cost;
 //   - Predict, the complexity classifier reproducing Tables 1–3;
 //   - BruteForce and LineageShannon, the exact exponential baselines;
 //   - Engine, a concurrent batch evaluator (worker pool, in-flight
@@ -153,6 +157,30 @@ const (
 // opts.DisableFallback is set). opts may be nil for defaults.
 func Solve(query *Graph, instance *ProbGraph, opts *Options) (*Result, error) {
 	return core.Solve(query, instance, opts)
+}
+
+// Plan is a compiled solver plan: the probability-independent phase of
+// Solve, reusable across probability assignments. Compile once, then
+// Evaluate per assignment — Evaluate takes the probability vector in
+// the instance's edge-list order (ProbGraph.Probs) and returns results
+// byte-identical to Solve on the correspondingly reweighted instance.
+// Every tractable cell evaluates in linear time; #P-hard cells compile
+// to an opaque plan that re-solves per evaluation (Plan.Opaque reports
+// this). Plans are immutable and safe for concurrent use.
+type Plan = core.CompiledPlan
+
+// Compile runs the probability-independent phase of Solve on
+// (query, instance): validation, classification, dispatch, and
+// construction of the evaluation artifact (lineage systems, d-DNNF
+// circuits). The instance's probabilities are used only for validation;
+// the plan depends solely on structure.
+func Compile(query *Graph, instance *ProbGraph, opts *Options) (*Plan, error) {
+	return core.Compile(query, instance, opts)
+}
+
+// CompileUCQ is Compile for a union of conjunctive queries.
+func CompileUCQ(queries UCQ, instance *ProbGraph, opts *Options) (*Plan, error) {
+	return core.CompileUCQ(queries, instance, opts)
 }
 
 // BruteForce computes Pr(G ⇝ H) by possible-world enumeration —

@@ -99,3 +99,63 @@ func TestBigRatExactness(t *testing.T) {
 		t.Fatal("Rat must be exact")
 	}
 }
+
+// TestCompileReweightAPI exercises the public compile/evaluate split:
+// one compilation serves many probability assignments, byte-identical
+// to fresh solves.
+func TestCompileReweightAPI(t *testing.T) {
+	q := Path1WP("R", "S")
+	g := New(4)
+	g.MustAddEdge(0, 1, "R")
+	g.MustAddEdge(1, 2, "S")
+	g.MustAddEdge(1, 3, "S")
+	h := NewProbGraph(g)
+	h.MustSetEdgeProb(0, 1, Rat("1/2"))
+
+	plan, err := Compile(q, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Opaque() {
+		t.Fatal("1WP on DWT must compile to a structural plan")
+	}
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		for i := 0; i < g.NumEdges(); i++ {
+			if err := h.SetProb(i, big.NewRat(int64(r.Intn(17)), 16)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := Solve(q, h, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := plan.Evaluate(h.Probs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Prob.RatString() != want.Prob.RatString() {
+			t.Fatalf("trial %d: plan %s, solve %s", trial, got.Prob.RatString(), want.Prob.RatString())
+		}
+	}
+}
+
+// ExampleCompile demonstrates the compile-once / evaluate-many workflow
+// for probability sweeps over a fixed structure.
+func ExampleCompile() {
+	// Query: two consecutive R-edges; instance: a chain of two R-edges
+	// whose second edge is uncertain. Compile once, sweep the weight.
+	q := Path1WP("R", "R")
+	h := NewProbGraph(Path1WP("R", "R"))
+
+	plan, _ := Compile(q, h, nil)
+	for _, p := range []string{"1/4", "1/2", "3/4"} {
+		h.MustSetEdgeProb(1, 2, Rat(p))
+		res, _ := plan.Evaluate(h.Probs())
+		fmt.Printf("p=%s -> Pr=%s\n", p, res.Prob.RatString())
+	}
+	// Output:
+	// p=1/4 -> Pr=1/4
+	// p=1/2 -> Pr=1/2
+	// p=3/4 -> Pr=3/4
+}
