@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure of the paper; see the
-// experiment index (E1–E20) and the recorded results in EXPERIMENTS.md.
+// experiment index (E1–E21) and the recorded results in EXPERIMENTS.md.
 // Run with:
 //
 //	go test -bench=. -benchmem
@@ -64,6 +64,53 @@ func bruteCell(b *testing.B, qc, ic graph.Class, labeled bool, iSize int) {
 			b.Fatal(err)
 		}
 		sink = p
+	}
+}
+
+// planPair compiles one representative structural plan (Prop 5.4: the
+// circuit-backed cell, where the interpreter-vs-tree contrast is
+// largest) and a reweighted probability vector for the IR benchmarks.
+func planPair(b *testing.B) (*core.CompiledPlan, []*big.Rat) {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	un := []graph.Label{graph.Unlabeled}
+	q := gen.RandDWT(r, 4, un)
+	h := gen.RandProb(r, gen.RandInClass(r, graph.ClassUPT, 128, un), 0.5)
+	cp, err := core.Compile(q, h, &core.Options{DisableFallback: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs := make([]*big.Rat, h.G.NumEdges())
+	for i := range probs {
+		probs[i] = big.NewRat(int64(1+r.Intn(16)), 17)
+	}
+	return cp, probs
+}
+
+// ---- E21: the flattened evaluation IR ----
+
+func BenchmarkE21_ProgramExec(b *testing.B) {
+	cp, probs := planPair(b)
+	prog := cp.Program()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := prog.Exec(probs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = p
+	}
+}
+
+func BenchmarkE21_PlanTreeEvaluate(b *testing.B) {
+	cp, probs := planPair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cp.EvaluateTree(probs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = res.Prob
 	}
 }
 

@@ -9,8 +9,12 @@
 // solving; E20 measures the compile/evaluate split of the solver plans
 // (internal/plan): how much a one-time structural compilation amortizes
 // over repeated reweighted evaluations, directly and through the
-// engine's structure-keyed plan cache. Results are printed as aligned
-// tables; -csv emits machine-readable rows.
+// engine's structure-keyed plan cache. E21 measures the flattened
+// evaluation IR: the throughput of the Program interpreter against the
+// plan-tree evaluators, and the warm-start win of serving a reweight
+// stream from a deserialized plan snapshot (zero compilations) against
+// a cold engine. Results are printed as aligned tables; -csv emits
+// machine-readable rows.
 //
 // Usage:
 //
@@ -19,6 +23,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"math/big"
@@ -86,6 +91,7 @@ func main() {
 	runAblations()
 	runEngineBatch()
 	runPlanReweight()
+	runPlanSnapshot()
 	if !*csvOut {
 		fmt.Printf("\n%d measurements.\n", len(results))
 	}
@@ -571,6 +577,132 @@ func runPlanReweight() {
 		emit("E20", fmt.Sprintf("%s n=%d engine-nocache x%d", wl.name, n, k), "engine baseline", dEngineCold)
 		emit("E20", fmt.Sprintf("%s n=%d engine-plan x%d", wl.name, n, k),
 			fmt.Sprintf("plan_hits=%d/%d ×%.1f", planHits, k, float64(dEngineCold)/float64(dEngineHot)), dEngineHot)
+	}
+}
+
+// runPlanSnapshot covers E21: the flattened evaluation IR. Part one
+// compares the throughput of the Program interpreter (what the solver
+// serves with) against the PR 2 plan-tree evaluators over the same
+// reweight stream, checking byte-identical results. Part two measures
+// warm-start serving: a cold engine pays one compilation per structure,
+// while a fresh engine restored from the first engine's plan snapshot
+// serves the entire stream as plan hits with zero compilations.
+func runPlanSnapshot() {
+	if !section("E21", "Evaluation IR (interpreter throughput, warm-start snapshots)") {
+		return
+	}
+	r := rand.New(rand.NewSource(*seed))
+	rs := []graph.Label{"R", "S"}
+	un := []graph.Label{graph.Unlabeled}
+	n := *maxN / 4
+	if n < 64 {
+		n = 64
+	}
+	workloads := []struct {
+		name string
+		q    *graph.Graph
+		h    *graph.ProbGraph
+	}{
+		{"2WP (Prop 4.11)", gen.RandConnected(r, 5, 1, rs),
+			gen.RandProb(r, gen.RandInClass(r, graph.ClassU2WP, n, rs), 0.5)},
+		{"DWT (Prop 4.10)", gen.Rand1WP(r, 7, rs),
+			gen.RandProb(r, gen.RandInClass(r, graph.ClassUDWT, n, rs), 0.5)},
+		{"PT (Prop 5.4)", gen.RandDWT(r, 4, un),
+			gen.RandProb(r, gen.RandInClass(r, graph.ClassUPT, n/2, un), 0.5)},
+	}
+	opts := &core.Options{DisableFallback: true}
+	for _, wl := range workloads {
+		variants := make([]*graph.ProbGraph, *reweights)
+		for i := range variants {
+			h2 := graph.NewProbGraph(wl.h.G)
+			for ei := 0; ei < wl.h.G.NumEdges(); ei++ {
+				if err := h2.SetProb(ei, big.NewRat(int64(r.Intn(17)), 16)); err != nil {
+					fatal(err)
+				}
+			}
+			variants[i] = h2
+		}
+		k := len(variants)
+
+		// Part one: interpreter vs tree evaluation on one compiled plan.
+		cp, err := core.Compile(wl.q, wl.h, opts)
+		if err != nil {
+			fatal(err)
+		}
+		prog := cp.Program()
+		match := true
+		start := time.Now()
+		treeRes := make([]*big.Rat, k)
+		for i, h2 := range variants {
+			res, err := cp.EvaluateTree(h2.Probs())
+			if err != nil {
+				fatal(err)
+			}
+			treeRes[i] = res.Prob
+		}
+		dTree := time.Since(start)
+		// Raw interpreter against raw tree: probe Exec directly so both
+		// sides skip the serving path's probability validation.
+		start = time.Now()
+		for i, h2 := range variants {
+			pr, err := prog.Exec(h2.Probs())
+			if err != nil {
+				fatal(err)
+			}
+			if pr.Cmp(treeRes[i]) != 0 {
+				match = false
+			}
+		}
+		dExec := time.Since(start)
+		emit("E21", fmt.Sprintf("%s n=%d tree x%d", wl.name, n, k),
+			fmt.Sprintf("%d ops baseline", prog.NumOps()), dTree)
+		emit("E21", fmt.Sprintf("%s n=%d exec x%d", wl.name, n, k),
+			fmt.Sprintf("match=%v ×%.2f", match, float64(dTree)/float64(dExec)), dExec)
+
+		// Part two: cold serving vs warm-start from a snapshot.
+		serve := func(e *engine.Engine) (time.Duration, int) {
+			hits := 0
+			start := time.Now()
+			for _, h2 := range variants {
+				res := e.Do(engine.Job{Query: wl.q, Instance: h2, Opts: opts})
+				if res.Err != nil {
+					fatal(res.Err)
+				}
+				if res.PlanHit {
+					hits++
+				}
+			}
+			return time.Since(start), hits
+		}
+		cold := engine.New(engine.Options{Workers: 1})
+		dCold, _ := serve(cold)
+		var snap bytes.Buffer
+		saved, err := cold.SavePlans(&snap)
+		if err != nil {
+			fatal(err)
+		}
+		if err := cold.Close(); err != nil {
+			fatal(err)
+		}
+		warm := engine.New(engine.Options{Workers: 1})
+		if _, err := warm.LoadPlans(bytes.NewReader(snap.Bytes())); err != nil {
+			fatal(err)
+		}
+		dWarm, warmHits := serve(warm)
+		st := warm.Stats()
+		if err := warm.Close(); err != nil {
+			fatal(err)
+		}
+		emit("E21", fmt.Sprintf("%s n=%d cold x%d", wl.name, n, k),
+			fmt.Sprintf("snapshot=%d plans/%dB", saved, snap.Len()), dCold)
+		emit("E21", fmt.Sprintf("%s n=%d warm x%d", wl.name, n, k),
+			fmt.Sprintf("plan_hits=%d/%d compiles=%d ×%.2f", warmHits, k, st.PlanCompiles, float64(dCold)/float64(dWarm)), dWarm)
+		if st.PlanCompiles != 0 {
+			fatal(fmt.Errorf("E21: warm-started engine compiled %d plans, want 0", st.PlanCompiles))
+		}
+		if warmHits != k {
+			fatal(fmt.Errorf("E21: warm-started engine served %d/%d plan hits", warmHits, k))
+		}
 	}
 }
 

@@ -17,16 +17,27 @@
 //	               in the response) — the fast path for what-if analysis
 //	               and probability sweeps.
 //	POST /batch    {"jobs": [ ... ]}; results in job order, per-job errors.
+//	GET  /plans/export  binary snapshot of the compiled-plan cache
+//	               (the canonical plan encoding of internal/graphio).
+//	POST /plans/import  restore a snapshot into the plan cache; jobs
+//	               whose structure is covered then serve reweights
+//	               without compiling at all (warm start).
 //	GET  /healthz  liveness plus engine statistics (including the
-//	               plan-cache counters plan_hits/plan_compiles).
+//	               plan-cache counters plan_hits/plan_compiles and the
+//	               snapshot counters plans_loaded/plans_saved).
 //
 // Graphs are accepted as graphio JSON objects or as the line-oriented
-// text format that cmd/phom reads. See DESIGN.md (Serving layer) and
-// README.md for examples.
+// text format that cmd/phom reads. Request bodies are bounded by
+// -maxbody (413 beyond it). With -plansnapshot FILE the engine
+// restores its plan cache from FILE at boot (if present) and writes it
+// back on clean shutdown, so recompilations do not survive restarts.
+// See DESIGN.md (Serving layer, Evaluation IR) and README.md for
+// examples.
 //
 // Usage:
 //
 //	phomserve [-addr :8080] [-workers 0] [-cache 4096] [-plancache 1024]
+//	          [-maxbody 8388608] [-plansnapshot plans.bin]
 package main
 
 import (
@@ -50,15 +61,31 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		cache     = flag.Int("cache", 0, fmt.Sprintf("result cache capacity (0 = %d, negative disables)", engine.DefaultCacheSize))
 		planCache = flag.Int("plancache", 0, fmt.Sprintf("compiled-plan cache capacity (0 = %d, negative disables)", engine.DefaultPlanCacheSize))
+		maxBody   = flag.Int64("maxbody", DefaultMaxBodyBytes, "request body cap in bytes (oversized requests get 413)")
+		planSnap  = flag.String("plansnapshot", "", "plan-cache snapshot file: restored at boot if present, written on shutdown")
 	)
 	flag.Parse()
 
-	eng := engine.New(engine.Options{Workers: *workers, CacheSize: *cache, PlanCacheSize: *planCache})
-	defer eng.Close()
+	eng := engine.New(engine.Options{
+		Workers:          *workers,
+		CacheSize:        *cache,
+		PlanCacheSize:    *planCache,
+		PlanSnapshotPath: *planSnap,
+	})
+	defer func() {
+		if err := eng.Close(); err != nil {
+			log.Printf("phomserve: %v", err)
+		}
+	}()
+	if *planSnap != "" {
+		st := eng.Stats()
+		log.Printf("phomserve: plan snapshot %s: %d plans restored (%d errors)",
+			*planSnap, st.PlansLoaded, st.SnapshotErrors)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng).handler(),
+		Handler:           newServer(eng).withMaxBody(*maxBody).handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"phom/internal/engine"
+)
+
+// A tractable cell (Prop 4.10: labeled 1WP query on a DWT instance) —
+// unlike Example 2.2, its plan is structural, hence serializable.
+const (
+	tractableQueryText    = "vertices 2\nedge 0 1 R\n"
+	tractableInstanceText = `
+vertices 4
+edge 0 1 R 1/2
+edge 1 2 S 1/3
+edge 0 3 R 1/4
+`
+)
+
+// reweightBody builds a /reweight request over the tractable instance
+// with one probability substituted.
+func reweightBody(p string) reweightRequest {
+	return reweightRequest{
+		solveRequest: solveRequest{
+			QueryText:    tractableQueryText,
+			InstanceText: tractableInstanceText,
+		},
+		Probs: map[string]string{"0>1": p},
+	}
+}
+
+// TestPlansExportImportWarmStart drives the full warm-start serving
+// flow over HTTP: warm a server, export its plan snapshot, import it
+// into a second server backed by a fresh engine, and verify the second
+// server answers a reweight of the same structure as a plan hit with
+// zero compilations.
+func TestPlansExportImportWarmStart(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Warm: one solve compiles the structure.
+	resp, body := postJSON(t, ts.URL+"/solve", solveRequest{
+		QueryText:    tractableQueryText,
+		InstanceText: tractableInstanceText,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm solve: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Export.
+	getResp, err := http.Get(ts.URL + "/plans/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusOK {
+		t.Fatalf("export: status %d", getResp.StatusCode)
+	}
+	if got := getResp.Header.Get("X-Phom-Plans"); got != "1" {
+		t.Fatalf("export header X-Phom-Plans = %q, want 1", got)
+	}
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot body")
+	}
+
+	// Import into a fresh engine behind a second server.
+	eng2 := engine.New(engine.Options{Workers: 2})
+	t.Cleanup(func() { eng2.Close() })
+	ts2 := httptest.NewServer(newServer(eng2).handler())
+	t.Cleanup(ts2.Close)
+	impResp, err := http.Post(ts2.URL+"/plans/import", "application/octet-stream", bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	impBody, _ := io.ReadAll(impResp.Body)
+	impResp.Body.Close()
+	if impResp.StatusCode != http.StatusOK {
+		t.Fatalf("import: status %d: %s", impResp.StatusCode, impBody)
+	}
+	var imp plansImportResponse
+	if err := json.Unmarshal(impBody, &imp); err != nil {
+		t.Fatal(err)
+	}
+	if imp.Loaded != 1 || imp.PlanCacheLen != 1 {
+		t.Fatalf("import response %+v, want loaded=1 plan_cache_len=1", imp)
+	}
+
+	// A reweight of the imported structure is a plan hit, no compiles.
+	rwResp, rwBody := postJSON(t, ts2.URL+"/reweight", reweightBody("1/4"))
+	if rwResp.StatusCode != http.StatusOK {
+		t.Fatalf("warm reweight: status %d: %s", rwResp.StatusCode, rwBody)
+	}
+	var sr solveResponse
+	if err := json.Unmarshal(rwBody, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.PlanHit {
+		t.Fatalf("warm reweight was not a plan hit: %s", rwBody)
+	}
+	st := eng2.Stats()
+	if st.PlanCompiles != 0 {
+		t.Fatalf("warm server compiled %d plans, want 0", st.PlanCompiles)
+	}
+	if st.PlansLoaded != 1 {
+		t.Fatalf("plans_loaded = %d, want 1", st.PlansLoaded)
+	}
+
+	// The warm answer matches the cold answer for the same weights.
+	coldResp, coldBody := postJSON(t, ts.URL+"/reweight", reweightBody("1/4"))
+	if coldResp.StatusCode != http.StatusOK {
+		t.Fatalf("cold reweight: status %d: %s", coldResp.StatusCode, coldBody)
+	}
+	var cold solveResponse
+	if err := json.Unmarshal(coldBody, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Prob != sr.Prob {
+		t.Fatalf("warm %s vs cold %s", sr.Prob, cold.Prob)
+	}
+}
+
+func TestPlansImportRejectsGarbage(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/plans/import", "application/octet-stream",
+		strings.NewReader("this is not a snapshot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPlansEndpointsMethods(t *testing.T) {
+	ts := newTestServer(t)
+	if resp, _ := postJSON(t, ts.URL+"/plans/export", struct{}{}); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /plans/export: status %d, want 405", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/plans/import")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /plans/import: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHealthzReportsSnapshotCounters: the snapshot counters surface in
+// /healthz.
+func TestHealthzReportsSnapshotCounters(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, key := range []string{"plans_loaded", "plans_saved", "snapshot_errors", "plan_hits", "plan_compiles"} {
+		if !strings.Contains(string(body), key) {
+			t.Errorf("/healthz missing %q: %s", key, body)
+		}
+	}
+}
+
+// TestMaxBodyLimit: oversized request bodies are refused with 413 on
+// every body-reading endpoint, honoring the -maxbody setting.
+func TestMaxBodyLimit(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 1})
+	t.Cleanup(func() { eng.Close() })
+	ts := httptest.NewServer(newServer(eng).withMaxBody(512).handler())
+	t.Cleanup(ts.Close)
+
+	huge := fmt.Sprintf(`{"query_text": %q, "instance_text": %q}`,
+		exampleQueryText+strings.Repeat("# padding\n", 200), exampleInstanceText)
+	for _, path := range []string{"/solve", "/reweight", "/batch"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status %d, want 413: %s", path, resp.StatusCode, body)
+		}
+	}
+	// /plans/import reads binary, so the oversized body needs a valid
+	// snapshot header and a record length that drags the reader past
+	// the cap (a bad magic would 400 before the limit is reached).
+	bigSnap := append([]byte("phomsnap1"), 0xC0, 0x84, 0x3D) // record length 1000000
+	bigSnap = append(bigSnap, bytes.Repeat([]byte{0}, 2048)...)
+	resp, err := http.Post(ts.URL+"/plans/import", "application/octet-stream", bytes.NewReader(bigSnap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("/plans/import: status %d, want 413: %s", resp.StatusCode, body)
+	}
+	// A small request still works under the tight limit.
+	resp, body = postJSON(t, ts.URL+"/solve", solveRequest{
+		QueryText:    exampleQueryText,
+		InstanceText: exampleInstanceText,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small request under -maxbody: status %d: %s", resp.StatusCode, body)
+	}
+}

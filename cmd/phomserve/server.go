@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -18,10 +20,12 @@ import (
 // Request limits: a single request must not be able to exhaust the
 // server's memory or pin a worker on unbounded exponential work.
 const (
-	maxBodyBytes       = 32 << 20 // 32 MiB of JSON per request
-	maxBatchJobs       = 4096     // jobs per /batch request
-	maxBruteForceLimit = 26       // client-requested coins cap (2^26 worlds)
-	maxMatchLimit      = 1 << 20  // client-requested match-enumeration cap
+	// DefaultMaxBodyBytes is the default request-body cap (-maxbody);
+	// bodies beyond the cap are refused with 413.
+	DefaultMaxBodyBytes = 8 << 20 // 8 MiB per request
+	maxBatchJobs        = 4096    // jobs per /batch request
+	maxBruteForceLimit  = 26      // client-requested coins cap (2^26 worlds)
+	maxMatchLimit       = 1 << 20 // client-requested match-enumeration cap
 )
 
 // Wire types. Graphs are accepted in both formats understood by the
@@ -102,16 +106,51 @@ type errorResponse struct {
 
 // server routes HTTP requests onto a shared engine.
 type server struct {
-	engine *engine.Engine
+	engine  *engine.Engine
+	maxBody int64 // request-body cap in bytes; ≤0 means DefaultMaxBodyBytes
 }
 
 func newServer(e *engine.Engine) *server { return &server{engine: e} }
+
+// withMaxBody sets the request-body cap (the -maxbody flag).
+func (s *server) withMaxBody(n int64) *server {
+	s.maxBody = n
+	return s
+}
+
+func (s *server) bodyLimit() int64 {
+	if s.maxBody > 0 {
+		return s.maxBody
+	}
+	return DefaultMaxBodyBytes
+}
+
+// decodeBody decodes a JSON request body bounded by the server's body
+// cap, reporting (writing the response itself) and returning false on
+// failure. Oversized bodies are a 413, not a generic 400: the request
+// may be well-formed, the server just refuses to read that much.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit())).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+		return false
+	}
+	writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	return false
+}
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/reweight", s.handleReweight)
 	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/plans/export", s.handlePlansExport)
+	mux.HandleFunc("/plans/import", s.handlePlansImport)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	return mux
 }
@@ -134,8 +173,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req solveRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	job, err := req.toJob()
@@ -163,8 +201,7 @@ func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req reweightRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	job, err := req.solveRequest.toJob()
@@ -208,6 +245,60 @@ func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handlePlansExport streams a snapshot of the engine's compiled-plan
+// cache in the canonical binary format — the export half of
+// warm-start serving: ship the snapshot to a fresh replica (or keep it
+// across restarts) and structurally known jobs never recompile. The
+// snapshot is buffered before the first response byte so failures
+// still get a proper status.
+func (s *server) handlePlansExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	var buf bytes.Buffer
+	n, err := s.engine.SavePlans(&buf)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "plan export: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Phom-Plans", strconv.Itoa(n))
+	w.WriteHeader(http.StatusOK)
+	_, _ = buf.WriteTo(w)
+}
+
+type plansImportResponse struct {
+	Loaded       int `json:"loaded"`
+	PlanCacheLen int `json:"plan_cache_len"`
+}
+
+// handlePlansImport restores a snapshot produced by /plans/export into
+// the engine's plan cache. Records are fully validated; a corrupt
+// snapshot is rejected without panicking, and records decoded before
+// the corruption point stay loaded (the response reports how many).
+func (s *server) handlePlansImport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	n, err := s.engine.LoadPlans(http.MaxBytesReader(w, r.Body, s.bodyLimit()))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("snapshot exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "plan import: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, plansImportResponse{
+		Loaded:       n,
+		PlanCacheLen: s.engine.Stats().PlanCacheLen,
+	})
+}
+
 // parseEdgeKey splits a "from>to" edge designator.
 func parseEdgeKey(key string) (from, to int, ok bool) {
 	a, b, found := strings.Cut(key, ">")
@@ -225,8 +316,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req batchRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Jobs) == 0 {

@@ -9,7 +9,11 @@ import "phom/internal/engine"
 // (query, instance, options). A second, structure-keyed cache holds
 // compiled plans (see Compile), so jobs that differ from earlier ones
 // only in edge probabilities skip recompilation and pay only linear
-// evaluation. Results are byte-identical to sequential Solve: the
+// evaluation. The plan cache is persistent: Engine.SavePlans and
+// Engine.LoadPlans snapshot and restore it in the canonical binary
+// plan format (warm-starting fresh engines or replicas with zero
+// recompiles), and EngineOptions.PlanSnapshotPath automates the loop
+// across restarts. Results are byte-identical to sequential Solve: the
 // engine changes scheduling, never arithmetic.
 type (
 	// Engine is a concurrent batch evaluator; create with NewEngine and

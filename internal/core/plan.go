@@ -3,8 +3,11 @@ package core
 import (
 	"fmt"
 	"math/big"
+	"sort"
+	"sync"
 
 	"phom/internal/graph"
+	"phom/internal/graphio"
 	"phom/internal/plan"
 )
 
@@ -19,18 +22,58 @@ import (
 // CompiledPlan is an evaluable solver plan for one (query or UCQ,
 // instance structure, options) job. Plans are immutable and safe for
 // concurrent Evaluate calls.
+//
+// A non-opaque plan holds the same artifact twice: the plan tree built
+// by the cell compilers of internal/plan (the PR 2 evaluation path,
+// kept as the differential reference and for benchmarks) and its
+// lowering to the flat Program IR, which is what Evaluate executes and
+// what MarshalBinary serializes. Plans restored from a serialized form
+// carry only the program (Tree evaluation is then unavailable); their
+// Evaluate results are identical, because lowering preserves the exact
+// rational arithmetic op for op.
 type CompiledPlan struct {
 	method   Method
 	opaque   bool
-	p        plan.Plan                         // structural evaluator; nil when opaque
+	tree     plan.Plan                         // plan tree; nil when opaque or restored from bytes
+	prog     *plan.Program                     // flattened IR; nil when opaque
 	resolve  func([]*big.Rat) (*Result, error) // opaque re-solve; picks the baseline per evaluation
 	numEdges int
+	// key yields the job's structure identity — graphio.StructKeyJob
+	// plus the compile-time canonical edge order — memoized and
+	// computed on first use (sync.OnceValues), so plain Solve callers
+	// never pay for hashing a key they don't consume. Plans restored
+	// from bytes carry the decoded identity directly.
+	key func() (structKey string, canonOrder []int)
 }
 
 // NumEdges returns the length of the probability vector Evaluate
 // expects: the number of edges of the instance the plan was compiled
 // from.
 func (cp *CompiledPlan) NumEdges() int { return cp.numEdges }
+
+// StructKey returns the structure key of the job the plan was compiled
+// for — the probability-independent job hash of graphio (identical to
+// the structKey of graphio.JobKeys), which keys the engine's plan
+// cache and is embedded in the serialized form. Computed on first use,
+// then memoized; safe for concurrent callers.
+func (cp *CompiledPlan) StructKey() string {
+	k, _ := cp.key()
+	return k
+}
+
+// CanonOrder returns the canonical edge order of the compile-time
+// instance (graphio.CanonicalEdgeOrder), used to transport probability
+// vectors of structurally identical instances with different edge
+// numberings onto the plan's numbering. The returned slice is shared
+// and must not be mutated.
+func (cp *CompiledPlan) CanonOrder() []int {
+	_, order := cp.key()
+	return order
+}
+
+// Program returns the flattened evaluation program, or nil for opaque
+// plans.
+func (cp *CompiledPlan) Program() *plan.Program { return cp.prog }
 
 // Opaque reports whether the plan has no exploitable structure (an
 // exponential-baseline cell): evaluation re-solves from scratch, so
@@ -67,7 +110,24 @@ func (cp *CompiledPlan) Evaluate(probs []*big.Rat) (*Result, error) {
 	if cp.opaque {
 		return cp.resolve(probs)
 	}
-	pr, err := cp.p.Evaluate(probs)
+	pr, err := cp.prog.Exec(probs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Prob: pr, Method: cp.method}, nil
+}
+
+// EvaluateTree evaluates through the plan tree instead of the
+// flattened program — the PR 2 evaluation path, kept as the
+// differential reference (the tests pin Exec and tree evaluation
+// byte-identical) and for the interpreter-vs-tree benchmark. It fails
+// for opaque plans and for plans restored from bytes, which carry no
+// tree.
+func (cp *CompiledPlan) EvaluateTree(probs []*big.Rat) (*Result, error) {
+	if cp.tree == nil {
+		return nil, fmt.Errorf("core: plan has no tree evaluator (opaque or restored from bytes)")
+	}
+	pr, err := cp.tree.Evaluate(probs)
 	if err != nil {
 		return nil, err
 	}
@@ -78,6 +138,46 @@ func (cp *CompiledPlan) Evaluate(probs []*big.Rat) (*Result, error) {
 // which must carry the structure the plan was compiled from.
 func (cp *CompiledPlan) EvaluateInstance(h *graph.ProbGraph) (*Result, error) {
 	return cp.Evaluate(h.Probs())
+}
+
+// MarshalBinary encodes the plan in the canonical binary form of
+// graphio (versioned header, flattened program, embedded structure key
+// and canonical edge order). Opaque plans are not serializable: their
+// evaluation is an exponential re-solve, not data.
+func (cp *CompiledPlan) MarshalBinary() ([]byte, error) {
+	if cp.opaque {
+		return nil, fmt.Errorf("core: opaque plans are not serializable: %w", plan.ErrOpaque)
+	}
+	structKey, canonOrder := cp.key()
+	return graphio.AppendPlanRecord(nil, &graphio.PlanRecord{
+		StructKey:  structKey,
+		Method:     uint8(cp.method),
+		CanonOrder: canonOrder,
+		Program:    cp.prog,
+	})
+}
+
+// UnmarshalBinary decodes a plan encoded by MarshalBinary. The decoded
+// program has passed full static validation, so a plan restored from
+// untrusted bytes can be evaluated but not made to panic; results are
+// correct exactly when the bytes came from an honest encoder.
+func (cp *CompiledPlan) UnmarshalBinary(data []byte) error {
+	rec, err := graphio.DecodePlanRecord(data)
+	if err != nil {
+		return err
+	}
+	m := Method(rec.Method)
+	if m > MethodAutomatonPT {
+		return fmt.Errorf("core: serialized plan has non-structural method %d", rec.Method)
+	}
+	structKey, canonOrder := rec.StructKey, rec.CanonOrder
+	*cp = CompiledPlan{
+		method:   m,
+		prog:     rec.Program,
+		numEdges: rec.Program.NumEdges,
+		key:      func() (string, []int) { return structKey, canonOrder },
+	}
+	return nil
 }
 
 // solveRoute is one tractable cell the solver can dispatch a single
@@ -147,11 +247,12 @@ var solveRoutes = []solveRoute{
 }
 
 // Compile runs the probability-independent phase of Solve on (q, h):
-// validation, classification, dispatch, and construction of the cell's
-// evaluation artifact. The probabilities of h are used only for
-// validation — the returned plan depends solely on the structure of q
-// and h (and on opts, for the baseline limits), so it can be evaluated
-// against any probability assignment over h's edge list.
+// validation, classification, dispatch, construction of the cell's
+// evaluation artifact, and its lowering to the flat Program IR. The
+// probabilities of h are used only for validation — the returned plan
+// depends solely on the structure of q and h (and on opts, for the
+// baseline limits), so it can be evaluated against any probability
+// assignment over h's edge list.
 func Compile(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -166,9 +267,12 @@ func Compile(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*CompiledPlan, 
 		return nil, err
 	}
 	n := h.G.NumEdges()
+	key := sync.OnceValues(func() (string, []int) {
+		return graphio.StructKeyJob([]string{graphio.CanonicalGraph(q)}, h.G, opts.Fingerprint())
+	})
 	// An edgeless query maps every vertex to any instance vertex.
 	if q.NumEdges() == 0 {
-		return constPlan(MethodTrivial, graph.RatOne, n), nil
+		return seal(MethodTrivial, plan.NewConst(graph.RatOne), n, key)
 	}
 	// A query label absent from the instance kills every match.
 	hLabels := map[graph.Label]bool{}
@@ -177,7 +281,7 @@ func Compile(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*CompiledPlan, 
 	}
 	for _, l := range q.Labels() {
 		if !hLabels[l] {
-			return constPlan(MethodLabelMismatch, new(big.Rat), n), nil
+			return seal(MethodLabelMismatch, plan.NewConst(new(big.Rat)), n, key)
 		}
 	}
 	// After the check above, the unlabeled setting (|σ| = 1) holds iff
@@ -190,7 +294,7 @@ func Compile(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*CompiledPlan, 
 			if err != nil {
 				return nil, err
 			}
-			return &CompiledPlan{method: rt.method, p: p, numEdges: n}, nil
+			return seal(rt.method, p, n, key)
 		}
 	}
 
@@ -212,7 +316,7 @@ func Compile(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*CompiledPlan, 
 		}
 		return &Result{Prob: p, Method: MethodLineage}, nil
 	}
-	return opaquePlan(resolve, n), nil
+	return opaquePlan(resolve, n, key), nil
 }
 
 // CompileUCQ runs the probability-independent phase of SolveUCQ,
@@ -224,7 +328,10 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 		return nil, err
 	}
 	if len(qs) == 0 {
-		return constPlan(MethodTrivial, new(big.Rat), h.G.NumEdges()), nil
+		key := sync.OnceValues(func() (string, []int) {
+			return graphio.StructKeyJob(nil, h.G, opts.Fingerprint())
+		})
+		return seal(MethodTrivial, plan.NewConst(new(big.Rat)), h.G.NumEdges(), key)
 	}
 	if h.G.NumVertices() == 0 {
 		return nil, fmt.Errorf("core: empty instance graph")
@@ -233,6 +340,20 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 		return nil, err
 	}
 	n := h.G.NumEdges()
+	// The lazy key canonicalizes the original disjunct list (copied —
+	// the caller keeps its slice — and sorted: union order is
+	// irrelevant to the probability), matching the engine's keying, so
+	// the structure key stamped on the plan is the one the engine's
+	// plan cache derives for the same job.
+	qsCopy := append(UCQ(nil), qs...)
+	key := sync.OnceValues(func() (string, []int) {
+		queryCanon := make([]string, len(qsCopy))
+		for i, q := range qsCopy {
+			queryCanon[i] = graphio.CanonicalGraph(q)
+		}
+		sort.Strings(queryCanon)
+		return graphio.StructKeyJob(queryCanon, h.G, opts.Fingerprint())
+	})
 	hLabels := map[graph.Label]bool{}
 	for _, l := range h.G.Labels() {
 		hLabels[l] = true
@@ -245,7 +366,7 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 			return nil, fmt.Errorf("core: empty query graph in union")
 		}
 		if q.NumEdges() == 0 {
-			return constPlan(MethodTrivial, graph.RatOne, n), nil
+			return seal(MethodTrivial, plan.NewConst(graph.RatOne), n, key)
 		}
 		ok := true
 		for _, l := range q.Labels() {
@@ -259,7 +380,7 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 		}
 	}
 	if len(live) == 0 {
-		return constPlan(MethodLabelMismatch, new(big.Rat), n), nil
+		return seal(MethodLabelMismatch, plan.NewConst(new(big.Rat)), n, key)
 	}
 	unlabeled := len(hLabels) <= 1
 
@@ -287,13 +408,13 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 			// Prop 3.6 lifted: non-graded disjuncts never match a forest
 			// world; the rest collapse to →^minM.
 			if minM < 0 {
-				return constPlan(MethodGradedDWT, new(big.Rat), n), nil
+				return seal(MethodGradedDWT, plan.NewConst(new(big.Rat)), n, key)
 			}
 			p, err := plan.DirectedPathOnDWTs(h, minM)
 			if err != nil {
 				return nil, err
 			}
-			return &CompiledPlan{method: MethodGradedDWT, p: p, numEdges: n}, nil
+			return seal(MethodGradedDWT, p, n, key)
 		}
 		if h.G.InClass(graph.ClassUPT) {
 			// Prop 5.5 lifted, when every disjunct is a ⊔DWT query (the
@@ -317,7 +438,7 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 				if err != nil {
 					return nil, err
 				}
-				return &CompiledPlan{method: MethodAutomatonPT, p: p, numEdges: n}, nil
+				return seal(MethodAutomatonPT, p, n, key)
 			}
 		}
 	}
@@ -328,7 +449,7 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 		if err != nil {
 			return nil, err
 		}
-		return &CompiledPlan{method: MethodXProperty2WP, p: p, numEdges: n}, nil
+		return seal(MethodXProperty2WP, p, n, key)
 	}
 
 	// Labeled 1WP disjuncts on ⊔DWT instances: merged chain lineage
@@ -345,7 +466,7 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 		if err != nil {
 			return nil, err
 		}
-		return &CompiledPlan{method: MethodBetaAcyclicDWT, p: p, numEdges: n}, nil
+		return seal(MethodBetaAcyclicDWT, p, n, key)
 	}
 
 	if opts.disableFallback() {
@@ -363,15 +484,29 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 		}
 		return &Result{Prob: p, Method: MethodBruteForce}, nil
 	}
-	return opaquePlan(resolve, n), nil
+	return opaquePlan(resolve, n, key), nil
 }
 
-func constPlan(m Method, v *big.Rat, numEdges int) *CompiledPlan {
-	return &CompiledPlan{method: m, p: plan.NewConst(v), numEdges: numEdges}
+// seal lowers a plan tree to its flattened program and stamps the
+// job's structure identity on the resulting CompiledPlan. Every
+// structural compile path funnels through here, so non-opaque plans
+// always carry both evaluation forms and are always serializable.
+func seal(m Method, p plan.Plan, numEdges int, key func() (string, []int)) (*CompiledPlan, error) {
+	prog, err := plan.Lower(p, numEdges)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledPlan{
+		method:   m,
+		tree:     p,
+		prog:     prog,
+		numEdges: numEdges,
+		key:      key,
+	}, nil
 }
 
-func opaquePlan(resolve func([]*big.Rat) (*Result, error), numEdges int) *CompiledPlan {
-	return &CompiledPlan{opaque: true, resolve: resolve, numEdges: numEdges}
+func opaquePlan(resolve func([]*big.Rat) (*Result, error), numEdges int, key func() (string, []int)) *CompiledPlan {
+	return &CompiledPlan{opaque: true, resolve: resolve, numEdges: numEdges, key: key}
 }
 
 // reweighted returns h's structure carrying the given probability

@@ -1,0 +1,93 @@
+package ddnnf
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// OpEmitter receives the flattened arithmetic of EmitOps: one Mul per
+// AND input, one Add per OR input, Load/OneMinus for literals — the
+// linear-time d-DNNF probability computation as straight-line code.
+// Load yields the probability of circuit variable v (the emitter owns
+// the mapping from variables to instance edges); Release returns a
+// register whose value is no longer needed. Implemented by the Program
+// builder adapters of internal/plan.
+type OpEmitter interface {
+	Load(v int) uint32
+	Const(v *big.Rat) uint32
+	Mul(a, b uint32) uint32
+	Add(a, b uint32) uint32
+	OneMinus(a uint32) uint32
+	Release(r uint32)
+}
+
+var (
+	emitOne  = big.NewRat(1, 1)
+	emitZero = new(big.Rat)
+)
+
+// EmitOps lowers the probability computation of the subcircuit rooted
+// at g (the arithmetic of Prob: AND → ×, OR → +) to flat ops on em,
+// returning the register holding the result. Gate results are memoized
+// like in Prob, so shared subcircuits emit once; their registers are
+// consequently shared by later consumers and never released.
+func (c *Circuit) EmitOps(g Gate, em OpEmitter) (uint32, error) {
+	if int(g) < 0 || int(g) >= len(c.gates) {
+		return 0, fmt.Errorf("ddnnf: gate %d of %d", g, len(c.gates))
+	}
+	memo := make([]uint32, len(c.gates))
+	done := make([]bool, len(c.gates))
+	var rec func(Gate) uint32
+	rec = func(g Gate) uint32 {
+		if done[g] {
+			return memo[g]
+		}
+		gd := c.gates[g]
+		var r uint32
+		switch gd.kind {
+		case kindFalse:
+			r = em.Const(emitZero)
+		case kindTrue:
+			r = em.Const(emitOne)
+		case kindLit:
+			if gd.neg {
+				lit := em.Load(gd.v)
+				r = em.OneMinus(lit)
+				em.Release(lit)
+			} else {
+				r = em.Load(gd.v)
+			}
+		case kindAnd, kindOr:
+			if len(gd.inputs) == 0 {
+				if gd.kind == kindAnd {
+					r = em.Const(emitOne)
+				} else {
+					r = em.Const(emitZero)
+				}
+				break
+			}
+			// Fold inputs left to right. Intermediate accumulators are
+			// fresh registers and releasable; input registers may be
+			// memoized gates shared with other parents, so they are not.
+			acc := rec(gd.inputs[0])
+			fresh := false
+			for _, in := range gd.inputs[1:] {
+				ri := rec(in)
+				var next uint32
+				if gd.kind == kindAnd {
+					next = em.Mul(acc, ri)
+				} else {
+					next = em.Add(acc, ri)
+				}
+				if fresh {
+					em.Release(acc)
+				}
+				acc, fresh = next, true
+			}
+			r = acc
+		}
+		memo[g], done[g] = r, true
+		return r
+	}
+	return rec(g), nil
+}

@@ -24,7 +24,10 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -58,6 +61,14 @@ type Options struct {
 	// DefaultPlanCacheSize; negative disables plan caching, making every
 	// executed job compile from scratch.
 	PlanCacheSize int
+	// PlanSnapshotPath, when non-empty, names a snapshot file for the
+	// plan cache: New restores cached plans from it if it exists (a
+	// warm start — restored structures serve reweights without ever
+	// compiling), and Close writes the current plan cache back to it.
+	// Snapshot failures never fail the engine — the snapshot is a
+	// cache, not state — they are counted in Stats.SnapshotErrors (and
+	// a failed save is additionally reported by Close).
+	PlanSnapshotPath string
 }
 
 // Job is one evaluation: a query (or a union of conjunctive queries), a
@@ -128,6 +139,16 @@ type Stats struct {
 	PlanHits uint64 `json:"plan_hits"`
 	// PlanCompiles counts executed jobs that compiled a fresh plan.
 	PlanCompiles uint64 `json:"plan_compiles"`
+	// PlansLoaded counts plan records restored into the plan cache by
+	// LoadPlans (including the boot restore of Options.PlanSnapshotPath).
+	PlansLoaded uint64 `json:"plans_loaded"`
+	// PlansSaved counts plan records written by SavePlans (including
+	// the Close snapshot of Options.PlanSnapshotPath).
+	PlansSaved uint64 `json:"plans_saved"`
+	// SnapshotErrors counts failed snapshot restores and saves
+	// (malformed snapshot files, filesystem errors). A missing boot
+	// snapshot is a cold start, not an error.
+	SnapshotErrors uint64 `json:"snapshot_errors"`
 	// CacheLen is the current number of memoized results.
 	CacheLen int `json:"cache_len"`
 	// PlanCacheLen is the current number of cached compiled plans.
@@ -145,29 +166,26 @@ type call struct {
 // Engine is a concurrent batch evaluator. Create with New; an Engine
 // must not be copied. All methods are safe for concurrent use.
 type Engine struct {
-	workers int
-	jobs    chan func()
-	wg      sync.WaitGroup // worker goroutines
+	workers  int
+	jobs     chan func()
+	wg       sync.WaitGroup // worker goroutines
+	snapPath string         // Options.PlanSnapshotPath
 
 	mu         sync.Mutex
 	closed     bool
 	active     sync.WaitGroup // Solve/SolveBatch calls in flight, for Close
 	inflight   map[string]*call
-	cache      *lruCache[*core.Result]  // nil when memoization is disabled
-	plans      *lruCache[*planEntry]    // nil when plan caching is disabled
-	planFlight map[string]chan struct{} // structures being compiled right now
+	cache      *lruCache[*core.Result]       // nil when memoization is disabled
+	plans      *lruCache[*core.CompiledPlan] // nil when plan caching is disabled
+	planFlight map[string]chan struct{}      // structures being compiled right now
 	stats      Stats
 }
 
-// planEntry is a cached compiled plan together with the canonical edge
-// order of the instance it was compiled from, which transports a fresh
-// instance's probability vector onto the plan's edge numbering.
-type planEntry struct {
-	cp         *core.CompiledPlan
-	canonOrder []int
-}
-
-// New starts an Engine with the given options.
+// New starts an Engine with the given options. When
+// Options.PlanSnapshotPath names an existing snapshot, the plan cache
+// is warm-started from it before the engine accepts jobs; restore
+// failures are counted (Stats.SnapshotErrors) but never prevent
+// startup, since the snapshot is only a cache.
 func New(opts Options) *Engine {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -180,20 +198,34 @@ func New(opts Options) *Engine {
 	case opts.CacheSize > 0:
 		cache = newLRUCache[*core.Result](opts.CacheSize)
 	}
-	var plans *lruCache[*planEntry]
+	var plans *lruCache[*core.CompiledPlan]
 	switch {
 	case opts.PlanCacheSize == 0:
-		plans = newLRUCache[*planEntry](DefaultPlanCacheSize)
+		plans = newLRUCache[*core.CompiledPlan](DefaultPlanCacheSize)
 	case opts.PlanCacheSize > 0:
-		plans = newLRUCache[*planEntry](opts.PlanCacheSize)
+		plans = newLRUCache[*core.CompiledPlan](opts.PlanCacheSize)
 	}
 	e := &Engine{
 		workers:    workers,
 		jobs:       make(chan func()),
+		snapPath:   opts.PlanSnapshotPath,
 		inflight:   make(map[string]*call),
 		cache:      cache,
 		plans:      plans,
 		planFlight: make(map[string]chan struct{}),
+	}
+	if e.snapPath != "" && e.plans != nil {
+		if f, err := os.Open(e.snapPath); err == nil {
+			_, lerr := e.LoadPlans(f)
+			f.Close()
+			if lerr != nil {
+				e.mu.Lock()
+				e.stats.SnapshotErrors++
+				e.mu.Unlock()
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			e.stats.SnapshotErrors++ // engine not yet shared: no lock needed
+		}
 	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -298,8 +330,11 @@ func (e *Engine) SolveBatch(jobs []Job) []JobResult {
 }
 
 // Close shuts the engine down: it waits for in-flight jobs to finish,
-// stops the workers, and makes further submissions fail with ErrClosed.
-// Close is idempotent.
+// stops the workers, snapshots the plan cache to
+// Options.PlanSnapshotPath if one was configured, and makes further
+// submissions fail with ErrClosed. Close is idempotent: the second and
+// later calls return nil without repeating any of this (in particular
+// the snapshot is written at most once).
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -311,7 +346,125 @@ func (e *Engine) Close() error {
 	e.active.Wait() // no submission can enqueue after closed is set
 	close(e.jobs)
 	e.wg.Wait()
+	if e.snapPath != "" && e.plans != nil {
+		if err := e.snapshotToPath(); err != nil {
+			e.mu.Lock()
+			e.stats.SnapshotErrors++
+			e.mu.Unlock()
+			return fmt.Errorf("engine: plan snapshot: %w", err)
+		}
+	}
 	return nil
+}
+
+// snapshotToPath writes the plan cache to the configured snapshot file
+// via a temp-file rename, so a crash mid-write never leaves a
+// truncated snapshot behind.
+func (e *Engine) snapshotToPath() error {
+	dir := filepath.Dir(e.snapPath)
+	tmp, err := os.CreateTemp(dir, ".phom-plans-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := e.savePlansUnchecked(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), e.snapPath)
+}
+
+// SavePlans writes a snapshot of the plan cache to w — every cached
+// structural plan in its canonical binary encoding (opaque plans are
+// skipped: they are closures over exponential baselines, not data).
+// The snapshot can be restored by LoadPlans on any engine, including
+// in another process or on another replica: plans embed their
+// structure key, so a restored cache serves reweights of the same
+// structures without a single compilation. Returns the number of
+// plans written.
+func (e *Engine) SavePlans(w io.Writer) (int, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, ErrClosed
+	}
+	e.mu.Unlock()
+	return e.savePlansUnchecked(w)
+}
+
+// savePlansUnchecked is SavePlans without the closed check, shared with
+// the Close-time snapshot (which runs after closed is set).
+func (e *Engine) savePlansUnchecked(w io.Writer) (int, error) {
+	// Snapshot the entries under the lock, then encode and write
+	// without it: plans are immutable, so only the cache walk needs
+	// synchronization.
+	e.mu.Lock()
+	var cps []*core.CompiledPlan
+	if e.plans != nil {
+		// Oldest first: sequential re-insertion on load restores the
+		// recency order.
+		for _, cp := range e.plans.values() {
+			cps = append(cps, cp)
+		}
+	}
+	e.mu.Unlock()
+	var records [][]byte
+	for _, cp := range cps {
+		if cp.Opaque() {
+			continue
+		}
+		rec, err := cp.MarshalBinary()
+		if err != nil {
+			return 0, err
+		}
+		records = append(records, rec)
+	}
+	if err := graphio.WritePlanSnapshot(w, records); err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	e.stats.PlansSaved += uint64(len(records))
+	e.mu.Unlock()
+	return len(records), nil
+}
+
+// LoadPlans restores plans from a snapshot written by SavePlans,
+// merging them into the plan cache keyed by their embedded structure
+// keys (existing entries for the same structure are replaced; the
+// cache bound applies as usual). Every record is fully validated —
+// corrupt snapshots yield an error, never a panic or an invalid
+// cached plan. Returns the number of plans restored; on error, plans
+// decoded before the failure remain cached.
+func (e *Engine) LoadPlans(r io.Reader) (int, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if e.plans == nil {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("engine: plan caching is disabled")
+	}
+	e.mu.Unlock()
+	loaded := 0
+	err := graphio.ReadPlanSnapshot(r, func(rec []byte) error {
+		cp := new(core.CompiledPlan)
+		if err := cp.UnmarshalBinary(rec); err != nil {
+			return err
+		}
+		e.mu.Lock()
+		if e.plans != nil {
+			e.plans.add(cp.StructKey(), cp)
+			e.stats.PlansLoaded++
+			loaded++
+		}
+		e.mu.Unlock()
+		return nil
+	})
+	return loaded, err
 }
 
 // prepare validates the job and returns its canonical key and the solver
@@ -365,7 +518,7 @@ func (e *Engine) prepare(job Job) (string, func() (*core.Result, error), *bool, 
 func (e *Engine) runPlanned(structKey string, canonOrder []int, job Job, qs []*graph.Graph, planHit *bool) (*core.Result, error) {
 	registered := false
 	for {
-		var ent *planEntry
+		var ent *core.CompiledPlan
 		var wait chan struct{}
 		e.mu.Lock()
 		if e.plans == nil {
@@ -407,7 +560,7 @@ func (e *Engine) runPlanned(structKey string, canonOrder []int, job Job, qs []*g
 		e.mu.Lock()
 		e.stats.PlanHits++
 		e.mu.Unlock()
-		return ent.cp.Evaluate(probs)
+		return ent.Evaluate(probs)
 	}
 	var cp *core.CompiledPlan
 	var err error
@@ -420,7 +573,7 @@ func (e *Engine) runPlanned(structKey string, canonOrder []int, job Job, qs []*g
 	if err == nil {
 		e.stats.PlanCompiles++
 		if e.plans != nil {
-			e.plans.add(structKey, &planEntry{cp: cp, canonOrder: canonOrder})
+			e.plans.add(structKey, cp)
 		}
 	}
 	if registered {
@@ -438,15 +591,17 @@ func (e *Engine) runPlanned(structKey string, canonOrder []int, job Job, qs []*g
 
 // transportProbs maps the probability vector of h onto the edge
 // numbering of the cached plan: rank k of h's canonical edge order cur
-// corresponds to rank k of the compile-time instance's canonical order,
-// because equal StructKeys mean equal canonical edge sequences.
-func transportProbs(ent *planEntry, cur []int, h *graph.ProbGraph) ([]*big.Rat, bool) {
-	if len(cur) != len(ent.canonOrder) || ent.cp.NumEdges() != len(ent.canonOrder) {
+// corresponds to rank k of the compile-time instance's canonical order
+// (carried by the plan itself, surviving serialization), because equal
+// StructKeys mean equal canonical edge sequences.
+func transportProbs(cp *core.CompiledPlan, cur []int, h *graph.ProbGraph) ([]*big.Rat, bool) {
+	order := cp.CanonOrder()
+	if len(cur) != len(order) || cp.NumEdges() != len(order) {
 		return nil, false
 	}
 	probs := make([]*big.Rat, len(cur))
 	for k, ei := range cur {
-		probs[ent.canonOrder[k]] = h.Prob(ei)
+		probs[order[k]] = h.Prob(ei)
 	}
 	return probs, true
 }
@@ -524,6 +679,16 @@ func newLRUCache[V any](capacity int) *lruCache[V] {
 }
 
 func (c *lruCache[V]) len() int { return c.order.Len() }
+
+// values returns the cached values oldest-first, without touching
+// recency.
+func (c *lruCache[V]) values() []V {
+	out := make([]V, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		out = append(out, el.Value.(*lruEntry[V]).val)
+	}
+	return out
+}
 
 func (c *lruCache[V]) get(key string) (V, bool) {
 	el, ok := c.entries[key]

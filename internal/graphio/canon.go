@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -95,6 +96,30 @@ func StructKey(queryCanon []string, instanceStructCanon, optsFingerprint string)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// The structure byte stream — "struct\n", the query sections, the
+// instance header, one canonical edge line per edge, the options
+// section — is written by exactly one set of helpers below, shared by
+// JobKeys and StructKeyJob. Plan-cache correctness depends on the two
+// producing identical structure keys (compiled plans are stamped with
+// StructKeyJob, the engine keys lookups with JobKeys), so the stream
+// must have a single definition; TestStructKeyJobMatchesJobKeys pins
+// the equality end to end.
+
+// writeJobSections writes the query sections and the instance header
+// shared by the job and structure streams.
+func writeJobSections(w io.Writer, queryCanon []string, numVertices int) {
+	for _, q := range queryCanon {
+		fmt.Fprintf(w, "q %d\n%s\n", len(q), q)
+	}
+	fmt.Fprintf(w, "i n=%d\n", numVertices)
+}
+
+// writeOptsSection writes the options fingerprint section closing both
+// streams.
+func writeOptsSection(w io.Writer, optsFingerprint string) {
+	fmt.Fprintf(w, "o %d\n%s\n", len(optsFingerprint), optsFingerprint)
+}
+
 // JobKeys computes JobKey and StructKey for an instance in one pass:
 // the instance's edges are visited once in canonical edge order
 // (numeric, no string sort) and streamed into both hashes, instead of
@@ -110,12 +135,8 @@ func StructKey(queryCanon []string, instanceStructCanon, optsFingerprint string)
 func JobKeys(queryCanon []string, p *graph.ProbGraph, optsFingerprint string) (jobKey, structKey string, order []int) {
 	hj, hs := sha256.New(), sha256.New()
 	fmt.Fprintf(hs, "struct\n")
-	for _, q := range queryCanon {
-		fmt.Fprintf(hj, "q %d\n%s\n", len(q), q)
-		fmt.Fprintf(hs, "q %d\n%s\n", len(q), q)
-	}
-	fmt.Fprintf(hj, "i n=%d\n", p.G.NumVertices())
-	fmt.Fprintf(hs, "i n=%d\n", p.G.NumVertices())
+	both := io.MultiWriter(hj, hs)
+	writeJobSections(both, queryCanon, p.G.NumVertices())
 	order = CanonicalEdgeOrder(p.G)
 	var buf []byte
 	for _, ei := range order {
@@ -132,9 +153,31 @@ func JobKeys(queryCanon []string, p *graph.ProbGraph, optsFingerprint string) (j
 		buf = append(buf, '\n')
 		hj.Write(buf)
 	}
-	fmt.Fprintf(hj, "o %d\n%s\n", len(optsFingerprint), optsFingerprint)
-	fmt.Fprintf(hs, "o %d\n%s\n", len(optsFingerprint), optsFingerprint)
+	writeOptsSection(both, optsFingerprint)
 	return hex.EncodeToString(hj.Sum(nil)), hex.EncodeToString(hs.Sum(nil)), order
+}
+
+// StructKeyJob computes the structure key and canonical edge order of
+// a job directly from the instance's underlying graph, writing the
+// exact byte stream that JobKeys feeds its structure hash — the two
+// functions return identical structKey values for the same job. It
+// exists for callers that have no probability assignment at hand:
+// package core stamps every compiled plan with its structure key so
+// plans serialize self-describing (the engine's snapshot restore keys
+// them without re-deriving anything).
+func StructKeyJob(queryCanon []string, g *graph.Graph, optsFingerprint string) (structKey string, order []int) {
+	hs := sha256.New()
+	fmt.Fprintf(hs, "struct\n")
+	writeJobSections(hs, queryCanon, g.NumVertices())
+	order = CanonicalEdgeOrder(g)
+	var buf []byte
+	for _, ei := range order {
+		buf = canonEdgeLine(buf[:0], g.Edge(ei))
+		buf = append(buf, '\n')
+		hs.Write(buf)
+	}
+	writeOptsSection(hs, optsFingerprint)
+	return hex.EncodeToString(hs.Sum(nil)), order
 }
 
 // CanonicalEdgeOrder returns the edge indices of g sorted by endpoint

@@ -2,10 +2,12 @@ package graphio
 
 import (
 	"bytes"
+	"math/big"
 	"strings"
 	"testing"
 
 	"phom/internal/graph"
+	"phom/internal/plan"
 )
 
 // FuzzParseProbGraph: the text parser must never panic — malformed input
@@ -49,6 +51,69 @@ func FuzzParseProbGraph(f *testing.F) {
 		}
 		if CanonicalGraph(pg.G) != CanonicalGraph(pg2.G) {
 			t.Fatalf("round-trip changed the structural canonical form")
+		}
+	})
+}
+
+// FuzzDecodePlanRecord: the plan decoder must never panic or demand
+// unbounded memory on corrupt snapshots — malformed records error
+// cleanly — and accepted records must re-encode canonically (decode ∘
+// encode ∘ decode is the identity) and execute without panicking.
+func FuzzDecodePlanRecord(f *testing.F) {
+	// Seed with a well-formed record and some near-misses.
+	b := plan.NewBuilder(2)
+	p0 := b.Load(0)
+	om := b.OneMinus(p0)
+	p1 := b.Load(1)
+	m := b.Mul(om, p1)
+	c := b.Const(big.NewRat(1, 3))
+	out := b.Add(m, c)
+	prog, err := b.Finish(out)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := AppendPlanRecord(nil, &PlanRecord{
+		StructKey:  strings.Repeat("f0", 32),
+		Method:     2,
+		CanonOrder: []int{1, 0},
+		Program:    prog,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte("phomplan"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodePlanRecord(data)
+		if err != nil {
+			return
+		}
+		// Accepted records are valid by contract: re-encoding must
+		// succeed and be stable, and the program must execute.
+		enc, err := AppendPlanRecord(nil, rec)
+		if err != nil {
+			t.Fatalf("decoded record does not re-encode: %v", err)
+		}
+		rec2, err := DecodePlanRecord(enc)
+		if err != nil {
+			t.Fatalf("re-encoded record does not decode: %v", err)
+		}
+		enc2, err := AppendPlanRecord(nil, rec2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("round trip is not stable")
+		}
+		probs := make([]*big.Rat, rec.Program.NumEdges)
+		for i := range probs {
+			probs[i] = big.NewRat(1, 2)
+		}
+		if _, err := rec.Program.Exec(probs); err != nil {
+			t.Fatalf("validated program failed to execute: %v", err)
 		}
 	})
 }

@@ -38,8 +38,14 @@ import (
 // was compiled from (position i holds π of edge i); callers reweighting
 // a structurally identical instance with a different edge numbering must
 // permute the vector first (see graphio.CanonicalEdgeOrder).
+//
+// Evaluate walks the plan tree (the PR 2 evaluation path, kept as the
+// differential reference); EmitOps lowers the same arithmetic to the
+// flat Program IR, which is what the solver pipeline executes and what
+// internal/graphio serializes. Opaque plans do not lower (ErrOpaque).
 type Plan interface {
 	Evaluate(probs []*big.Rat) (*big.Rat, error)
+	EmitOps(b *Builder) (uint32, error)
 }
 
 // Const is the plan of a job decided by structure alone: a trivial

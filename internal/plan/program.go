@@ -1,0 +1,302 @@
+package plan
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// This file defines the flattened evaluation IR: a Program is a linear
+// instruction stream over a register file of rationals, the common
+// compilation target of every non-opaque plan. Where the PR 2 plan tree
+// evaluated through a heterogeneous set of Go closures (chain DP,
+// interval DP, d-DNNF traversal), a Program is pure data — one op
+// array, one constant pool — executed by the single Exec hot loop
+// below, and serializable by internal/graphio. The per-substrate tree
+// evaluators remain as the differential reference (Plan.Evaluate);
+// Lower turns a tree into its Program.
+
+// OpCode enumerates the instruction set. The set is deliberately tiny:
+// every tractable cell of the paper evaluates by a straight-line
+// sequence of loads, constants, multiplications, additions and
+// complementations (the chain and interval dynamic programs unroll —
+// their trellises are fixed at compile time — and d-DNNF gates map one
+// op per gate input).
+type OpCode uint8
+
+const (
+	// OpConst sets reg[Dst] to the constant pool entry A.
+	OpConst OpCode = iota
+	// OpLoad sets reg[Dst] to π[A], the probability of instance edge A.
+	OpLoad
+	// OpMul sets reg[Dst] to reg[A] · reg[B].
+	OpMul
+	// OpAdd sets reg[Dst] to reg[A] + reg[B].
+	OpAdd
+	// OpOneMinus sets reg[Dst] to 1 − reg[A].
+	OpOneMinus
+
+	numOpCodes = iota // count of defined opcodes, for validation
+)
+
+// Op is one instruction. A and B are register indices for OpMul/OpAdd,
+// A is a register index for OpOneMinus, a constant-pool index for
+// OpConst, and an instance edge index for OpLoad.
+type Op struct {
+	Code OpCode
+	Dst  uint32
+	A    uint32
+	B    uint32
+}
+
+// Program is a compiled plan flattened into straight-line code: execute
+// the ops in order against a register file of NumRegs rationals, then
+// read the result from register Out. Programs are immutable after
+// construction and safe for concurrent Exec calls (each call owns its
+// register file). Programs built by Lower are valid by construction;
+// decoded ones must pass Validate before Exec (the decoder of
+// internal/graphio enforces this).
+type Program struct {
+	// NumEdges is the length of the probability vector Exec expects —
+	// the edge count of the instance the plan was compiled from.
+	NumEdges int
+	// NumRegs is the size of the register file.
+	NumRegs int
+	// Consts is the constant pool (exact rationals).
+	Consts []*big.Rat
+	// Ops is the instruction stream.
+	Ops []Op
+	// Out is the register holding the result after the last op.
+	Out uint32
+}
+
+// NumOps returns the instruction count.
+func (p *Program) NumOps() int { return len(p.Ops) }
+
+// Validate checks the program statically: opcode and operand ranges,
+// definition before use, and a defined Out register. A valid program
+// cannot make Exec panic on any probability vector of length NumEdges.
+func (p *Program) Validate() error {
+	if p.NumEdges < 0 {
+		return fmt.Errorf("plan: negative edge count %d", p.NumEdges)
+	}
+	if p.NumRegs < 1 {
+		return fmt.Errorf("plan: program needs at least one register, has %d", p.NumRegs)
+	}
+	if len(p.Ops) == 0 {
+		return fmt.Errorf("plan: empty instruction stream")
+	}
+	if p.NumRegs > len(p.Ops) {
+		// Every register must be written before use and each op writes
+		// exactly one, so more registers than ops means dead registers —
+		// and would let a hostile encoding demand unbounded memory.
+		return fmt.Errorf("plan: %d registers for %d ops", p.NumRegs, len(p.Ops))
+	}
+	for i, c := range p.Consts {
+		if c == nil {
+			return fmt.Errorf("plan: nil constant %d", i)
+		}
+	}
+	defined := make([]bool, p.NumRegs)
+	for i, op := range p.Ops {
+		if op.Code >= numOpCodes {
+			return fmt.Errorf("plan: op %d: unknown opcode %d", i, op.Code)
+		}
+		if int(op.Dst) >= p.NumRegs {
+			return fmt.Errorf("plan: op %d: destination register %d of %d", i, op.Dst, p.NumRegs)
+		}
+		switch op.Code {
+		case OpConst:
+			if int(op.A) >= len(p.Consts) {
+				return fmt.Errorf("plan: op %d: constant %d of %d", i, op.A, len(p.Consts))
+			}
+		case OpLoad:
+			if int(op.A) >= p.NumEdges {
+				return fmt.Errorf("plan: op %d: edge %d of %d", i, op.A, p.NumEdges)
+			}
+		case OpMul, OpAdd:
+			if int(op.A) >= p.NumRegs || !defined[op.A] {
+				return fmt.Errorf("plan: op %d: operand register %d undefined", i, op.A)
+			}
+			if int(op.B) >= p.NumRegs || !defined[op.B] {
+				return fmt.Errorf("plan: op %d: operand register %d undefined", i, op.B)
+			}
+		case OpOneMinus:
+			if int(op.A) >= p.NumRegs || !defined[op.A] {
+				return fmt.Errorf("plan: op %d: operand register %d undefined", i, op.A)
+			}
+		}
+		defined[op.Dst] = true
+	}
+	if int(p.Out) >= p.NumRegs || !defined[p.Out] {
+		return fmt.Errorf("plan: output register %d undefined", p.Out)
+	}
+	return nil
+}
+
+// Exec interprets the program against the probability vector probs
+// (indexed by the edge list of the instance the plan was compiled
+// from) and returns a freshly allocated result. All arithmetic is
+// exact; the result is the same rational the plan tree's Evaluate
+// computes, hence RatString-byte-identical.
+func (p *Program) Exec(probs []*big.Rat) (*big.Rat, error) {
+	if len(probs) != p.NumEdges {
+		return nil, fmt.Errorf("plan: %d probabilities for a program over %d edges", len(probs), p.NumEdges)
+	}
+	regs := make([]big.Rat, p.NumRegs)
+	one := big.NewRat(1, 1)
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		switch op.Code {
+		case OpConst:
+			regs[op.Dst].Set(p.Consts[op.A])
+		case OpLoad:
+			pr := probs[op.A]
+			if pr == nil {
+				return nil, fmt.Errorf("plan: nil probability for edge %d", op.A)
+			}
+			regs[op.Dst].Set(pr)
+		case OpMul:
+			regs[op.Dst].Mul(&regs[op.A], &regs[op.B])
+		case OpAdd:
+			regs[op.Dst].Add(&regs[op.A], &regs[op.B])
+		case OpOneMinus:
+			regs[op.Dst].Sub(one, &regs[op.A])
+		default:
+			return nil, fmt.Errorf("plan: unknown opcode %d", op.Code)
+		}
+	}
+	return new(big.Rat).Set(&regs[p.Out]), nil
+}
+
+// Builder assembles a Program. Lowering code obtains registers from the
+// emit methods and returns exhausted ones with Release, which bounds
+// the register file by the peak live-value count of the computation
+// rather than its length. Errors (out-of-range loads) are sticky and
+// reported by Finish, so lowering code needs no per-call checks.
+type Builder struct {
+	numEdges int
+	ops      []Op
+	consts   []*big.Rat
+	constIdx map[string]uint32
+	numRegs  uint32
+	free     []uint32
+	err      error
+}
+
+// NewBuilder returns a Builder for programs over numEdges instance
+// edges.
+func NewBuilder(numEdges int) *Builder {
+	return &Builder{numEdges: numEdges, constIdx: make(map[string]uint32)}
+}
+
+func (b *Builder) alloc() uint32 {
+	if n := len(b.free); n > 0 {
+		r := b.free[n-1]
+		b.free = b.free[:n-1]
+		return r
+	}
+	r := b.numRegs
+	b.numRegs++
+	return r
+}
+
+// Release returns a register to the free pool. The value it holds must
+// not be referenced by any later op.
+func (b *Builder) Release(r uint32) { b.free = append(b.free, r) }
+
+// Load emits reg ← π[edge] and returns the register.
+func (b *Builder) Load(edge int) uint32 {
+	if edge < 0 || edge >= b.numEdges {
+		b.fail(fmt.Errorf("plan: load of edge %d of %d", edge, b.numEdges))
+		return 0
+	}
+	dst := b.alloc()
+	b.ops = append(b.ops, Op{Code: OpLoad, Dst: dst, A: uint32(edge)})
+	return dst
+}
+
+// Const emits reg ← v and returns the register. Equal rationals share
+// one constant-pool entry.
+func (b *Builder) Const(v *big.Rat) uint32 {
+	key := v.RatString()
+	idx, ok := b.constIdx[key]
+	if !ok {
+		idx = uint32(len(b.consts))
+		b.consts = append(b.consts, new(big.Rat).Set(v))
+		b.constIdx[key] = idx
+	}
+	dst := b.alloc()
+	b.ops = append(b.ops, Op{Code: OpConst, Dst: dst, A: idx})
+	return dst
+}
+
+// One emits reg ← 1.
+func (b *Builder) One() uint32 { return b.Const(ratOne) }
+
+// Zero emits reg ← 0.
+func (b *Builder) Zero() uint32 { return b.Const(ratZero) }
+
+// Mul emits reg ← a·b into a fresh register.
+func (b *Builder) Mul(a, r2 uint32) uint32 {
+	dst := b.alloc()
+	b.ops = append(b.ops, Op{Code: OpMul, Dst: dst, A: a, B: r2})
+	return dst
+}
+
+// Add emits reg ← a+b into a fresh register.
+func (b *Builder) Add(a, r2 uint32) uint32 {
+	dst := b.alloc()
+	b.ops = append(b.ops, Op{Code: OpAdd, Dst: dst, A: a, B: r2})
+	return dst
+}
+
+// OneMinus emits reg ← 1−a into a fresh register.
+func (b *Builder) OneMinus(a uint32) uint32 {
+	dst := b.alloc()
+	b.ops = append(b.ops, Op{Code: OpOneMinus, Dst: dst, A: a})
+	return dst
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Finish seals the program with out as the result register. The
+// returned program is valid by construction; Validate is run once as a
+// cheap internal consistency check on the lowering itself.
+func (b *Builder) Finish(out uint32) (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := &Program{
+		NumEdges: b.numEdges,
+		NumRegs:  int(b.numRegs),
+		Consts:   b.consts,
+		Ops:      b.ops,
+		Out:      out,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: lowering produced an invalid program: %v", err)
+	}
+	return p, nil
+}
+
+var (
+	ratOne  = big.NewRat(1, 1)
+	ratZero = new(big.Rat)
+)
+
+// Lower flattens a plan tree into a Program over numEdges instance
+// edges. Opaque plans have no program (ErrOpaque): their evaluation
+// re-runs an exponential baseline and is not expressible as
+// straight-line arithmetic.
+func Lower(p Plan, numEdges int) (*Program, error) {
+	b := NewBuilder(numEdges)
+	out, err := p.EmitOps(b)
+	if err != nil {
+		return nil, err
+	}
+	return b.Finish(out)
+}

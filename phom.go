@@ -167,6 +167,13 @@ func Solve(query *Graph, instance *ProbGraph, opts *Options) (*Result, error) {
 // Every tractable cell evaluates in linear time; #P-hard cells compile
 // to an opaque plan that re-solves per evaluation (Plan.Opaque reports
 // this). Plans are immutable and safe for concurrent use.
+//
+// Non-opaque plans are first-class data: internally a flattened
+// evaluation program (see DESIGN.md, "Evaluation IR and plan
+// serialization") with a canonical binary form via MarshalBinary /
+// UnmarshalBinary, so compiled structures can be persisted and shipped
+// between processes. An Engine's plan cache uses this to warm-start
+// (Engine.SavePlans / LoadPlans, EngineOptions.PlanSnapshotPath).
 type Plan = core.CompiledPlan
 
 // Compile runs the probability-independent phase of Solve on

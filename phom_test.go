@@ -140,6 +140,68 @@ func TestCompileReweightAPI(t *testing.T) {
 	}
 }
 
+// TestPlanSerializationAPI exercises the public wire form of compiled
+// plans: MarshalBinary/UnmarshalBinary round-trips a plan that keeps
+// evaluating byte-identically, and opaque plans refuse to serialize.
+func TestPlanSerializationAPI(t *testing.T) {
+	q := Path1WP("R", "S")
+	g := New(4)
+	g.MustAddEdge(0, 1, "R")
+	g.MustAddEdge(1, 2, "S")
+	g.MustAddEdge(1, 3, "S")
+	h := NewProbGraph(g)
+	h.MustSetEdgeProb(0, 1, Rat("1/2"))
+
+	cp, err := Compile(q, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := cp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := new(Plan)
+	if err := restored.UnmarshalBinary(wire); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 10; trial++ {
+		for i := 0; i < g.NumEdges(); i++ {
+			if err := h.SetProb(i, big.NewRat(int64(r.Intn(17)), 16)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := cp.Evaluate(h.Probs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Evaluate(h.Probs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Prob.RatString() != want.Prob.RatString() {
+			t.Fatalf("trial %d: restored %s, original %s",
+				trial, got.Prob.RatString(), want.Prob.RatString())
+		}
+	}
+
+	// A hard cell compiles to an opaque plan, which has no wire form.
+	hard := New(3)
+	hard.MustAddEdge(0, 1, "R")
+	hard.MustAddEdge(1, 2, "R")
+	hard.MustAddEdge(0, 2, "R")
+	opaque, err := Compile(Path1WP("R", "R"), NewProbGraph(hard), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opaque.Opaque() {
+		t.Fatal("triangle instance should be a hard cell")
+	}
+	if _, err := opaque.MarshalBinary(); err == nil {
+		t.Fatal("opaque plan serialized")
+	}
+}
+
 // ExampleCompile demonstrates the compile-once / evaluate-many workflow
 // for probability sweeps over a fixed structure.
 func ExampleCompile() {
