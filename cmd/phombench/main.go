@@ -13,7 +13,11 @@
 // evaluation IR: the throughput of the Program interpreter against the
 // plan-tree evaluators, and the warm-start win of serving a reweight
 // stream from a deserialized plan snapshot (zero compilations) against
-// a cold engine. Results are printed as aligned tables; -csv emits
+// a cold engine. E22 measures the dual-precision substrates: the
+// certified float64 interval kernel against the exact big.Rat
+// interpreter on the same programs (asserting the exact answer stays
+// inside every reported enclosure), plus the auto-mode fallback rate
+// across tolerances. Results are printed as aligned tables; -csv emits
 // machine-readable rows.
 //
 // Usage:
@@ -39,6 +43,7 @@ import (
 	"phom/internal/engine"
 	"phom/internal/gen"
 	"phom/internal/graph"
+	"phom/internal/plan"
 	"phom/internal/reductions"
 )
 
@@ -92,6 +97,7 @@ func main() {
 	runEngineBatch()
 	runPlanReweight()
 	runPlanSnapshot()
+	runFloatPath()
 	if !*csvOut {
 		fmt.Printf("\n%d measurements.\n", len(results))
 	}
@@ -702,6 +708,126 @@ func runPlanSnapshot() {
 		}
 		if warmHits != k {
 			fatal(fmt.Errorf("E21: warm-started engine served %d/%d plan hits", warmHits, k))
+		}
+	}
+}
+
+// runFloatPath covers E22: the dual-precision evaluation of the Program
+// IR. Part one measures raw substrate throughput over a reweight stream
+// on the 2WP and DWT workloads — the exact big.Rat interpreter
+// (Program.Exec) against the certified float64 interval kernel
+// (Program.ExecFloat) — asserting for every evaluation that the exact
+// answer lies inside the kernel's reported enclosure (the containment
+// guarantee is a hard invariant, so its violation aborts the harness).
+// Part two sweeps the auto-mode tolerance and reports the fallback
+// rate: how many evaluations the engine would answer from the float
+// path at each tolerance, checking that every fallback answer is
+// byte-identical to the exact one.
+func runFloatPath() {
+	if !section("E22", "Dual-precision: float64 interval kernel vs exact interpreter") {
+		return
+	}
+	r := rand.New(rand.NewSource(*seed))
+	one := []graph.Label{"R"}
+	un := []graph.Label{graph.Unlabeled}
+	n := *maxN / 4
+	if n < 64 {
+		n = 64
+	}
+	// Single-label workloads, so the query matches densely across the
+	// instance and the lowered programs are genuinely linear-size (a
+	// sparse-matching query prunes to a handful of ops, which would
+	// benchmark per-call overhead instead of the substrates).
+	workloads := []struct {
+		name string
+		q    *graph.Graph
+		h    *graph.ProbGraph
+	}{
+		{"2WP (Prop 4.11)", graph.Path2WP(graph.Fwd("R"), graph.Bwd("R"), graph.Fwd("R"), graph.Bwd("R"), graph.Fwd("R")),
+			gen.RandProb(r, gen.RandInClass(r, graph.Class2WP, n, one), 0.5)},
+		{"DWT (Prop 3.6)", graph.UnlabeledPath(3),
+			gen.RandProb(r, gen.RandInClass(r, graph.ClassUDWT, n, un), 0.5)},
+	}
+	opts := &core.Options{DisableFallback: true}
+	for _, wl := range workloads {
+		// Probabilities with four decimal digits, the shape of real
+		// traffic ("0.8437"): non-dyadic, so the float path genuinely
+		// rounds and the enclosure is exercised, and with denominators
+		// that make exact products grow the way production reweights do.
+		assignments := make([][]*big.Rat, *reweights)
+		for i := range assignments {
+			probs := make([]*big.Rat, wl.h.G.NumEdges())
+			for ei := range probs {
+				probs[ei] = big.NewRat(int64(r.Intn(10001)), 10000)
+			}
+			assignments[i] = probs
+		}
+		k := len(assignments)
+		cp, err := core.Compile(wl.q, wl.h, opts)
+		if err != nil {
+			fatal(err)
+		}
+		prog := cp.Program()
+
+		// Part one: substrate throughput, with containment checked on
+		// every single evaluation.
+		exact := make([]*big.Rat, k)
+		start := time.Now()
+		for i, probs := range assignments {
+			if exact[i], err = prog.Exec(probs); err != nil {
+				fatal(err)
+			}
+		}
+		dExact := time.Since(start)
+		enclosures := make([]plan.Enclosure, k)
+		start = time.Now()
+		for i, probs := range assignments {
+			if enclosures[i], err = prog.ExecFloat(probs); err != nil {
+				fatal(err)
+			}
+		}
+		dFloat := time.Since(start)
+		// Containment is verified outside the timed loop (the check
+		// itself runs rational arithmetic).
+		var maxWidth float64
+		for i, iv := range enclosures {
+			if !iv.Contains(exact[i]) {
+				fatal(fmt.Errorf("E22: %s: exact answer %s outside certified enclosure [%g, %g]",
+					wl.name, exact[i].RatString(), iv.Lo, iv.Hi))
+			}
+			if iv.Width() > maxWidth {
+				maxWidth = iv.Width()
+			}
+		}
+		emit("E22", fmt.Sprintf("%s n=%d exact x%d", wl.name, n, k),
+			fmt.Sprintf("%d ops baseline", prog.NumOps()), dExact)
+		emit("E22", fmt.Sprintf("%s n=%d float x%d", wl.name, n, k),
+			fmt.Sprintf("contained=%d/%d width≤%.1e ×%.1f", k, k, maxWidth, float64(dExact)/float64(dFloat)), dFloat)
+
+		// Part two: auto-mode fallback rate across tolerances. A
+		// tolerance below the kernel's actual width forces exact
+		// fallback on every job; anything above it serves pure float.
+		for _, tol := range []float64{1e-6, 1e-9, 1e-12, 1e-15} {
+			aopts := &core.Options{DisableFallback: true, Precision: core.PrecisionAuto, FloatTolerance: tol}
+			fast, fallbacks := 0, 0
+			start = time.Now()
+			for i, probs := range assignments {
+				res, err := cp.EvaluateOpts(probs, aopts)
+				if err != nil {
+					fatal(err)
+				}
+				if res.Precision == core.PrecisionFast {
+					fast++
+				} else {
+					fallbacks++
+					if res.Prob.Cmp(exact[i]) != 0 {
+						fatal(fmt.Errorf("E22: %s: auto fallback diverged from exact", wl.name))
+					}
+				}
+			}
+			d := time.Since(start)
+			emit("E22", fmt.Sprintf("%s n=%d auto tol=%.0e", wl.name, n, tol),
+				fmt.Sprintf("fast=%d fallback=%d (%.0f%%)", fast, fallbacks, 100*float64(fallbacks)/float64(k)), d)
 		}
 	}
 }

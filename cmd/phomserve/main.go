@@ -1,9 +1,15 @@
 // Command phomserve serves PHom evaluation over HTTP JSON, backed by the
 // concurrent engine of internal/engine (worker pool, in-flight
-// deduplication, LRU memoization). Probabilities are computed exactly and
-// returned both as rational strings and float64 approximations, together
-// with the algorithm used and the predicted combined complexity of the
-// input pair (the Tables 1–3 verdict).
+// deduplication, LRU memoization). Probabilities are computed exactly by
+// default and returned both as rational strings and float64
+// approximations, together with the algorithm used and the predicted
+// combined complexity of the input pair (the Tables 1–3 verdict). Jobs
+// may instead request the dual-precision fast path ("options":
+// {"precision": "fast" | "auto"}) and get a float64 answer with a
+// certified error bound (prob_lo/prob_hi in the response); auto falls
+// back to exact arithmetic when the bound exceeds float_tolerance. The
+// /healthz counters float_fast and float_fallbacks report how often
+// each substrate answered.
 //
 // Endpoints:
 //
@@ -38,6 +44,7 @@
 //
 //	phomserve [-addr :8080] [-workers 0] [-cache 4096] [-plancache 1024]
 //	          [-maxbody 8388608] [-plansnapshot plans.bin]
+//	          [-precision exact] [-floattol 0]
 package main
 
 import (
@@ -52,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"phom/internal/core"
 	"phom/internal/engine"
 )
 
@@ -63,8 +71,17 @@ func main() {
 		planCache = flag.Int("plancache", 0, fmt.Sprintf("compiled-plan cache capacity (0 = %d, negative disables)", engine.DefaultPlanCacheSize))
 		maxBody   = flag.Int64("maxbody", DefaultMaxBodyBytes, "request body cap in bytes (oversized requests get 413)")
 		planSnap  = flag.String("plansnapshot", "", "plan-cache snapshot file: restored at boot if present, written on shutdown")
+		precision = flag.String("precision", "exact", "default precision for jobs that do not choose one: exact, fast or auto")
+		floatTol  = flag.Float64("floattol", 0, fmt.Sprintf("default auto-mode tolerance: widest certified error served without exact fallback (0 = %g)", core.DefaultFloatTolerance))
 	)
 	flag.Parse()
+	defPrec, err := core.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatalf("phomserve: -precision: %v", err)
+	}
+	if err := (&core.Options{FloatTolerance: *floatTol}).Validate(); err != nil {
+		log.Fatalf("phomserve: -floattol: %v", err)
+	}
 
 	eng := engine.New(engine.Options{
 		Workers:          *workers,
@@ -85,7 +102,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng).withMaxBody(*maxBody).handler(),
+		Handler:           newServer(eng).withMaxBody(*maxBody).withPrecision(defPrec, *floatTol).handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

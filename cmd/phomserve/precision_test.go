@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"phom/internal/core"
+	"phom/internal/engine"
+)
+
+func getURL(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func postRaw(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// A tractable job (1WP query on a labeled path instance, Prop 4.10)
+// with non-dyadic probabilities, so the fast path genuinely rounds.
+const (
+	precQueryText    = "vertices 2\nedge 0 1 R\n"
+	precInstanceText = "vertices 3\nedge 0 1 R 1/3\nedge 1 2 R 2/7\n"
+)
+
+func precRequest(opts *solveOptions) solveRequest {
+	return solveRequest{
+		QueryText:    precQueryText,
+		InstanceText: precInstanceText,
+		Options:      opts,
+	}
+}
+
+func TestSolvePrecisionFast(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Exact baseline.
+	resp, body := postJSON(t, ts.URL+"/solve", precRequest(nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var exact solveResponse
+	if err := json.Unmarshal(body, &exact); err != nil {
+		t.Fatal(err)
+	}
+	if exact.Precision != "exact" || exact.ProbLo != nil || exact.ProbHi != nil {
+		t.Fatalf("exact response carries fast-path fields: %s", body)
+	}
+
+	// Fast: certified bounds straddling the true probability.
+	resp, body = postJSON(t, ts.URL+"/solve", precRequest(&solveOptions{Precision: "fast"}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var fast solveResponse
+	if err := json.Unmarshal(body, &fast); err != nil {
+		t.Fatal(err)
+	}
+	if fast.Precision != "fast" {
+		t.Fatalf("precision = %q, want fast: %s", fast.Precision, body)
+	}
+	if fast.ProbLo == nil || fast.ProbHi == nil {
+		t.Fatalf("fast response is missing its bounds: %s", body)
+	}
+	if !(*fast.ProbLo <= exact.ProbFloat && exact.ProbFloat <= *fast.ProbHi) {
+		t.Fatalf("enclosure [%g, %g] misses the exact answer %g", *fast.ProbLo, *fast.ProbHi, exact.ProbFloat)
+	}
+	if fast.Prob == "" {
+		t.Fatal("fast response has no rational point estimate")
+	}
+
+	// Auto with an unreachable tolerance: exact fallback, byte-identical.
+	resp, body = postJSON(t, ts.URL+"/solve", precRequest(&solveOptions{Precision: "auto", FloatTolerance: 5e-324}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var auto solveResponse
+	if err := json.Unmarshal(body, &auto); err != nil {
+		t.Fatal(err)
+	}
+	if auto.Precision != "exact" {
+		t.Fatalf("auto under subnormal tolerance served %q", auto.Precision)
+	}
+	if auto.Prob != exact.Prob {
+		t.Fatalf("auto fallback %q differs from exact %q", auto.Prob, exact.Prob)
+	}
+
+	// The healthz counters saw one fast answer and one fallback.
+	resp, body = getURL(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var hr healthResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Stats.FloatFast != 1 || hr.Stats.FloatFallbacks != 1 {
+		t.Fatalf("healthz float counters = %d/%d, want 1/1", hr.Stats.FloatFast, hr.Stats.FloatFallbacks)
+	}
+}
+
+// TestPrecisionMalformedIsA400 pins the hardening satellite: a
+// malformed precision (or tolerance) never silently defaults.
+func TestPrecisionMalformedIsA400(t *testing.T) {
+	ts := newTestServer(t)
+	for _, bad := range []*solveOptions{
+		{Precision: "fats"},
+		{Precision: "EXACT"},
+		{Precision: "rational"},
+		{FloatTolerance: -1e-9},
+	} {
+		resp, body := postJSON(t, ts.URL+"/solve", precRequest(bad))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("options %+v: status %d, want 400: %s", bad, resp.StatusCode, body)
+		}
+	}
+	// NaN/Inf tolerances cannot be expressed in JSON numbers: encoding
+	// them client-side fails before a request is even sent, and a raw
+	// "NaN" literal in the body is a JSON parse error (also a 400).
+	resp, body := postRaw(t, ts.URL+"/solve",
+		`{"query_text": "vertices 2\nedge 0 1 R\n", "instance_text": "vertices 2\nedge 0 1 R 1/2\n", "options": {"float_tolerance": NaN}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("NaN tolerance: status %d, want 400: %s", resp.StatusCode, body)
+	}
+}
+
+// TestPrecisionOnReweightAndBatch pins that /reweight and /batch accept
+// the precision field like /solve does.
+func TestPrecisionOnReweightAndBatch(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp, body := postJSON(t, ts.URL+"/reweight", reweightRequest{
+		solveRequest: precRequest(&solveOptions{Precision: "fast"}),
+		Probs:        map[string]string{"0>1": "3/5"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reweight status %d: %s", resp.StatusCode, body)
+	}
+	var rw solveResponse
+	if err := json.Unmarshal(body, &rw); err != nil {
+		t.Fatal(err)
+	}
+	if rw.Precision != "fast" || rw.ProbLo == nil || rw.ProbHi == nil {
+		t.Fatalf("reweight ignored precision: %s", body)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/batch", batchRequest{Jobs: []solveRequest{
+		precRequest(nil),
+		precRequest(&solveOptions{Precision: "fast"}),
+		precRequest(&solveOptions{Precision: "nope"}),
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Results[0].Precision != "exact" || br.Results[1].Precision != "fast" {
+		t.Fatalf("batch precisions = %q, %q", br.Results[0].Precision, br.Results[1].Precision)
+	}
+	if br.Results[2].Error == "" {
+		t.Fatal("batch accepted a malformed precision")
+	}
+}
+
+// TestServerDefaultPrecision pins the -precision/-floattol flags: jobs
+// without options inherit the server default, explicit options win.
+func TestServerDefaultPrecision(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 2})
+	t.Cleanup(func() { eng.Close() })
+	ts := httptest.NewServer(newServer(eng).withPrecision(core.PrecisionFast, 0).handler())
+	t.Cleanup(ts.Close)
+
+	resp, body := postJSON(t, ts.URL+"/solve", precRequest(nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr solveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Precision != "fast" {
+		t.Fatalf("default precision not applied: %q", sr.Precision)
+	}
+	resp, body = postJSON(t, ts.URL+"/solve", precRequest(&solveOptions{Precision: "exact"}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Precision != "exact" {
+		t.Fatalf("explicit exact did not override the server default: %q", sr.Precision)
+	}
+}

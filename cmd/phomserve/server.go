@@ -37,6 +37,16 @@ type solveOptions struct {
 	BruteForceLimit int  `json:"brute_force_limit,omitempty"`
 	MatchLimit      int  `json:"match_limit,omitempty"`
 	DisableFallback bool `json:"disable_fallback,omitempty"`
+	// Precision selects the numeric substrate: "exact" (default),
+	// "fast" (float64 with a certified error bound) or "auto" (float64
+	// when the bound is within float_tolerance, exact otherwise).
+	// Anything else is a 400, never a silent default. Accepted on
+	// /solve, /reweight and /batch alike.
+	Precision string `json:"precision,omitempty"`
+	// FloatTolerance is the widest certified error the auto mode serves
+	// without falling back to exact arithmetic (absolute probability
+	// error; 0 means the server default).
+	FloatTolerance float64 `json:"float_tolerance,omitempty"`
 }
 
 type solveRequest struct {
@@ -58,8 +68,21 @@ type verdictResponse struct {
 }
 
 type solveResponse struct {
-	Prob      string           `json:"prob,omitempty"`
-	ProbFloat float64          `json:"prob_float,omitempty"`
+	Prob      string  `json:"prob,omitempty"`
+	ProbFloat float64 `json:"prob_float,omitempty"`
+	// Precision is the substrate that produced the answer: "exact" or
+	// "fast". A job requesting fast/auto can legitimately report
+	// "exact" — that is the fallback contract, and the answer is then
+	// byte-identical to an exact-precision solve.
+	Precision string `json:"precision,omitempty"`
+	// ProbLo/ProbHi are the certified enclosure of the exact
+	// probability when the fast path answered (precision "fast"):
+	// exact ∈ [prob_lo, prob_hi] is machine-checked, not estimated.
+	// Pointers, not bare floats: a bound that is exactly 0 must still
+	// serialize (omitempty would drop it), so both fields are present
+	// exactly when precision is "fast".
+	ProbLo    *float64         `json:"prob_lo,omitempty"`
+	ProbHi    *float64         `json:"prob_hi,omitempty"`
 	Method    string           `json:"method,omitempty"`
 	PTime     bool             `json:"ptime,omitempty"`
 	CacheHit  bool             `json:"cache_hit,omitempty"`
@@ -108,6 +131,11 @@ type errorResponse struct {
 type server struct {
 	engine  *engine.Engine
 	maxBody int64 // request-body cap in bytes; ≤0 means DefaultMaxBodyBytes
+	// defPrec and defTol are the precision mode and auto tolerance
+	// applied to jobs that do not specify their own (-precision,
+	// -floattol); an explicit "precision" in the request always wins.
+	defPrec core.Precision
+	defTol  float64
 }
 
 func newServer(e *engine.Engine) *server { return &server{engine: e} }
@@ -115,6 +143,14 @@ func newServer(e *engine.Engine) *server { return &server{engine: e} }
 // withMaxBody sets the request-body cap (the -maxbody flag).
 func (s *server) withMaxBody(n int64) *server {
 	s.maxBody = n
+	return s
+}
+
+// withPrecision sets the default precision mode and auto tolerance
+// (the -precision and -floattol flags).
+func (s *server) withPrecision(p core.Precision, tol float64) *server {
+	s.defPrec = p
+	s.defTol = tol
 	return s
 }
 
@@ -176,7 +212,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	job, err := req.toJob()
+	job, err := req.toJob(s.defPrec, s.defTol)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -204,7 +240,7 @@ func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	job, err := req.solveRequest.toJob()
+	job, err := req.solveRequest.toJob(s.defPrec, s.defTol)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -335,7 +371,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i, jr := range req.Jobs {
-		job, err := jr.toJob()
+		job, err := jr.toJob(s.defPrec, s.defTol)
 		if err != nil {
 			results[i] = solveResponse{Error: err.Error()}
 			continue
@@ -367,6 +403,11 @@ func buildResponse(job engine.Job, jr engine.JobResult, elapsed time.Duration) s
 	}
 	resp.Prob = jr.Result.Prob.RatString()
 	resp.ProbFloat, _ = jr.Result.Prob.Float64()
+	resp.Precision = jr.Result.Precision.String()
+	if jr.Result.Bounds != nil {
+		lo, hi := jr.Result.Bounds.Lo, jr.Result.Bounds.Hi
+		resp.ProbLo, resp.ProbHi = &lo, &hi
+	}
 	resp.Method = jr.Result.Method.String()
 	resp.PTime = jr.Result.Method.PTime()
 	// The Tables 1–3 verdict is defined per conjunctive query; report it
@@ -384,8 +425,10 @@ func buildResponse(job engine.Job, jr engine.JobResult, elapsed time.Duration) s
 	return resp
 }
 
-// toJob parses the wire request into an engine job.
-func (r *solveRequest) toJob() (engine.Job, error) {
+// toJob parses the wire request into an engine job. defPrec and defTol
+// are the server's default precision mode and auto tolerance, applied
+// when the request does not choose its own.
+func (r *solveRequest) toJob(defPrec core.Precision, defTol float64) (engine.Job, error) {
 	var job engine.Job
 
 	queries, err := r.parseQueries()
@@ -425,11 +468,35 @@ func (r *solveRequest) toJob() (engine.Job, error) {
 		if r.Options.MatchLimit < 0 || r.Options.MatchLimit > maxMatchLimit {
 			return job, fmt.Errorf("match_limit %d outside [0, %d]", r.Options.MatchLimit, maxMatchLimit)
 		}
+		// A malformed precision is a 400, never a silent default: a
+		// client that typed "fats" must not silently pay exact-precision
+		// latency (or worse, believe a float answer is exact).
+		prec := defPrec
+		if r.Options.Precision != "" {
+			var err error
+			if prec, err = core.ParsePrecision(r.Options.Precision); err != nil {
+				return job, fmt.Errorf("bad precision %q: want \"exact\", \"fast\" or \"auto\"", r.Options.Precision)
+			}
+		}
+		tol := r.Options.FloatTolerance
+		if tol == 0 {
+			tol = defTol
+		}
 		job.Opts = &core.Options{
 			BruteForceLimit: r.Options.BruteForceLimit,
 			MatchLimit:      r.Options.MatchLimit,
 			DisableFallback: r.Options.DisableFallback,
+			Precision:       prec,
+			FloatTolerance:  tol,
 		}
+		// One definition of a valid tolerance (finite, non-negative):
+		// the solver's own. Rejecting here turns it into a 400 rather
+		// than a per-job solver error.
+		if err := job.Opts.Validate(); err != nil {
+			return job, err
+		}
+	} else if defPrec != core.PrecisionExact || defTol != 0 {
+		job.Opts = &core.Options{Precision: defPrec, FloatTolerance: defTol}
 	}
 	return job, nil
 }

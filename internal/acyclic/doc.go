@@ -1,0 +1,14 @@
+// Package acyclic implements Yannakakis-style evaluation of acyclic
+// conjunctive queries on (non-probabilistic) graphs: deciding G ⇝ H in
+// time O(|G| · |H|) when the query graph G is a polytree — the binary-
+// signature analogue of an α-acyclic (indeed Berge-acyclic) conjunctive
+// query. The paper's introduction cites Yannakakis' algorithm [36] as
+// the model of combined tractability that PHom aims for on the
+// probabilistic side; this package provides it as a deterministic
+// substrate and as a fast homomorphism test for tree-shaped queries.
+//
+// For tree-structured constraint networks, establishing directed arc
+// consistency leaf-to-root and then assigning root-to-first-support is
+// sound and complete (Freuder); this is exactly the semijoin program of
+// a join tree of the query.
+package acyclic

@@ -1,0 +1,19 @@
+// Package betadnf implements polynomial-time exact probability
+// computation for the two families of β-acyclic positive DNF formulas
+// produced by the tractable lineage constructions of §4.2 of the paper:
+//
+//   - interval systems: the variables are the edges of a path instance in
+//     order, and every clause is a contiguous interval of variables
+//     (the lineages of Proposition 4.11 on 2WP instances);
+//   - chain systems: the variables are the parent edges of a forest, and
+//     every clause is an ancestor chain of consecutive edges ending at a
+//     node (the lineages of Proposition 4.10 on DWT instances).
+//
+// Both families are β-acyclic — clauses containing the path's (resp. a
+// leaf's) last variable are totally ordered by inclusion, which yields a
+// β-elimination order — and both evaluators run in O(variables × longest
+// clause) arithmetic operations, realizing the PTIME bound that the paper
+// obtains by reduction to the β-acyclic #CSPd algorithm of
+// Brault-Baron, Capelli and Mengel (Theorem 4.9). See DESIGN.md for this
+// documented substitution.
+package betadnf

@@ -1,9 +1,3 @@
-// Package boolform implements positive Boolean formulas in disjunctive
-// normal form, valuations, and exact probability computation (the Boolean
-// probability computation problem of Definition 4.2 of the paper). The
-// Shannon-expansion evaluator here is an exponential-worst-case oracle
-// used to validate the polynomial-time evaluators of package betadnf and
-// the d-DNNF pipeline; it is not itself one of the paper's algorithms.
 package boolform
 
 import (

@@ -1,10 +1,3 @@
-// Package core implements the paper's primary contribution: the
-// polynomial-time algorithms for the tractable cases of the probabilistic
-// graph homomorphism problem PHom (Propositions 3.6, 4.10, 4.11, 5.4 and
-// 5.5, with Lemma 3.7 for disconnected instances), the exponential exact
-// baselines used on #P-hard cases, the dispatching solver that routes an
-// input pair to the best applicable algorithm, and the complexity
-// classifier encoding Tables 1–3.
 package core
 
 import (

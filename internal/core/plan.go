@@ -38,6 +38,14 @@ type CompiledPlan struct {
 	prog     *plan.Program                     // flattened IR; nil when opaque
 	resolve  func([]*big.Rat) (*Result, error) // opaque re-solve; picks the baseline per evaluation
 	numEdges int
+	// precision and floatTol are the compile-time evaluation substrate
+	// (Options.Precision / Options.FloatTolerance, defaults resolved):
+	// Evaluate routes through them, so a plan compiled for fast or auto
+	// serving keeps that behavior. Plans restored from bytes default to
+	// exact — the serialized form carries arithmetic, not policy — and
+	// the engine overrides per job via EvaluateOpts either way.
+	precision Precision
+	floatTol  float64
 	// key yields the job's structure identity — graphio.StructKeyJob
 	// plus the compile-time canonical edge order — memoized and
 	// computed on first use (sync.OnceValues), so plain Solve callers
@@ -93,28 +101,13 @@ func (cp *CompiledPlan) Method() (m Method, ok bool) {
 
 // Evaluate computes Pr(G ⇝ H) under the probability assignment probs,
 // indexed by the edge list of the instance the plan was compiled from
-// (see graph.ProbGraph.Probs). The result is byte-identical to Solve on
-// the correspondingly reweighted instance.
+// (see graph.ProbGraph.Probs), on the numeric substrate the plan was
+// compiled for (Options.Precision; see EvaluateOpts to override). With
+// the default exact precision the result is byte-identical to Solve on
+// the correspondingly reweighted instance; with fast or auto it may be
+// a certified float64 enclosure instead (Result.Bounds).
 func (cp *CompiledPlan) Evaluate(probs []*big.Rat) (*Result, error) {
-	if len(probs) != cp.numEdges {
-		return nil, fmt.Errorf("core: %d probabilities for a plan over %d edges", len(probs), cp.numEdges)
-	}
-	for i, p := range probs {
-		if p == nil {
-			return nil, fmt.Errorf("core: nil probability for edge %d", i)
-		}
-		if p.Sign() < 0 || p.Cmp(graph.RatOne) > 0 {
-			return nil, fmt.Errorf("core: edge %d probability %s outside [0,1]", i, p.RatString())
-		}
-	}
-	if cp.opaque {
-		return cp.resolve(probs)
-	}
-	pr, err := cp.prog.Exec(probs)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Prob: pr, Method: cp.method}, nil
+	return cp.evaluate(probs, cp.precision, cp.floatTol)
 }
 
 // EvaluateTree evaluates through the plan tree instead of the
@@ -268,11 +261,11 @@ func Compile(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*CompiledPlan, 
 	}
 	n := h.G.NumEdges()
 	key := sync.OnceValues(func() (string, []int) {
-		return graphio.StructKeyJob([]string{graphio.CanonicalGraph(q)}, h.G, opts.Fingerprint())
+		return graphio.StructKeyJob([]string{graphio.CanonicalGraph(q)}, h.G, opts.StructFingerprint())
 	})
 	// An edgeless query maps every vertex to any instance vertex.
 	if q.NumEdges() == 0 {
-		return seal(MethodTrivial, plan.NewConst(graph.RatOne), n, key)
+		return seal(MethodTrivial, plan.NewConst(graph.RatOne), n, key, opts)
 	}
 	// A query label absent from the instance kills every match.
 	hLabels := map[graph.Label]bool{}
@@ -281,7 +274,7 @@ func Compile(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*CompiledPlan, 
 	}
 	for _, l := range q.Labels() {
 		if !hLabels[l] {
-			return seal(MethodLabelMismatch, plan.NewConst(new(big.Rat)), n, key)
+			return seal(MethodLabelMismatch, plan.NewConst(new(big.Rat)), n, key, opts)
 		}
 	}
 	// After the check above, the unlabeled setting (|σ| = 1) holds iff
@@ -294,7 +287,7 @@ func Compile(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*CompiledPlan, 
 			if err != nil {
 				return nil, err
 			}
-			return seal(rt.method, p, n, key)
+			return seal(rt.method, p, n, key, opts)
 		}
 	}
 
@@ -329,9 +322,9 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 	}
 	if len(qs) == 0 {
 		key := sync.OnceValues(func() (string, []int) {
-			return graphio.StructKeyJob(nil, h.G, opts.Fingerprint())
+			return graphio.StructKeyJob(nil, h.G, opts.StructFingerprint())
 		})
-		return seal(MethodTrivial, plan.NewConst(new(big.Rat)), h.G.NumEdges(), key)
+		return seal(MethodTrivial, plan.NewConst(new(big.Rat)), h.G.NumEdges(), key, opts)
 	}
 	if h.G.NumVertices() == 0 {
 		return nil, fmt.Errorf("core: empty instance graph")
@@ -352,7 +345,7 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 			queryCanon[i] = graphio.CanonicalGraph(q)
 		}
 		sort.Strings(queryCanon)
-		return graphio.StructKeyJob(queryCanon, h.G, opts.Fingerprint())
+		return graphio.StructKeyJob(queryCanon, h.G, opts.StructFingerprint())
 	})
 	hLabels := map[graph.Label]bool{}
 	for _, l := range h.G.Labels() {
@@ -366,7 +359,7 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 			return nil, fmt.Errorf("core: empty query graph in union")
 		}
 		if q.NumEdges() == 0 {
-			return seal(MethodTrivial, plan.NewConst(graph.RatOne), n, key)
+			return seal(MethodTrivial, plan.NewConst(graph.RatOne), n, key, opts)
 		}
 		ok := true
 		for _, l := range q.Labels() {
@@ -380,7 +373,7 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 		}
 	}
 	if len(live) == 0 {
-		return seal(MethodLabelMismatch, plan.NewConst(new(big.Rat)), n, key)
+		return seal(MethodLabelMismatch, plan.NewConst(new(big.Rat)), n, key, opts)
 	}
 	unlabeled := len(hLabels) <= 1
 
@@ -408,13 +401,13 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 			// Prop 3.6 lifted: non-graded disjuncts never match a forest
 			// world; the rest collapse to →^minM.
 			if minM < 0 {
-				return seal(MethodGradedDWT, plan.NewConst(new(big.Rat)), n, key)
+				return seal(MethodGradedDWT, plan.NewConst(new(big.Rat)), n, key, opts)
 			}
 			p, err := plan.DirectedPathOnDWTs(h, minM)
 			if err != nil {
 				return nil, err
 			}
-			return seal(MethodGradedDWT, p, n, key)
+			return seal(MethodGradedDWT, p, n, key, opts)
 		}
 		if h.G.InClass(graph.ClassUPT) {
 			// Prop 5.5 lifted, when every disjunct is a ⊔DWT query (the
@@ -438,7 +431,7 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 				if err != nil {
 					return nil, err
 				}
-				return seal(MethodAutomatonPT, p, n, key)
+				return seal(MethodAutomatonPT, p, n, key, opts)
 			}
 		}
 	}
@@ -449,7 +442,7 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 		if err != nil {
 			return nil, err
 		}
-		return seal(MethodXProperty2WP, p, n, key)
+		return seal(MethodXProperty2WP, p, n, key, opts)
 	}
 
 	// Labeled 1WP disjuncts on ⊔DWT instances: merged chain lineage
@@ -466,7 +459,7 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 		if err != nil {
 			return nil, err
 		}
-		return seal(MethodBetaAcyclicDWT, p, n, key)
+		return seal(MethodBetaAcyclicDWT, p, n, key, opts)
 	}
 
 	if opts.disableFallback() {
@@ -488,24 +481,29 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 }
 
 // seal lowers a plan tree to its flattened program and stamps the
-// job's structure identity on the resulting CompiledPlan. Every
-// structural compile path funnels through here, so non-opaque plans
-// always carry both evaluation forms and are always serializable.
-func seal(m Method, p plan.Plan, numEdges int, key func() (string, []int)) (*CompiledPlan, error) {
+// job's structure identity and evaluation substrate (opts precision)
+// on the resulting CompiledPlan. Every structural compile path funnels
+// through here, so non-opaque plans always carry both evaluation forms
+// and are always serializable.
+func seal(m Method, p plan.Plan, numEdges int, key func() (string, []int), opts *Options) (*CompiledPlan, error) {
 	prog, err := plan.Lower(p, numEdges)
 	if err != nil {
 		return nil, err
 	}
 	return &CompiledPlan{
-		method:   m,
-		tree:     p,
-		prog:     prog,
-		numEdges: numEdges,
-		key:      key,
+		method:    m,
+		tree:      p,
+		prog:      prog,
+		numEdges:  numEdges,
+		key:       key,
+		precision: opts.EffectivePrecision(),
+		floatTol:  opts.EffectiveFloatTolerance(),
 	}, nil
 }
 
 func opaquePlan(resolve func([]*big.Rat) (*Result, error), numEdges int, key func() (string, []int)) *CompiledPlan {
+	// Opaque evaluation is always exact (there is no program to run the
+	// float kernel over), whatever precision the options request.
 	return &CompiledPlan{opaque: true, resolve: resolve, numEdges: numEdges, key: key}
 }
 

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"phom/internal/graph"
+	"phom/internal/plan"
+)
+
+// This file defines the dual-precision evaluation contract: which
+// numeric substrate — the exact big.Rat interpreter (plan.Program.Exec)
+// or the certified float64 interval kernel (plan.Program.ExecFloat) —
+// a compiled plan evaluates with, and when the auto mode is allowed to
+// serve the float result instead of falling back to exact arithmetic.
+// See DESIGN.md, "Numerics: dual-precision evaluation".
+
+// Precision selects the numeric substrate of plan evaluation.
+type Precision int
+
+const (
+	// PrecisionExact evaluates with exact rational arithmetic — every
+	// answer is the mathematically exact probability. The default.
+	PrecisionExact Precision = iota
+	// PrecisionFast evaluates with the float64 interval kernel: the
+	// answer is a point estimate carrying a certified absolute-error
+	// bound (Result.Bounds), at near-hardware speed. It falls back to
+	// exact arithmetic only when the float kernel cannot produce a
+	// finite certified enclosure at all (opaque plans, overflow).
+	PrecisionFast
+	// PrecisionAuto evaluates with the float64 kernel first and falls
+	// back to exact arithmetic whenever the certified enclosure is wider
+	// than the tolerance (Options.FloatTolerance): callers get float
+	// speed when the bound is tight and exact rationals otherwise, and a
+	// fallback answer is byte-identical to PrecisionExact's.
+	PrecisionAuto
+
+	numPrecisions = iota // count of defined modes, for validation
+)
+
+var precisionNames = [numPrecisions]string{"exact", "fast", "auto"}
+
+func (p Precision) String() string {
+	if p < 0 || int(p) >= len(precisionNames) {
+		return fmt.Sprintf("precision(%d)", int(p))
+	}
+	return precisionNames[p]
+}
+
+// ParsePrecision parses a precision mode name as accepted on the wire
+// and on command lines: "exact", "fast" or "auto". The empty string is
+// PrecisionExact, matching the zero value of Options.Precision.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "exact":
+		return PrecisionExact, nil
+	case "fast":
+		return PrecisionFast, nil
+	case "auto":
+		return PrecisionAuto, nil
+	}
+	return 0, fmt.Errorf("core: unknown precision %q (want exact, fast or auto)", s)
+}
+
+// DefaultFloatTolerance is the default cap on the certified interval
+// width the auto mode accepts before falling back to exact arithmetic.
+// It is far above the width the float kernel actually reaches on the
+// linear-size programs of the tractable cells (around 10⁻¹³ even for
+// instances with millions of edges) while still guaranteeing nine
+// correct decimal digits.
+const DefaultFloatTolerance = 1e-9
+
+// EffectivePrecision returns the precision mode with the nil receiver
+// resolved to the default (PrecisionExact).
+func (o *Options) EffectivePrecision() Precision {
+	if o == nil {
+		return PrecisionExact
+	}
+	return o.Precision
+}
+
+// EffectiveFloatTolerance returns the auto-mode tolerance with nil and
+// zero resolved to DefaultFloatTolerance.
+func (o *Options) EffectiveFloatTolerance() float64 {
+	if o == nil || o.FloatTolerance == 0 {
+		return DefaultFloatTolerance
+	}
+	return o.FloatTolerance
+}
+
+// EvaluateOpts is Evaluate with the precision mode and tolerance taken
+// from opts instead of from the options the plan was compiled with.
+// The engine evaluates cached and snapshot-restored plans through this
+// (the per-job options decide the substrate; a restored plan carries no
+// precision of its own), and tests use it to force substrates.
+func (cp *CompiledPlan) EvaluateOpts(probs []*big.Rat, opts *Options) (*Result, error) {
+	return cp.evaluate(probs, opts.EffectivePrecision(), opts.EffectiveFloatTolerance())
+}
+
+// evaluate is the routing core shared by Evaluate and EvaluateOpts:
+// validate the probability vector, then pick the numeric substrate.
+func (cp *CompiledPlan) evaluate(probs []*big.Rat, prec Precision, tol float64) (*Result, error) {
+	if len(probs) != cp.numEdges {
+		return nil, fmt.Errorf("core: %d probabilities for a plan over %d edges", len(probs), cp.numEdges)
+	}
+	for i, p := range probs {
+		if p == nil {
+			return nil, fmt.Errorf("core: nil probability for edge %d", i)
+		}
+		if p.Sign() < 0 || p.Cmp(graph.RatOne) > 0 {
+			return nil, fmt.Errorf("core: edge %d probability %s outside [0,1]", i, p.RatString())
+		}
+	}
+	if cp.opaque {
+		// Opaque plans have no program, hence no float kernel: every
+		// precision mode evaluates them exactly (the baselines are the
+		// arbiter, not a fast path).
+		return cp.resolve(probs)
+	}
+	if prec == PrecisionFast || prec == PrecisionAuto {
+		if res, ok := cp.evaluateFloat(probs, prec, tol); ok {
+			return res, nil
+		}
+	}
+	pr, err := cp.prog.Exec(probs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Prob: pr, Method: cp.method, Precision: PrecisionExact}, nil
+}
+
+// evaluateFloat runs the float64 interval kernel and decides whether
+// its result may be served: always for PrecisionFast (the caller asked
+// for float speed), and only within tolerance for PrecisionAuto. ok is
+// false when the caller must fall back to exact arithmetic — kernel
+// failure, a non-finite enclosure, or an auto-mode tolerance miss.
+func (cp *CompiledPlan) evaluateFloat(probs []*big.Rat, prec Precision, tol float64) (*Result, bool) {
+	iv, err := cp.prog.ExecFloat(probs)
+	if err != nil {
+		return nil, false
+	}
+	mid := iv.Mid()
+	if math.IsInf(mid, 0) || math.IsNaN(mid) {
+		return nil, false
+	}
+	if prec == PrecisionAuto && !(iv.Width() <= tol) {
+		return nil, false
+	}
+	// The exact answer is a probability, so it lies in [0,1] ∩ [Lo,Hi];
+	// clamp the midpoint into that intersection so the served estimate
+	// is itself a valid probability (an enclosure straddling 0 or 1
+	// would otherwise yield estimates like -5.6e-17, which downstream
+	// consumers — log-space code, re-used edge probabilities — reject).
+	// Clamping within the enclosure keeps |estimate − exact| ≤ Width.
+	if mid < 0 {
+		mid = 0
+	} else if mid > 1 {
+		mid = 1
+	}
+	if mid < iv.Lo {
+		mid = iv.Lo
+	} else if mid > iv.Hi {
+		mid = iv.Hi
+	}
+	// SetFloat64 is exact — Prob is the precise rational value of the
+	// point estimate, within Bounds of the true probability.
+	return &Result{
+		Prob:      new(big.Rat).SetFloat64(mid),
+		Method:    cp.method,
+		Precision: PrecisionFast,
+		Bounds:    &plan.Enclosure{Lo: iv.Lo, Hi: iv.Hi},
+	}, true
+}

@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/big"
+	"strconv"
 
 	"phom/internal/graph"
+	"phom/internal/plan"
 )
 
 // Method identifies the algorithm the solver used.
@@ -63,6 +66,17 @@ type Options struct {
 	// DisableFallback makes Solve fail instead of running an exponential
 	// baseline on an intractable case.
 	DisableFallback bool
+	// Precision selects the numeric substrate of plan evaluation: exact
+	// rational arithmetic (the zero value), the certified float64
+	// interval kernel (PrecisionFast), or float-first with exact
+	// fallback beyond FloatTolerance (PrecisionAuto). Compilation is
+	// unaffected — the same plan serves every mode.
+	Precision Precision
+	// FloatTolerance is the widest certified enclosure PrecisionAuto
+	// accepts before falling back to exact arithmetic, as an absolute
+	// probability error. 0 means DefaultFloatTolerance; it must be a
+	// finite, non-negative float.
+	FloatTolerance float64
 }
 
 func (o *Options) bruteLimit() int {
@@ -97,6 +111,15 @@ func (o *Options) Validate() error {
 	if o.MatchLimit < 0 {
 		return fmt.Errorf("core: negative MatchLimit %d (use 0 for the default)", o.MatchLimit)
 	}
+	if o.Precision < 0 || o.Precision >= numPrecisions {
+		return fmt.Errorf("core: unknown Precision %d", int(o.Precision))
+	}
+	// NaN would make every tolerance comparison false (auto always falls
+	// back — silently buying exact cost under a "fast" flag), negative
+	// or infinite tolerances are never what a caller means.
+	if math.IsNaN(o.FloatTolerance) || math.IsInf(o.FloatTolerance, 0) || o.FloatTolerance < 0 {
+		return fmt.Errorf("core: FloatTolerance %v is not a finite non-negative float (use 0 for the default)", o.FloatTolerance)
+	}
 	return nil
 }
 
@@ -106,13 +129,47 @@ func (o *Options) Validate() error {
 // engine keys its result cache on this, so any new Options field that
 // affects results MUST be added here.
 func (o *Options) Fingerprint() string {
+	// The tolerance affects results only in auto mode (exact and fast
+	// never consult it), so it joins the fingerprint only there —
+	// otherwise two fast jobs differing in an unused tolerance would
+	// spuriously miss the result cache. It is rendered in hex float
+	// form, which is lossless: two tolerances fingerprint identically
+	// iff they are the same float64.
+	tol := "-"
+	if o.EffectivePrecision() == PrecisionAuto {
+		tol = strconv.FormatFloat(o.EffectiveFloatTolerance(), 'x', -1, 64)
+	}
+	return fmt.Sprintf("%s;prec=%s;tol=%s", o.StructFingerprint(), o.EffectivePrecision(), tol)
+}
+
+// StructFingerprint renders only the options that affect plan
+// *compilation* — the baseline limits and the fallback switch —
+// excluding evaluation policy (precision, tolerance), which routes at
+// evaluation time over the same compiled plan. The engine keys its
+// plan cache and plan snapshots on this, so one compiled structure
+// serves every precision mode and snapshots stay warm across
+// -precision changes.
+func (o *Options) StructFingerprint() string {
 	return fmt.Sprintf("brute=%d;match=%d;nofallback=%t", o.bruteLimit(), o.matchLimit(), o.disableFallback())
 }
 
 // Result is the outcome of Solve.
 type Result struct {
+	// Prob is the computed probability. On the exact substrate it is
+	// the mathematically exact answer; on the fast substrate it is the
+	// exact rational value of the float64 point estimate, within Bounds
+	// of the true probability.
 	Prob   *big.Rat
 	Method Method
+	// Precision is the numeric substrate that produced Prob:
+	// PrecisionExact (rational arithmetic, including every fallback) or
+	// PrecisionFast (the certified float64 interval kernel). It is
+	// never PrecisionAuto — auto is a routing policy, not a substrate.
+	Precision Precision
+	// Bounds is the certified enclosure of the exact probability
+	// reported by the float kernel; it is non-nil exactly when
+	// Precision is PrecisionFast.
+	Bounds *plan.Enclosure
 }
 
 // Solve computes Pr(G ⇝ H), dispatching to the polynomial-time algorithm

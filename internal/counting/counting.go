@@ -1,8 +1,3 @@
-// Package counting implements the #P-hard counting problems the paper
-// reduces from — #Bipartite-Edge-Cover (Definition 3.1, Theorem 3.2) and
-// #PP2DNF (Definition 4.3) — together with exact (exponential)
-// brute-force counters used to validate the reductions of package
-// reductions, and the Hamming-weight signature problems of Appendix D.
 package counting
 
 import (

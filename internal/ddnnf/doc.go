@@ -1,0 +1,12 @@
+// Package ddnnf implements deterministic decomposable negation normal
+// form circuits (Definition 5.3 of the paper, after Darwiche [21]):
+// Boolean circuits where negation is applied only to inputs, the inputs of
+// every AND gate depend on disjoint variables (decomposability), and the
+// inputs of every OR gate are mutually exclusive (determinism). On such
+// circuits the Boolean probability computation problem is solvable in
+// linear time by replacing AND with × and OR with +.
+//
+// The circuits built by package treeauto (the lineages of Proposition 5.4)
+// are d-DNNF by construction; this package additionally provides
+// structural and exhaustive validators used by the test suite.
+package ddnnf

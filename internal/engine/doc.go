@@ -1,0 +1,26 @@
+// Package engine provides a concurrent batch-evaluation engine on top of
+// the core solver. An Engine owns a bounded pool of worker goroutines
+// that execute solver jobs, deduplicates identical in-flight jobs
+// (singleflight: concurrent submissions of the same job share one
+// execution), and memoizes completed results in a bounded LRU cache
+// keyed by the canonical job hash of package graphio.
+//
+// Below the result cache sits a second, structure-keyed cache of
+// compiled solver plans (core.Compile / internal/plan), keyed by
+// graphio.StructKey — the job hash with probabilities stripped. Jobs
+// that differ from a previously executed job only in edge probabilities
+// skip the structural phase (classification, lineage and circuit
+// construction) and pay only the linear evaluation, which is the
+// dominant serving pattern: what-if analysis, probability sweeps and
+// streaming weight updates over a fixed query/instance topology.
+//
+// By default all results are exact *big.Rat probabilities,
+// byte-identical to what a sequential call to core.Solve / core.SolveUCQ
+// would return: the engine changes scheduling, never arithmetic. Jobs
+// may opt into the dual-precision fast path (core.Options.Precision):
+// their plans evaluate on the certified float64 interval kernel, with
+// the per-job options — not the cached plan — picking the substrate,
+// and the Stats counters FloatFast / FloatFallbacks reporting which
+// substrate answered. Cached results are deep-copied on the way out, so
+// callers may mutate what they receive.
+package engine

@@ -1,23 +1,3 @@
-// Package engine provides a concurrent batch-evaluation engine on top of
-// the core solver. An Engine owns a bounded pool of worker goroutines
-// that execute solver jobs, deduplicates identical in-flight jobs
-// (singleflight: concurrent submissions of the same job share one
-// execution), and memoizes completed results in a bounded LRU cache
-// keyed by the canonical job hash of package graphio.
-//
-// Below the result cache sits a second, structure-keyed cache of
-// compiled solver plans (core.Compile / internal/plan), keyed by
-// graphio.StructKey — the job hash with probabilities stripped. Jobs
-// that differ from a previously executed job only in edge probabilities
-// skip the structural phase (classification, lineage and circuit
-// construction) and pay only the linear evaluation, which is the
-// dominant serving pattern: what-if analysis, probability sweeps and
-// streaming weight updates over a fixed query/instance topology.
-//
-// All results are exact *big.Rat probabilities, byte-identical to what a
-// sequential call to core.Solve / core.SolveUCQ would return: the engine
-// changes scheduling, never arithmetic. Cached results are deep-copied on
-// the way out, so callers may mutate what they receive.
 package engine
 
 import (
@@ -139,6 +119,18 @@ type Stats struct {
 	PlanHits uint64 `json:"plan_hits"`
 	// PlanCompiles counts executed jobs that compiled a fresh plan.
 	PlanCompiles uint64 `json:"plan_compiles"`
+	// FloatFast counts executed jobs that requested the float64 fast
+	// path (precision fast or auto) and were answered by it — the
+	// result carries a certified error bound instead of an exact
+	// rational.
+	FloatFast uint64 `json:"float_fast"`
+	// FloatFallbacks counts executed jobs that requested the fast path
+	// but were answered by exact rational arithmetic instead: the
+	// certified enclosure was wider than the tolerance (auto), the
+	// plan was opaque, or the float kernel could not produce a finite
+	// bound. Fallback results are byte-identical to precision-exact
+	// ones.
+	FloatFallbacks uint64 `json:"float_fallbacks"`
 	// PlansLoaded counts plan records restored into the plan cache by
 	// LoadPlans (including the boot restore of Options.PlanSnapshotPath).
 	PlansLoaded uint64 `json:"plans_loaded"`
@@ -493,7 +485,8 @@ func (e *Engine) prepare(job Job) (string, func() (*core.Result, error), *bool, 
 	}
 	// Disjunct order is irrelevant to the probability of a union.
 	sort.Strings(canon)
-	key, structKey, canonOrder := graphio.JobKeys(canon, job.Instance, job.Opts.Fingerprint())
+	key, structKey, canonOrder := graphio.JobKeys(canon, job.Instance,
+		job.Opts.Fingerprint(), job.Opts.StructFingerprint())
 
 	planHit := new(bool)
 	run := func() (*core.Result, error) {
@@ -560,7 +553,13 @@ func (e *Engine) runPlanned(structKey string, canonOrder []int, job Job, qs []*g
 		e.mu.Lock()
 		e.stats.PlanHits++
 		e.mu.Unlock()
-		return ent.Evaluate(probs)
+		// EvaluateOpts rather than Evaluate: the job's own options pick
+		// the numeric substrate, which matters for snapshot-restored
+		// plans (they carry no precision of their own) and for cached
+		// plans shared across precision modes.
+		res, err := ent.EvaluateOpts(probs, job.Opts)
+		e.noteFloat(job.Opts, res, err)
+		return res, err
 	}
 	var cp *core.CompiledPlan
 	var err error
@@ -586,7 +585,27 @@ func (e *Engine) runPlanned(structKey string, canonOrder []int, job Job, qs []*g
 	if err != nil {
 		return nil, err
 	}
-	return cp.EvaluateInstance(job.Instance)
+	res, evalErr := cp.EvaluateOpts(job.Instance.Probs(), job.Opts)
+	e.noteFloat(job.Opts, res, evalErr)
+	return res, evalErr
+}
+
+// noteFloat updates the dual-precision counters after an evaluation:
+// jobs that requested the float fast path (precision fast or auto)
+// count as FloatFast when the float kernel answered and as
+// FloatFallbacks when exact arithmetic did. Exact-precision jobs touch
+// neither counter.
+func (e *Engine) noteFloat(opts *core.Options, res *core.Result, err error) {
+	if err != nil || res == nil || opts.EffectivePrecision() == core.PrecisionExact {
+		return
+	}
+	e.mu.Lock()
+	if res.Precision == core.PrecisionFast {
+		e.stats.FloatFast++
+	} else {
+		e.stats.FloatFallbacks++
+	}
+	e.mu.Unlock()
 }
 
 // transportProbs maps the probability vector of h onto the edge
@@ -651,9 +670,15 @@ func (e *Engine) do(key string, run func() (*core.Result, error)) JobResult {
 }
 
 // cloneResult deep-copies a result so cache entries and singleflight
-// peers never share a mutable *big.Rat with a caller.
+// peers never share a mutable *big.Rat (or bounds struct) with a
+// caller.
 func cloneResult(r *core.Result) *core.Result {
-	return &core.Result{Prob: new(big.Rat).Set(r.Prob), Method: r.Method}
+	c := &core.Result{Prob: new(big.Rat).Set(r.Prob), Method: r.Method, Precision: r.Precision}
+	if r.Bounds != nil {
+		b := *r.Bounds
+		c.Bounds = &b
+	}
+	return c
 }
 
 // lruCache is a plain bounded LRU over canonical job keys, generic in

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"math/big"
+	"testing"
+
+	"phom/internal/core"
+	"phom/internal/graph"
+)
+
+// floatJob returns a tractable single-edge job with a non-dyadic
+// probability, so the float kernel genuinely rounds.
+func floatJob(opts *core.Options) Job {
+	q := graph.Path1WP("R")
+	hg := graph.New(3)
+	hg.MustAddEdge(0, 1, "R")
+	hg.MustAddEdge(1, 2, "R")
+	h := graph.NewProbGraph(hg)
+	h.MustSetEdgeProb(0, 1, big.NewRat(1, 3))
+	h.MustSetEdgeProb(1, 2, big.NewRat(2, 7))
+	return Job{Query: q, Instance: h, Opts: opts}
+}
+
+// TestEngineFloatCounters pins the dual-precision serving counters:
+// fast-path answers count as FloatFast, forced fallbacks as
+// FloatFallbacks, and exact jobs touch neither.
+func TestEngineFloatCounters(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+
+	if r := e.Do(floatJob(nil)); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if st := e.Stats(); st.FloatFast != 0 || st.FloatFallbacks != 0 {
+		t.Fatalf("exact job touched float counters: %+v", st)
+	}
+
+	r := e.Do(floatJob(&core.Options{Precision: core.PrecisionFast}))
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Result.Precision != core.PrecisionFast || r.Result.Bounds == nil {
+		t.Fatalf("fast job served on substrate %v", r.Result.Precision)
+	}
+	if st := e.Stats(); st.FloatFast != 1 {
+		t.Fatalf("FloatFast = %d, want 1 (%+v)", st.FloatFast, st)
+	}
+
+	// A subnormal tolerance can never hold for a rounding computation:
+	// auto must fall back, byte-identical to exact.
+	exact := e.Do(floatJob(nil))
+	auto := e.Do(floatJob(&core.Options{Precision: core.PrecisionAuto, FloatTolerance: 5e-324}))
+	if auto.Err != nil {
+		t.Fatal(auto.Err)
+	}
+	if auto.Result.Precision != core.PrecisionExact || auto.Result.Bounds != nil {
+		t.Fatalf("forced fallback served on substrate %v", auto.Result.Precision)
+	}
+	if auto.Result.Prob.RatString() != exact.Result.Prob.RatString() {
+		t.Fatalf("fallback %s differs from exact %s",
+			auto.Result.Prob.RatString(), exact.Result.Prob.RatString())
+	}
+	if st := e.Stats(); st.FloatFallbacks != 1 {
+		t.Fatalf("FloatFallbacks = %d, want 1 (%+v)", st.FloatFallbacks, st)
+	}
+}
+
+// TestEngineFloatResultCaching pins cache hygiene across substrates:
+// fast and exact variants of the same job key separately (no float
+// answer is ever served to an exact job), and cached fast results keep
+// their bounds through the deep copy.
+func TestEngineFloatResultCaching(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+
+	fast1 := e.Do(floatJob(&core.Options{Precision: core.PrecisionFast}))
+	exact := e.Do(floatJob(nil))
+	if fast1.Err != nil || exact.Err != nil {
+		t.Fatal(fast1.Err, exact.Err)
+	}
+	if exact.CacheHit {
+		t.Fatal("exact job was served the fast job's cached result")
+	}
+	if exact.Result.Precision != core.PrecisionExact {
+		t.Fatalf("exact job answered on substrate %v", exact.Result.Precision)
+	}
+	fast2 := e.Do(floatJob(&core.Options{Precision: core.PrecisionFast}))
+	if !fast2.CacheHit {
+		t.Fatal("identical fast job missed the result cache")
+	}
+	if fast2.Result.Bounds == nil || *fast2.Result.Bounds != *fast1.Result.Bounds {
+		t.Fatal("cached fast result lost or changed its bounds")
+	}
+	// The cached copy must not alias the caller's.
+	fast2.Result.Bounds.Lo = -1
+	fast3 := e.Do(floatJob(&core.Options{Precision: core.PrecisionFast}))
+	if fast3.Result.Bounds.Lo == -1 {
+		t.Fatal("cache entry shares its Bounds struct with callers")
+	}
+	if !fast3.Result.Bounds.Contains(exact.Result.Prob) {
+		t.Fatal("cached enclosure misses the exact answer")
+	}
+}
+
+// TestEnginePlanCacheSharedAcrossPrecisions pins that the plan cache is
+// substrate-independent: a structure compiled by an exact job serves
+// fast and auto jobs (and reweights) as plan hits — the job's options,
+// not the cached plan, pick the kernel. Without this, plan snapshots
+// would go cold whenever the serving precision changes.
+func TestEnginePlanCacheSharedAcrossPrecisions(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+
+	// Compile once, under exact precision.
+	if r := e.Do(floatJob(nil)); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	// A fast job over the same structure must hit that plan (the
+	// probabilities differ, so the result cache cannot answer).
+	job := floatJob(&core.Options{Precision: core.PrecisionFast})
+	job.Instance.MustSetEdgeProb(0, 1, big.NewRat(3, 5))
+	r := e.Do(job)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if !r.PlanHit {
+		t.Fatal("fast job did not hit the plan compiled by the exact job")
+	}
+	if r.Result.Precision != core.PrecisionFast || r.Result.Bounds == nil {
+		t.Fatalf("plan-cache hit served on substrate %v", r.Result.Precision)
+	}
+	// And an auto job with a third probability assignment hits it too.
+	job = floatJob(&core.Options{Precision: core.PrecisionAuto})
+	job.Instance.MustSetEdgeProb(0, 1, big.NewRat(4, 9))
+	r = e.Do(job)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if !r.PlanHit {
+		t.Fatal("auto job did not hit the shared plan")
+	}
+	st := e.Stats()
+	if st.PlanCompiles != 1 {
+		t.Fatalf("PlanCompiles = %d, want 1 (one structure, three precision modes)", st.PlanCompiles)
+	}
+	if st.FloatFast != 2 {
+		t.Fatalf("FloatFast = %d, want 2", st.FloatFast)
+	}
+}

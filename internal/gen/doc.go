@@ -1,0 +1,5 @@
+// Package gen provides seeded, deterministic random generators for every
+// graph class of the paper and for the counting-problem inputs
+// (bipartite graphs, PP2DNF formulas). All generators take an explicit
+// *rand.Rand so experiments and tests are reproducible.
+package gen

@@ -1,0 +1,12 @@
+// Package graph implements the directed edge-labeled graphs of Amarilli,
+// Monet and Senellart, "Conjunctive Queries on Probabilistic Graphs:
+// Combined Complexity" (PODS 2017), together with the graph classes,
+// homomorphism tests and structural notions (graded DAGs, levels, heights)
+// that the paper's algorithms rely on.
+//
+// A Graph is a triple (V, E, λ): V is {0, …, n−1}, E ⊆ V² has no
+// multi-edges (each ordered pair carries at most one label), and
+// λ : E → σ assigns a label to every edge. Following the paper, graphs are
+// always directed and non-empty, and a subgraph keeps the full vertex set
+// while dropping edges.
+package graph

@@ -132,7 +132,13 @@ func writeOptsSection(w io.Writer, optsFingerprint string) {
 // plan-hit fast path should not spend its win on hashing. The canonical
 // edge order is returned so callers can reuse it (probability
 // transport) without re-sorting.
-func JobKeys(queryCanon []string, p *graph.ProbGraph, optsFingerprint string) (jobKey, structKey string, order []int) {
+//
+// The two keys take separate options fingerprints: the job key hashes
+// the full result-affecting fingerprint, the structure key hashes the
+// compile-affecting subset (core.Options.StructFingerprint) — which is
+// how jobs differing only in evaluation policy (precision, tolerance)
+// share one cached plan while keeping distinct result-cache entries.
+func JobKeys(queryCanon []string, p *graph.ProbGraph, optsFingerprint, structOptsFingerprint string) (jobKey, structKey string, order []int) {
 	hj, hs := sha256.New(), sha256.New()
 	fmt.Fprintf(hs, "struct\n")
 	both := io.MultiWriter(hj, hs)
@@ -153,7 +159,8 @@ func JobKeys(queryCanon []string, p *graph.ProbGraph, optsFingerprint string) (j
 		buf = append(buf, '\n')
 		hj.Write(buf)
 	}
-	writeOptsSection(both, optsFingerprint)
+	writeOptsSection(hj, optsFingerprint)
+	writeOptsSection(hs, structOptsFingerprint)
 	return hex.EncodeToString(hj.Sum(nil)), hex.EncodeToString(hs.Sum(nil)), order
 }
 

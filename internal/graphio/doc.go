@@ -1,0 +1,13 @@
+// Package graphio serializes query graphs and probabilistic instance
+// graphs to and from a small line-oriented text format, JSON, and
+// Graphviz DOT (export only). The text format is what the cmd/phom CLI
+// reads:
+//
+//	# comment
+//	vertices 4
+//	edge 0 1 R        # certain edge with label R
+//	edge 1 2 S 1/2    # probability 1/2
+//	edge 2 3 S 0.25   # decimal probabilities are parsed exactly
+//
+// Labels are arbitrary non-space tokens; use "_" for unlabeled graphs.
+package graphio

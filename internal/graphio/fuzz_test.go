@@ -269,8 +269,8 @@ func TestJobKeysMatchesReferenceEquivalence(t *testing.T) {
 		for j, b := range cases {
 			refJob := JobKey(qc, CanonicalProbGraph(a), "o") == JobKey(qc, CanonicalProbGraph(b), "o")
 			refStruct := StructKey(qc, CanonicalGraph(a.G), "o") == StructKey(qc, CanonicalGraph(b.G), "o")
-			ja, sa, _ := JobKeys(qc, a, "o")
-			jb, sb, _ := JobKeys(qc, b, "o")
+			ja, sa, _ := JobKeys(qc, a, "o", "o")
+			jb, sb, _ := JobKeys(qc, b, "o", "o")
 			if (ja == jb) != refJob {
 				t.Errorf("cases %d,%d: job-key equivalence diverges (streamed %v, reference %v)", i, j, ja == jb, refJob)
 			}

@@ -210,7 +210,10 @@ func TestStructKeyJobMatchesJobKeys(t *testing.T) {
 		}
 		queryCanon := []string{"g;n=2;0>1:\"R\""}
 		fp := "brute=20;match=65536;nofallback=false"
-		_, structKey, order := JobKeys(queryCanon, p, fp)
+		// JobKeys takes the full result fingerprint and the structure
+		// fingerprint separately; the structure hash consumes only the
+		// latter, which is what StructKeyJob must match.
+		_, structKey, order := JobKeys(queryCanon, p, fp+";prec=fast;tol=-", fp)
 		gotKey, gotOrder := StructKeyJob(queryCanon, g, fp)
 		if gotKey != structKey {
 			t.Fatalf("trial %d: StructKeyJob %s, JobKeys %s", trial, gotKey, structKey)

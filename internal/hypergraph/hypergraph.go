@@ -1,8 +1,3 @@
-// Package hypergraph implements hypergraphs and the acyclicity notions the
-// paper relies on: β-leaves, β-elimination orders and β-acyclicity
-// (Definition 4.7), plus α-acyclicity (GYO reduction) for context. The
-// β-acyclicity test certifies that the lineages built by the tractable
-// cases of §4.2 have the structure required by Theorem 4.9.
 package hypergraph
 
 import "sort"

@@ -1,27 +1,3 @@
-// Package plan defines compiled solver plans: probability-independent
-// evaluation artifacts that split PHom solving into a structural
-// *compile* phase and a linear *evaluate* phase.
-//
-// Every tractable cell of the paper (Propositions 3.6, 4.10, 4.11 and
-// 5.4/5.5, with Lemma 3.7 for disconnected instances) factors the same
-// way: the expensive part of the algorithm — lineage construction,
-// automaton compilation, class-driven normalization — depends only on
-// the *structure* of the query and instance graphs, while the edge
-// probabilities enter exclusively through a final linear dynamic program
-// (betadnf.IntervalSystem.Prob, betadnf.ChainSystem.Prob,
-// ddnnf.Circuit.Prob). A Plan captures the output of the structural
-// phase; Evaluate replays only the linear phase against a probability
-// vector indexed by the instance's edge list.
-//
-// Plans therefore amortize: one compilation serves arbitrarily many
-// probability assignments over the same graph pair, which is the
-// dominant serving pattern (what-if analysis, probability sweeps,
-// streaming weight updates). Package engine caches plans keyed by the
-// structure-only job hash of package graphio, and package core builds
-// them via the compile functions of this package.
-//
-// All plans are immutable after construction and safe for concurrent
-// Evaluate calls; every Evaluate returns a freshly allocated *big.Rat.
 package plan
 
 import (

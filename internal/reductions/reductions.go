@@ -1,20 +1,3 @@
-// Package reductions implements the hardness constructions of the paper
-// as executable polynomial-time reductions. Each construction converts an
-// instance of a #P-hard counting problem into a PHom input pair that
-// satisfies an exact counting identity; the test suite validates the
-// identity against brute-force counters, which is the strongest
-// machine-checkable evidence for the #P-hard cells of Tables 1–3.
-//
-//   - EdgeCoverLabeled: #Bipartite-Edge-Cover → PHomL(⊔1WP, 1WP)
-//     (Proposition 3.3, Figure 5).
-//   - EdgeCoverUnlabeled: the same with labels simulated by two-wayness,
-//     → PHom̸L(⊔2WP, 2WP) (Proposition 3.4).
-//   - PP2DNFLabeled: #PP2DNF → PHomL(1WP, PT) (Proposition 4.1, Figure 7).
-//   - PP2DNFUnlabeled: #PP2DNF → PHom̸L(2WP, PT) (Proposition 5.6,
-//     Figure 8).
-//   - PP2DNFConnected: #PP2DNF → PHom̸L(1WP, Connected), a graph-only
-//     variant of [32, Example 3.3] cited by Proposition 5.1 (see the
-//     substitution note in DESIGN.md).
 package reductions
 
 import (

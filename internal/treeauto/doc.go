@@ -1,0 +1,18 @@
+// Package treeauto implements the automaton-based algorithm of
+// Proposition 5.4: probabilistic evaluation of an unlabeled one-way path
+// query of length m on a polytree instance, by (1) encoding the polytree
+// as a full binary tree whose nodes carry uncertain Boolean annotations,
+// (2) building a bottom-up deterministic tree automaton (Definition 5.2)
+// whose states track the longest directed path into, out of, and within
+// the processed subinstance, capped at m, and (3) compiling the
+// automaton's lineage on the uncertain tree into a d-DNNF circuit whose
+// probability is the answer.
+//
+// The binary encoding differs cosmetically from the left-child-right-
+// sibling variant in the paper's appendix but has the same shape: every
+// internal node represents one polytree edge (an uncertain annotation),
+// its left child encodes the subtree hanging off that edge, and its right
+// child encodes the remaining edges incident to the same polytree vertex
+// (an ε-continuation). Leaves are ε-nodes. The automaton states are the
+// triples ⟨↑:i, ↓:j, Max:k⟩ of the appendix.
+package treeauto

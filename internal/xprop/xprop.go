@@ -1,14 +1,3 @@
-// Package xprop implements the X-property of Gutjahr, Welzl and Woeginger
-// [25] in the labeled formulation of Gottlob, Koch and Schulz [23]
-// (Definition 4.12 of the paper), and the polynomial-time homomorphism
-// test of Theorem 4.13 for instances that have the X-property with
-// respect to a total order of their vertices.
-//
-// The algorithm is the classical one for min-closed constraint languages:
-// for each label R, the X-property states exactly that the edge relation
-// of R is min-closed w.r.t. the order, so establishing arc consistency and
-// then mapping every query vertex to the minimum of its domain yields a
-// homomorphism whenever one exists.
 package xprop
 
 import (

@@ -43,6 +43,7 @@ import (
 
 	"phom/internal/core"
 	"phom/internal/graph"
+	"phom/internal/plan"
 )
 
 // Core graph types, re-exported from the implementation packages so that
@@ -138,6 +139,35 @@ type (
 	// Verdict is a predicted complexity classification.
 	Verdict = core.Verdict
 )
+
+// Precision selects the numeric substrate of plan evaluation (see
+// Options.Precision): exact rational arithmetic, the certified float64
+// interval kernel, or automatic routing between the two.
+type Precision = core.Precision
+
+// The precision modes. PrecisionExact (the zero value) computes exact
+// rationals; PrecisionFast runs the float64 interval kernel and
+// reports a certified absolute-error bound (Result.Bounds);
+// PrecisionAuto serves the float answer when its certified bound is
+// within Options.FloatTolerance and falls back to exact arithmetic —
+// byte-identical to PrecisionExact — otherwise.
+const (
+	PrecisionExact = core.PrecisionExact
+	PrecisionFast  = core.PrecisionFast
+	PrecisionAuto  = core.PrecisionAuto
+)
+
+// DefaultFloatTolerance is the default certified-error cap of
+// PrecisionAuto (Options.FloatTolerance = 0).
+const DefaultFloatTolerance = core.DefaultFloatTolerance
+
+// ParsePrecision parses "exact", "fast" or "auto" (and "" as exact).
+func ParsePrecision(s string) (Precision, error) { return core.ParsePrecision(s) }
+
+// Enclosure is a certified float64 interval [Lo, Hi] guaranteed to
+// contain an exact probability; fast-precision results carry one as
+// Result.Bounds.
+type Enclosure = plan.Enclosure
 
 // The solver methods.
 const (
