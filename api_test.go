@@ -1,0 +1,133 @@
+package phom
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The exported-API golden test: a snapshot of every exported identifier
+// of the phom package (with full signatures) lives in
+// testdata/api.golden, and any drift — an accidental rename, a changed
+// signature, a silently dropped symbol — fails CI until the snapshot is
+// regenerated deliberately:
+//
+//	go test . -run TestExportedAPIGolden -update
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/api.golden from the current exported API")
+
+const apiGoldenPath = "testdata/api.golden"
+
+// exportedAPI renders the exported surface of the package in this
+// directory, one declaration per line, sorted.
+func exportedAPI(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["phom"]
+	if !ok {
+		t.Fatalf("package phom not found (got %v)", pkgs)
+	}
+	var lines []string
+	cfg := printer.Config{Mode: printer.RawFormat}
+	render := func(node any) string {
+		var buf bytes.Buffer
+		if err := cfg.Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		// Collapse internal newlines/tabs so each decl is one line.
+		return strings.Join(strings.Fields(buf.String()), " ")
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !d.Name.IsExported() {
+					continue // the package exports no methods of its own
+				}
+				lines = append(lines, render(&ast.FuncDecl{Name: d.Name, Type: d.Type}))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() {
+							lines = append(lines, "type "+render(&ast.TypeSpec{
+								Name: sp.Name, Assign: sp.Assign, Type: sp.Type,
+							}))
+						}
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, name := range sp.Names {
+							if name.IsExported() {
+								lines = append(lines, fmt.Sprintf("%s %s", kind, name.Name))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func TestExportedAPIGolden(t *testing.T) {
+	got := strings.Join(exportedAPI(t), "\n") + "\n"
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(apiGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiGoldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d exported declarations)", apiGoldenPath, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(apiGoldenPath)
+	if err != nil {
+		t.Fatalf("%v — regenerate with: go test . -run TestExportedAPIGolden -update", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exported API drifted from %s.\n"+
+			"If the change is intentional, regenerate with: go test . -run TestExportedAPIGolden -update\n\n"+
+			"--- got ---\n%s\n--- want ---\n%s", apiGoldenPath, got, want)
+	}
+}
+
+// TestExportedAPIMentionsV2Essentials guards the golden file itself: if
+// someone regenerates it after accidentally deleting the v2 surface,
+// this still fails.
+func TestExportedAPIMentionsV2Essentials(t *testing.T) {
+	api := strings.Join(exportedAPI(t), "\n")
+	for _, sym := range []string{
+		"func SolveContext(ctx context.Context, req Request) (*Result, error)",
+		"func CompileContext(ctx context.Context, req Request) (*Plan, error)",
+		"func NewRequest(query *Graph, instance *ProbGraph, opts ...RequestOption) Request",
+		"func ParseRat(s string) (*big.Rat, error)",
+		"var ErrCanceled",
+		"var ErrBadInput",
+		"type Request = engine.Job",
+		"type StreamResult = engine.StreamResult",
+	} {
+		if !strings.Contains(api, sym) {
+			t.Errorf("exported API is missing %q", sym)
+		}
+	}
+}

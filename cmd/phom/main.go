@@ -14,15 +14,26 @@
 //
 // Flags select the method (auto routes to a PTIME algorithm when the
 // input pair is tractable), print the class membership and the predicted
-// combined complexity of the pair, or export DOT.
+// combined complexity of the pair, override edge probabilities
+// (-setprob "0>1=1/2,1>2=0.35") before solving, or export DOT.
+//
+// The solve runs under a signal-aware context: Ctrl-C (or SIGTERM)
+// cancels even an exponential baseline at its next cooperative
+// checkpoint, and the command exits with the typed cancellation error
+// instead of having to be killed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"phom"
 	"phom/internal/core"
 	"phom/internal/graph"
 	"phom/internal/graphio"
@@ -36,6 +47,7 @@ func main() {
 		method       = flag.String("method", "auto", "auto | brute | lineage")
 		noFallback   = flag.Bool("no-fallback", false, "fail instead of using an exponential baseline on #P-hard inputs")
 		bruteLimit   = flag.Int("brute-limit", core.DefaultBruteForceLimit, "max uncertain edges for brute force")
+		setProb      = flag.String("setprob", "", "override edge probabilities before solving: comma-separated \"from>to=p\" pairs, p an exact rational like 1/2 or 0.35")
 		classify     = flag.Bool("classify", false, "also print class membership and predicted complexity")
 		float        = flag.Bool("float", false, "also print the probability as a float64 approximation")
 		dot          = flag.String("dot", "", "write the instance as Graphviz DOT to this file and exit")
@@ -46,6 +58,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	queryPaths := strings.Split(*queryPath, ",")
 	queries := make([]*graph.Graph, len(queryPaths))
@@ -60,6 +75,11 @@ func main() {
 	instance, err := loadProbGraph(*instancePath)
 	if err != nil {
 		fatal(err)
+	}
+	if *setProb != "" {
+		if err := applySetProb(instance, *setProb); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *dot != "" {
@@ -82,11 +102,13 @@ func main() {
 		fmt.Printf("predicted:        %v\n", v)
 	}
 
+	opts := &core.Options{
+		BruteForceLimit: *bruteLimit,
+		DisableFallback: *noFallback,
+	}
+
 	if *count {
-		n, coins, err := core.CountWorlds(query, instance, &core.Options{
-			BruteForceLimit: *bruteLimit,
-			DisableFallback: *noFallback,
-		})
+		n, coins, err := core.CountWorldsContext(ctx, query, instance, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -97,26 +119,22 @@ func main() {
 	var res *core.Result
 	switch *method {
 	case "auto":
+		var req phom.Request
 		if len(queries) > 1 {
-			res, err = core.SolveUCQ(queries, instance, &core.Options{
-				BruteForceLimit: *bruteLimit,
-				DisableFallback: *noFallback,
-			})
-			break
+			req = phom.NewUCQRequest(queries, instance, phom.WithOptions(opts))
+		} else {
+			req = phom.NewRequest(query, instance, phom.WithOptions(opts))
 		}
-		res, err = core.Solve(query, instance, &core.Options{
-			BruteForceLimit: *bruteLimit,
-			DisableFallback: *noFallback,
-		})
+		res, err = phom.SolveContext(ctx, req)
 	case "brute":
 		var p = new(core.Result)
 		p.Method = core.MethodBruteForce
-		p.Prob, err = core.BruteForceLimit(query, instance, *bruteLimit)
+		p.Prob, err = core.BruteForceLimitContext(ctx, query, instance, *bruteLimit)
 		res = p
 	case "lineage":
 		var p = new(core.Result)
 		p.Method = core.MethodLineage
-		p.Prob, err = core.LineageShannon(query, instance, 0)
+		p.Prob, err = core.LineageShannonContext(ctx, query, instance, 0)
 		res = p
 	default:
 		fatal(fmt.Errorf("unknown method %q", *method))
@@ -130,6 +148,35 @@ func main() {
 		fmt.Printf("           ≈ %g\n", f)
 	}
 	fmt.Printf("method     = %s (ptime=%v)\n", res.Method, res.Method.PTime())
+}
+
+// applySetProb parses a comma-separated list of "from>to=p" overrides
+// and applies them to the instance. Probabilities go through the
+// non-panicking phom.ParseRat, so a malformed token is a typed
+// bad-input error, never a panic.
+func applySetProb(instance *graph.ProbGraph, spec string) error {
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		edge, val, found := strings.Cut(tok, "=")
+		if !found {
+			return fmt.Errorf("-setprob %q: want \"from>to=p\"", tok)
+		}
+		from, to, ok := graphio.ParseEdgeKey(edge)
+		if !ok {
+			return fmt.Errorf("-setprob %q: edge must be \"from>to\"", tok)
+		}
+		p, err := phom.ParseRat(strings.TrimSpace(val))
+		if err != nil {
+			return fmt.Errorf("-setprob %q: %w", tok, err)
+		}
+		if err := instance.SetEdgeProb(graph.Vertex(from), graph.Vertex(to), p); err != nil {
+			return fmt.Errorf("-setprob %q: %w", tok, err)
+		}
+	}
+	return nil
 }
 
 func loadGraph(path string) (*graph.Graph, error) {
@@ -157,7 +204,15 @@ func settingName(labeled bool) string {
 	return "unlabeled (PHom̸L)"
 }
 
+// fatal reports the error with its taxonomy code when it carries one
+// ("canceled", "bad-input", …), so scripted callers can distinguish a
+// Ctrl-C from a genuine failure without parsing message text.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "phom:", err)
+	var terr *phom.Error
+	if errors.As(err, &terr) {
+		fmt.Fprintf(os.Stderr, "phom: %v (%s)\n", err, phom.CodeOf(err))
+	} else {
+		fmt.Fprintln(os.Stderr, "phom:", err)
+	}
 	os.Exit(1)
 }

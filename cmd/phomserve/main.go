@@ -23,6 +23,11 @@
 //	               in the response) — the fast path for what-if analysis
 //	               and probability sweeps.
 //	POST /batch    {"jobs": [ ... ]}; results in job order, per-job errors.
+//	               With ?stream=1 the results come back as NDJSON in
+//	               completion order instead — one line per job tagged
+//	               with its index, then a {"done":true,...} trailer —
+//	               so huge batches start answering immediately and the
+//	               server never buffers the full result slice.
 //	GET  /plans/export  binary snapshot of the compiled-plan cache
 //	               (the canonical plan encoding of internal/graphio).
 //	POST /plans/import  restore a snapshot into the plan cache; jobs
@@ -37,8 +42,18 @@
 // -maxbody (413 beyond it). With -plansnapshot FILE the engine
 // restores its plan cache from FILE at boot (if present) and writes it
 // back on clean shutdown, so recompilations do not survive restarts.
-// See DESIGN.md (Serving layer, Evaluation IR) and README.md for
-// examples.
+//
+// Failures carry the typed error taxonomy of the phom package, both as
+// a machine-readable "code" field and as the HTTP status:
+// bad-input → 400, deadline → 408 (including a job's own
+// "options": {"timeout_ms": N} budget), limit/intractable → 422,
+// canceled → 499, unavailable → 503. Every job runs under its request
+// context plus the server's shutdown context: a dropped connection or
+// SIGTERM cancels in-flight solves at their next cooperative
+// checkpoint instead of burning CPU on abandoned work.
+//
+// See DESIGN.md (Serving layer, Request API and cancellation) and
+// README.md for examples.
 //
 // Usage:
 //
@@ -83,11 +98,19 @@ func main() {
 		log.Fatalf("phomserve: -floattol: %v", err)
 	}
 
+	// The signal context is the engine's base context: SIGTERM/SIGINT
+	// does not only stop accepting HTTP — it cancels every in-flight
+	// solve, so Shutdown's connection drain is not stuck behind
+	// exponential jobs nobody will receive.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	eng := engine.New(engine.Options{
 		Workers:          *workers,
 		CacheSize:        *cache,
 		PlanCacheSize:    *planCache,
 		PlanSnapshotPath: *planSnap,
+		BaseContext:      ctx,
 	})
 	defer func() {
 		if err := eng.Close(); err != nil {
@@ -110,14 +133,15 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("phomserve: listening on %s (%d workers)", *addr, eng.Workers())
 
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
-	case sig := <-sigc:
-		log.Printf("phomserve: %v, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	case <-ctx.Done():
+		// In-flight engine jobs are already being cancelled through the
+		// base context; Shutdown then drains the (now fast-failing)
+		// connections.
+		log.Printf("phomserve: signal received, shutting down (cancelling in-flight jobs)")
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
+		if err := srv.Shutdown(sctx); err != nil {
 			log.Printf("phomserve: shutdown: %v", err)
 		}
 	case err := <-errc:

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"phom/internal/engine"
 	"phom/internal/graph"
 	"phom/internal/graphio"
+	"phom/internal/phomerr"
 )
 
 // Request limits: a single request must not be able to exhaust the
@@ -37,6 +39,12 @@ type solveOptions struct {
 	BruteForceLimit int  `json:"brute_force_limit,omitempty"`
 	MatchLimit      int  `json:"match_limit,omitempty"`
 	DisableFallback bool `json:"disable_fallback,omitempty"`
+	// TimeoutMS is this job's execution budget in milliseconds: once it
+	// elapses the job fails with the deadline error code (HTTP 408 on
+	// /solve and /reweight; error code "deadline" in batch results).
+	// 0 means no per-job timeout — the job is still bounded by the
+	// connection's lifetime and the server's shutdown.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Precision selects the numeric substrate: "exact" (default),
 	// "fast" (float64 with a certified error bound) or "auto" (float64
 	// when the bound is within float_tolerance, exact otherwise).
@@ -70,6 +78,11 @@ type verdictResponse struct {
 type solveResponse struct {
 	Prob      string  `json:"prob,omitempty"`
 	ProbFloat float64 `json:"prob_float,omitempty"`
+	// Code is the typed error code accompanying Error ("bad-input",
+	// "limit", "intractable", "canceled", "deadline", "unavailable",
+	// "unknown"); empty on success. It is the machine-readable form —
+	// clients should dispatch on it, not on the error text.
+	Code string `json:"code,omitempty"`
 	// Precision is the substrate that produced the answer: "exact" or
 	// "fast". A job requesting fast/auto can legitimately report
 	// "exact" — that is the fallback contract, and the answer is then
@@ -125,6 +138,34 @@ type healthResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code is the typed error code (see solveResponse.Code).
+	Code string `json:"code,omitempty"`
+}
+
+// StatusClientClosedRequest is the non-standard (nginx-convention)
+// status reported when the client's request context is cancelled —
+// there is no standard code for "caller gave up", and 499 is the
+// widely understood one.
+const StatusClientClosedRequest = 499
+
+// statusOf maps the typed error taxonomy onto HTTP statuses:
+// bad-input → 400, deadline → 408, limit and intractable → 422 (the
+// request is well-formed but cannot be answered under its constraints),
+// canceled → 499, unavailable → 503, and anything unknown → 422 (the
+// historical catch-all for solver failures).
+func statusOf(err error) int {
+	switch phomerr.CodeOf(err) {
+	case phomerr.CodeBadInput:
+		return http.StatusBadRequest
+	case phomerr.CodeDeadline:
+		return http.StatusRequestTimeout
+	case phomerr.CodeCanceled:
+		return StatusClientClosedRequest
+	case phomerr.CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
 }
 
 // server routes HTTP requests onto a shared engine.
@@ -214,12 +255,12 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := req.toJob(s.defPrec, s.defTol)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeTypedError(w, phomerr.Wrap(phomerr.CodeBadInput, err))
 		return
 	}
-	resp := s.runJob(job)
-	if resp.Error != "" {
-		writeJSON(w, http.StatusUnprocessableEntity, resp)
+	resp, jerr := s.runJob(r.Context(), job)
+	if jerr != nil {
+		writeJSON(w, statusOf(jerr), resp)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -242,7 +283,7 @@ func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := req.solveRequest.toJob(s.defPrec, s.defTol)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeTypedError(w, phomerr.Wrap(phomerr.CodeBadInput, err))
 		return
 	}
 	if len(req.Probs) > 0 {
@@ -251,7 +292,7 @@ func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) {
 		// " 0>1"); map iteration order must never decide which wins.
 		seen := make(map[[2]int]bool, len(req.Probs))
 		for key, val := range req.Probs {
-			from, to, ok := parseEdgeKey(key)
+			from, to, ok := graphio.ParseEdgeKey(key)
 			if !ok {
 				writeError(w, http.StatusBadRequest, fmt.Sprintf("bad probs key %q: want \"from>to\"", key))
 				return
@@ -273,9 +314,9 @@ func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) {
 		}
 		job.Instance = inst
 	}
-	resp := s.runJob(job)
-	if resp.Error != "" {
-		writeJSON(w, http.StatusUnprocessableEntity, resp)
+	resp, jerr := s.runJob(r.Context(), job)
+	if jerr != nil {
+		writeJSON(w, statusOf(jerr), resp)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -335,17 +376,6 @@ func (s *server) handlePlansImport(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// parseEdgeKey splits a "from>to" edge designator.
-func parseEdgeKey(key string) (from, to int, ok bool) {
-	a, b, found := strings.Cut(key, ">")
-	if !found {
-		return 0, 0, false
-	}
-	from, err1 := strconv.Atoi(strings.TrimSpace(a))
-	to, err2 := strconv.Atoi(strings.TrimSpace(b))
-	return from, to, err1 == nil && err2 == nil
-}
-
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
@@ -363,6 +393,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch has %d jobs, limit is %d", len(req.Jobs), maxBatchJobs))
 		return
 	}
+	if streamRequested(r) {
+		s.streamBatch(w, r, req)
+		return
+	}
 	// Parse every job first; parse failures surface per job, and only
 	// well-formed jobs reach the engine. Each job is timed individually
 	// (runJob), so elapsed_us is that job's latency, not the batch's;
@@ -373,13 +407,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, jr := range req.Jobs {
 		job, err := jr.toJob(s.defPrec, s.defTol)
 		if err != nil {
-			results[i] = solveResponse{Error: err.Error()}
+			results[i] = parseFailure(err)
 			continue
 		}
 		wg.Add(1)
 		go func(i int, job engine.Job) {
 			defer wg.Done()
-			results[i] = s.runJob(job)
+			results[i], _ = s.runJob(r.Context(), job)
 		}(i, job)
 	}
 	wg.Wait()
@@ -390,15 +424,100 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) runJob(job engine.Job) solveResponse {
+// streamRequested reports whether a /batch request opted into NDJSON
+// streaming (?stream=1 or ?stream=true).
+func streamRequested(r *http.Request) bool {
+	v := r.URL.Query().Get("stream")
+	return v == "1" || v == "true"
+}
+
+// streamLine is one NDJSON line of /batch?stream=1: the response of
+// the batch job at Index, emitted when that job completes. elapsed_us
+// on a streamed line is the time from the start of the batch to this
+// job's delivery (completion-order latency), not the job's solo cost.
+type streamLine struct {
+	Index int `json:"index"`
+	solveResponse
+}
+
+// streamTrailer is the final NDJSON line of a streamed batch: a
+// summary marker carrying the engine counters and the batch wall-clock
+// time, so clients know the stream ended deliberately rather than by a
+// dropped connection.
+type streamTrailer struct {
+	Done      bool         `json:"done"`
+	Jobs      int          `json:"jobs"`
+	Stats     engine.Stats `json:"stats"`
+	ElapsedUS int64        `json:"elapsed_us"`
+}
+
+// streamBatch serves /batch?stream=1: results are written as NDJSON in
+// completion order — one line per job, fast jobs first, each tagged
+// with its input index — followed by a trailer line. Backed by
+// Engine.Stream, so a huge batch starts answering after its first job
+// and the server never buffers the full result slice; cancelling the
+// request (client disconnect) aborts the remaining jobs at their next
+// cooperative checkpoint.
+func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, req batchRequest) {
 	start := time.Now()
-	return buildResponse(job, s.engine.Do(job), time.Since(start))
+	// Parse first: malformed jobs yield immediate error lines and never
+	// reach the engine; idx maps engine-stream positions back to the
+	// caller's job numbering.
+	jobs := make([]engine.Job, 0, len(req.Jobs))
+	idx := make([]int, 0, len(req.Jobs))
+	parseFailures := make([]streamLine, 0)
+	for i, jr := range req.Jobs {
+		job, err := jr.toJob(s.defPrec, s.defTol)
+		if err != nil {
+			parseFailures = append(parseFailures, streamLine{Index: i, solveResponse: parseFailure(err)})
+			continue
+		}
+		jobs = append(jobs, job)
+		idx = append(idx, i)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(v any) {
+		_ = enc.Encode(v) // Encode appends the newline NDJSON needs
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for _, line := range parseFailures {
+		emit(line)
+	}
+	for sr := range s.engine.Stream(r.Context(), jobs) {
+		resp := buildResponse(jobs[sr.Index], sr.JobResult, time.Since(start))
+		emit(streamLine{Index: idx[sr.Index], solveResponse: resp})
+	}
+	emit(streamTrailer{
+		Done:      true,
+		Jobs:      len(req.Jobs),
+		Stats:     s.engine.Stats(),
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
+}
+
+// parseFailure is the per-job response for a request that failed to
+// parse (never submitted to the engine).
+func parseFailure(err error) solveResponse {
+	terr := phomerr.Wrap(phomerr.CodeBadInput, err)
+	return solveResponse{Error: terr.Error(), Code: phomerr.CodeOf(terr).String()}
+}
+
+func (s *server) runJob(ctx context.Context, job engine.Job) (solveResponse, error) {
+	start := time.Now()
+	jr := s.engine.DoContext(ctx, job)
+	return buildResponse(job, jr, time.Since(start)), jr.Err
 }
 
 func buildResponse(job engine.Job, jr engine.JobResult, elapsed time.Duration) solveResponse {
 	resp := solveResponse{ElapsedUS: elapsed.Microseconds(), CacheHit: jr.CacheHit, Shared: jr.Shared, PlanHit: jr.PlanHit}
 	if jr.Err != nil {
 		resp.Error = jr.Err.Error()
+		resp.Code = phomerr.CodeOf(jr.Err).String()
 		return resp
 	}
 	resp.Prob = jr.Result.Prob.RatString()
@@ -468,6 +587,10 @@ func (r *solveRequest) toJob(defPrec core.Precision, defTol float64) (engine.Job
 		if r.Options.MatchLimit < 0 || r.Options.MatchLimit > maxMatchLimit {
 			return job, fmt.Errorf("match_limit %d outside [0, %d]", r.Options.MatchLimit, maxMatchLimit)
 		}
+		if r.Options.TimeoutMS < 0 {
+			return job, fmt.Errorf("timeout_ms %d is negative", r.Options.TimeoutMS)
+		}
+		job.Timeout = time.Duration(r.Options.TimeoutMS) * time.Millisecond
 		// A malformed precision is a 400, never a silent default: a
 		// client that typed "fats" must not silently pay exact-precision
 		// latency (or worse, believe a float answer is exact).
@@ -564,4 +687,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// writeTypedError reports a typed error with its taxonomy-derived
+// status and machine-readable code.
+func writeTypedError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), errorResponse{Error: err.Error(), Code: phomerr.CodeOf(err).String()})
 }

@@ -14,18 +14,33 @@ import "phom/internal/engine"
 // plan format (warm-starting fresh engines or replicas with zero
 // recompiles), and EngineOptions.PlanSnapshotPath automates the loop
 // across restarts. Results are byte-identical to sequential Solve: the
-// engine changes scheduling, never arithmetic.
+// engine changes scheduling, never arithmetic. For huge batches,
+// Engine.Stream yields results in completion order instead of
+// buffering the whole result slice (it backs the NDJSON streaming mode
+// of cmd/phomserve's /batch endpoint).
 type (
 	// Engine is a concurrent batch evaluator; create with NewEngine and
-	// release with Close.
+	// release with Close. Submission is context-aware: DoContext,
+	// SolveBatchContext and Stream take a context.Context (and honor
+	// each Request's Timeout), cancel work nobody is waiting for at the
+	// next cooperative checkpoint, and report cancellation as typed
+	// ErrCanceled/ErrDeadline errors. Do and SolveBatch remain as the
+	// context-free v1 shims.
 	Engine = engine.Engine
-	// EngineOptions configures NewEngine.
+	// EngineOptions configures NewEngine. EngineOptions.BaseContext is
+	// the lifetime context of every job: cancel it (the serving layer
+	// wires its shutdown context here) and all in-flight solves abort.
 	EngineOptions = engine.Options
 	// Job is one (query or UCQ, instance, options) evaluation for
-	// Engine.Do and Engine.SolveBatch.
+	// Engine.Do and Engine.SolveBatch. It is the same type as Request —
+	// the unified v2 request — under the v1 name.
 	Job = engine.Job
 	// JobResult is the outcome of one Job, with cache provenance.
 	JobResult = engine.JobResult
+	// StreamResult is one completed job of an Engine.Stream call: the
+	// JobResult of the input job at Index, delivered in completion
+	// order.
+	StreamResult = engine.StreamResult
 	// EngineStats is a snapshot of engine counters.
 	EngineStats = engine.Stats
 )

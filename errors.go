@@ -1,0 +1,90 @@
+package phom
+
+import (
+	"math/big"
+
+	"phom/internal/graphio"
+	"phom/internal/phomerr"
+)
+
+// This file re-exports the typed error taxonomy of the v2 request API.
+// Every failure the package can report carries an ErrorCode; test with
+// errors.Is against the sentinels (or errors.As against *Error), never
+// by string matching:
+//
+//	res, err := phom.SolveContext(ctx, req)
+//	switch {
+//	case errors.Is(err, phom.ErrCanceled):   // caller cancelled
+//	case errors.Is(err, phom.ErrDeadline):   // timeout / deadline
+//	case errors.Is(err, phom.ErrBadInput):   // malformed request
+//	case errors.Is(err, phom.ErrLimit):      // baseline cap exceeded
+//	case errors.Is(err, phom.ErrIntractable): // #P-hard, fallback off
+//	}
+//
+// The serving layer (cmd/phomserve) maps the codes to HTTP statuses:
+// bad-input → 400, deadline → 408, limit/intractable → 422,
+// canceled → 499, unavailable → 503.
+
+// Error is a typed failure: an ErrorCode classifying the failure mode
+// plus the wrapped cause, compatible with errors.Is/As.
+type Error = phomerr.Error
+
+// ErrorCode classifies a failure of the request API.
+type ErrorCode = phomerr.Code
+
+// The error codes.
+const (
+	CodeUnknown     = phomerr.CodeUnknown
+	CodeBadInput    = phomerr.CodeBadInput
+	CodeLimit       = phomerr.CodeLimit
+	CodeIntractable = phomerr.CodeIntractable
+	CodeCanceled    = phomerr.CodeCanceled
+	CodeDeadline    = phomerr.CodeDeadline
+	CodeUnavailable = phomerr.CodeUnavailable
+)
+
+// The per-code sentinel errors, for errors.Is.
+var (
+	// ErrBadInput: the request is malformed — an empty query, an
+	// invalid probability, out-of-range options.
+	ErrBadInput = phomerr.ErrBadInput
+	// ErrLimit: the job exceeded a configured resource cap (the
+	// brute-force coin limit, the lineage match limit).
+	ErrLimit = phomerr.ErrLimit
+	// ErrIntractable: the input pair lies in a #P-hard cell of
+	// Tables 1–3 and the exponential fallback is disabled.
+	ErrIntractable = phomerr.ErrIntractable
+	// ErrCanceled: the request's context was cancelled.
+	ErrCanceled = phomerr.ErrCanceled
+	// ErrDeadline: the request's deadline or per-request timeout passed.
+	ErrDeadline = phomerr.ErrDeadline
+	// ErrUnavailable: the serving component cannot accept work (see
+	// also ErrEngineClosed, which carries this code).
+	ErrUnavailable = phomerr.ErrUnavailable
+)
+
+// CodeOf extracts the taxonomy code from an error chain, mapping bare
+// context errors to their cancellation codes and anything unknown to
+// CodeUnknown.
+func CodeOf(err error) ErrorCode { return phomerr.CodeOf(err) }
+
+// CheckpointInterval is the granularity of cooperative cancellation:
+// the solver's long loops (possible-world enumeration, compile-time
+// dynamic programs, exact plan evaluation) poll their context every
+// CheckpointInterval iterations, so a cancelled context aborts the
+// computation within one interval plus the cost of a single iteration.
+const CheckpointInterval = phomerr.CheckInterval
+
+// ParseRat parses an exact rational probability such as "1/2", "0.35"
+// or "2.5e-3", returning a typed ErrBadInput error on malformed input
+// (unlike Rat, which panics and is intended for literals). The token
+// length and decimal exponent are bounded, so ParseRat is safe on
+// untrusted input; it does not enforce the [0,1] probability range —
+// that happens when the value is attached to an edge.
+func ParseRat(s string) (*big.Rat, error) {
+	r, err := graphio.ParseRat(s)
+	if err != nil {
+		return nil, phomerr.Wrap(phomerr.CodeBadInput, err)
+	}
+	return r, nil
+}

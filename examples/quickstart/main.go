@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"phom"
 )
@@ -35,10 +37,14 @@ func main() {
 	h.MustSetEdgeProb(0, 3, phom.Rat("0.05"))
 	h.MustSetEdgeProb(2, 3, phom.Rat("0.7"))
 
-	// Solve routes to the best algorithm; this pair needs the exact
-	// exponential baseline (a general instance), which is fine at this
-	// size.
-	res, err := phom.Solve(q, h, nil)
+	// SolveContext routes to the best algorithm; this pair needs the
+	// exact exponential baseline (a general instance), which is fine at
+	// this size. The request carries a timeout: were the instance huge,
+	// the solve would abort with phom.ErrDeadline instead of running
+	// away (the context-free phom.Solve(q, h, nil) shim still works and
+	// answers byte-identically).
+	req := phom.NewRequest(q, h, phom.WithTimeout(10*time.Second))
+	res, err := phom.SolveContext(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}

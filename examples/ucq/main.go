@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,10 +54,13 @@ func main() {
 		fmt.Printf("  pattern %d alone: Pr ≈ %.6f\n", i+1, f)
 	}
 
-	// The union, via the lifted PTIME algorithm. Note the union
+	// The union, via the lifted PTIME algorithm on the v2 request API
+	// (WithoutFallback fails with phom.ErrIntractable rather than
+	// silently running an exponential baseline). Note the union
 	// probability is NOT 1 − Π(1 − pᵢ): the disjuncts share edges, so
 	// they are correlated; only the merged lineage accounts for that.
-	res, err := phom.SolveUCQ(patterns, h, &phom.Options{DisableFallback: true})
+	res, err := phom.SolveContext(context.Background(),
+		phom.NewUCQRequest(patterns, h, phom.WithoutFallback()))
 	if err != nil {
 		log.Fatal(err)
 	}

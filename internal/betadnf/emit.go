@@ -27,6 +27,14 @@ type OpEmitter interface {
 	Add(a, b uint32) uint32
 	OneMinus(a uint32) uint32
 	Release(r uint32)
+	// Failed reports the emitter's sticky-error state (a lowering bug
+	// or a cancelled context — plan.Builder polls its context from
+	// inside the emit methods). The dynamic-program loops below consult
+	// it at their outer steps and abandon the remaining trellis:
+	// emission after a failure would be no-ops anyway, and breaking out
+	// is what makes a cancelled compile return within one checkpoint
+	// interval instead of walking the whole structure.
+	Failed() bool
 }
 
 var (
@@ -47,6 +55,9 @@ func (cc *CompiledChain) EmitOps(em OpEmitter) (uint32, error) {
 	// f[v][s] = register holding f(v, s), for live v in traversal order.
 	f := make([][]uint32, n)
 	for i := len(cc.order) - 1; i >= 0; i-- {
+		if em.Failed() {
+			return 0, nil // sticky error; Finish reports it
+		}
 		v := cc.order[i]
 		// Load p and 1−p once per live child (Prob recomputes q per
 		// state; the value is identical).
@@ -147,6 +158,9 @@ func (s *IntervalSystem) EmitOps(em OpEmitter) (uint32, error) {
 	cur[0] = em.Const(emitOne)
 	curOK[0] = true
 	for r := 0; r < s.NumVars; r++ {
+		if em.Failed() {
+			return 0, nil // sticky error; Finish reports it
+		}
 		p := em.Load(r)
 		q := em.OneMinus(p)
 		next := make([]uint32, maxLen+1)

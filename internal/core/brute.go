@@ -1,11 +1,12 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"math/big"
 
 	"phom/internal/boolform"
 	"phom/internal/graph"
+	"phom/internal/phomerr"
 )
 
 // DefaultBruteForceLimit bounds the number of uncertain edges the
@@ -20,7 +21,7 @@ const DefaultBruteForceLimit = 22
 func BruteForce(q *graph.Graph, h *graph.ProbGraph) *big.Rat {
 	r, err := BruteForceLimit(q, h, 0)
 	if err != nil {
-		panic(err) // unreachable: limit 0 means unbounded
+		panic(err) // unreachable: limit 0 means unbounded, context never fires
 	}
 	return r
 }
@@ -28,20 +29,36 @@ func BruteForce(q *graph.Graph, h *graph.ProbGraph) *big.Rat {
 // BruteForceLimit is BruteForce with a cap on the number of uncertain
 // edges (0 = unbounded).
 func BruteForceLimit(q *graph.Graph, h *graph.ProbGraph, maxUncertain int) (*big.Rat, error) {
+	return BruteForceLimitContext(context.Background(), q, h, maxUncertain)
+}
+
+// BruteForceLimitContext is BruteForceLimit with cooperative
+// cancellation: the world enumeration polls ctx every
+// phomerr.CheckInterval branches, so a cancelled context aborts the
+// exponential recursion within one checkpoint interval (plus the cost
+// of the homomorphism check of a single world) and returns the typed
+// cancellation error.
+func BruteForceLimitContext(ctx context.Context, q *graph.Graph, h *graph.ProbGraph, maxUncertain int) (*big.Rat, error) {
 	uncertain := h.UncertainEdges()
 	if maxUncertain > 0 && len(uncertain) > maxUncertain {
-		return nil, fmt.Errorf("core: %d uncertain edges exceed brute-force limit %d", len(uncertain), maxUncertain)
+		return nil, phomerr.New(phomerr.CodeLimit,
+			"core: %d uncertain edges exceed brute-force limit %d", len(uncertain), maxUncertain)
 	}
 	g := h.G
 	keep := make([]bool, g.NumEdges())
 	for i := 0; i < g.NumEdges(); i++ {
 		keep[i] = h.Prob(i).Cmp(graph.RatOne) == 0
 	}
+	cp := phomerr.NewCheckpoint(ctx)
 	one := big.NewRat(1, 1)
 	total := new(big.Rat)
+	var abort error
 	var rec func(i int, w *big.Rat)
 	rec = func(i int, w *big.Rat) {
-		if w.Sign() == 0 {
+		if abort != nil || w.Sign() == 0 {
+			return
+		}
+		if abort = cp.Check(); abort != nil {
 			return
 		}
 		if i == len(uncertain) {
@@ -58,6 +75,9 @@ func BruteForceLimit(q *graph.Graph, h *graph.ProbGraph, maxUncertain int) (*big
 		rec(i+1, new(big.Rat).Mul(w, new(big.Rat).Sub(one, h.Prob(ei))))
 	}
 	rec(0, big.NewRat(1, 1))
+	if abort != nil {
+		return nil, abort
+	}
 	return total, nil
 }
 
@@ -69,13 +89,20 @@ func BruteForceLimit(q *graph.Graph, h *graph.ProbGraph, maxUncertain int) (*big
 // enumeration; it is the second exact baseline (ablation experiment E18).
 // maxMatches caps the number of enumerated homomorphisms (0 = unbounded).
 func LineageShannon(q *graph.Graph, h *graph.ProbGraph, maxMatches int) (*big.Rat, error) {
+	return LineageShannonContext(context.Background(), q, h, maxMatches)
+}
+
+// LineageShannonContext is LineageShannon with cooperative
+// cancellation, polled once per enumerated homomorphism (amortized by
+// phomerr.CheckInterval).
+func LineageShannonContext(ctx context.Context, q *graph.Graph, h *graph.ProbGraph, maxMatches int) (*big.Rat, error) {
 	if q.NumEdges() == 0 {
 		if q.NumVertices() > 0 && h.G.NumVertices() > 0 {
 			return big.NewRat(1, 1), nil
 		}
 		return new(big.Rat), nil
 	}
-	dnf, err := MatchLineage(q, h.G, maxMatches)
+	dnf, err := MatchLineageContext(ctx, q, h.G, maxMatches)
 	if err != nil {
 		return nil, err
 	}
@@ -90,11 +117,22 @@ func LineageShannon(q *graph.Graph, h *graph.ProbGraph, maxMatches int) (*big.Ra
 // the) instance g: one clause per distinct match image, over the edge
 // indices of g. maxMatches caps enumeration (0 = unbounded).
 func MatchLineage(q, g *graph.Graph, maxMatches int) (*boolform.DNF, error) {
+	return MatchLineageContext(context.Background(), q, g, maxMatches)
+}
+
+// MatchLineageContext is MatchLineage with cooperative cancellation,
+// polled once per enumerated homomorphism.
+func MatchLineageContext(ctx context.Context, q, g *graph.Graph, maxMatches int) (*boolform.DNF, error) {
 	dnf := boolform.NewDNF(g.NumEdges())
 	seen := map[string]bool{}
+	cp := phomerr.NewCheckpoint(ctx)
 	count := 0
 	exceeded := false
+	var abort error
 	graph.ForEachHomomorphism(q, g, func(hm graph.Homomorphism) bool {
+		if abort = cp.Check(); abort != nil {
+			return false
+		}
 		count++
 		if maxMatches > 0 && count > maxMatches {
 			exceeded = true
@@ -115,8 +153,11 @@ func MatchLineage(q, g *graph.Graph, maxMatches int) (*boolform.DNF, error) {
 		}
 		return true
 	})
+	if abort != nil {
+		return nil, abort
+	}
 	if exceeded {
-		return nil, fmt.Errorf("core: more than %d matches", maxMatches)
+		return nil, phomerr.New(phomerr.CodeLimit, "core: more than %d matches", maxMatches)
 	}
 	return dnf.Absorb(), nil
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
 	"phom/internal/graph"
+	"phom/internal/phomerr"
 )
 
 // This file implements the unweighted variant of PHom suggested in the
@@ -34,11 +36,17 @@ func IsUnweighted(h *graph.ProbGraph) bool {
 // polynomial time exactly when the cell is tractable. The second result
 // is the number of coins: the count is out of 2^coins worlds.
 func CountWorlds(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*big.Int, int, error) {
+	return CountWorldsContext(context.Background(), q, h, opts)
+}
+
+// CountWorldsContext is CountWorlds under a context, dispatching
+// through SolveContext (same cancellation contract).
+func CountWorldsContext(ctx context.Context, q *graph.Graph, h *graph.ProbGraph, opts *Options) (*big.Int, int, error) {
 	if !IsUnweighted(h) {
-		return nil, 0, fmt.Errorf("core: CountWorlds requires all edge probabilities in {0, 1/2, 1}")
+		return nil, 0, phomerr.New(phomerr.CodeBadInput, "core: CountWorlds requires all edge probabilities in {0, 1/2, 1}")
 	}
 	coins := len(h.UncertainEdges())
-	res, err := Solve(q, h, opts)
+	res, err := SolveContext(ctx, q, h, opts)
 	if err != nil {
 		return nil, 0, err
 	}

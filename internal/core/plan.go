@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"phom/internal/graph"
 	"phom/internal/graphio"
+	"phom/internal/phomerr"
 	"phom/internal/plan"
 )
 
@@ -32,11 +34,14 @@ import (
 // Evaluate results are identical, because lowering preserves the exact
 // rational arithmetic op for op.
 type CompiledPlan struct {
-	method   Method
-	opaque   bool
-	tree     plan.Plan                         // plan tree; nil when opaque or restored from bytes
-	prog     *plan.Program                     // flattened IR; nil when opaque
-	resolve  func([]*big.Rat) (*Result, error) // opaque re-solve; picks the baseline per evaluation
+	method Method
+	opaque bool
+	tree   plan.Plan     // plan tree; nil when opaque or restored from bytes
+	prog   *plan.Program // flattened IR; nil when opaque
+	// resolve is the opaque re-solve; it picks the baseline per
+	// evaluation and honors the caller's context (the baselines are the
+	// exponential work cancellation exists for).
+	resolve  func(context.Context, []*big.Rat) (*Result, error)
 	numEdges int
 	// precision and floatTol are the compile-time evaluation substrate
 	// (Options.Precision / Options.FloatTolerance, defaults resolved):
@@ -107,7 +112,14 @@ func (cp *CompiledPlan) Method() (m Method, ok bool) {
 // the correspondingly reweighted instance; with fast or auto it may be
 // a certified float64 enclosure instead (Result.Bounds).
 func (cp *CompiledPlan) Evaluate(probs []*big.Rat) (*Result, error) {
-	return cp.evaluate(probs, cp.precision, cp.floatTol)
+	return cp.evaluate(context.Background(), probs, cp.precision, cp.floatTol)
+}
+
+// EvaluateContext is Evaluate under a context: exact evaluation and
+// opaque re-solves poll ctx at cooperative checkpoints (the float
+// kernel runs to completion — it is microseconds even on huge plans).
+func (cp *CompiledPlan) EvaluateContext(ctx context.Context, probs []*big.Rat) (*Result, error) {
+	return cp.evaluate(ctx, probs, cp.precision, cp.floatTol)
 }
 
 // EvaluateTree evaluates through the plan tree instead of the
@@ -247,16 +259,29 @@ var solveRoutes = []solveRoute{
 // baseline limits), so it can be evaluated against any probability
 // assignment over h's edge list.
 func Compile(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error) {
+	return CompileContext(context.Background(), q, h, opts)
+}
+
+// CompileContext is Compile under a context. The guard-table dispatch
+// polls ctx before each route, and the lowering of the chosen cell's
+// artifact to the Program IR polls it every phomerr.CheckInterval
+// emitted ops, so a cancelled context aborts even a large compile-time
+// dynamic program within one checkpoint interval. A compile that
+// completes is identical to Compile's.
+func CompileContext(ctx context.Context, q *graph.Graph, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if err := phomerr.FromContext(ctx); err != nil {
+		return nil, err
+	}
 	if q.NumVertices() == 0 {
-		return nil, fmt.Errorf("core: empty query graph")
+		return nil, phomerr.New(phomerr.CodeBadInput, "core: empty query graph")
 	}
 	if h.G.NumVertices() == 0 {
-		return nil, fmt.Errorf("core: empty instance graph")
+		return nil, phomerr.New(phomerr.CodeBadInput, "core: empty instance graph")
 	}
-	if err := h.Validate(); err != nil {
+	if err := phomerr.Wrap(phomerr.CodeBadInput, h.Validate()); err != nil {
 		return nil, err
 	}
 	n := h.G.NumEdges()
@@ -265,7 +290,7 @@ func Compile(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*CompiledPlan, 
 	})
 	// An edgeless query maps every vertex to any instance vertex.
 	if q.NumEdges() == 0 {
-		return seal(MethodTrivial, plan.NewConst(graph.RatOne), n, key, opts)
+		return seal(ctx, MethodTrivial, plan.NewConst(graph.RatOne), n, key, opts)
 	}
 	// A query label absent from the instance kills every match.
 	hLabels := map[graph.Label]bool{}
@@ -274,7 +299,7 @@ func Compile(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*CompiledPlan, 
 	}
 	for _, l := range q.Labels() {
 		if !hLabels[l] {
-			return seal(MethodLabelMismatch, plan.NewConst(new(big.Rat)), n, key, opts)
+			return seal(ctx, MethodLabelMismatch, plan.NewConst(new(big.Rat)), n, key, opts)
 		}
 	}
 	// After the check above, the unlabeled setting (|σ| = 1) holds iff
@@ -282,30 +307,41 @@ func Compile(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*CompiledPlan, 
 	unlabeled := len(hLabels) <= 1
 
 	for _, rt := range solveRoutes {
+		// The guard-table checkpoint: route guards run class membership
+		// tests (linear in the instance), so poll between routes.
+		if err := phomerr.FromContext(ctx); err != nil {
+			return nil, err
+		}
 		if rt.applies(q, h, unlabeled) {
 			p, err := rt.compile(q, h)
 			if err != nil {
 				return nil, err
 			}
-			return seal(rt.method, p, n, key, opts)
+			return seal(ctx, rt.method, p, n, key, opts)
 		}
 	}
 
 	if opts.disableFallback() {
-		return nil, fmt.Errorf("core: no polynomial-time algorithm applies (the case is #P-hard per Tables 1–3) and fallback is disabled")
+		return nil, phomerr.New(phomerr.CodeIntractable,
+			"core: no polynomial-time algorithm applies (the case is #P-hard per Tables 1–3) and fallback is disabled")
 	}
 	bruteLimit, matchLimit := opts.bruteLimit(), opts.matchLimit()
-	resolve := func(probs []*big.Rat) (*Result, error) {
+	resolve := func(ctx context.Context, probs []*big.Rat) (*Result, error) {
 		h2, err := reweighted(h, probs)
 		if err != nil {
 			return nil, err
 		}
-		if p, err := BruteForceLimit(q, h2, bruteLimit); err == nil {
+		if p, err := BruteForceLimitContext(ctx, q, h2, bruteLimit); err == nil {
 			return &Result{Prob: p, Method: MethodBruteForce}, nil
+		} else if phomerr.CodeOf(err) != phomerr.CodeLimit {
+			return nil, err // cancellation, not an over-limit instance
 		}
-		p, err := LineageShannon(q, h2, matchLimit)
+		p, err := LineageShannonContext(ctx, q, h2, matchLimit)
 		if err != nil {
-			return nil, fmt.Errorf("core: instance too large for exact baselines: %v", err)
+			if phomerr.CodeOf(err) == phomerr.CodeLimit {
+				return nil, phomerr.New(phomerr.CodeLimit, "core: instance too large for exact baselines: %v", err)
+			}
+			return nil, err
 		}
 		return &Result{Prob: p, Method: MethodLineage}, nil
 	}
@@ -317,19 +353,28 @@ func Compile(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*CompiledPlan, 
 // falls in a compatible tractable cell and to an opaque re-solve plan
 // otherwise (unless fallback is disabled).
 func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error) {
+	return CompileUCQContext(context.Background(), qs, h, opts)
+}
+
+// CompileUCQContext is CompileUCQ under a context, with the same
+// checkpoint contract as CompileContext.
+func CompileUCQContext(ctx context.Context, qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error) {
 	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := phomerr.FromContext(ctx); err != nil {
 		return nil, err
 	}
 	if len(qs) == 0 {
 		key := sync.OnceValues(func() (string, []int) {
 			return graphio.StructKeyJob(nil, h.G, opts.StructFingerprint())
 		})
-		return seal(MethodTrivial, plan.NewConst(new(big.Rat)), h.G.NumEdges(), key, opts)
+		return seal(ctx, MethodTrivial, plan.NewConst(new(big.Rat)), h.G.NumEdges(), key, opts)
 	}
 	if h.G.NumVertices() == 0 {
-		return nil, fmt.Errorf("core: empty instance graph")
+		return nil, phomerr.New(phomerr.CodeBadInput, "core: empty instance graph")
 	}
-	if err := h.Validate(); err != nil {
+	if err := phomerr.Wrap(phomerr.CodeBadInput, h.Validate()); err != nil {
 		return nil, err
 	}
 	n := h.G.NumEdges()
@@ -356,10 +401,10 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 	var live UCQ
 	for _, q := range qs {
 		if q.NumVertices() == 0 {
-			return nil, fmt.Errorf("core: empty query graph in union")
+			return nil, phomerr.New(phomerr.CodeBadInput, "core: empty query graph in union")
 		}
 		if q.NumEdges() == 0 {
-			return seal(MethodTrivial, plan.NewConst(graph.RatOne), n, key, opts)
+			return seal(ctx, MethodTrivial, plan.NewConst(graph.RatOne), n, key, opts)
 		}
 		ok := true
 		for _, l := range q.Labels() {
@@ -373,9 +418,14 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 		}
 	}
 	if len(live) == 0 {
-		return seal(MethodLabelMismatch, plan.NewConst(new(big.Rat)), n, key, opts)
+		return seal(ctx, MethodLabelMismatch, plan.NewConst(new(big.Rat)), n, key, opts)
 	}
 	unlabeled := len(hLabels) <= 1
+	// The UCQ guard-table checkpoint, mirroring CompileContext's: the
+	// lifted dispatch below runs class membership tests per disjunct.
+	if err := phomerr.FromContext(ctx); err != nil {
+		return nil, err
+	}
 
 	allConnected := true
 	for _, q := range live {
@@ -401,13 +451,13 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 			// Prop 3.6 lifted: non-graded disjuncts never match a forest
 			// world; the rest collapse to →^minM.
 			if minM < 0 {
-				return seal(MethodGradedDWT, plan.NewConst(new(big.Rat)), n, key, opts)
+				return seal(ctx, MethodGradedDWT, plan.NewConst(new(big.Rat)), n, key, opts)
 			}
 			p, err := plan.DirectedPathOnDWTs(h, minM)
 			if err != nil {
 				return nil, err
 			}
-			return seal(MethodGradedDWT, p, n, key, opts)
+			return seal(ctx, MethodGradedDWT, p, n, key, opts)
 		}
 		if h.G.InClass(graph.ClassUPT) {
 			// Prop 5.5 lifted, when every disjunct is a ⊔DWT query (the
@@ -431,7 +481,7 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 				if err != nil {
 					return nil, err
 				}
-				return seal(MethodAutomatonPT, p, n, key, opts)
+				return seal(ctx, MethodAutomatonPT, p, n, key, opts)
 			}
 		}
 	}
@@ -442,7 +492,7 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 		if err != nil {
 			return nil, err
 		}
-		return seal(MethodXProperty2WP, p, n, key, opts)
+		return seal(ctx, MethodXProperty2WP, p, n, key, opts)
 	}
 
 	// Labeled 1WP disjuncts on ⊔DWT instances: merged chain lineage
@@ -459,19 +509,20 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 		if err != nil {
 			return nil, err
 		}
-		return seal(MethodBetaAcyclicDWT, p, n, key, opts)
+		return seal(ctx, MethodBetaAcyclicDWT, p, n, key, opts)
 	}
 
 	if opts.disableFallback() {
-		return nil, fmt.Errorf("core: no lifted polynomial-time algorithm applies to this UCQ and fallback is disabled")
+		return nil, phomerr.New(phomerr.CodeIntractable,
+			"core: no lifted polynomial-time algorithm applies to this UCQ and fallback is disabled")
 	}
 	bruteLimit := opts.bruteLimit()
-	resolve := func(probs []*big.Rat) (*Result, error) {
+	resolve := func(ctx context.Context, probs []*big.Rat) (*Result, error) {
 		h2, err := reweighted(h, probs)
 		if err != nil {
 			return nil, err
 		}
-		p, err := BruteForceUCQ(live, h2, bruteLimit)
+		p, err := BruteForceUCQContext(ctx, live, h2, bruteLimit)
 		if err != nil {
 			return nil, err
 		}
@@ -484,9 +535,11 @@ func CompileUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*CompiledPlan, error
 // job's structure identity and evaluation substrate (opts precision)
 // on the resulting CompiledPlan. Every structural compile path funnels
 // through here, so non-opaque plans always carry both evaluation forms
-// and are always serializable.
-func seal(m Method, p plan.Plan, numEdges int, key func() (string, []int), opts *Options) (*CompiledPlan, error) {
-	prog, err := plan.Lower(p, numEdges)
+// and are always serializable — and every lowering polls ctx (the
+// compile-time dynamic programs unroll inside Lower, so this is where
+// the bulk of compile-side cancellation happens).
+func seal(ctx context.Context, m Method, p plan.Plan, numEdges int, key func() (string, []int), opts *Options) (*CompiledPlan, error) {
+	prog, err := plan.LowerContext(ctx, p, numEdges)
 	if err != nil {
 		return nil, err
 	}
@@ -501,7 +554,7 @@ func seal(m Method, p plan.Plan, numEdges int, key func() (string, []int), opts 
 	}, nil
 }
 
-func opaquePlan(resolve func([]*big.Rat) (*Result, error), numEdges int, key func() (string, []int)) *CompiledPlan {
+func opaquePlan(resolve func(context.Context, []*big.Rat) (*Result, error), numEdges int, key func() (string, []int)) *CompiledPlan {
 	// Opaque evaluation is always exact (there is no program to run the
 	// float kernel over), whatever precision the options request.
 	return &CompiledPlan{opaque: true, resolve: resolve, numEdges: numEdges, key: key}

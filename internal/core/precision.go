@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
 
 	"phom/internal/graph"
+	"phom/internal/phomerr"
 	"phom/internal/plan"
 )
 
@@ -95,35 +97,43 @@ func (o *Options) EffectiveFloatTolerance() float64 {
 // (the per-job options decide the substrate; a restored plan carries no
 // precision of its own), and tests use it to force substrates.
 func (cp *CompiledPlan) EvaluateOpts(probs []*big.Rat, opts *Options) (*Result, error) {
-	return cp.evaluate(probs, opts.EffectivePrecision(), opts.EffectiveFloatTolerance())
+	return cp.evaluate(context.Background(), probs, opts.EffectivePrecision(), opts.EffectiveFloatTolerance())
+}
+
+// EvaluateOptsContext is EvaluateOpts under a context: exact program
+// execution polls ctx every phomerr.CheckInterval ops and opaque plans
+// pass ctx into their exponential re-solve, so cancellation works on
+// the evaluation side of the pipeline too.
+func (cp *CompiledPlan) EvaluateOptsContext(ctx context.Context, probs []*big.Rat, opts *Options) (*Result, error) {
+	return cp.evaluate(ctx, probs, opts.EffectivePrecision(), opts.EffectiveFloatTolerance())
 }
 
 // evaluate is the routing core shared by Evaluate and EvaluateOpts:
 // validate the probability vector, then pick the numeric substrate.
-func (cp *CompiledPlan) evaluate(probs []*big.Rat, prec Precision, tol float64) (*Result, error) {
+func (cp *CompiledPlan) evaluate(ctx context.Context, probs []*big.Rat, prec Precision, tol float64) (*Result, error) {
 	if len(probs) != cp.numEdges {
-		return nil, fmt.Errorf("core: %d probabilities for a plan over %d edges", len(probs), cp.numEdges)
+		return nil, phomerr.New(phomerr.CodeBadInput, "core: %d probabilities for a plan over %d edges", len(probs), cp.numEdges)
 	}
 	for i, p := range probs {
 		if p == nil {
-			return nil, fmt.Errorf("core: nil probability for edge %d", i)
+			return nil, phomerr.New(phomerr.CodeBadInput, "core: nil probability for edge %d", i)
 		}
 		if p.Sign() < 0 || p.Cmp(graph.RatOne) > 0 {
-			return nil, fmt.Errorf("core: edge %d probability %s outside [0,1]", i, p.RatString())
+			return nil, phomerr.New(phomerr.CodeBadInput, "core: edge %d probability %s outside [0,1]", i, p.RatString())
 		}
 	}
 	if cp.opaque {
 		// Opaque plans have no program, hence no float kernel: every
 		// precision mode evaluates them exactly (the baselines are the
 		// arbiter, not a fast path).
-		return cp.resolve(probs)
+		return cp.resolve(ctx, probs)
 	}
 	if prec == PrecisionFast || prec == PrecisionAuto {
 		if res, ok := cp.evaluateFloat(probs, prec, tol); ok {
 			return res, nil
 		}
 	}
-	pr, err := cp.prog.Exec(probs)
+	pr, err := cp.prog.ExecCtx(ctx, probs)
 	if err != nil {
 		return nil, err
 	}

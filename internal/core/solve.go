@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
 	"strconv"
 
 	"phom/internal/graph"
+	"phom/internal/phomerr"
 	"phom/internal/plan"
 )
 
@@ -100,25 +102,26 @@ func (o *Options) disableFallback() bool {
 // Validate rejects option values the solver would otherwise silently
 // misread: negative limits are not "unbounded" (0 means default; the
 // baselines treat a negative cap as no cap, which callers almost never
-// intend). Solve, SolveUCQ and Compile call this on entry.
+// intend). Solve, SolveUCQ and Compile call this on entry. Failures are
+// typed phomerr.CodeBadInput.
 func (o *Options) Validate() error {
 	if o == nil {
 		return nil
 	}
 	if o.BruteForceLimit < 0 {
-		return fmt.Errorf("core: negative BruteForceLimit %d (use 0 for the default)", o.BruteForceLimit)
+		return phomerr.New(phomerr.CodeBadInput, "core: negative BruteForceLimit %d (use 0 for the default)", o.BruteForceLimit)
 	}
 	if o.MatchLimit < 0 {
-		return fmt.Errorf("core: negative MatchLimit %d (use 0 for the default)", o.MatchLimit)
+		return phomerr.New(phomerr.CodeBadInput, "core: negative MatchLimit %d (use 0 for the default)", o.MatchLimit)
 	}
 	if o.Precision < 0 || o.Precision >= numPrecisions {
-		return fmt.Errorf("core: unknown Precision %d", int(o.Precision))
+		return phomerr.New(phomerr.CodeBadInput, "core: unknown Precision %d", int(o.Precision))
 	}
 	// NaN would make every tolerance comparison false (auto always falls
 	// back — silently buying exact cost under a "fast" flag), negative
 	// or infinite tolerances are never what a caller means.
 	if math.IsNaN(o.FloatTolerance) || math.IsInf(o.FloatTolerance, 0) || o.FloatTolerance < 0 {
-		return fmt.Errorf("core: FloatTolerance %v is not a finite non-negative float (use 0 for the default)", o.FloatTolerance)
+		return phomerr.New(phomerr.CodeBadInput, "core: FloatTolerance %v is not a finite non-negative float (use 0 for the default)", o.FloatTolerance)
 	}
 	return nil
 }
@@ -184,9 +187,20 @@ type Result struct {
 // structure under changing probabilities should call Compile once and
 // Evaluate per assignment.
 func Solve(q *graph.Graph, h *graph.ProbGraph, opts *Options) (*Result, error) {
-	cp, err := Compile(q, h, opts)
+	return SolveContext(context.Background(), q, h, opts)
+}
+
+// SolveContext is Solve under a context: compilation (the guard-table
+// dispatch and the compile-time dynamic programs), the exponential
+// baselines, and exact plan evaluation all poll ctx at cooperative
+// checkpoints, so a cancelled or deadlined context aborts the job
+// within one checkpoint interval and the error satisfies
+// errors.Is(err, phomerr.ErrCanceled) (or ErrDeadline). A run that
+// completes is byte-identical to Solve.
+func SolveContext(ctx context.Context, q *graph.Graph, h *graph.ProbGraph, opts *Options) (*Result, error) {
+	cp, err := CompileContext(ctx, q, h, opts)
 	if err != nil {
 		return nil, err
 	}
-	return cp.EvaluateInstance(h)
+	return cp.EvaluateOptsContext(ctx, h.Probs(), opts)
 }

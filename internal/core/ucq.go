@@ -1,10 +1,11 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"math/big"
 
 	"phom/internal/graph"
+	"phom/internal/phomerr"
 )
 
 // This file extends the solver to unions of conjunctive queries (UCQs),
@@ -33,20 +34,32 @@ type UCQ []*graph.Graph
 // is the oracle for SolveUCQ. maxUncertain caps the enumerated coins
 // (0 = unbounded).
 func BruteForceUCQ(qs UCQ, h *graph.ProbGraph, maxUncertain int) (*big.Rat, error) {
+	return BruteForceUCQContext(context.Background(), qs, h, maxUncertain)
+}
+
+// BruteForceUCQContext is BruteForceUCQ with cooperative cancellation,
+// polled every phomerr.CheckInterval branches of the world recursion.
+func BruteForceUCQContext(ctx context.Context, qs UCQ, h *graph.ProbGraph, maxUncertain int) (*big.Rat, error) {
 	uncertain := h.UncertainEdges()
 	if maxUncertain > 0 && len(uncertain) > maxUncertain {
-		return nil, fmt.Errorf("core: %d uncertain edges exceed limit %d", len(uncertain), maxUncertain)
+		return nil, phomerr.New(phomerr.CodeLimit,
+			"core: %d uncertain edges exceed limit %d", len(uncertain), maxUncertain)
 	}
 	g := h.G
 	keep := make([]bool, g.NumEdges())
 	for i := 0; i < g.NumEdges(); i++ {
 		keep[i] = h.Prob(i).Cmp(graph.RatOne) == 0
 	}
+	cp := phomerr.NewCheckpoint(ctx)
 	one := big.NewRat(1, 1)
 	total := new(big.Rat)
+	var abort error
 	var rec func(i int, w *big.Rat)
 	rec = func(i int, w *big.Rat) {
-		if w.Sign() == 0 {
+		if abort != nil || w.Sign() == 0 {
+			return
+		}
+		if abort = cp.Check(); abort != nil {
 			return
 		}
 		if i == len(uncertain) {
@@ -66,6 +79,9 @@ func BruteForceUCQ(qs UCQ, h *graph.ProbGraph, maxUncertain int) (*big.Rat, erro
 		rec(i+1, new(big.Rat).Mul(w, new(big.Rat).Sub(one, h.Prob(ei))))
 	}
 	rec(0, big.NewRat(1, 1))
+	if abort != nil {
+		return nil, abort
+	}
 	return total, nil
 }
 
@@ -76,9 +92,16 @@ func BruteForceUCQ(qs UCQ, h *graph.ProbGraph, maxUncertain int) (*big.Rat, erro
 // stages: CompileUCQ builds the probability-independent plan and
 // Evaluate runs the linear phase against h's own probabilities.
 func SolveUCQ(qs UCQ, h *graph.ProbGraph, opts *Options) (*Result, error) {
-	cp, err := CompileUCQ(qs, h, opts)
+	return SolveUCQContext(context.Background(), qs, h, opts)
+}
+
+// SolveUCQContext is SolveUCQ under a context, with the same
+// cancellation contract as SolveContext; a run that completes is
+// byte-identical to SolveUCQ.
+func SolveUCQContext(ctx context.Context, qs UCQ, h *graph.ProbGraph, opts *Options) (*Result, error) {
+	cp, err := CompileUCQContext(ctx, qs, h, opts)
 	if err != nil {
 		return nil, err
 	}
-	return cp.EvaluateInstance(h)
+	return cp.EvaluateOptsContext(ctx, h.Probs(), opts)
 }

@@ -19,6 +19,14 @@ type OpEmitter interface {
 	Add(a, b uint32) uint32
 	OneMinus(a uint32) uint32
 	Release(r uint32)
+	// Failed reports the emitter's sticky-error state (a lowering bug
+	// or a cancelled context — plan.Builder polls its context from
+	// inside the emit methods). The per-gate recursion consults it and
+	// stops descending: emission after a failure would be no-ops
+	// anyway, and cutting the traversal short is what makes a cancelled
+	// circuit compile return within one checkpoint interval instead of
+	// walking every remaining gate.
+	Failed() bool
 }
 
 var (
@@ -41,6 +49,9 @@ func (c *Circuit) EmitOps(g Gate, em OpEmitter) (uint32, error) {
 	rec = func(g Gate) uint32 {
 		if done[g] {
 			return memo[g]
+		}
+		if em.Failed() {
+			return 0 // sticky error; the builder's Finish reports it
 		}
 		gd := c.gates[g]
 		var r uint32

@@ -1,0 +1,373 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"phom/internal/core"
+	"phom/internal/gen"
+	"phom/internal/graph"
+	"phom/internal/phomerr"
+)
+
+// slowJob returns a #P-hard job whose brute-force baseline enumerates
+// 2^edges worlds — far more work than any test budget — so only
+// cancellation can end it quickly. All edges sit at probability 1/2.
+func slowJob(t *testing.T, n, extra int) Job {
+	t.Helper()
+	r := rand.New(rand.NewSource(5))
+	g := gen.RandConnected(r, n, extra, nil)
+	h := graph.NewProbGraph(g)
+	for i := 0; i < g.NumEdges(); i++ {
+		if err := h.SetProb(i, graph.RatHalf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.InClass(graph.ClassUPT) || g.InClass(graph.ClassU2WP) || g.InClass(graph.ClassUDWT) {
+		t.Fatal("slow job accidentally tractable")
+	}
+	// Allow however many coins the instance has.
+	return Job{Query: graph.UnlabeledPath(3), Instance: h,
+		Opts: &core.Options{BruteForceLimit: g.NumEdges()}}
+}
+
+// fastJob returns a trivially tractable job (milliseconds at worst).
+func fastJob(seed int64) Job {
+	r := rand.New(rand.NewSource(seed))
+	q := gen.Rand1WP(r, 3, nil)
+	h := gen.RandProb(r, gen.Rand2WP(r, 8, nil), 0.5)
+	return Job{Query: q, Instance: h}
+}
+
+// closeWithin fails the test if Close does not return within d — a
+// hanging Close means a worker is stuck on work cancellation should
+// have stopped (the goroutine-leak guard of these tests).
+func closeWithin(t *testing.T, e *Engine, d time.Duration) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- e.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(d):
+		t.Fatalf("Close did not return within %v: cancelled work is still running", d)
+	}
+}
+
+// TestDoContextCancelMidSolve: cancelling the only caller of a running
+// exponential job aborts the execution promptly (Close returning is
+// the proof the worker stopped) and reports the typed error.
+func TestDoContextCancelMidSolve(t *testing.T) {
+	e := New(Options{Workers: 2})
+	job := slowJob(t, 14, 16) // ≈ 2^29 worlds: days of work uncancelled
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	r := e.DoContext(ctx, job)
+	if !errors.Is(r.Err, phomerr.ErrCanceled) {
+		t.Fatalf("Err = %v, want ErrCanceled", r.Err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if st := e.Stats(); st.Canceled == 0 {
+		t.Fatalf("stats.Canceled = 0 after an abandoned call: %+v", st)
+	}
+	closeWithin(t, e, 30*time.Second)
+}
+
+// TestJobTimeout: a per-job Timeout turns into ErrDeadline, and the
+// timeout takes no part in the cache key — the same job without a
+// timeout later hits the same cache entry.
+func TestJobTimeout(t *testing.T) {
+	e := New(Options{Workers: 2})
+	slow := slowJob(t, 14, 16)
+	slow.Timeout = 40 * time.Millisecond
+	r := e.DoContext(context.Background(), slow)
+	if !errors.Is(r.Err, phomerr.ErrDeadline) {
+		t.Fatalf("Err = %v, want ErrDeadline", r.Err)
+	}
+
+	fast := fastJob(1)
+	fast.Timeout = time.Hour
+	if r := e.DoContext(context.Background(), fast); r.Err != nil {
+		t.Fatalf("fast job failed: %v", r.Err)
+	}
+	same := fastJob(1) // identical structure and probabilities, no timeout
+	r2 := e.DoContext(context.Background(), same)
+	if r2.Err != nil || !r2.CacheHit {
+		t.Fatalf("timeout leaked into the cache key: err=%v cacheHit=%v", r2.Err, r2.CacheHit)
+	}
+	closeWithin(t, e, 30*time.Second)
+}
+
+// TestCoalescedCancelIndependence: one impatient caller abandoning a
+// shared in-flight job must not cancel it for the caller still
+// waiting.
+func TestCoalescedCancelIndependence(t *testing.T) {
+	e := New(Options{Workers: 1})
+	job := fastJobSlowEnough(t)
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	var r1, r2 JobResult
+	var wg sync.WaitGroup
+	wg.Add(2)
+	started := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(started)
+		r1 = e.DoContext(ctx1, job)
+	}()
+	<-started
+	go func() {
+		defer wg.Done()
+		r2 = e.DoContext(context.Background(), job)
+	}()
+	// Wait until the second caller has actually coalesced onto the
+	// first's call, then cancel the first.
+	for {
+		if st := e.Stats(); st.Coalesced >= 1 {
+			break
+		}
+		runtime.Gosched()
+	}
+	cancel1()
+	wg.Wait()
+	if !errors.Is(r1.Err, phomerr.ErrCanceled) && r1.Err != nil {
+		t.Fatalf("caller 1 err = %v", r1.Err)
+	}
+	if r2.Err != nil {
+		t.Fatalf("caller 2 must still get the answer, got err %v", r2.Err)
+	}
+	if r2.Result == nil || r2.Result.Prob == nil {
+		t.Fatal("caller 2 got an empty result")
+	}
+	closeWithin(t, e, 30*time.Second)
+}
+
+// fastJobSlowEnough returns a job slow enough (hundreds of ms) for
+// deterministic coalescing windows but fast enough to complete in a
+// test: a brute-force job over ~2^17 worlds.
+func fastJobSlowEnough(t *testing.T) Job {
+	t.Helper()
+	return slowJob(t, 10, 7) // ≈ 2^16 worlds
+}
+
+// TestBaseContextCancelAbortsJobs: cancelling the engine's base
+// context aborts a job whose own caller never cancels — the server
+// shutdown path.
+func TestBaseContextCancelAbortsJobs(t *testing.T) {
+	base, cancelBase := context.WithCancel(context.Background())
+	e := New(Options{Workers: 2, BaseContext: base})
+	job := slowJob(t, 14, 16)
+	done := make(chan JobResult, 1)
+	go func() { done <- e.Do(job) }() // v1 call: caller has no context at all
+	time.Sleep(50 * time.Millisecond)
+	cancelBase()
+	select {
+	case r := <-done:
+		if !errors.Is(r.Err, phomerr.ErrCanceled) {
+			t.Fatalf("Err = %v, want ErrCanceled via base context", r.Err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("base-context cancellation did not abort the job")
+	}
+	closeWithin(t, e, 30*time.Second)
+}
+
+// TestSolveBatchContextCancelMidBatch: cancelling a batch returns one
+// result per job promptly; the slow jobs report the typed error.
+func TestSolveBatchContextCancelMidBatch(t *testing.T) {
+	e := New(Options{Workers: 2})
+	jobs := []Job{fastJob(1), slowJob(t, 14, 16), fastJob(2), slowJob(t, 15, 17)}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	out := e.SolveBatchContext(ctx, jobs)
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("batch cancellation took %v", elapsed)
+	}
+	if len(out) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(out), len(jobs))
+	}
+	canceled := 0
+	for i, r := range out {
+		if r.Err != nil {
+			if !errors.Is(r.Err, phomerr.ErrCanceled) {
+				t.Fatalf("job %d err = %v, want ErrCanceled", i, r.Err)
+			}
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no job reported cancellation")
+	}
+	closeWithin(t, e, 30*time.Second)
+}
+
+// TestStreamCompletionOrder: results arrive as they complete — the
+// batch's one exponential job (index 0) is delivered last, after every
+// fast job — and each job is delivered exactly once with its index.
+func TestStreamCompletionOrder(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer func() { closeWithin(t, e, 60*time.Second) }()
+	jobs := []Job{fastJobSlowEnough(t), fastJob(1), fastJob(2), fastJob(3)}
+	var order []int
+	seen := map[int]bool{}
+	for sr := range e.Stream(context.Background(), jobs) {
+		if sr.Err != nil {
+			t.Fatalf("job %d: %v", sr.Index, sr.Err)
+		}
+		if seen[sr.Index] {
+			t.Fatalf("job %d delivered twice", sr.Index)
+		}
+		seen[sr.Index] = true
+		order = append(order, sr.Index)
+	}
+	if len(order) != len(jobs) {
+		t.Fatalf("delivered %d of %d results", len(order), len(jobs))
+	}
+	if order[len(order)-1] != 0 {
+		t.Fatalf("slow job was not delivered last: order %v", order)
+	}
+}
+
+// TestStreamCancel: cancelling the stream context still delivers
+// exactly one result per job (the aborted ones carry the typed error),
+// closes the channel, and leaks no delivering goroutine (Close
+// returning is the guard).
+func TestStreamCancel(t *testing.T) {
+	e := New(Options{Workers: 2})
+	jobs := []Job{slowJob(t, 14, 16), slowJob(t, 15, 17), fastJob(1)}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	n, canceled := 0, 0
+	for sr := range e.Stream(ctx, jobs) {
+		n++
+		if errors.Is(sr.Err, phomerr.ErrCanceled) {
+			canceled++
+		}
+	}
+	if n != len(jobs) {
+		t.Fatalf("delivered %d results for %d jobs, want exactly one each", n, len(jobs))
+	}
+	if canceled == 0 {
+		t.Fatal("no streamed job reported cancellation")
+	}
+	closeWithin(t, e, 30*time.Second)
+}
+
+// TestDoContextCancelWhileQueued: a caller whose context fires while
+// its job is still waiting for a worker slot returns promptly — it
+// must not sit in the queue behind long-running jobs.
+func TestDoContextCancelWhileQueued(t *testing.T) {
+	base, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	e := New(Options{Workers: 1, BaseContext: base})
+	// Occupy the only worker with an exponential job.
+	hog := make(chan JobResult, 1)
+	go func() { hog <- e.Do(slowJob(t, 14, 16)) }()
+	for {
+		if st := e.Stats(); st.Submitted >= 1 && st.CacheHits == 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	time.Sleep(50 * time.Millisecond) // let the worker actually pick it up
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	r := e.DoContext(ctx, fastJob(99))
+	if !errors.Is(r.Err, phomerr.ErrCanceled) {
+		t.Fatalf("queued job err = %v, want ErrCanceled", r.Err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("queued cancellation took %v", elapsed)
+	}
+	// Release the hog via the base context and drain.
+	cancelBase()
+	<-hog
+	closeWithin(t, e, 30*time.Second)
+}
+
+// TestFreshCallerDoesNotInheritAbandonedCancellation: after the sole
+// waiter of an in-flight execution abandons it, a new caller for the
+// identical job must get a real answer, not the stale cancellation —
+// even though the abandoned execution may still be winding down.
+func TestFreshCallerDoesNotInheritAbandonedCancellation(t *testing.T) {
+	e := New(Options{Workers: 2})
+	job := fastJobSlowEnough(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	if r := e.DoContext(ctx, job); !errors.Is(r.Err, phomerr.ErrCanceled) {
+		t.Fatalf("first caller err = %v, want ErrCanceled", r.Err)
+	}
+	// Immediately retry with a live context: the abandoned call may
+	// still occupy the in-flight table for up to a checkpoint interval.
+	r := e.DoContext(context.Background(), job)
+	if r.Err != nil {
+		t.Fatalf("fresh caller inherited stale cancellation: %v", r.Err)
+	}
+	if r.Result == nil || r.Result.Prob == nil {
+		t.Fatal("fresh caller got an empty result")
+	}
+	closeWithin(t, e, 30*time.Second)
+}
+
+// TestCloseRacingDoContext: concurrent Close and DoContext never
+// panic, deadlock, or invent results — every call either completes or
+// fails with a typed closed/cancellation error.
+func TestCloseRacingDoContext(t *testing.T) {
+	e := New(Options{Workers: 2})
+	var wg sync.WaitGroup
+	const callers = 16
+	results := make([]JobResult, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e.DoContext(context.Background(), fastJob(int64(i%3)))
+		}(i)
+	}
+	runtime.Gosched()
+	closeWithin(t, e, 60*time.Second)
+	wg.Wait()
+	for i, r := range results {
+		if r.Err != nil && !errors.Is(r.Err, ErrClosed) {
+			t.Fatalf("caller %d: unexpected err %v", i, r.Err)
+		}
+		if r.Err == nil && (r.Result == nil || r.Result.Prob == nil) {
+			t.Fatalf("caller %d: empty success", i)
+		}
+		if errors.Is(r.Err, ErrClosed) && !errors.Is(r.Err, phomerr.ErrUnavailable) {
+			t.Fatalf("ErrClosed must carry the unavailable code")
+		}
+	}
+	// Idempotent close after the race.
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -11,10 +12,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"phom/internal/core"
 	"phom/internal/graph"
 	"phom/internal/graphio"
+	"phom/internal/phomerr"
 )
 
 // DefaultCacheSize is the default capacity of the result cache.
@@ -25,8 +28,10 @@ const DefaultCacheSize = 4096
 // d-DNNF circuits), so the default is smaller than the result cache.
 const DefaultPlanCacheSize = 1024
 
-// ErrClosed is returned by Solve and SolveBatch after Close.
-var ErrClosed = errors.New("engine: closed")
+// ErrClosed is returned by Solve and SolveBatch after Close. It
+// carries phomerr.CodeUnavailable, so errors.Is(err,
+// phomerr.ErrUnavailable) holds and the serving layer maps it to 503.
+var ErrClosed error = phomerr.New(phomerr.CodeUnavailable, "engine: closed")
 
 // Options configures an Engine.
 type Options struct {
@@ -41,6 +46,14 @@ type Options struct {
 	// DefaultPlanCacheSize; negative disables plan caching, making every
 	// executed job compile from scratch.
 	PlanCacheSize int
+	// BaseContext, when non-nil, is the lifetime context of every job
+	// the engine executes: cancelling it aborts all in-flight solves at
+	// their next cooperative checkpoint (they fail with
+	// phomerr.ErrCanceled) and makes queued work abort on entry. The
+	// serving layer wires its shutdown context here so SIGTERM stops
+	// burning CPU on abandoned jobs. Nil means context.Background() —
+	// jobs are then bounded only by their callers' contexts.
+	BaseContext context.Context
 	// PlanSnapshotPath, when non-empty, names a snapshot file for the
 	// plan cache: New restores cached plans from it if it exists (a
 	// warm start — restored structures serve reweights without ever
@@ -52,7 +65,9 @@ type Options struct {
 }
 
 // Job is one evaluation: a query (or a union of conjunctive queries), a
-// probabilistic instance, and solver options.
+// probabilistic instance, and solver options. It is also the v2
+// request type of the public API (phom.Request): construct it
+// literally or through phom.NewRequest and the functional options.
 type Job struct {
 	// Query is the query graph of a single conjunctive query. For a
 	// union of conjunctive queries, set Queries instead and leave Query
@@ -66,6 +81,13 @@ type Job struct {
 	// in the cache key (with defaults normalized, so nil and the
 	// explicit default options share cache entries).
 	Opts *core.Options
+	// Timeout, when positive, is this job's execution budget: DoContext
+	// derives a deadline that far in the future on top of its context,
+	// and the job fails with phomerr.ErrDeadline when it passes. The
+	// timeout is scheduling policy, not semantics, so it takes no part
+	// in any cache key — two jobs differing only in Timeout share cache
+	// entries and in-flight executions.
+	Timeout time.Duration
 }
 
 func (j Job) disjuncts() []*graph.Graph {
@@ -76,6 +98,29 @@ func (j Job) disjuncts() []*graph.Graph {
 		return []*graph.Graph{j.Query}
 	}
 	return nil
+}
+
+// Disjuncts validates the request and resolves its query set with the
+// engine's canonical precedence: Queries wins when non-empty, and a
+// one-element Queries is equivalent to Query (the engine has always
+// collapsed one-disjunct unions onto the single-query compiler; the
+// library's SolveContext instead preserves SolveUCQ's lifted routing
+// for any non-nil Queries — see phom.resolveRequest). Failures are
+// typed phomerr.CodeBadInput.
+func (j Job) Disjuncts() ([]*graph.Graph, error) {
+	qs := j.disjuncts()
+	if len(qs) == 0 {
+		return nil, phomerr.New(phomerr.CodeBadInput, "phom: request has no query graph")
+	}
+	for _, q := range qs {
+		if q == nil {
+			return nil, phomerr.New(phomerr.CodeBadInput, "phom: nil query graph in request")
+		}
+	}
+	if j.Instance == nil {
+		return nil, phomerr.New(phomerr.CodeBadInput, "phom: request has no instance graph")
+	}
+	return qs, nil
 }
 
 // JobResult is the outcome of one Job in a batch.
@@ -111,8 +156,14 @@ type Stats struct {
 	// Rejected counts jobs refused before execution (no query, no
 	// instance, …).
 	Rejected uint64 `json:"rejected"`
-	// Errors counts executed jobs whose solver returned an error.
+	// Errors counts executed jobs whose solver returned an error
+	// (cancelled executions included).
 	Errors uint64 `json:"errors"`
+	// Canceled counts calls abandoned because their context fired while
+	// the job was queued or running — before its result (if any)
+	// arrived. The execution itself additionally lands in Errors when
+	// the last waiter's departure aborted it.
+	Canceled uint64 `json:"canceled"`
 	// PlanHits counts executed jobs evaluated against a cached compiled
 	// plan (structure-only cache; the job's probabilities differed from
 	// every memoized result), whether or not the evaluation succeeded.
@@ -148,11 +199,25 @@ type Stats struct {
 }
 
 // call is one singleflight execution shared by all identical jobs that
-// arrive while it is in flight.
+// arrive while it is in flight. Its context is derived from the
+// engine's base context and reference-counted over the waiters: every
+// caller that abandons the call (its own context fired) decrements
+// waiters, and when the last one leaves the call's context is
+// cancelled, so the worker stops computing a result nobody wants at
+// its next cooperative checkpoint. waiters is guarded by the engine
+// mutex.
 type call struct {
-	done chan struct{}
-	res  *core.Result
-	err  error
+	done    chan struct{}
+	res     *core.Result
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+	// abandoned is set (under the engine mutex) once nobody can ever
+	// receive this call's result: the last waiter left, or the leader
+	// withdrew before enqueueing. New arrivals must not coalesce onto
+	// an abandoned call — its context is cancelled and cannot be
+	// revived — they replace it in the in-flight table instead.
+	abandoned bool
 }
 
 // Engine is a concurrent batch evaluator. Create with New; an Engine
@@ -162,6 +227,8 @@ type Engine struct {
 	jobs     chan func()
 	wg       sync.WaitGroup // worker goroutines
 	snapPath string         // Options.PlanSnapshotPath
+	baseCtx  context.Context
+	baseStop context.CancelFunc // releases baseCtx's child registration on Close
 
 	mu         sync.Mutex
 	closed     bool
@@ -197,10 +264,17 @@ func New(opts Options) *Engine {
 	case opts.PlanCacheSize > 0:
 		plans = newLRUCache[*core.CompiledPlan](opts.PlanCacheSize)
 	}
+	base := opts.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	baseCtx, baseStop := context.WithCancel(base)
 	e := &Engine{
 		workers:    workers,
 		jobs:       make(chan func()),
 		snapPath:   opts.PlanSnapshotPath,
+		baseCtx:    baseCtx,
+		baseStop:   baseStop,
 		inflight:   make(map[string]*call),
 		cache:      cache,
 		plans:      plans,
@@ -263,8 +337,25 @@ func (e *Engine) SolveUCQ(qs []*graph.Graph, h *graph.ProbGraph, opts *core.Opti
 }
 
 // Do runs a single job to completion, blocking until its result is
-// available (possibly computed by a concurrent identical job).
+// available (possibly computed by a concurrent identical job). It is
+// DoContext under context.Background(): no cancellation, no deadline.
 func (e *Engine) Do(job Job) JobResult {
+	return e.DoContext(context.Background(), job)
+}
+
+// DoContext runs a single job to completion under ctx, blocking until
+// its result is available (possibly computed by a concurrent identical
+// job) or ctx fires.
+//
+// Cancellation semantics: when ctx is cancelled (or its deadline — or
+// the job's own Timeout — passes), DoContext returns promptly with a
+// typed error (phomerr.ErrCanceled / ErrDeadline). The underlying
+// execution is aborted at its next cooperative checkpoint if this was
+// the only caller interested in it; if identical concurrent jobs are
+// still waiting, the execution continues for them — one impatient
+// client cannot cancel another's work. Results computed under an
+// already-abandoned call are discarded, never cached.
+func (e *Engine) DoContext(ctx context.Context, job Job) JobResult {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -275,6 +366,11 @@ func (e *Engine) Do(job Job) JobResult {
 	e.mu.Unlock()
 	defer e.active.Done()
 
+	if job.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.Timeout)
+		defer cancel()
+	}
 	key, run, planHit, err := e.prepare(job)
 	if err != nil {
 		e.mu.Lock()
@@ -282,11 +378,13 @@ func (e *Engine) Do(job Job) JobResult {
 		e.mu.Unlock()
 		return JobResult{Err: err}
 	}
-	r := e.do(key, run)
-	// planHit is written by run before the call's done channel closes, so
-	// reading it here is race-free; it is only meaningful when this call
-	// was the one that executed (not served from cache or coalesced).
-	if !r.CacheHit && !r.Shared && *planHit {
+	r, completed := e.do(ctx, key, run)
+	// planHit is written by run before the call's done channel closes,
+	// so reading it after a completed call is race-free — but it MUST
+	// not be read when the call was abandoned on ctx (the worker may
+	// still be writing it). It is only meaningful when this call was
+	// the one that executed (not served from cache or coalesced).
+	if completed && !r.CacheHit && !r.Shared && *planHit {
 		r.PlanHit = true
 	}
 	return r
@@ -299,25 +397,83 @@ func (e *Engine) Do(job Job) JobResult {
 // every job is done; per-job failures are reported in the corresponding
 // JobResult, not by failing the batch.
 func (e *Engine) SolveBatch(jobs []Job) []JobResult {
+	return e.SolveBatchContext(context.Background(), jobs)
+}
+
+// SolveBatchContext is SolveBatch under a context: every job runs as
+// DoContext(ctx, job), so cancelling ctx mid-batch makes the remaining
+// jobs fail fast with phomerr.ErrCanceled (already-finished results
+// are kept) and the call still returns one JobResult per job. It is
+// exactly Stream drained into a job-ordered slice — one fan-out
+// implementation serves both shapes.
+func (e *Engine) SolveBatchContext(ctx context.Context, jobs []Job) []JobResult {
 	out := make([]JobResult, len(jobs))
-	// Bound the submission fan-out: beyond a few jobs per worker,
-	// additional goroutines could only block on the pool anyway, and an
-	// unbounded spawn would cost gigabytes of stacks on huge batches.
-	// Coalesced waiters holding a slot cannot deadlock the batch: a
-	// waiter only ever waits on a call whose leader has already
-	// enqueued, and the workers drain independently of these slots.
-	sem := make(chan struct{}, 4*e.workers)
-	var wg sync.WaitGroup
-	wg.Add(len(jobs))
-	for i, job := range jobs {
-		sem <- struct{}{}
-		go func(i int, job Job) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = e.Do(job)
-		}(i, job)
+	for sr := range e.Stream(ctx, jobs) {
+		out[sr.Index] = sr.JobResult
 	}
-	wg.Wait()
+	return out
+}
+
+// StreamResult is one completed job of a Stream call: the result (or
+// error) of jobs[Index].
+type StreamResult struct {
+	// Index is the job's position in the Stream input slice.
+	Index int
+	JobResult
+}
+
+// Stream evaluates all jobs concurrently and delivers results in
+// completion order, as they become available, instead of buffering the
+// whole batch: huge batches start yielding answers after the first job
+// finishes, and the caller's memory stays bounded by what it retains.
+//
+// The returned channel yields exactly one StreamResult per job — fast
+// jobs first, each carrying its input index — and is then closed,
+// always, whether or not ctx fires. The channel's buffer holds the
+// whole batch, so delivery never blocks: a consumer may drain at its
+// own pace, stop early, or abandon the channel entirely without
+// leaking the delivering goroutines. Cancelling ctx aborts the
+// remaining jobs — they fail fast and their StreamResults carry the
+// typed phomerr.ErrCanceled. Per-job failures arrive as StreamResults
+// with Err set, like SolveBatch's.
+func (e *Engine) Stream(ctx context.Context, jobs []Job) <-chan StreamResult {
+	// Buffered to len(jobs): each job sends exactly once, so the sends
+	// can never block and every job's result is delivered even if ctx
+	// fires while the consumer is mid-drain. The buffer is the same
+	// O(len(jobs)) a SolveBatch result slice costs; what Stream saves
+	// is the *latency* of the barrier, not the result storage.
+	out := make(chan StreamResult, len(jobs))
+	go func() {
+		// Bound the submission fan-out like the historical SolveBatch:
+		// a slot is acquired *before* spawning, so a million-job stream
+		// holds at most a few goroutines per worker alive at a time
+		// rather than a million stacks. Coalesced waiters holding a
+		// slot cannot deadlock the stream: a waiter only ever waits on
+		// a call whose leader has already enqueued, and the workers
+		// drain independently of these slots.
+		sem := make(chan struct{}, 4*e.workers)
+		var wg sync.WaitGroup
+		for i, job := range jobs {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				// Cancelled while queueing: deliver the typed error
+				// directly — no worker slot, no goroutine — so the
+				// consumer still sees one result per job.
+				out <- StreamResult{Index: i, JobResult: JobResult{Err: phomerr.FromContext(ctx)}}
+				continue
+			}
+			wg.Add(1)
+			go func(i int, job Job) {
+				defer wg.Done()
+				r := e.DoContext(ctx, job)
+				<-sem
+				out <- StreamResult{Index: i, JobResult: r}
+			}(i, job)
+		}
+		wg.Wait()
+		close(out)
+	}()
 	return out
 }
 
@@ -338,6 +494,9 @@ func (e *Engine) Close() error {
 	e.active.Wait() // no submission can enqueue after closed is set
 	close(e.jobs)
 	e.wg.Wait()
+	// All jobs have drained; release the engine's registration in the
+	// base context (a leak otherwise when BaseContext is long-lived).
+	e.baseStop()
 	if e.snapPath != "" && e.plans != nil {
 		if err := e.snapshotToPath(); err != nil {
 			e.mu.Lock()
@@ -459,24 +618,17 @@ func (e *Engine) LoadPlans(r io.Reader) (int, error) {
 	return loaded, err
 }
 
-// prepare validates the job and returns its canonical key and the solver
-// thunk that executes it. The thunk routes through the structure-keyed
-// plan cache: a job whose structure was compiled before (under any
+// prepare validates the job (through Job.Disjuncts, the shared
+// validation point) and returns its canonical key and the solver thunk
+// that executes it. The thunk routes through the structure-keyed plan
+// cache: a job whose structure was compiled before (under any
 // probabilities) evaluates the cached plan, everything else compiles
 // fresh and populates the cache. The returned bool is set by the thunk
 // when it served a plan-cache hit.
-func (e *Engine) prepare(job Job) (string, func() (*core.Result, error), *bool, error) {
-	qs := job.disjuncts()
-	if len(qs) == 0 {
-		return "", nil, nil, fmt.Errorf("engine: job has no query graph")
-	}
-	for _, q := range qs {
-		if q == nil {
-			return "", nil, nil, fmt.Errorf("engine: nil query graph in job")
-		}
-	}
-	if job.Instance == nil {
-		return "", nil, nil, fmt.Errorf("engine: job has no instance graph")
+func (e *Engine) prepare(job Job) (string, func(context.Context) (*core.Result, error), *bool, error) {
+	qs, err := job.Disjuncts()
+	if err != nil {
+		return "", nil, nil, err
 	}
 
 	canon := make([]string, len(qs))
@@ -489,8 +641,8 @@ func (e *Engine) prepare(job Job) (string, func() (*core.Result, error), *bool, 
 		job.Opts.Fingerprint(), job.Opts.StructFingerprint())
 
 	planHit := new(bool)
-	run := func() (*core.Result, error) {
-		return e.runPlanned(structKey, canonOrder, job, qs, planHit)
+	run := func(ctx context.Context) (*core.Result, error) {
+		return e.runPlanned(ctx, structKey, canonOrder, job, qs, planHit)
 	}
 	return key, run, planHit, nil
 }
@@ -508,7 +660,7 @@ func (e *Engine) prepare(job Job) (string, func() (*core.Result, error), *bool, 
 // compilation and then evaluates the cached plan. Waiting holds a
 // worker, which cannot deadlock: the flight is only ever registered by
 // a task already running on some worker, which finishes independently.
-func (e *Engine) runPlanned(structKey string, canonOrder []int, job Job, qs []*graph.Graph, planHit *bool) (*core.Result, error) {
+func (e *Engine) runPlanned(ctx context.Context, structKey string, canonOrder []int, job Job, qs []*graph.Graph, planHit *bool) (*core.Result, error) {
 	registered := false
 	for {
 		var ent *core.CompiledPlan
@@ -528,7 +680,11 @@ func (e *Engine) runPlanned(structKey string, canonOrder []int, job Job, qs []*g
 		}
 		e.mu.Unlock()
 		if wait != nil {
-			<-wait
+			select {
+			case <-wait:
+			case <-ctx.Done():
+				return nil, phomerr.FromContext(ctx)
+			}
 			continue // the leader finished; re-check the plan cache
 		}
 		if ent == nil {
@@ -536,7 +692,7 @@ func (e *Engine) runPlanned(structKey string, canonOrder []int, job Job, qs []*g
 		}
 		// The fresh-compile path validates probabilities inside
 		// core.Compile; mirror it so both paths fail identically.
-		if err := job.Instance.Validate(); err != nil {
+		if err := phomerr.Wrap(phomerr.CodeBadInput, job.Instance.Validate()); err != nil {
 			return nil, err
 		}
 		// A transport mismatch (only possible under a structure-hash
@@ -557,16 +713,16 @@ func (e *Engine) runPlanned(structKey string, canonOrder []int, job Job, qs []*g
 		// the numeric substrate, which matters for snapshot-restored
 		// plans (they carry no precision of their own) and for cached
 		// plans shared across precision modes.
-		res, err := ent.EvaluateOpts(probs, job.Opts)
+		res, err := ent.EvaluateOptsContext(ctx, probs, job.Opts)
 		e.noteFloat(job.Opts, res, err)
 		return res, err
 	}
 	var cp *core.CompiledPlan
 	var err error
 	if len(qs) > 1 {
-		cp, err = core.CompileUCQ(qs, job.Instance, job.Opts)
+		cp, err = core.CompileUCQContext(ctx, qs, job.Instance, job.Opts)
 	} else {
-		cp, err = core.Compile(qs[0], job.Instance, job.Opts)
+		cp, err = core.CompileContext(ctx, qs[0], job.Instance, job.Opts)
 	}
 	e.mu.Lock()
 	if err == nil {
@@ -585,7 +741,7 @@ func (e *Engine) runPlanned(structKey string, canonOrder []int, job Job, qs []*g
 	if err != nil {
 		return nil, err
 	}
-	res, evalErr := cp.EvaluateOpts(job.Instance.Probs(), job.Opts)
+	res, evalErr := cp.EvaluateOptsContext(ctx, job.Instance.Probs(), job.Opts)
 	e.noteFloat(job.Opts, res, evalErr)
 	return res, evalErr
 }
@@ -626,47 +782,120 @@ func transportProbs(cp *core.CompiledPlan, cur []int, h *graph.ProbGraph) ([]*bi
 }
 
 // do answers the keyed job from the cache, an in-flight identical call,
-// or a fresh execution on the worker pool, in that order.
-func (e *Engine) do(key string, run func() (*core.Result, error)) JobResult {
-	e.mu.Lock()
-	if e.cache != nil {
-		if res, ok := e.cache.get(key); ok {
-			e.stats.CacheHits++
-			e.mu.Unlock()
-			return JobResult{Result: cloneResult(res), CacheHit: true}
-		}
-	}
-	if c, ok := e.inflight[key]; ok {
-		e.stats.Coalesced++
-		e.mu.Unlock()
-		<-c.done
-		if c.err != nil {
-			return JobResult{Err: c.err, Shared: true}
-		}
-		return JobResult{Result: cloneResult(c.res), Shared: true}
-	}
-	c := &call{done: make(chan struct{})}
-	e.inflight[key] = c
-	e.mu.Unlock()
-
-	e.jobs <- func() {
-		c.res, c.err = run()
+// or a fresh execution on the worker pool, in that order. The second
+// return reports whether the call ran to completion (as opposed to
+// being abandoned because ctx fired first).
+func (e *Engine) do(ctx context.Context, key string, run func(context.Context) (*core.Result, error)) (JobResult, bool) {
+	for {
 		e.mu.Lock()
-		e.stats.Solved++
-		if c.err != nil {
-			e.stats.Errors++
-		} else if e.cache != nil {
-			e.cache.add(key, c.res)
+		if e.cache != nil {
+			if res, ok := e.cache.get(key); ok {
+				e.stats.CacheHits++
+				e.mu.Unlock()
+				return JobResult{Result: cloneResult(res), CacheHit: true}, true
+			}
 		}
-		delete(e.inflight, key)
+		// Coalesce only onto a call somebody is still waiting for. An
+		// abandoned call's context is already cancelled — joining it
+		// would hand this caller a cancellation it never asked for — so
+		// a fresh leader replaces it in the table (the old execution,
+		// if still running, aborts at its next checkpoint and its
+		// cleanup recognizes it was replaced).
+		if c, ok := e.inflight[key]; ok && !c.abandoned {
+			e.stats.Coalesced++
+			c.waiters++
+			e.mu.Unlock()
+			r, completed, retry := e.wait(ctx, c, true)
+			if retry {
+				continue // the leader withdrew before enqueueing; start over
+			}
+			return r, completed
+		}
+		// This call is the leader: it owns a fresh execution, run under
+		// a context derived from the engine's base context (so
+		// engine-level shutdown aborts it) and reference-counted over
+		// the waiters (so it is cancelled once nobody wants the answer
+		// anymore).
+		callCtx, cancel := context.WithCancel(e.baseCtx)
+		c := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
+		e.inflight[key] = c
 		e.mu.Unlock()
-		close(c.done)
+
+		task := func() {
+			c.res, c.err = run(callCtx)
+			cancel() // release the context's resources; idempotent
+			e.mu.Lock()
+			e.stats.Solved++
+			if c.err != nil {
+				e.stats.Errors++
+			} else if e.cache != nil && !c.abandoned {
+				// A short run can complete between its abandonment and
+				// its next checkpoint; honor the documented invariant
+				// that abandoned results never reach the cache.
+				e.cache.add(key, c.res)
+			}
+			// Only remove the entry if it is still ours — an abandoned
+			// call may have been replaced by a fresh leader under the
+			// same key while this execution was winding down.
+			if cur, ok := e.inflight[key]; ok && cur == c {
+				delete(e.inflight, key)
+			}
+			e.mu.Unlock()
+			close(c.done)
+		}
+		// Hand the task to a worker, but do not let a caller whose
+		// context has fired sit in the queue: withdrawing here keeps
+		// the promptness contract even when every worker is busy.
+		select {
+		case e.jobs <- task:
+		case <-ctx.Done():
+			e.mu.Lock()
+			c.abandoned = true
+			if cur, ok := e.inflight[key]; ok && cur == c {
+				delete(e.inflight, key)
+			}
+			c.err = phomerr.FromContext(ctx)
+			e.stats.Canceled++
+			e.mu.Unlock()
+			cancel()
+			close(c.done) // waiters see abandoned and retry with a fresh leader
+			return JobResult{Err: c.err}, false
+		}
+		r, completed, _ := e.wait(ctx, c, false)
+		return r, completed
 	}
-	<-c.done
-	if c.err != nil {
-		return JobResult{Err: c.err}
+}
+
+// wait blocks until the call completes or ctx fires, whichever comes
+// first. An abandoning waiter decrements the call's reference count
+// and cancels the execution when it was the last one interested. The
+// third return asks the caller to retry from scratch: the call's
+// leader withdrew before the task ever reached a worker, so no result
+// is coming, but this waiter's own context is still live.
+func (e *Engine) wait(ctx context.Context, c *call, shared bool) (JobResult, bool, bool) {
+	select {
+	case <-c.done:
+		if c.abandoned && shared {
+			return JobResult{}, false, true
+		}
+		if c.err != nil {
+			return JobResult{Err: c.err, Shared: shared}, true, false
+		}
+		return JobResult{Result: cloneResult(c.res), Shared: shared}, true, false
+	case <-ctx.Done():
+		e.mu.Lock()
+		c.waiters--
+		if c.waiters == 0 {
+			c.abandoned = true
+		}
+		last := c.waiters == 0
+		e.stats.Canceled++
+		e.mu.Unlock()
+		if last {
+			c.cancel()
+		}
+		return JobResult{Err: phomerr.FromContext(ctx), Shared: shared}, false, false
 	}
-	return JobResult{Result: cloneResult(c.res)}
 }
 
 // cloneResult deep-copies a result so cache entries and singleflight

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 	"runtime"
@@ -269,7 +270,7 @@ func TestSingleflightCoalescing(t *testing.T) {
 	leaderWG.Add(1)
 	go func() {
 		defer leaderWG.Done()
-		leader = e.do("key", func() (*core.Result, error) {
+		leader, _ = e.do(context.Background(), "key", func(context.Context) (*core.Result, error) {
 			close(started)
 			<-block
 			return want, nil
@@ -284,7 +285,7 @@ func TestSingleflightCoalescing(t *testing.T) {
 	for i := 0; i < followers; i++ {
 		go func(i int) {
 			defer wg.Done()
-			results[i] = e.do("key", func() (*core.Result, error) {
+			results[i], _ = e.do(context.Background(), "key", func(context.Context) (*core.Result, error) {
 				t.Error("coalesced job must not execute")
 				return want, nil
 			})

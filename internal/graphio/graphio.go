@@ -54,6 +54,20 @@ func ParseRat(s string) (*big.Rat, error) {
 	return p, nil
 }
 
+// ParseEdgeKey splits a "from>to" edge designator (the wire form used
+// by phomserve's /reweight probability maps and cmd/phom's -setprob
+// overrides — one parser, so the two cannot diverge). Whitespace
+// around either endpoint is ignored.
+func ParseEdgeKey(key string) (from, to int, ok bool) {
+	a, b, found := strings.Cut(key, ">")
+	if !found {
+		return 0, 0, false
+	}
+	from, err1 := strconv.Atoi(strings.TrimSpace(a))
+	to, err2 := strconv.Atoi(strings.TrimSpace(b))
+	return from, to, err1 == nil && err2 == nil
+}
+
 // ParseProbGraph reads the text format from r.
 func ParseProbGraph(r io.Reader) (*graph.ProbGraph, error) {
 	var g *graph.Graph

@@ -1,0 +1,209 @@
+// Package phomerr defines the typed error taxonomy and the cooperative
+// cancellation primitives of the v2 request API.
+//
+// Every failure the public API can report carries a Code classifying
+// its failure mode (bad input, a resource limit, proven intractability,
+// cancellation, a missed deadline, an unavailable engine), wrapped in
+// an *Error that is errors.Is/As-compatible both with the per-code
+// sentinels (ErrBadInput, ErrCanceled, …) and — for the cancellation
+// codes — with the context package's own context.Canceled and
+// context.DeadlineExceeded. The serving layer maps codes to HTTP
+// statuses; see CodeOf.
+//
+// The Checkpoint type is the cancellation side of the contract: long
+// computations (possible-world enumeration, compile-time dynamic
+// programs) poll a Checkpoint from their inner loops, and a cancelled
+// context makes the computation abort within one checkpoint interval
+// (CheckInterval iterations) of the cancellation.
+package phomerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Code classifies a failure of the request API.
+type Code uint8
+
+const (
+	// CodeUnknown marks errors outside the taxonomy (internal failures,
+	// unwrapped causes). It has no sentinel and maps to a generic
+	// server-side failure.
+	CodeUnknown Code = iota
+	// CodeBadInput: the request itself is malformed — an empty query,
+	// an invalid probability, out-of-range options.
+	CodeBadInput
+	// CodeLimit: the job exceeded a configured resource cap (the
+	// brute-force coin limit, the lineage match limit).
+	CodeLimit
+	// CodeIntractable: the input pair lies in a #P-hard cell of
+	// Tables 1–3 and the exponential fallback is disabled.
+	CodeIntractable
+	// CodeCanceled: the request's context was cancelled.
+	CodeCanceled
+	// CodeDeadline: the request's deadline (or per-job timeout) passed.
+	CodeDeadline
+	// CodeUnavailable: the serving component cannot accept work (a
+	// closed engine, a shutting-down server).
+	CodeUnavailable
+
+	numCodes = iota // count of defined codes, for validation
+)
+
+var codeNames = [numCodes]string{
+	"unknown", "bad-input", "limit", "intractable", "canceled", "deadline", "unavailable",
+}
+
+func (c Code) String() string {
+	if int(c) >= len(codeNames) {
+		return fmt.Sprintf("code(%d)", int(c))
+	}
+	return codeNames[c]
+}
+
+// Error is a typed failure: a taxonomy code plus an optional wrapped
+// cause. It implements the errors.Is/As protocol so that
+//
+//	errors.Is(err, phomerr.ErrCanceled)
+//
+// holds for any error whose chain contains an *Error with CodeCanceled
+// (and likewise for the other sentinels), while errors.Is(err,
+// context.Canceled) keeps working through Unwrap.
+type Error struct {
+	Code Code
+	Err  error // wrapped cause; nil for bare sentinels
+}
+
+func (e *Error) Error() string {
+	if e.Err != nil {
+		return e.Err.Error()
+	}
+	return e.Code.String()
+}
+
+// Unwrap exposes the wrapped cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is makes any *Error with a matching code satisfy errors.Is against
+// the bare sentinels (an *Error target with no cause of its own).
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Err == nil && t.Code == e.Code
+}
+
+// The per-code sentinels. Compare with errors.Is; never mutate.
+var (
+	ErrBadInput    = &Error{Code: CodeBadInput}
+	ErrLimit       = &Error{Code: CodeLimit}
+	ErrIntractable = &Error{Code: CodeIntractable}
+	ErrCanceled    = &Error{Code: CodeCanceled}
+	ErrDeadline    = &Error{Code: CodeDeadline}
+	ErrUnavailable = &Error{Code: CodeUnavailable}
+)
+
+// New builds a typed error from a format string.
+func New(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Err: fmt.Errorf(format, args...)}
+}
+
+// Wrap attaches a code to an existing error, preserving the cause for
+// errors.Is/As. Wrapping nil returns nil; wrapping an error that
+// already carries a code anywhere in its chain returns it unchanged
+// (the innermost classification wins — a cancelled compile inside a
+// larger operation stays CodeCanceled).
+func Wrap(code Code, err error) error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return err
+	}
+	return &Error{Code: code, Err: err}
+}
+
+// CodeOf extracts the taxonomy code from an error chain, mapping bare
+// context errors to their cancellation codes and everything unknown to
+// CodeUnknown.
+func CodeOf(err error) Code {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	}
+	return CodeUnknown
+}
+
+// FromContext converts a context's failure state into its typed error:
+// nil while ctx is live, ErrCanceled/ErrDeadline (wrapping ctx.Err())
+// once it is done. It is the single translation point between the
+// context package and the taxonomy.
+func FromContext(ctx context.Context) error {
+	switch err := ctx.Err(); {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Error{Code: CodeDeadline, Err: err}
+	default:
+		return &Error{Code: CodeCanceled, Err: err}
+	}
+}
+
+// CheckInterval is how many loop iterations a checkpointed computation
+// may run between context polls: the cancellation contract is that a
+// cancelled context aborts the computation within one interval (plus
+// the cost of a single iteration).
+const CheckInterval = 1024
+
+// Checkpoint is a cheap cancellation poll for tight loops: Check
+// increments a counter and consults the context only every
+// CheckInterval-th call, so the common case costs one increment and
+// one branch. The zero interval of a nil Checkpoint never fails, so
+// context-free call paths can pass nil all the way down.
+//
+// A Checkpoint is single-goroutine state: each computation owns its
+// own (they are never shared across workers).
+type Checkpoint struct {
+	ctx context.Context
+	n   uint32
+}
+
+// NewCheckpoint returns a checkpoint polling ctx. A nil or Background
+// context yields checkpoints that never fire, at the same per-call
+// cost.
+func NewCheckpoint(ctx context.Context) *Checkpoint {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Checkpoint{ctx: ctx}
+}
+
+// Check returns nil in the common case and the context's typed
+// cancellation error (ErrCanceled/ErrDeadline) on the polls where the
+// context turns out to be done. Nil receivers always return nil.
+func (c *Checkpoint) Check() error {
+	if c == nil {
+		return nil
+	}
+	c.n++
+	if c.n%CheckInterval != 0 {
+		return nil
+	}
+	return FromContext(c.ctx)
+}
+
+// CheckNow polls the context immediately, bypassing the interval — for
+// checkpoint sites that are already coarse (per dispatch route, per
+// component) where the amortization would only delay the abort.
+func (c *Checkpoint) CheckNow() error {
+	if c == nil {
+		return nil
+	}
+	return FromContext(c.ctx)
+}

@@ -1,0 +1,119 @@
+package phomerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSentinelIs(t *testing.T) {
+	err := New(CodeLimit, "23 coins exceed limit %d", 22)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("errors.Is(%v, ErrLimit) = false", err)
+	}
+	for _, other := range []*Error{ErrBadInput, ErrIntractable, ErrCanceled, ErrDeadline, ErrUnavailable} {
+		if errors.Is(err, other) {
+			t.Fatalf("errors.Is(%v, %v) = true", err, other)
+		}
+	}
+	var e *Error
+	if !errors.As(err, &e) || e.Code != CodeLimit {
+		t.Fatalf("errors.As code = %v, want CodeLimit", e.Code)
+	}
+}
+
+func TestWrapPreservesInnermostCode(t *testing.T) {
+	if Wrap(CodeBadInput, nil) != nil {
+		t.Fatal("Wrap(nil) != nil")
+	}
+	inner := New(CodeCanceled, "canceled mid-compile")
+	outer := Wrap(CodeUnknown, fmt.Errorf("solve: %w", inner))
+	if !errors.Is(outer, ErrCanceled) {
+		t.Fatalf("wrapped error lost its inner code: %v", outer)
+	}
+	if CodeOf(outer) != CodeCanceled {
+		t.Fatalf("CodeOf = %v, want CodeCanceled", CodeOf(outer))
+	}
+
+	plain := Wrap(CodeBadInput, errors.New("negative probability"))
+	if CodeOf(plain) != CodeBadInput {
+		t.Fatalf("CodeOf = %v, want CodeBadInput", CodeOf(plain))
+	}
+}
+
+func TestCodeOfContextErrors(t *testing.T) {
+	if got := CodeOf(context.Canceled); got != CodeCanceled {
+		t.Fatalf("CodeOf(context.Canceled) = %v", got)
+	}
+	if got := CodeOf(fmt.Errorf("job: %w", context.DeadlineExceeded)); got != CodeDeadline {
+		t.Fatalf("CodeOf(wrapped DeadlineExceeded) = %v", got)
+	}
+	if got := CodeOf(errors.New("mystery")); got != CodeUnknown {
+		t.Fatalf("CodeOf(mystery) = %v", got)
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if err := FromContext(context.Background()); err != nil {
+		t.Fatalf("FromContext(Background) = %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := FromContext(ctx)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("FromContext(cancelled) = %v: want both ErrCanceled and context.Canceled", err)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	derr := FromContext(dctx)
+	if !errors.Is(derr, ErrDeadline) || !errors.Is(derr, context.DeadlineExceeded) {
+		t.Fatalf("FromContext(deadline) = %v: want both ErrDeadline and context.DeadlineExceeded", derr)
+	}
+}
+
+func TestCheckpoint(t *testing.T) {
+	var nilCP *Checkpoint
+	if err := nilCP.Check(); err != nil {
+		t.Fatalf("nil checkpoint Check = %v", err)
+	}
+	if err := nilCP.CheckNow(); err != nil {
+		t.Fatalf("nil checkpoint CheckNow = %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cp := NewCheckpoint(ctx)
+	for i := 0; i < 10*CheckInterval; i++ {
+		if err := cp.Check(); err != nil {
+			t.Fatalf("live context fired at iteration %d: %v", i, err)
+		}
+	}
+	cancel()
+	var got error
+	for i := 0; i < CheckInterval; i++ {
+		if got = cp.Check(); got != nil {
+			break
+		}
+	}
+	if !errors.Is(got, ErrCanceled) {
+		t.Fatalf("cancelled checkpoint within one interval = %v, want ErrCanceled", got)
+	}
+	if err := cp.CheckNow(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("CheckNow after cancel = %v", err)
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	if ErrIntractable.Error() != "intractable" {
+		t.Fatalf("sentinel text = %q", ErrIntractable.Error())
+	}
+	err := New(CodeBadInput, "edge %d probability %s outside [0,1]", 3, "7/2")
+	if want := "edge 3 probability 7/2 outside [0,1]"; err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+	if Code(200).String() != "code(200)" {
+		t.Fatalf("out-of-range code String = %q", Code(200).String())
+	}
+}

@@ -46,6 +46,7 @@ func (m *edgeMapEmitter) Load(v int) uint32 {
 }
 
 func (m *edgeMapEmitter) Const(v *big.Rat) uint32  { return m.b.Const(v) }
+func (m *edgeMapEmitter) Failed() bool             { return m.b.Failed() }
 func (m *edgeMapEmitter) Mul(a, b uint32) uint32   { return m.b.Mul(a, b) }
 func (m *edgeMapEmitter) Add(a, b uint32) uint32   { return m.b.Add(a, b) }
 func (m *edgeMapEmitter) OneMinus(a uint32) uint32 { return m.b.OneMinus(a) }

@@ -1,8 +1,11 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"math/big"
+
+	"phom/internal/phomerr"
 )
 
 // This file defines the flattened evaluation IR: a Program is a linear
@@ -139,12 +142,25 @@ func (p *Program) Validate() error {
 // exact; the result is the same rational the plan tree's Evaluate
 // computes, hence RatString-byte-identical.
 func (p *Program) Exec(probs []*big.Rat) (*big.Rat, error) {
+	return p.ExecCtx(context.Background(), probs)
+}
+
+// ExecCtx is Exec with cooperative cancellation: the interpreter polls
+// ctx every phomerr.CheckInterval ops, so a cancelled context aborts a
+// long exact evaluation (programs over large instances run millions of
+// big.Rat operations) within one checkpoint interval. The arithmetic
+// is unchanged — a run that completes is byte-identical to Exec.
+func (p *Program) ExecCtx(ctx context.Context, probs []*big.Rat) (*big.Rat, error) {
 	if len(probs) != p.NumEdges {
 		return nil, fmt.Errorf("plan: %d probabilities for a program over %d edges", len(probs), p.NumEdges)
 	}
+	cp := phomerr.NewCheckpoint(ctx)
 	regs := make([]big.Rat, p.NumRegs)
 	one := big.NewRat(1, 1)
 	for i := range p.Ops {
+		if err := cp.Check(); err != nil {
+			return nil, err
+		}
 		op := &p.Ops[i]
 		switch op.Code {
 		case OpConst:
@@ -171,8 +187,12 @@ func (p *Program) Exec(probs []*big.Rat) (*big.Rat, error) {
 // Builder assembles a Program. Lowering code obtains registers from the
 // emit methods and returns exhausted ones with Release, which bounds
 // the register file by the peak live-value count of the computation
-// rather than its length. Errors (out-of-range loads) are sticky and
-// reported by Finish, so lowering code needs no per-call checks.
+// rather than its length. Errors (out-of-range loads, cancellation) are
+// sticky and reported by Finish, so lowering code needs no per-call
+// checks; once the builder has failed, every emit method becomes a
+// cheap no-op, which is what makes cancellation effective inside the
+// compile-time dynamic programs of betadnf and ddnnf — the loops may
+// keep running, but they stop allocating registers and ops.
 type Builder struct {
 	numEdges int
 	ops      []Op
@@ -180,14 +200,45 @@ type Builder struct {
 	constIdx map[string]uint32
 	numRegs  uint32
 	free     []uint32
+	check    *phomerr.Checkpoint
 	err      error
 }
 
 // NewBuilder returns a Builder for programs over numEdges instance
-// edges.
+// edges, without cancellation (the context-free v1 path).
 func NewBuilder(numEdges int) *Builder {
 	return &Builder{numEdges: numEdges, constIdx: make(map[string]uint32)}
 }
+
+// NewBuilderCtx returns a Builder whose emit methods poll ctx every
+// phomerr.CheckInterval ops: when ctx is cancelled mid-lowering the
+// builder fails sticky with the typed cancellation error, emission
+// degenerates to no-ops, and Finish reports the abort.
+func NewBuilderCtx(ctx context.Context, numEdges int) *Builder {
+	b := NewBuilder(numEdges)
+	b.check = phomerr.NewCheckpoint(ctx)
+	return b
+}
+
+// step gates every emit method: it reports whether emission should
+// proceed, polling the cancellation checkpoint and turning a cancelled
+// context into the builder's sticky error.
+func (b *Builder) step() bool {
+	if b.err != nil {
+		return false
+	}
+	if err := b.check.Check(); err != nil {
+		b.err = err
+		return false
+	}
+	return true
+}
+
+// Failed reports whether the builder is in its sticky-error state
+// (lowering bug or cancellation). The emit loops of betadnf and ddnnf
+// consult this through their OpEmitter to break out of compile-time
+// dynamic programs early instead of spinning through no-op emission.
+func (b *Builder) Failed() bool { return b.err != nil }
 
 func (b *Builder) alloc() uint32 {
 	if n := len(b.free); n > 0 {
@@ -206,6 +257,9 @@ func (b *Builder) Release(r uint32) { b.free = append(b.free, r) }
 
 // Load emits reg ← π[edge] and returns the register.
 func (b *Builder) Load(edge int) uint32 {
+	if !b.step() {
+		return 0
+	}
 	if edge < 0 || edge >= b.numEdges {
 		b.fail(fmt.Errorf("plan: load of edge %d of %d", edge, b.numEdges))
 		return 0
@@ -218,6 +272,9 @@ func (b *Builder) Load(edge int) uint32 {
 // Const emits reg ← v and returns the register. Equal rationals share
 // one constant-pool entry.
 func (b *Builder) Const(v *big.Rat) uint32 {
+	if !b.step() {
+		return 0
+	}
 	key := v.RatString()
 	idx, ok := b.constIdx[key]
 	if !ok {
@@ -238,6 +295,9 @@ func (b *Builder) Zero() uint32 { return b.Const(ratZero) }
 
 // Mul emits reg ← a·b into a fresh register.
 func (b *Builder) Mul(a, r2 uint32) uint32 {
+	if !b.step() {
+		return 0
+	}
 	dst := b.alloc()
 	b.ops = append(b.ops, Op{Code: OpMul, Dst: dst, A: a, B: r2})
 	return dst
@@ -245,6 +305,9 @@ func (b *Builder) Mul(a, r2 uint32) uint32 {
 
 // Add emits reg ← a+b into a fresh register.
 func (b *Builder) Add(a, r2 uint32) uint32 {
+	if !b.step() {
+		return 0
+	}
 	dst := b.alloc()
 	b.ops = append(b.ops, Op{Code: OpAdd, Dst: dst, A: a, B: r2})
 	return dst
@@ -252,6 +315,9 @@ func (b *Builder) Add(a, r2 uint32) uint32 {
 
 // OneMinus emits reg ← 1−a into a fresh register.
 func (b *Builder) OneMinus(a uint32) uint32 {
+	if !b.step() {
+		return 0
+	}
 	dst := b.alloc()
 	b.ops = append(b.ops, Op{Code: OpOneMinus, Dst: dst, A: a})
 	return dst
@@ -293,7 +359,16 @@ var (
 // re-runs an exponential baseline and is not expressible as
 // straight-line arithmetic.
 func Lower(p Plan, numEdges int) (*Program, error) {
-	b := NewBuilder(numEdges)
+	return LowerContext(context.Background(), p, numEdges)
+}
+
+// LowerContext is Lower with cooperative cancellation: the builder
+// polls ctx every phomerr.CheckInterval emitted ops, so cancelling the
+// context aborts the compile-time dynamic programs (the chain/interval
+// trellis unrolling of betadnf, the per-gate emission of ddnnf) within
+// one checkpoint interval and surfaces the typed cancellation error.
+func LowerContext(ctx context.Context, p Plan, numEdges int) (*Program, error) {
+	b := NewBuilderCtx(ctx, numEdges)
 	out, err := p.EmitOps(b)
 	if err != nil {
 		return nil, err

@@ -19,6 +19,13 @@
 //     probabilities;
 //   - the paper's graph classes (Class1WP … ClassAll), membership tests
 //     (Graph.InClass) and the inclusion lattice (ClassIncluded);
+//   - the v2 request API: a Request (query or UCQ + instance +
+//     functional options) evaluated by SolveContext and CompileContext
+//     under a context.Context — cancellation and deadlines abort even
+//     the exponential baselines within one checkpoint interval
+//     (CheckpointInterval), and failures carry a typed ErrorCode
+//     (ErrBadInput, ErrLimit, ErrIntractable, ErrCanceled,
+//     ErrDeadline);
 //   - Solve, which dispatches to a polynomial-time algorithm whenever the
 //     input pair falls in a tractable cell of the paper's classification
 //     (Propositions 3.6, 4.10, 4.11, 5.4, 5.5 and Lemma 3.7), and
@@ -30,15 +37,21 @@
 //   - Predict, the complexity classifier reproducing Tables 1–3;
 //   - BruteForce and LineageShannon, the exact exponential baselines;
 //   - Engine, a concurrent batch evaluator (worker pool, in-flight
-//     deduplication, memoization) over Solve and SolveUCQ, which also
-//     backs the cmd/phomserve HTTP service.
+//     deduplication, memoization) with context-aware submission
+//     (DoContext, SolveBatchContext) and completion-order streaming
+//     (Stream), which also backs the cmd/phomserve HTTP service.
 //
-// All probability arithmetic is exact. See DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the reproduction of every table and
-// figure of the paper.
+// The context-free Solve / SolveUCQ / Compile / CompileUCQ remain as
+// thin v1 compatibility shims over the v2 path with byte-identical
+// results; new code should construct a Request and call the *Context
+// functions. All probability arithmetic is exact. See DESIGN.md for
+// the system inventory (including the request API and error taxonomy)
+// and EXPERIMENTS.md for the reproduction of every table and figure of
+// the paper.
 package phom
 
 import (
+	"context"
 	"math/big"
 
 	"phom/internal/core"
@@ -113,7 +126,8 @@ func Bwd(l Label) Step { return graph.Bwd(l) }
 func DisjointUnion(parts ...*Graph) (*Graph, []Vertex) { return graph.DisjointUnion(parts...) }
 
 // Rat parses an exact rational probability such as "1/2" or "0.35"; it
-// panics on malformed input (intended for literals).
+// panics on malformed input (intended for literals — parse untrusted
+// input with ParseRat, which returns a typed ErrBadInput instead).
 func Rat(s string) *big.Rat { return graph.Rat(s) }
 
 // ClassIncluded reports whether class a is included in class b per the
@@ -185,8 +199,13 @@ const (
 // whenever the input pair lies in a tractable cell of the paper's
 // classification and an exponential baseline otherwise (unless
 // opts.DisableFallback is set). opts may be nil for defaults.
+//
+// Solve is the v1 compatibility shim over the v2 request path — a thin
+// wrapper around SolveContext under context.Background(), with
+// byte-identical results; new code should prefer SolveContext, which
+// adds cancellation, deadlines and typed errors.
 func Solve(query *Graph, instance *ProbGraph, opts *Options) (*Result, error) {
-	return core.Solve(query, instance, opts)
+	return SolveContext(context.Background(), NewRequest(query, instance, WithOptions(opts)))
 }
 
 // Plan is a compiled solver plan: the probability-independent phase of
@@ -211,13 +230,18 @@ type Plan = core.CompiledPlan
 // construction of the evaluation artifact (lineage systems, d-DNNF
 // circuits). The instance's probabilities are used only for validation;
 // the plan depends solely on structure.
+//
+// Compile is the v1 compatibility shim over CompileContext under
+// context.Background(), with identical plans; new code should prefer
+// CompileContext.
 func Compile(query *Graph, instance *ProbGraph, opts *Options) (*Plan, error) {
-	return core.Compile(query, instance, opts)
+	return CompileContext(context.Background(), NewRequest(query, instance, WithOptions(opts)))
 }
 
-// CompileUCQ is Compile for a union of conjunctive queries.
+// CompileUCQ is Compile for a union of conjunctive queries — the v1
+// shim over CompileContext with a NewUCQRequest.
 func CompileUCQ(queries UCQ, instance *ProbGraph, opts *Options) (*Plan, error) {
-	return core.CompileUCQ(queries, instance, opts)
+	return CompileContext(context.Background(), NewUCQRequest(queries, instance, WithOptions(opts)))
 }
 
 // BruteForce computes Pr(G ⇝ H) by possible-world enumeration —
@@ -250,8 +274,12 @@ type UCQ = core.UCQ
 // paper lift to unions (their β-acyclic lineage families are closed
 // under union); outside them an exponential baseline is used unless
 // disabled.
+//
+// SolveUCQ is the v1 compatibility shim over SolveContext with a
+// NewUCQRequest, byte-identical to the v2 path; new code should prefer
+// SolveContext.
 func SolveUCQ(queries UCQ, instance *ProbGraph, opts *Options) (*Result, error) {
-	return core.SolveUCQ(queries, instance, opts)
+	return SolveContext(context.Background(), NewUCQRequest(queries, instance, WithOptions(opts)))
 }
 
 // CountWorlds solves the unweighted variant of PHom (all uncertain edges
