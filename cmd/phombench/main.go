@@ -1,105 +1,279 @@
 // Command phombench is the experiment harness: for every table and
 // figure of the paper it regenerates the corresponding artifact
-// empirically (see EXPERIMENTS.md for the index E1–E20). For PTIME cells
-// it measures runtime scaling of the dispatched algorithm over growing
-// instances; for #P-hard cells it executes the paper's reduction, checks
-// the exact counting identity, and measures the exponential growth of the
-// exact baseline. E19 drives the concurrent engine of internal/engine
-// over a mixed batch workload and measures the speedup over sequential
-// solving; E20 measures the compile/evaluate split of the solver plans
-// (internal/plan): how much a one-time structural compilation amortizes
-// over repeated reweighted evaluations, directly and through the
-// engine's structure-keyed plan cache. E21 measures the flattened
-// evaluation IR: the throughput of the Program interpreter against the
-// plan-tree evaluators, and the warm-start win of serving a reweight
-// stream from a deserialized plan snapshot (zero compilations) against
-// a cold engine. E22 measures the dual-precision substrates: the
-// certified float64 interval kernel against the exact big.Rat
-// interpreter on the same programs (asserting the exact answer stays
-// inside every reported enclosure), plus the auto-mode fallback rate
-// across tolerances. Results are printed as aligned tables; -csv emits
-// machine-readable rows.
+// empirically (see EXPERIMENTS.md for the index E1–E23). For PTIME
+// cells it measures runtime scaling of the dispatched algorithm over
+// growing instances; for #P-hard cells it executes the paper's
+// reduction, checks the exact counting identity, and measures the
+// exponential growth of the exact baseline. E19 drives the concurrent
+// engine of internal/engine over a mixed batch workload and measures
+// the speedup over sequential solving; E20 measures the
+// compile/evaluate split of the solver plans (internal/plan); E21
+// measures the flattened evaluation IR and warm-start snapshot serving;
+// E22 measures the dual-precision substrates (certified float64
+// interval kernel vs exact big.Rat); E23 runs the phomgen workload
+// families (Erdős–Rényi, Barabási–Albert, power-law) across the
+// dispatch lattice: class membership, graphio round-trips, verdict
+// census, and needle-query throughput through the public request API.
+//
+// Experiments are selected with -run, an unanchored regular expression
+// over experiment ids (like go test -run): -run 'E2[0-3]' runs
+// E20–E23. Every experiment embeds correctness assertions; a failing
+// assertion marks that experiment FAILED and the process exits nonzero
+// after all selected experiments have run.
+//
+// Results are printed as aligned tables; -csv emits machine-readable
+// rows, and -json DIR persists one schema-versioned
+// BENCH_<experiment>.json per experiment (see internal/benchrec): the
+// machine-readable perf trajectory. Two runs with the same seed and
+// flags produce byte-identical JSON up to the volatile fields
+// (timestamp, go version, timings). -diff compares two such files
+// metric by metric.
 //
 // Usage:
 //
-//	phombench [-experiment E13] [-seed 1] [-maxn 4096] [-csv]
-//	          [-workers 0] [-batchjobs 128] [-reweights 64]
+//	phombench [-run 'E2[0-3]'] [-seed 1] [-maxn 4096] [-csv]
+//	          [-json out/] [-workers 0] [-batchjobs 128] [-reweights 64]
+//	phombench -diff out/BENCH_E20.json old/BENCH_E20.json
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"math/big"
 	"math/rand"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
-	"strings"
+	"strconv"
 	"time"
 
+	"phom"
+	"phom/internal/benchrec"
 	"phom/internal/core"
 	"phom/internal/counting"
 	"phom/internal/engine"
 	"phom/internal/gen"
 	"phom/internal/graph"
+	"phom/internal/graphio"
+	"phom/internal/phomerr"
 	"phom/internal/plan"
 	"phom/internal/reductions"
 )
 
 var (
-	experiment = flag.String("experiment", "", "run a single experiment (e.g. E13); default all")
+	runFilter  = flag.String("run", "", "run only experiments whose id matches this regexp (unanchored, like go test -run)")
+	experiment = flag.String("experiment", "", "deprecated: run a single experiment by exact id (use -run)")
 	seed       = flag.Int64("seed", 1, "random seed")
 	maxN       = flag.Int("maxn", 4096, "largest instance size for scaling sweeps")
 	csvOut     = flag.Bool("csv", false, "emit CSV rows instead of aligned text")
+	jsonDir    = flag.String("json", "", "write one BENCH_<experiment>.json per experiment into this directory")
+	diffMode   = flag.Bool("diff", false, "compare two BENCH_*.json files: phombench -diff a.json b.json")
 	workers    = flag.Int("workers", 0, "E19: fixed engine worker count (0 = sweep 1, 2, 4, NumCPU)")
 	batchJobs  = flag.Int("batchjobs", 128, "E19: number of jobs in the engine batch workload")
-	reweights  = flag.Int("reweights", 64, "E20: reweighted evaluations per compiled plan")
+	reweights  = flag.Int("reweights", 64, "E20–E23: reweighted evaluations per compiled plan")
 )
 
-type row struct {
-	experiment string
-	params     string
-	value      string
-	elapsed    time.Duration
+// E is the per-experiment context handed to every experiment function:
+// a fresh seeded rand (so each experiment's workload is independent of
+// which other experiments ran), the shared recorder, and the assertion
+// helpers. A failed assertion panics a benchFailure, which the runner
+// recovers: the experiment is marked FAILED, the remaining experiments
+// still run, and the process exits nonzero at the end.
+type E struct {
+	id      string
+	r       *rand.Rand
+	rec     *benchrec.Recorder
+	metrics *int
 }
 
-var results []row
+type benchFailure struct{ err error }
 
-func emit(exp, params, value string, elapsed time.Duration) {
-	results = append(results, row{exp, params, value, elapsed})
+func (e *E) fatalf(format string, args ...any) {
+	panic(benchFailure{fmt.Errorf(format, args...)})
+}
+
+func (e *E) check(err error) {
+	if err != nil {
+		panic(benchFailure{err})
+	}
+}
+
+// emit records one metric in the experiment's JSON run and prints the
+// human-readable line. Metric.Value and Metric.Counters must be stable
+// (pure functions of seed and flags); timings go in the volatile
+// ElapsedUS/OpsPerSec/Speedup fields.
+func (e *E) emit(m benchrec.Metric) {
+	e.rec.Add(e.id, m)
+	*e.metrics++
+	text := m.Value
+	if len(m.Counters) > 0 {
+		keys := make([]string, 0, len(m.Counters))
+		for k := range m.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if text != "" {
+				text += " "
+			}
+			text += fmt.Sprintf("%s=%d", k, m.Counters[k])
+		}
+	}
+	if m.Speedup > 0 {
+		text += fmt.Sprintf(" ×%.2f", m.Speedup)
+	}
+	if m.OpsPerSec > 0 {
+		text += fmt.Sprintf(" %.0f/s", m.OpsPerSec)
+	}
+	elapsed := time.Duration(m.ElapsedUS) * time.Microsecond
 	if *csvOut {
-		fmt.Printf("%s,%s,%s,%d\n", exp, params, value, elapsed.Microseconds())
+		fmt.Printf("%s,%s,%s,%d\n", e.id, m.Name, text, m.ElapsedUS)
 	} else {
-		fmt.Printf("  %-34s %-28s %12s\n", params, value, elapsed.Round(time.Microsecond))
+		fmt.Printf("  %-34s %-28s %12s\n", m.Name, text, elapsed.Round(time.Microsecond))
 	}
 }
 
-func section(id, title string) bool {
-	if *experiment != "" && !strings.EqualFold(*experiment, id) {
-		return false
+// metric builds a Metric with the elapsed time filled in.
+func metric(name, value string, d time.Duration) benchrec.Metric {
+	return benchrec.Metric{Name: name, Value: value, ElapsedUS: d.Microseconds()}
+}
+
+type experimentDef struct {
+	id, title string
+	fn        func(*E)
+}
+
+func experiments() []experimentDef {
+	defs := []experimentDef{
+		{"E1", "Table 1 (unlabeled, disconnected queries)", tableExp(tableSpecs[0])},
+		{"E2", "Table 2 (labeled, connected queries)", tableExp(tableSpecs[1])},
+		{"E3", "Table 3 (unlabeled, connected queries)", tableExp(tableSpecs[2])},
+		{"E4", "Figure 1 + Example 2.2 (Pr = 0.574)", runExample22},
+		{"E5", "Figure 2 (class inclusion lattice)", runLattice},
+		{"E6", "Figures 3/4 (class examples)", runShapes},
+		{"E7", "Figure 5 + Prop 3.3 (#Bipartite-Edge-Cover reduction)", runEdgeCover},
+		{"E8", "Figure 6 (graded DAG levels)", runGradedDAGs},
+		{"E9", "Figure 7 + Prop 4.1 (#PP2DNF labeled reduction)", func(e *E) { runPP2DNF(e, reductions.PP2DNFLabeled) }},
+		{"E10", "Figure 8 + Prop 5.6 (#PP2DNF unlabeled reduction)", func(e *E) { runPP2DNF(e, reductions.PP2DNFUnlabeled) }},
+		{"E11", "Prop 3.4 (label simulation by two-wayness)", runLabelSimulation},
 	}
-	if !*csvOut {
-		fmt.Printf("\n%s — %s\n", id, title)
+	for _, s := range scalingSpecs {
+		defs = append(defs, experimentDef{s.id, s.name + " — runtime scaling", scalingExp(s)})
 	}
-	return true
+	defs = append(defs,
+		experimentDef{"E18", "Ablations (d-DNNF vs direct DP; baselines)", runAblations},
+		experimentDef{"E19", "Engine batch throughput (workers, dedup, memoization)", runEngineBatch},
+		experimentDef{"E20", "Plan compile/evaluate amortization (structure-keyed reweighting)", runPlanReweight},
+		experimentDef{"E21", "Evaluation IR (interpreter throughput, warm-start snapshots)", runPlanSnapshot},
+		experimentDef{"E22", "Dual-precision: float64 interval kernel vs exact interpreter", runFloatPath},
+		experimentDef{"E23", "phomgen workload families on the dispatch lattice", runWorkloadFamilies},
+	)
+	return defs
 }
 
 func main() {
 	flag.Parse()
+	if *diffMode {
+		runDiff(flag.Args())
+		return
+	}
+	pattern := *runFilter
+	if pattern == "" && *experiment != "" {
+		pattern = "(?i)^" + regexp.QuoteMeta(*experiment) + "$"
+	}
+	var re *regexp.Regexp
+	if pattern != "" {
+		var err error
+		if re, err = regexp.Compile(pattern); err != nil {
+			fmt.Fprintf(os.Stderr, "phombench: bad -run regexp: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if *csvOut {
 		fmt.Println("experiment,params,value,elapsed_us")
 	}
-	runTables()
-	runFigures()
-	runPropositions()
-	runAblations()
-	runEngineBatch()
-	runPlanReweight()
-	runPlanSnapshot()
-	runFloatPath()
+	rec := benchrec.NewRecorder(*seed, map[string]string{
+		"maxn":      strconv.Itoa(*maxN),
+		"workers":   strconv.Itoa(*workers),
+		"batchjobs": strconv.Itoa(*batchJobs),
+		"reweights": strconv.Itoa(*reweights),
+	})
+	var failed []string
+	metrics, ran := 0, 0
+	for _, def := range experiments() {
+		if re != nil && !re.MatchString(def.id) {
+			continue
+		}
+		ran++
+		if !*csvOut {
+			fmt.Printf("\n%s — %s\n", def.id, def.title)
+		}
+		rec.Begin(def.id, def.title)
+		e := &E{id: def.id, r: rand.New(rand.NewSource(*seed)), rec: rec, metrics: &metrics}
+		if err := runOne(def.fn, e); err != nil {
+			failed = append(failed, def.id)
+			fmt.Fprintf(os.Stderr, "phombench: %s FAILED: %v\n", def.id, err)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "phombench: no experiments match %q\n", pattern)
+	}
+	if *jsonDir != "" {
+		paths, err := rec.WriteDir(*jsonDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phombench:", err)
+			os.Exit(1)
+		}
+		if !*csvOut {
+			fmt.Printf("\nwrote %d BENCH_*.json files to %s\n", len(paths), *jsonDir)
+		}
+	}
 	if !*csvOut {
-		fmt.Printf("\n%d measurements.\n", len(results))
+		fmt.Printf("\n%d measurements.\n", metrics)
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "phombench: FAILED experiments: %v\n", failed)
+		os.Exit(1)
+	}
+}
+
+// runOne runs an experiment, converting assertion panics into an error
+// so one failing experiment cannot stop the rest.
+func runOne(fn func(*E), e *E) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if bf, ok := p.(benchFailure); ok {
+				err = bf.err
+				return
+			}
+			panic(p)
+		}
+	}()
+	fn(e)
+	return nil
+}
+
+func runDiff(args []string) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: phombench -diff a.json b.json")
+		os.Exit(2)
+	}
+	a, err := benchrec.Load(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phombench:", err)
+		os.Exit(1)
+	}
+	b, err := benchrec.Load(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phombench:", err)
+		os.Exit(1)
+	}
+	if err := benchrec.FormatDiff(os.Stdout, a, b); err != nil {
+		fmt.Fprintln(os.Stderr, "phombench:", err)
+		os.Exit(1)
 	}
 }
 
@@ -115,38 +289,38 @@ func sizes() []int {
 	return out
 }
 
-// timeSolve runs the dispatched solver and reports failures.
-func timeSolve(q *graph.Graph, h *graph.ProbGraph) (time.Duration, *core.Result) {
+// timeSolve runs the dispatched solver and fails the experiment if a
+// tractable cell is refused.
+func (e *E) timeSolve(q *graph.Graph, h *graph.ProbGraph) (time.Duration, *core.Result) {
 	start := time.Now()
 	res, err := core.Solve(q, h, &core.Options{DisableFallback: true})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "phombench: solver refused a tractable cell:", err)
-		os.Exit(1)
+		e.fatalf("solver refused a tractable cell: %v", err)
 	}
 	return time.Since(start), res
 }
 
-// runTables covers E1–E3: for each tractable cell of each table, a
-// scaling sweep of the PTIME algorithm; for each hard border cell, an
-// exponential sweep of the brute-force baseline on reduction outputs.
-func runTables() {
-	type tableSpec struct {
-		id, name string
-		rows     []graph.Class
-		cols     []graph.Class
-		labeled  bool
+// E1–E3: for each tractable cell of each table, a scaling sweep of the
+// PTIME algorithm; for each hard border cell, an exponential sweep of
+// the brute-force baseline on reduction outputs.
+type tableSpec struct {
+	rows    []graph.Class
+	cols    []graph.Class
+	labeled bool
+}
+
+var (
+	connClasses = []graph.Class{graph.Class1WP, graph.Class2WP, graph.ClassDWT, graph.ClassPT, graph.ClassConnected}
+	discClasses = []graph.Class{graph.ClassU1WP, graph.ClassU2WP, graph.ClassUDWT, graph.ClassUPT, graph.ClassAll}
+	tableSpecs  = []tableSpec{
+		{discClasses, connClasses, false},
+		{connClasses, connClasses, true},
+		{connClasses, connClasses, false},
 	}
-	conn := []graph.Class{graph.Class1WP, graph.Class2WP, graph.ClassDWT, graph.ClassPT, graph.ClassConnected}
-	disc := []graph.Class{graph.ClassU1WP, graph.ClassU2WP, graph.ClassUDWT, graph.ClassUPT, graph.ClassAll}
-	specs := []tableSpec{
-		{"E1", "Table 1 (unlabeled, disconnected queries)", disc, conn, false},
-		{"E2", "Table 2 (labeled, connected queries)", conn, conn, true},
-		{"E3", "Table 3 (unlabeled, connected queries)", conn, conn, false},
-	}
-	for _, spec := range specs {
-		if !section(spec.id, spec.name) {
-			continue
-		}
+)
+
+func tableExp(spec tableSpec) func(*E) {
+	return func(e *E) {
 		labels := []graph.Label{graph.Unlabeled}
 		if spec.labeled {
 			labels = []graph.Label{"R", "S"}
@@ -160,9 +334,9 @@ func runTables() {
 					for _, n := range sizes() {
 						q := gen.RandInClass(r, qc, 6, labels)
 						h := gen.RandProb(r, gen.RandInClass(r, ic, n, labels), 0.5)
-						d, res := timeSolve(q, h)
-						emit(spec.id, fmt.Sprintf("%s n=%d", cellName, n),
-							fmt.Sprintf("PTIME/%v", res.Method), d)
+						d, res := e.timeSolve(q, h)
+						e.emit(metric(fmt.Sprintf("%s n=%d", cellName, n),
+							fmt.Sprintf("PTIME/%v", res.Method), d))
 					}
 				} else {
 					// Exponential baseline on small instances only.
@@ -177,7 +351,7 @@ func runTables() {
 						if err != nil {
 							val = "#P-hard/skipped"
 						}
-						emit(spec.id, fmt.Sprintf("%s k=%d coins", cellName, k), val, d)
+						e.emit(metric(fmt.Sprintf("%s k=%d coins", cellName, k), val, d))
 					}
 				}
 			}
@@ -185,203 +359,195 @@ func runTables() {
 	}
 }
 
-func runFigures() {
-	if section("E4", "Figure 1 + Example 2.2 (Pr = 0.574)") {
-		q := graph.New(4)
-		q.MustAddEdge(0, 1, "R")
-		q.MustAddEdge(1, 2, "S")
-		q.MustAddEdge(3, 2, "S")
-		g := graph.New(4)
-		g.MustAddEdge(0, 1, "R")
-		g.MustAddEdge(0, 2, "R")
-		g.MustAddEdge(1, 2, "R")
-		g.MustAddEdge(1, 3, "R")
-		g.MustAddEdge(0, 3, "R")
-		g.MustAddEdge(2, 3, "S")
-		h := graph.NewProbGraph(g)
-		h.MustSetEdgeProb(0, 2, graph.Rat("0.1"))
-		h.MustSetEdgeProb(1, 2, graph.Rat("0.8"))
-		h.MustSetEdgeProb(1, 3, graph.Rat("0.1"))
-		h.MustSetEdgeProb(0, 3, graph.Rat("0.05"))
-		h.MustSetEdgeProb(2, 3, graph.Rat("0.7"))
-		start := time.Now()
-		p := core.BruteForce(q, h)
-		emit("E4", "example 2.2", "Pr="+p.RatString(), time.Since(start))
-	}
-	if section("E5", "Figure 2 (class inclusion lattice)") {
-		r := rand.New(rand.NewSource(*seed))
-		start := time.Now()
-		violations := 0
-		for trial := 0; trial < 2000; trial++ {
-			g := gen.RandInClass(r, graph.AllClasses[r.Intn(len(graph.AllClasses))], 1+r.Intn(8), []graph.Label{"R", "S"})
-			for _, a := range graph.AllClasses {
-				for _, b := range graph.AllClasses {
-					if graph.ClassIncluded(a, b) && g.InClass(a) && !g.InClass(b) {
-						violations++
-					}
+func runExample22(e *E) {
+	q := graph.New(4)
+	q.MustAddEdge(0, 1, "R")
+	q.MustAddEdge(1, 2, "S")
+	q.MustAddEdge(3, 2, "S")
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, "R")
+	g.MustAddEdge(0, 2, "R")
+	g.MustAddEdge(1, 2, "R")
+	g.MustAddEdge(1, 3, "R")
+	g.MustAddEdge(0, 3, "R")
+	g.MustAddEdge(2, 3, "S")
+	h := graph.NewProbGraph(g)
+	h.MustSetEdgeProb(0, 2, graph.Rat("0.1"))
+	h.MustSetEdgeProb(1, 2, graph.Rat("0.8"))
+	h.MustSetEdgeProb(1, 3, graph.Rat("0.1"))
+	h.MustSetEdgeProb(0, 3, graph.Rat("0.05"))
+	h.MustSetEdgeProb(2, 3, graph.Rat("0.7"))
+	start := time.Now()
+	p := core.BruteForce(q, h)
+	e.emit(metric("example 2.2", "Pr="+p.RatString(), time.Since(start)))
+}
+
+func runLattice(e *E) {
+	start := time.Now()
+	violations := 0
+	for trial := 0; trial < 2000; trial++ {
+		g := gen.RandInClass(e.r, graph.AllClasses[e.r.Intn(len(graph.AllClasses))], 1+e.r.Intn(8), []graph.Label{"R", "S"})
+		for _, a := range graph.AllClasses {
+			for _, b := range graph.AllClasses {
+				if graph.ClassIncluded(a, b) && g.InClass(a) && !g.InClass(b) {
+					violations++
 				}
 			}
 		}
-		emit("E5", "2000 random graphs × 100 pairs", fmt.Sprintf("violations=%d", violations), time.Since(start))
 	}
-	if section("E6", "Figures 3/4 (class examples)") {
-		start := time.Now()
-		fig3top := graph.Path1WP("R", "S", "S", "T")
-		fig3bot := graph.Path2WP(graph.Fwd("R"), graph.Bwd("S"), graph.Fwd("S"), graph.Bwd("T"), graph.Fwd("R"))
-		ok := fig3top.Is1WP() && fig3bot.Is2WP() && !fig3bot.Is1WP()
-		emit("E6", "figure 3 shapes", fmt.Sprintf("recognized=%v", ok), time.Since(start))
-	}
-	if section("E7", "Figure 5 + Prop 3.3 (#Bipartite-Edge-Cover reduction)") {
-		r := rand.New(rand.NewSource(*seed))
-		for m := 4; m <= 16; m += 4 {
-			bg := gen.RandBipartite(r, 3, 3, m)
-			red, err := reductions.EdgeCoverLabeled(bg)
-			if err != nil {
-				fatal(err)
-			}
-			want, err := bg.CountEdgeCovers()
-			if err != nil {
-				fatal(err)
-			}
-			start := time.Now()
-			p := core.BruteForce(red.Query, red.Instance)
-			got := red.CountFromProb(p)
-			d := time.Since(start)
-			emit("E7", fmt.Sprintf("|E|=%d", len(bg.Edges)),
-				fmt.Sprintf("#EC=%s match=%v", got, got.Cmp(want) == 0), d)
-		}
-	}
-	if section("E8", "Figure 6 (graded DAG levels)") {
-		r := rand.New(rand.NewSource(*seed))
-		start := time.Now()
-		graded, total := 0, 500
-		for trial := 0; trial < total; trial++ {
-			g := gen.RandGradedDAG(r, 10, 20, 4, nil)
-			if g.IsGradedDAG() {
-				graded++
-			}
-		}
-		emit("E8", "500 constructed graded DAGs", fmt.Sprintf("graded=%d/%d", graded, total), time.Since(start))
-	}
-	if section("E9", "Figure 7 + Prop 4.1 (#PP2DNF labeled reduction)") {
-		runPP2DNF("E9", reductions.PP2DNFLabeled)
-	}
-	if section("E10", "Figure 8 + Prop 5.6 (#PP2DNF unlabeled reduction)") {
-		runPP2DNF("E10", reductions.PP2DNFUnlabeled)
+	e.emit(metric("2000 random graphs × 100 pairs", fmt.Sprintf("violations=%d", violations), time.Since(start)))
+	if violations != 0 {
+		e.fatalf("lattice inclusion violated %d times", violations)
 	}
 }
 
-func runPP2DNF(id string, build func(*counting.PP2DNF) (*reductions.Reduction, error)) {
-	r := rand.New(rand.NewSource(*seed))
-	for n := 2; n <= 5; n++ {
-		f := gen.RandPP2DNF(r, n, n, n+2)
-		red, err := build(f)
-		if err != nil {
-			fatal(err)
-		}
-		want, err := f.CountSatisfying()
-		if err != nil {
-			fatal(err)
-		}
+func runShapes(e *E) {
+	start := time.Now()
+	fig3top := graph.Path1WP("R", "S", "S", "T")
+	fig3bot := graph.Path2WP(graph.Fwd("R"), graph.Bwd("S"), graph.Fwd("S"), graph.Bwd("T"), graph.Fwd("R"))
+	ok := fig3top.Is1WP() && fig3bot.Is2WP() && !fig3bot.Is1WP()
+	e.emit(metric("figure 3 shapes", fmt.Sprintf("recognized=%v", ok), time.Since(start)))
+	if !ok {
+		e.fatalf("figure 3 shapes misclassified")
+	}
+}
+
+func runEdgeCover(e *E) {
+	for m := 4; m <= 16; m += 4 {
+		bg := gen.RandBipartite(e.r, 3, 3, m)
+		red, err := reductions.EdgeCoverLabeled(bg)
+		e.check(err)
+		want, err := bg.CountEdgeCovers()
+		e.check(err)
 		start := time.Now()
 		p := core.BruteForce(red.Query, red.Instance)
 		got := red.CountFromProb(p)
 		d := time.Since(start)
-		emit(id, fmt.Sprintf("n1=n2=%d m=%d", n, len(f.Clauses)),
-			fmt.Sprintf("#SAT=%s match=%v", got, got.Cmp(want) == 0), d)
+		if got.Cmp(want) != 0 {
+			e.fatalf("edge-cover count mismatch at |E|=%d: got %s want %s", len(bg.Edges), got, want)
+		}
+		e.emit(metric(fmt.Sprintf("|E|=%d", len(bg.Edges)),
+			fmt.Sprintf("#EC=%s match=true", got), d))
 	}
 }
 
-func runPropositions() {
-	if section("E11", "Prop 3.4 (label simulation by two-wayness)") {
-		r := rand.New(rand.NewSource(*seed))
-		for m := 2; m <= 4; m++ {
-			bg := gen.RandBipartite(r, 2, 2, m)
-			red, err := reductions.EdgeCoverUnlabeled(bg)
-			if err != nil {
-				fatal(err)
-			}
-			want, _ := bg.CountEdgeCovers()
-			start := time.Now()
-			p := core.BruteForce(red.Query, red.Instance)
-			got := red.CountFromProb(p)
-			emit("E11", fmt.Sprintf("|E|=%d unlabeled", len(bg.Edges)),
-				fmt.Sprintf("#EC=%s match=%v", got, got.Cmp(want) == 0), time.Since(start))
+func runGradedDAGs(e *E) {
+	start := time.Now()
+	graded, total := 0, 500
+	for trial := 0; trial < total; trial++ {
+		g := gen.RandGradedDAG(e.r, 10, 20, 4, nil)
+		if g.IsGradedDAG() {
+			graded++
 		}
 	}
-	scaling := []struct {
-		id, name string
-		qc, ic   graph.Class
-		labeled  bool
-		qSize    int
-	}{
-		{"E12", "Prop 3.6 (arbitrary queries on ⊔DWT)", graph.ClassAll, graph.ClassUDWT, false, 8},
-		{"E13", "Prop 4.10 (labeled 1WP on DWT)", graph.Class1WP, graph.ClassDWT, true, 5},
-		{"E14", "Prop 4.11 (connected on 2WP)", graph.ClassConnected, graph.Class2WP, true, 5},
-		{"E15", "Prop 5.4 (unlabeled 1WP on PT)", graph.Class1WP, graph.ClassPT, false, 6},
-		{"E16", "Prop 5.5 (DWT queries on PT)", graph.ClassDWT, graph.ClassPT, false, 8},
-		{"E17", "Lemma 3.7 (disconnected instances)", graph.Class1WP, graph.ClassUPT, false, 4},
+	e.emit(metric("500 constructed graded DAGs", fmt.Sprintf("graded=%d/%d", graded, total), time.Since(start)))
+	if graded != total {
+		e.fatalf("%d/%d constructed DAGs are not graded", total-graded, total)
 	}
-	for _, s := range scaling {
-		if !section(s.id, s.name+" — runtime scaling") {
-			continue
+}
+
+func runPP2DNF(e *E, build func(*counting.PP2DNF) (*reductions.Reduction, error)) {
+	for n := 2; n <= 5; n++ {
+		f := gen.RandPP2DNF(e.r, n, n, n+2)
+		red, err := build(f)
+		e.check(err)
+		want, err := f.CountSatisfying()
+		e.check(err)
+		start := time.Now()
+		p := core.BruteForce(red.Query, red.Instance)
+		got := red.CountFromProb(p)
+		d := time.Since(start)
+		if got.Cmp(want) != 0 {
+			e.fatalf("#PP2DNF mismatch at n=%d: got %s want %s", n, got, want)
 		}
+		e.emit(metric(fmt.Sprintf("n1=n2=%d m=%d", n, len(f.Clauses)),
+			fmt.Sprintf("#SAT=%s match=true", got), d))
+	}
+}
+
+func runLabelSimulation(e *E) {
+	for m := 2; m <= 4; m++ {
+		bg := gen.RandBipartite(e.r, 2, 2, m)
+		red, err := reductions.EdgeCoverUnlabeled(bg)
+		e.check(err)
+		want, _ := bg.CountEdgeCovers()
+		start := time.Now()
+		p := core.BruteForce(red.Query, red.Instance)
+		got := red.CountFromProb(p)
+		if got.Cmp(want) != 0 {
+			e.fatalf("unlabeled edge-cover mismatch at |E|=%d", len(bg.Edges))
+		}
+		e.emit(metric(fmt.Sprintf("|E|=%d unlabeled", len(bg.Edges)),
+			fmt.Sprintf("#EC=%s match=true", got), time.Since(start)))
+	}
+}
+
+// E12–E17: runtime scaling of the tractable propositions.
+type scalingSpec struct {
+	id, name string
+	qc, ic   graph.Class
+	labeled  bool
+	qSize    int
+}
+
+var scalingSpecs = []scalingSpec{
+	{"E12", "Prop 3.6 (arbitrary queries on ⊔DWT)", graph.ClassAll, graph.ClassUDWT, false, 8},
+	{"E13", "Prop 4.10 (labeled 1WP on DWT)", graph.Class1WP, graph.ClassDWT, true, 5},
+	{"E14", "Prop 4.11 (connected on 2WP)", graph.ClassConnected, graph.Class2WP, true, 5},
+	{"E15", "Prop 5.4 (unlabeled 1WP on PT)", graph.Class1WP, graph.ClassPT, false, 6},
+	{"E16", "Prop 5.5 (DWT queries on PT)", graph.ClassDWT, graph.ClassPT, false, 8},
+	{"E17", "Lemma 3.7 (disconnected instances)", graph.Class1WP, graph.ClassUPT, false, 4},
+}
+
+func scalingExp(s scalingSpec) func(*E) {
+	return func(e *E) {
 		labels := []graph.Label{graph.Unlabeled}
 		if s.labeled {
 			labels = []graph.Label{"R", "S"}
 		}
-		r := rand.New(rand.NewSource(*seed))
 		var prev time.Duration
 		for _, n := range sizes() {
-			q := gen.RandInClass(r, s.qc, s.qSize, labels)
-			h := gen.RandProb(r, gen.RandInClass(r, s.ic, n, labels), 0.5)
-			d, res := timeSolve(q, h)
-			ratio := "-"
+			q := gen.RandInClass(e.r, s.qc, s.qSize, labels)
+			h := gen.RandProb(e.r, gen.RandInClass(e.r, s.ic, n, labels), 0.5)
+			d, res := e.timeSolve(q, h)
+			m := metric(fmt.Sprintf("n=%d", n), fmt.Sprintf("%v", res.Method), d)
 			if prev > 0 {
-				ratio = fmt.Sprintf("×%.2f", float64(d)/float64(prev))
+				m.Speedup = float64(d) / float64(prev) // step-growth ratio (volatile)
 			}
 			prev = d
-			emit(s.id, fmt.Sprintf("n=%d", n), fmt.Sprintf("%v %s", res.Method, ratio), d)
+			e.emit(m)
 		}
 	}
 }
 
-func runAblations() {
-	if !section("E18", "Ablations (d-DNNF vs direct DP; baselines)") {
-		return
-	}
-	r := rand.New(rand.NewSource(*seed))
+func runAblations(e *E) {
 	// Brute force vs lineage+Shannon on a sparse-match instance.
-	q := gen.Rand1WP(r, 4, []graph.Label{"R", "S"})
-	h := gen.RandProb(r, gen.RandDWT(r, 18, []graph.Label{"R", "S"}), 0)
+	q := gen.Rand1WP(e.r, 4, []graph.Label{"R", "S"})
+	h := gen.RandProb(e.r, gen.RandDWT(e.r, 18, []graph.Label{"R", "S"}), 0)
 	start := time.Now()
 	pb, err := core.BruteForceLimit(q, h, 0)
-	if err != nil {
-		fatal(err)
-	}
+	e.check(err)
 	dBrute := time.Since(start)
 	start = time.Now()
 	pl, err := core.LineageShannon(q, h, 0)
-	if err != nil {
-		fatal(err)
-	}
+	e.check(err)
 	dLin := time.Since(start)
-	emit("E18", "brute vs lineage (18 coins)",
-		fmt.Sprintf("agree=%v speedup=×%.1f", pb.Cmp(pl) == 0, float64(dBrute)/float64(dLin)), dBrute+dLin)
-	// Order the report deterministically for the summary.
-	sort.SliceStable(results, func(i, j int) bool { return results[i].experiment < results[j].experiment })
+	if pb.Cmp(pl) != 0 {
+		e.fatalf("brute force and lineage disagree: %s vs %s", pb.RatString(), pl.RatString())
+	}
+	m := metric("brute vs lineage (18 coins)", "agree=true", dBrute+dLin)
+	m.Speedup = float64(dBrute) / float64(dLin)
+	e.emit(m)
 }
 
 // runEngineBatch covers E19: a mixed workload of tractable jobs (with
 // duplicates, shuffled) solved sequentially and then through the engine
 // at increasing worker counts. Every engine result is checked
-// byte-identical to the sequential one, and the reported value includes
-// the cache hit count and the wall-clock speedup.
-func runEngineBatch() {
-	if !section("E19", "Engine batch throughput (workers, dedup, memoization)") {
-		return
-	}
-	r := rand.New(rand.NewSource(*seed))
+// byte-identical to the sequential one. The dedup counter (cache hits +
+// coalesced jobs) is stable under the seed; the hit/coalesce split is
+// scheduling-dependent and stays out of the JSON record.
+func runEngineBatch(e *E) {
+	r := e.r
 	rs := []graph.Label{"R", "S"}
 	un := []graph.Label{graph.Unlabeled}
 	n := *maxN / 16
@@ -423,13 +589,11 @@ func runEngineBatch() {
 	start := time.Now()
 	for i, j := range jobs {
 		res, err := core.Solve(j.Query, j.Instance, nil)
-		if err != nil {
-			fatal(err)
-		}
+		e.check(err)
 		seq[i] = res.Prob
 	}
 	dSeq := time.Since(start)
-	emit("E19", fmt.Sprintf("sequential jobs=%d", len(jobs)), "baseline ×1.00", dSeq)
+	e.emit(metric(fmt.Sprintf("sequential jobs=%d", len(jobs)), "baseline", dSeq))
 
 	sweep := []int{1, 2, 4, runtime.NumCPU()}
 	if *workers > 0 {
@@ -441,26 +605,31 @@ func runEngineBatch() {
 			continue // NumCPU may coincide with a fixed sweep entry
 		}
 		seen[w] = true
-		e := engine.New(engine.Options{Workers: w})
+		eng := engine.New(engine.Options{Workers: w})
 		start = time.Now()
-		out := e.SolveBatch(jobs)
+		out := eng.SolveBatch(jobs)
 		d := time.Since(start)
-		st := e.Stats()
-		if err := e.Close(); err != nil {
-			fatal(err)
-		}
-		match := true
+		st := eng.Stats()
+		e.check(eng.Close())
 		for i := range jobs {
-			if out[i].Err != nil {
-				fatal(out[i].Err)
-			}
+			e.check(out[i].Err)
 			if out[i].Result.Prob.Cmp(seq[i]) != 0 {
-				match = false
+				e.fatalf("workers=%d: engine result %d differs from sequential", w, i)
 			}
 		}
-		emit("E19", fmt.Sprintf("workers=%d jobs=%d", w, len(jobs)),
-			fmt.Sprintf("match=%v hits=%d ×%.2f", match, st.CacheHits, float64(dSeq)/float64(d)), d)
+		m := metric(fmt.Sprintf("workers=%d jobs=%d", w, len(jobs)), "match=true", d)
+		m.Counters = map[string]int64{"dedup": int64(st.CacheHits + st.Coalesced)}
+		m.Speedup = float64(dSeq) / float64(d)
+		e.emit(m)
 	}
+}
+
+// reweightWorkloads builds the fixed-structure workloads shared by E20
+// and E21.
+type reweightWorkload struct {
+	name string
+	q    *graph.Graph
+	h    *graph.ProbGraph
 }
 
 // runPlanReweight covers E20: the compile/evaluate amortization of the
@@ -470,22 +639,15 @@ func runEngineBatch() {
 // assignment; and (d) the same reweight stream through the engine,
 // where every job after the first hits the structure-keyed plan cache.
 // Every plan evaluation is checked byte-identical to its cold solve.
-func runPlanReweight() {
-	if !section("E20", "Plan compile/evaluate amortization (structure-keyed reweighting)") {
-		return
-	}
-	r := rand.New(rand.NewSource(*seed))
+func runPlanReweight(e *E) {
+	r := e.r
 	rs := []graph.Label{"R", "S"}
 	un := []graph.Label{graph.Unlabeled}
 	n := *maxN / 4
 	if n < 64 {
 		n = 64
 	}
-	workloads := []struct {
-		name string
-		q    *graph.Graph
-		h    *graph.ProbGraph
-	}{
+	workloads := []reweightWorkload{
 		{"2WP (Prop 4.11)", gen.RandConnected(r, 5, 1, rs),
 			gen.RandProb(r, gen.RandInClass(r, graph.ClassU2WP, n, rs), 0.5)},
 		{"DWT (Prop 4.10)", gen.Rand1WP(r, 7, rs),
@@ -509,9 +671,7 @@ func runPlanReweight() {
 		for i, probs := range assignments {
 			h2 := graph.NewProbGraph(wl.h.G)
 			for ei, p := range probs {
-				if err := h2.SetProb(ei, p); err != nil {
-					fatal(err)
-				}
+				e.check(h2.SetProb(ei, p))
 			}
 			variants[i] = h2
 		}
@@ -521,9 +681,7 @@ func runPlanReweight() {
 		start := time.Now()
 		for i, h2 := range variants {
 			res, err := core.Solve(wl.q, h2, &core.Options{DisableFallback: true})
-			if err != nil {
-				fatal(err)
-			}
+			e.check(err)
 			cold[i] = res.Prob
 		}
 		dCold := time.Since(start)
@@ -531,21 +689,16 @@ func runPlanReweight() {
 		// (b) Compile once.
 		start = time.Now()
 		cp, err := core.Compile(wl.q, wl.h, &core.Options{DisableFallback: true})
-		if err != nil {
-			fatal(err)
-		}
+		e.check(err)
 		dCompile := time.Since(start)
 
 		// (c) Evaluate per assignment, checking exactness.
-		match := true
 		start = time.Now()
 		for i, probs := range assignments {
 			res, err := cp.Evaluate(probs)
-			if err != nil {
-				fatal(err)
-			}
+			e.check(err)
 			if res.Prob.Cmp(cold[i]) != 0 {
-				match = false
+				e.fatalf("%s: plan evaluation %d differs from cold solve", wl.name, i)
 			}
 		}
 		dEval := time.Since(start)
@@ -554,18 +707,16 @@ func runPlanReweight() {
 		// both sides pay the serving overhead (canonical hashing, result
 		// cache), so the ratio isolates what the plan cache saves.
 		runEngine := func(planCacheSize int) (time.Duration, int) {
-			e := engine.New(engine.Options{Workers: 1, PlanCacheSize: planCacheSize})
-			defer e.Close()
-			if res := e.Do(engine.Job{Query: wl.q, Instance: wl.h}); res.Err != nil {
-				fatal(res.Err)
+			eng := engine.New(engine.Options{Workers: 1, PlanCacheSize: planCacheSize})
+			defer eng.Close()
+			if res := eng.Do(engine.Job{Query: wl.q, Instance: wl.h}); res.Err != nil {
+				e.check(res.Err)
 			}
 			hits := 0
 			start := time.Now()
 			for _, h2 := range variants {
-				res := e.Do(engine.Job{Query: wl.q, Instance: h2})
-				if res.Err != nil {
-					fatal(res.Err)
-				}
+				res := eng.Do(engine.Job{Query: wl.q, Instance: h2})
+				e.check(res.Err)
 				if res.PlanHit {
 					hits++
 				}
@@ -576,13 +727,16 @@ func runPlanReweight() {
 		dEngineHot, planHits := runEngine(0)
 
 		k := len(assignments)
-		emit("E20", fmt.Sprintf("%s n=%d compile", wl.name, n), "1 compilation", dCompile)
-		emit("E20", fmt.Sprintf("%s n=%d cold x%d", wl.name, n, k), "baseline ×1.00", dCold)
-		emit("E20", fmt.Sprintf("%s n=%d eval x%d", wl.name, n, k),
-			fmt.Sprintf("match=%v ×%.1f", match, float64(dCold)/float64(dEval)), dEval)
-		emit("E20", fmt.Sprintf("%s n=%d engine-nocache x%d", wl.name, n, k), "engine baseline", dEngineCold)
-		emit("E20", fmt.Sprintf("%s n=%d engine-plan x%d", wl.name, n, k),
-			fmt.Sprintf("plan_hits=%d/%d ×%.1f", planHits, k, float64(dEngineCold)/float64(dEngineHot)), dEngineHot)
+		e.emit(metric(fmt.Sprintf("%s n=%d compile", wl.name, n), "1 compilation", dCompile))
+		e.emit(metric(fmt.Sprintf("%s n=%d cold x%d", wl.name, n, k), "baseline", dCold))
+		mEval := metric(fmt.Sprintf("%s n=%d eval x%d", wl.name, n, k), "match=true", dEval)
+		mEval.Speedup = float64(dCold) / float64(dEval)
+		e.emit(mEval)
+		e.emit(metric(fmt.Sprintf("%s n=%d engine-nocache x%d", wl.name, n, k), "engine baseline", dEngineCold))
+		mHot := metric(fmt.Sprintf("%s n=%d engine-plan x%d", wl.name, n, k),
+			fmt.Sprintf("plan_hits=%d/%d", planHits, k), dEngineHot)
+		mHot.Speedup = float64(dEngineCold) / float64(dEngineHot)
+		e.emit(mHot)
 	}
 }
 
@@ -593,22 +747,15 @@ func runPlanReweight() {
 // warm-start serving: a cold engine pays one compilation per structure,
 // while a fresh engine restored from the first engine's plan snapshot
 // serves the entire stream as plan hits with zero compilations.
-func runPlanSnapshot() {
-	if !section("E21", "Evaluation IR (interpreter throughput, warm-start snapshots)") {
-		return
-	}
-	r := rand.New(rand.NewSource(*seed))
+func runPlanSnapshot(e *E) {
+	r := e.r
 	rs := []graph.Label{"R", "S"}
 	un := []graph.Label{graph.Unlabeled}
 	n := *maxN / 4
 	if n < 64 {
 		n = 64
 	}
-	workloads := []struct {
-		name string
-		q    *graph.Graph
-		h    *graph.ProbGraph
-	}{
+	workloads := []reweightWorkload{
 		{"2WP (Prop 4.11)", gen.RandConnected(r, 5, 1, rs),
 			gen.RandProb(r, gen.RandInClass(r, graph.ClassU2WP, n, rs), 0.5)},
 		{"DWT (Prop 4.10)", gen.Rand1WP(r, 7, rs),
@@ -622,9 +769,7 @@ func runPlanSnapshot() {
 		for i := range variants {
 			h2 := graph.NewProbGraph(wl.h.G)
 			for ei := 0; ei < wl.h.G.NumEdges(); ei++ {
-				if err := h2.SetProb(ei, big.NewRat(int64(r.Intn(17)), 16)); err != nil {
-					fatal(err)
-				}
+				e.check(h2.SetProb(ei, big.NewRat(int64(r.Intn(17)), 16)))
 			}
 			variants[i] = h2
 		}
@@ -632,18 +777,13 @@ func runPlanSnapshot() {
 
 		// Part one: interpreter vs tree evaluation on one compiled plan.
 		cp, err := core.Compile(wl.q, wl.h, opts)
-		if err != nil {
-			fatal(err)
-		}
+		e.check(err)
 		prog := cp.Program()
-		match := true
 		start := time.Now()
 		treeRes := make([]*big.Rat, k)
 		for i, h2 := range variants {
 			res, err := cp.EvaluateTree(h2.Probs())
-			if err != nil {
-				fatal(err)
-			}
+			e.check(err)
 			treeRes[i] = res.Prob
 		}
 		dTree := time.Since(start)
@@ -652,28 +792,25 @@ func runPlanSnapshot() {
 		start = time.Now()
 		for i, h2 := range variants {
 			pr, err := prog.Exec(h2.Probs())
-			if err != nil {
-				fatal(err)
-			}
+			e.check(err)
 			if pr.Cmp(treeRes[i]) != 0 {
-				match = false
+				e.fatalf("%s: interpreter diverged from tree evaluation", wl.name)
 			}
 		}
 		dExec := time.Since(start)
-		emit("E21", fmt.Sprintf("%s n=%d tree x%d", wl.name, n, k),
-			fmt.Sprintf("%d ops baseline", prog.NumOps()), dTree)
-		emit("E21", fmt.Sprintf("%s n=%d exec x%d", wl.name, n, k),
-			fmt.Sprintf("match=%v ×%.2f", match, float64(dTree)/float64(dExec)), dExec)
+		e.emit(metric(fmt.Sprintf("%s n=%d tree x%d", wl.name, n, k),
+			fmt.Sprintf("%d ops baseline", prog.NumOps()), dTree))
+		mExec := metric(fmt.Sprintf("%s n=%d exec x%d", wl.name, n, k), "match=true", dExec)
+		mExec.Speedup = float64(dTree) / float64(dExec)
+		e.emit(mExec)
 
 		// Part two: cold serving vs warm-start from a snapshot.
-		serve := func(e *engine.Engine) (time.Duration, int) {
+		serve := func(eng *engine.Engine) (time.Duration, int) {
 			hits := 0
 			start := time.Now()
 			for _, h2 := range variants {
-				res := e.Do(engine.Job{Query: wl.q, Instance: h2, Opts: opts})
-				if res.Err != nil {
-					fatal(res.Err)
-				}
+				res := eng.Do(engine.Job{Query: wl.q, Instance: h2, Opts: opts})
+				e.check(res.Err)
 				if res.PlanHit {
 					hits++
 				}
@@ -684,30 +821,27 @@ func runPlanSnapshot() {
 		dCold, _ := serve(cold)
 		var snap bytes.Buffer
 		saved, err := cold.SavePlans(&snap)
-		if err != nil {
-			fatal(err)
-		}
-		if err := cold.Close(); err != nil {
-			fatal(err)
-		}
+		e.check(err)
+		e.check(cold.Close())
 		warm := engine.New(engine.Options{Workers: 1})
-		if _, err := warm.LoadPlans(bytes.NewReader(snap.Bytes())); err != nil {
-			fatal(err)
-		}
+		_, err = warm.LoadPlans(bytes.NewReader(snap.Bytes()))
+		e.check(err)
 		dWarm, warmHits := serve(warm)
 		st := warm.Stats()
-		if err := warm.Close(); err != nil {
-			fatal(err)
-		}
-		emit("E21", fmt.Sprintf("%s n=%d cold x%d", wl.name, n, k),
-			fmt.Sprintf("snapshot=%d plans/%dB", saved, snap.Len()), dCold)
-		emit("E21", fmt.Sprintf("%s n=%d warm x%d", wl.name, n, k),
-			fmt.Sprintf("plan_hits=%d/%d compiles=%d ×%.2f", warmHits, k, st.PlanCompiles, float64(dCold)/float64(dWarm)), dWarm)
+		e.check(warm.Close())
+		mCold := metric(fmt.Sprintf("%s n=%d cold x%d", wl.name, n, k),
+			fmt.Sprintf("snapshot=%d plans", saved), dCold)
+		mCold.Counters = map[string]int64{"snapshot_bytes": int64(snap.Len())}
+		e.emit(mCold)
+		mWarm := metric(fmt.Sprintf("%s n=%d warm x%d", wl.name, n, k),
+			fmt.Sprintf("plan_hits=%d/%d compiles=%d", warmHits, k, st.PlanCompiles), dWarm)
+		mWarm.Speedup = float64(dCold) / float64(dWarm)
+		e.emit(mWarm)
 		if st.PlanCompiles != 0 {
-			fatal(fmt.Errorf("E21: warm-started engine compiled %d plans, want 0", st.PlanCompiles))
+			e.fatalf("warm-started engine compiled %d plans, want 0", st.PlanCompiles)
 		}
 		if warmHits != k {
-			fatal(fmt.Errorf("E21: warm-started engine served %d/%d plan hits", warmHits, k))
+			e.fatalf("warm-started engine served %d/%d plan hits", warmHits, k)
 		}
 	}
 }
@@ -718,16 +852,13 @@ func runPlanSnapshot() {
 // (Program.Exec) against the certified float64 interval kernel
 // (Program.ExecFloat) — asserting for every evaluation that the exact
 // answer lies inside the kernel's reported enclosure (the containment
-// guarantee is a hard invariant, so its violation aborts the harness).
-// Part two sweeps the auto-mode tolerance and reports the fallback
-// rate: how many evaluations the engine would answer from the float
-// path at each tolerance, checking that every fallback answer is
+// guarantee is a hard invariant, so its violation fails the
+// experiment). Part two sweeps the auto-mode tolerance and reports the
+// fallback rate: how many evaluations the engine would answer from the
+// float path at each tolerance, checking that every fallback answer is
 // byte-identical to the exact one.
-func runFloatPath() {
-	if !section("E22", "Dual-precision: float64 interval kernel vs exact interpreter") {
-		return
-	}
-	r := rand.New(rand.NewSource(*seed))
+func runFloatPath(e *E) {
+	r := e.r
 	one := []graph.Label{"R"}
 	un := []graph.Label{graph.Unlabeled}
 	n := *maxN / 4
@@ -738,11 +869,7 @@ func runFloatPath() {
 	// instance and the lowered programs are genuinely linear-size (a
 	// sparse-matching query prunes to a handful of ops, which would
 	// benchmark per-call overhead instead of the substrates).
-	workloads := []struct {
-		name string
-		q    *graph.Graph
-		h    *graph.ProbGraph
-	}{
+	workloads := []reweightWorkload{
 		{"2WP (Prop 4.11)", graph.Path2WP(graph.Fwd("R"), graph.Bwd("R"), graph.Fwd("R"), graph.Bwd("R"), graph.Fwd("R")),
 			gen.RandProb(r, gen.RandInClass(r, graph.Class2WP, n, one), 0.5)},
 		{"DWT (Prop 3.6)", graph.UnlabeledPath(3),
@@ -764,9 +891,7 @@ func runFloatPath() {
 		}
 		k := len(assignments)
 		cp, err := core.Compile(wl.q, wl.h, opts)
-		if err != nil {
-			fatal(err)
-		}
+		e.check(err)
 		prog := cp.Program()
 
 		// Part one: substrate throughput, with containment checked on
@@ -774,17 +899,15 @@ func runFloatPath() {
 		exact := make([]*big.Rat, k)
 		start := time.Now()
 		for i, probs := range assignments {
-			if exact[i], err = prog.Exec(probs); err != nil {
-				fatal(err)
-			}
+			exact[i], err = prog.Exec(probs)
+			e.check(err)
 		}
 		dExact := time.Since(start)
 		enclosures := make([]plan.Enclosure, k)
 		start = time.Now()
 		for i, probs := range assignments {
-			if enclosures[i], err = prog.ExecFloat(probs); err != nil {
-				fatal(err)
-			}
+			enclosures[i], err = prog.ExecFloat(probs)
+			e.check(err)
 		}
 		dFloat := time.Since(start)
 		// Containment is verified outside the timed loop (the check
@@ -792,17 +915,19 @@ func runFloatPath() {
 		var maxWidth float64
 		for i, iv := range enclosures {
 			if !iv.Contains(exact[i]) {
-				fatal(fmt.Errorf("E22: %s: exact answer %s outside certified enclosure [%g, %g]",
-					wl.name, exact[i].RatString(), iv.Lo, iv.Hi))
+				e.fatalf("%s: exact answer %s outside certified enclosure [%g, %g]",
+					wl.name, exact[i].RatString(), iv.Lo, iv.Hi)
 			}
 			if iv.Width() > maxWidth {
 				maxWidth = iv.Width()
 			}
 		}
-		emit("E22", fmt.Sprintf("%s n=%d exact x%d", wl.name, n, k),
-			fmt.Sprintf("%d ops baseline", prog.NumOps()), dExact)
-		emit("E22", fmt.Sprintf("%s n=%d float x%d", wl.name, n, k),
-			fmt.Sprintf("contained=%d/%d width≤%.1e ×%.1f", k, k, maxWidth, float64(dExact)/float64(dFloat)), dFloat)
+		e.emit(metric(fmt.Sprintf("%s n=%d exact x%d", wl.name, n, k),
+			fmt.Sprintf("%d ops baseline", prog.NumOps()), dExact))
+		mFloat := metric(fmt.Sprintf("%s n=%d float x%d", wl.name, n, k),
+			fmt.Sprintf("contained=%d/%d width≤%.1e", k, k, maxWidth), dFloat)
+		mFloat.Speedup = float64(dExact) / float64(dFloat)
+		e.emit(mFloat)
 
 		// Part two: auto-mode fallback rate across tolerances. A
 		// tolerance below the kernel's actual width forces exact
@@ -813,26 +938,160 @@ func runFloatPath() {
 			start = time.Now()
 			for i, probs := range assignments {
 				res, err := cp.EvaluateOpts(probs, aopts)
-				if err != nil {
-					fatal(err)
-				}
+				e.check(err)
 				if res.Precision == core.PrecisionFast {
 					fast++
 				} else {
 					fallbacks++
 					if res.Prob.Cmp(exact[i]) != 0 {
-						fatal(fmt.Errorf("E22: %s: auto fallback diverged from exact", wl.name))
+						e.fatalf("%s: auto fallback diverged from exact", wl.name)
 					}
 				}
 			}
 			d := time.Since(start)
-			emit("E22", fmt.Sprintf("%s n=%d auto tol=%.0e", wl.name, n, tol),
-				fmt.Sprintf("fast=%d fallback=%d (%.0f%%)", fast, fallbacks, 100*float64(fallbacks)/float64(k)), d)
+			e.emit(metric(fmt.Sprintf("%s n=%d auto tol=%.0e", wl.name, n, tol),
+				fmt.Sprintf("fast=%d fallback=%d (%.0f%%)", fast, fallbacks, 100*float64(fallbacks)/float64(k)), d))
 		}
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "phombench:", err)
-	os.Exit(1)
+// runWorkloadFamilies covers E23: the phomgen random-graph families
+// (Erdős–Rényi, Barabási–Albert, power-law) as instances across the
+// dispatch lattice. For each family it asserts (1) class membership of
+// the generated instance, (2) a lossless graphio wire round-trip,
+// (3) the dispatch-lattice verdict census over a graded query ladder
+// plus a reachability UCQ — these random models land in #P-hard cells,
+// which is exactly why they matter: they exercise the fallback path —
+// and (4) needle-query throughput through the public request API
+// (phom.SolveContext) with a match limit: walk-derived 1WP queries over
+// fresh probability assignments, every outcome accounted as ok or
+// limit.
+func runWorkloadFamilies(e *E) {
+	r := e.r
+	rs := []graph.Label{"R", "S"}
+	// E23 is a coverage-and-accounting experiment, not a scaling sweep:
+	// the instance size is pinned (modulo very small -maxn overrides) so
+	// the needle phase keeps a mix of completed and limit-bounded
+	// outcomes on every family. On hub-heavy BA instances the match
+	// count grows sharply with n, and much past ~48 vertices every
+	// needle exceeds any affordable match limit, which would make the
+	// ok/limit split degenerate.
+	n := 48
+	if *maxN/64 < n {
+		n = *maxN / 64
+	}
+	if n < 16 {
+		n = 16
+	}
+	const matchLimit = 48
+	for _, f := range []gen.Family{gen.FamER, gen.FamBA, gen.FamPLaw} {
+		// (1) Generation + class membership.
+		start := time.Now()
+		g := gen.RandFamily(r, f, n, rs)
+		if !g.InClass(f.Class()) {
+			e.fatalf("%v instance left its claimed class %v", f, f.Class())
+		}
+		h := gen.RandProb(r, g, 0.5)
+		dGen := time.Since(start)
+		mGen := metric(fmt.Sprintf("%s n=%d membership", f, n),
+			fmt.Sprintf("class=%v", f.Class()), dGen)
+		mGen.Counters = map[string]int64{
+			"vertices":  int64(g.NumVertices()),
+			"edges":     int64(g.NumEdges()),
+			"uncertain": int64(len(h.UncertainEdges())),
+		}
+		e.emit(mGen)
+
+		// (2) graphio wire round-trip.
+		start = time.Now()
+		var buf bytes.Buffer
+		e.check(graphio.WriteProbGraph(&buf, h))
+		wire := buf.Len()
+		parsed, err := graphio.ParseProbGraph(&buf)
+		e.check(err)
+		dRT := time.Since(start)
+		if parsed.G.NumVertices() != g.NumVertices() || parsed.G.NumEdges() != g.NumEdges() {
+			e.fatalf("%v round-trip changed the graph", f)
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			if parsed.Prob(i).Cmp(h.Prob(i)) != 0 {
+				e.fatalf("%v round-trip changed probability of edge %d", f, i)
+			}
+		}
+		mRT := metric(fmt.Sprintf("%s n=%d graphio round-trip", f, n), "match=true", dRT)
+		mRT.Counters = map[string]int64{"wire_bytes": int64(wire)}
+		e.emit(mRT)
+
+		// (3) Verdict census: where does this family land in Tables 1–3
+		// for a graded query ladder + reachability UCQ? Random models are
+		// class-All/Connected instances, so most cells are #P-hard — the
+		// census records the lattice's answer rather than assuming it.
+		start = time.Now()
+		var queries []*graph.Graph
+		for _, qc := range []graph.Class{graph.Class1WP, graph.Class2WP, graph.ClassDWT, graph.ClassPT} {
+			queries = append(queries, gen.QueryLadder(r, qc, 3, 5, rs)...)
+		}
+		queries = append(queries, gen.ReachabilityUCQ(3, "R")...)
+		var tractable, hard int64
+		for _, q := range queries {
+			_, _, _, v := core.PredictInput(q, h)
+			if v.Tractable {
+				tractable++
+			} else {
+				hard++
+			}
+		}
+		dCensus := time.Since(start)
+		mCensus := metric(fmt.Sprintf("%s n=%d verdict census", f, n),
+			fmt.Sprintf("queries=%d", len(queries)), dCensus)
+		mCensus.Counters = map[string]int64{"tractable": tractable, "hard": hard}
+		e.emit(mCensus)
+
+		// (4) Needle throughput through the public request API: the hard
+		// cells are served by the lineage fallback, kept cheap by walk
+		// queries (guaranteed matches) under a match limit. The brute
+		// force limit is lowered so world enumeration only runs when it
+		// is genuinely cheap (≤ 2^8 worlds) — at the default limit these
+		// instances sit just under it and would enumerate 2^20 worlds.
+		// Every outcome must be accounted ok or limit; anything else
+		// fails.
+		needles := make([]*graph.Graph, 0, 8)
+		for len(needles) < 8 {
+			q := gen.RandWalkQuery(r, g, 1+len(needles)%3)
+			if q == nil {
+				break
+			}
+			needles = append(needles, q)
+		}
+		if len(needles) == 0 {
+			e.fatalf("%v instance has no edges to derive needle queries from", f)
+		}
+		var ok, limit int64
+		ctx := context.Background()
+		start = time.Now()
+		for i := 0; i < *reweights; i++ {
+			h2 := gen.RandProb(r, g, 0.5)
+			req := phom.NewRequest(needles[i%len(needles)], h2,
+				phom.WithMatchLimit(matchLimit), phom.WithBruteForceLimit(8))
+			_, err := phom.SolveContext(ctx, req)
+			switch {
+			case err == nil:
+				ok++
+			case phomerr.CodeOf(err) == phomerr.CodeLimit:
+				limit++
+			default:
+				e.fatalf("%v needle %d: unaccounted outcome: %v", f, i, err)
+			}
+		}
+		dNeedle := time.Since(start)
+		if ok == 0 {
+			e.fatalf("%v: no needle query completed under match limit %d", f, matchLimit)
+		}
+		mNeedle := metric(fmt.Sprintf("%s n=%d needles x%d", f, n, *reweights), "accounted=true", dNeedle)
+		mNeedle.Counters = map[string]int64{"ok": ok, "limit": limit}
+		if s := dNeedle.Seconds(); s > 0 {
+			mNeedle.OpsPerSec = float64(*reweights) / s
+		}
+		e.emit(mNeedle)
+	}
 }

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"phom/internal/gen"
+	"phom/internal/replay"
+)
+
+// TestReplayMixedWorkload drives the phomgen load-replay engine against
+// a real phomserve handler over every traffic kind and asserts the two
+// accounting halves agree: every response status is inside the typed
+// taxonomy, every streamed NDJSON batch line is accounted for, and the
+// server's own per-status counters sum to the number of requests the
+// replay fired.
+func TestReplayMixedWorkload(t *testing.T) {
+	ts := newTestServer(t)
+	rep, err := replay.Run(context.Background(), replay.Options{
+		BaseURL:     ts.URL,
+		Requests:    60,
+		Concurrency: 4,
+		Seed:        7,
+		Mix:         replay.Mix{Solve: 4, Reweight: 8, Batch: 2, Stream: 2, Bad: 1, Hard: 1},
+		Family:      gen.FamBA,
+		N:           40,
+		BatchSize:   5,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 60 {
+		t.Fatalf("fired %d requests, want 60", rep.Requests)
+	}
+	if rep.Unaccounted() != 0 {
+		t.Fatalf("%d unaccounted responses (off-taxonomy %d, body errors %d): %v",
+			rep.Unaccounted(), rep.OffTaxonomy, rep.BodyErrors, rep.Failures)
+	}
+	for status, n := range rep.ByStatus {
+		if !replay.TaxonomyStatuses[status] {
+			t.Errorf("status %d (%d responses) outside the typed taxonomy", status, n)
+		}
+	}
+	// The seeded mix must actually exercise the error taxonomy, not
+	// just the happy path: malformed requests draw 400, fallback-less
+	// hard-cell requests draw 422.
+	if rep.ByStatus[http.StatusOK] == 0 {
+		t.Error("no successful responses")
+	}
+	if rep.ByKind["bad"] > 0 && rep.ByStatus[http.StatusBadRequest] == 0 {
+		t.Error("bad requests fired but no 400 observed")
+	}
+	if rep.ByKind["hard"] > 0 && rep.ByStatus[http.StatusUnprocessableEntity] == 0 {
+		t.Error("hard requests fired but no 422 observed")
+	}
+	// Streamed NDJSON accounting: one line per submitted job, one done
+	// trailer per stream.
+	if rep.ByKind["stream"] > 0 {
+		if rep.StreamJobs == 0 || rep.StreamLines != rep.StreamJobs {
+			t.Errorf("stream lines %d != stream jobs %d", rep.StreamLines, rep.StreamJobs)
+		}
+		if rep.StreamTrailers != rep.ByKind["stream"] {
+			t.Errorf("%d trailers for %d stream requests", rep.StreamTrailers, rep.ByKind["stream"])
+		}
+	}
+
+	// Server-side accounting must agree with the client's.
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	var served uint64
+	for _, n := range health.HTTP {
+		served += n
+	}
+	if served != uint64(rep.Requests) {
+		t.Errorf("server served %d responses, replay fired %d", served, rep.Requests)
+	}
+}
+
+// TestRequestIDEcho: the instrumentation middleware must echo the
+// client's request id on every path, including errors and streams.
+func TestRequestIDEcho(t *testing.T) {
+	ts := newTestServer(t)
+	for _, path := range []string{"/solve", "/batch?stream=1", "/healthz"} {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(RequestIDHeader, "req-42")
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get(RequestIDHeader); got != "req-42" {
+			t.Errorf("%s: request id echo %q, want %q", path, got, "req-42")
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := replay.ParseMix("solve:3,stream:1")
+	if err != nil || m.Solve != 3 || m.Stream != 1 || m.Reweight != 0 {
+		t.Fatalf("ParseMix: %+v, %v", m, err)
+	}
+	if m, err := replay.ParseMix(""); err != nil || m != replay.DefaultMix {
+		t.Fatalf("empty mix: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"solve", "solve:x", "warp:1", "solve:0"} {
+		if _, err := replay.ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}

@@ -134,6 +134,10 @@ type healthResponse struct {
 	Status  string       `json:"status"`
 	Workers int          `json:"workers"`
 	Stats   engine.Stats `json:"stats"`
+	// HTTP counts every response served since startup, keyed by status
+	// code — the server-side half of phomgen's replay accounting (a
+	// replay is clean when the two sides agree).
+	HTTP map[string]uint64 `json:"http,omitempty"`
 }
 
 type errorResponse struct {
@@ -177,9 +181,15 @@ type server struct {
 	// -floattol); an explicit "precision" in the request always wins.
 	defPrec core.Precision
 	defTol  float64
+	// httpByStatus counts served responses per status code, under
+	// httpMu; surfaced through /healthz for replay accounting.
+	httpMu       sync.Mutex
+	httpByStatus map[int]uint64
 }
 
-func newServer(e *engine.Engine) *server { return &server{engine: e} }
+func newServer(e *engine.Engine) *server {
+	return &server{engine: e, httpByStatus: map[int]uint64{}}
+}
 
 // withMaxBody sets the request-body cap (the -maxbody flag).
 func (s *server) withMaxBody(n int64) *server {
@@ -229,7 +239,75 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/plans/export", s.handlePlansExport)
 	mux.HandleFunc("/plans/import", s.handlePlansImport)
 	mux.HandleFunc("/healthz", s.handleHealth)
-	return mux
+	return s.instrument(mux)
+}
+
+// RequestIDHeader is echoed verbatim from request to response when the
+// client sets it, so a load generator can pair every response with the
+// request that caused it without trusting ordering.
+const RequestIDHeader = "X-Phom-Request-Id"
+
+// instrument wraps the mux with the replay-target plumbing: the
+// request-id echo and the per-status response counters surfaced by
+// /healthz.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if id := r.Header.Get(RequestIDHeader); id != "" {
+			w.Header().Set(RequestIDHeader, id)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		s.httpMu.Lock()
+		s.httpByStatus[sw.Status()]++
+		s.httpMu.Unlock()
+	})
+}
+
+// statusWriter records the response status. It must keep forwarding
+// Flush: the streamed batch path type-asserts http.Flusher on the
+// writer it is handed, and NDJSON streaming dies silently without it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Status returns the recorded status (200 if the handler never wrote).
+func (sw *statusWriter) Status() int {
+	if sw.status == 0 {
+		return http.StatusOK
+	}
+	return sw.status
+}
+
+// httpCounts snapshots the per-status counters for /healthz.
+func (s *server) httpCounts() map[string]uint64 {
+	s.httpMu.Lock()
+	defer s.httpMu.Unlock()
+	out := make(map[string]uint64, len(s.httpByStatus))
+	for code, n := range s.httpByStatus {
+		out[strconv.Itoa(code)] = n
+	}
+	return out
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -241,6 +319,7 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Status:  "ok",
 		Workers: s.engine.Workers(),
 		Stats:   s.engine.Stats(),
+		HTTP:    s.httpCounts(),
 	})
 }
 

@@ -1,0 +1,150 @@
+package benchrec
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/bench.golden from the current schema")
+
+// goldenRun builds the fixed record the golden file pins down. Any
+// schema change (field added, renamed, retyped, reordered) changes its
+// encoding and fails TestGoldenSchema — bump SchemaVersion and
+// regenerate with -update in the same commit.
+func goldenRun() *Run {
+	rec := NewRecorder(7, map[string]string{"maxn": "512", "reweights": "16"})
+	rec.Begin("E99", "golden schema fixture")
+	rec.Add("E99", Metric{
+		Name:      "fixture n=512 eval x16",
+		Value:     "match=true",
+		Counters:  map[string]int64{"plan_hits": 16, "fallbacks": 0},
+		ElapsedUS: 1234,
+		OpsPerSec: 12967.4,
+		Speedup:   41.3,
+	})
+	rec.Add("E99", Metric{
+		Name:  "fixture n=512 compile",
+		Value: "1 compilation",
+	})
+	return rec.Runs()[0]
+}
+
+func TestGoldenSchema(t *testing.T) {
+	run := goldenRun()
+	Normalize(run)
+	var buf bytes.Buffer
+	if err := Encode(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "bench.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/benchrec -update` after an intentional schema change)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("BENCH JSON schema drifted from testdata/bench.golden:\n--- golden\n%s\n--- got\n%s\n"+
+			"If the change is intentional, bump SchemaVersion and regenerate with -update.",
+			want, buf.Bytes())
+	}
+	// The golden bytes must round-trip through the strict decoder: this
+	// is what catches a reader/writer drift (an unknown field in one
+	// direction, a version bump without a golden refresh in the other).
+	decoded, err := Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden file does not decode: %v", err)
+	}
+	if decoded.Experiment != "E99" || len(decoded.Metrics) != 2 {
+		t.Fatalf("golden decoded to unexpected content: %+v", decoded)
+	}
+}
+
+func TestNormalizeClearsOnlyVolatileFields(t *testing.T) {
+	run := goldenRun()
+	if run.GoVersion == "" || run.Timestamp == "" {
+		t.Fatal("recorder did not stamp provenance")
+	}
+	Normalize(run)
+	if run.GoVersion != "" || run.Timestamp != "" {
+		t.Error("Normalize left provenance fields")
+	}
+	m := run.Metrics[0]
+	if m.ElapsedUS != 0 || m.OpsPerSec != 0 || m.Speedup != 0 {
+		t.Error("Normalize left timing fields")
+	}
+	if m.Name == "" || m.Value == "" || m.Counters["plan_hits"] != 16 {
+		t.Error("Normalize touched stable fields")
+	}
+}
+
+func TestDecodeRejectsDriftAndVersionSkew(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"schema_version": 1, "experiment": "E1", "surprise": true}`)); err == nil {
+		t.Error("Decode accepted an unknown field")
+	}
+	if _, err := Decode(strings.NewReader(`{"schema_version": 999, "experiment": "E1"}`)); err == nil {
+		t.Error("Decode accepted a future schema version")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := goldenRun()
+	b := goldenRun()
+	b.Metrics[0].Value = "match=false"
+	b.Metrics[0].Counters["plan_hits"] = 12
+	b.Metrics[0].ElapsedUS = 2468
+	b.Metrics = append(b.Metrics, Metric{Name: "extra"})
+	deltas := Diff(a, b)
+	kinds := map[string]int{}
+	for _, d := range deltas {
+		kinds[d.Kind]++
+	}
+	if kinds["value"] != 1 || kinds["counter"] != 1 || kinds["timing"] != 1 || kinds["only-in-b"] != 1 {
+		t.Fatalf("unexpected delta kinds: %v (deltas %+v)", kinds, deltas)
+	}
+	if ds := Diff(a, goldenRun()); len(ds) != 1 || ds[0].Kind != "timing" {
+		// Two identical-seed runs differ only in timing.
+		t.Fatalf("self-diff: %+v", ds)
+	}
+	var out bytes.Buffer
+	if err := FormatDiff(&out, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"value", "counter", "only-in-b", "plan_hits=16", "plan_hits=12"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("FormatDiff output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRecorderWriteDir(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewRecorder(1, nil)
+	rec.Begin("E20", "first")
+	rec.Begin("E21", "second")
+	rec.Add("E20", Metric{Name: "m"})
+	paths, err := rec.WriteDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || filepath.Base(paths[0]) != "BENCH_E20.json" || filepath.Base(paths[1]) != "BENCH_E21.json" {
+		t.Fatalf("paths: %v", paths)
+	}
+	run, err := Load(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Experiment != "E20" || len(run.Metrics) != 1 {
+		t.Fatalf("loaded run: %+v", run)
+	}
+}

@@ -1,0 +1,325 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"phom/internal/graph"
+)
+
+// Family identifies a workload generator family: the ten class-driven
+// families of RandInClass plus the random-graph models of the benchmark
+// literature (Erdős–Rényi, Barabási–Albert preferential attachment,
+// power-law degree sequences à la Bayati et al.). Every family claims a
+// graph.Class via Class, and RandFamily guarantees membership — the
+// dispatch lattice of Tables 1–3 can therefore be exercised by
+// realistic random topologies, not only by the hand-rolled class
+// constructions.
+type Family int
+
+// The workload families. The first ten mirror graph.AllClasses; the
+// last three are the random-graph models.
+const (
+	Fam1WP Family = iota
+	Fam2WP
+	FamDWT
+	FamPT
+	FamConnected
+	FamU1WP
+	FamU2WP
+	FamUDWT
+	FamUPT
+	FamAll
+	FamER   // Erdős–Rényi directed G(n, p)
+	FamBA   // Barabási–Albert preferential attachment
+	FamPLaw // power-law degree sequence, sequential stub pairing
+	numFamilies
+)
+
+var familyNames = [numFamilies]string{
+	"1wp", "2wp", "dwt", "pt", "connected",
+	"u1wp", "u2wp", "udwt", "upt", "all",
+	"er", "ba", "plaw",
+}
+
+// Families lists every workload family in a fixed order.
+func Families() []Family {
+	out := make([]Family, numFamilies)
+	for i := range out {
+		out[i] = Family(i)
+	}
+	return out
+}
+
+func (f Family) String() string {
+	if f >= 0 && f < numFamilies {
+		return familyNames[f]
+	}
+	return "family(?)"
+}
+
+// ParseFamily parses a family name as written on the phomgen command
+// line ("er", "ba", "plaw", "1wp", "udwt", …).
+func ParseFamily(s string) (Family, error) {
+	for i, name := range familyNames {
+		if s == name {
+			return Family(i), nil
+		}
+	}
+	return 0, fmt.Errorf("gen: unknown family %q (want one of %v)", s, familyNames)
+}
+
+// Class returns the graph.Class every graph of the family is guaranteed
+// to land in: the exact class for the class-driven families, Connected
+// for Barabási–Albert (every new vertex attaches to the existing
+// component), and All for the unconstrained random models.
+func (f Family) Class() graph.Class {
+	switch f {
+	case Fam1WP:
+		return graph.Class1WP
+	case Fam2WP:
+		return graph.Class2WP
+	case FamDWT:
+		return graph.ClassDWT
+	case FamPT:
+		return graph.ClassPT
+	case FamConnected, FamBA:
+		return graph.ClassConnected
+	case FamU1WP:
+		return graph.ClassU1WP
+	case FamU2WP:
+		return graph.ClassU2WP
+	case FamUDWT:
+		return graph.ClassUDWT
+	case FamUPT:
+		return graph.ClassUPT
+	}
+	return graph.ClassAll
+}
+
+// RandFamily returns a random graph of the given family with roughly n
+// vertices, using each model's default shape parameters (RandErdosRenyi
+// and friends expose the knobs directly).
+func RandFamily(r *rand.Rand, f Family, n int, labels []graph.Label) *graph.Graph {
+	if n < 1 {
+		n = 1
+	}
+	switch f {
+	case FamER:
+		p := 1.5 / math.Max(1, float64(n-1)) // mean out-degree ≈ 1.5
+		return RandErdosRenyi(r, n, p, labels)
+	case FamBA:
+		return RandBarabasiAlbert(r, n, 2, labels)
+	case FamPLaw:
+		return RandPowerLaw(r, n, 2.5, labels)
+	}
+	return RandInClass(r, f.Class(), n, labels)
+}
+
+// RandErdosRenyi returns a directed G(n, p) graph: each of the n(n−1)
+// ordered vertex pairs carries an edge independently with probability
+// p. Pair enumeration uses geometric skipping (Batagelj–Brandes), so
+// sparse graphs cost O(n + m) rather than O(n²).
+func RandErdosRenyi(r *rand.Rand, n int, p float64, labels []graph.Label) *graph.Graph {
+	g := graph.New(n)
+	if n < 2 || p <= 0 {
+		return g
+	}
+	total := n * (n - 1)
+	if p >= 1 {
+		for idx := 0; idx < total; idx++ {
+			u, v := pairAt(idx, n)
+			g.MustAddEdge(u, v, RandLabel(r, labels))
+		}
+		return g
+	}
+	logq := math.Log1p(-p)
+	idx := -1
+	for {
+		// Geometric jump to the next present pair: skip ~Geom(p) pairs.
+		idx += 1 + int(math.Log(1-r.Float64())/logq)
+		if idx >= total || idx < 0 { // <0 on float overflow of a huge jump
+			return g
+		}
+		u, v := pairAt(idx, n)
+		g.MustAddEdge(u, v, RandLabel(r, labels))
+	}
+}
+
+// pairAt maps a pair index in [0, n(n−1)) to the ordered pair (u, v),
+// u ≠ v, enumerating the n−1 targets of each source in turn.
+func pairAt(idx, n int) (graph.Vertex, graph.Vertex) {
+	u := idx / (n - 1)
+	v := idx % (n - 1)
+	if v >= u {
+		v++
+	}
+	return graph.Vertex(u), graph.Vertex(v)
+}
+
+// RandBarabasiAlbert returns a preferential-attachment graph: vertices
+// arrive one at a time and attach min(m, existing) edges to distinct
+// earlier vertices sampled proportionally to their current degree, each
+// edge oriented by a fair coin. The underlying undirected graph is
+// connected by construction, so the family's claimed class is
+// Connected.
+func RandBarabasiAlbert(r *rand.Rand, n, m int, labels []graph.Label) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	g := graph.New(n)
+	if n < 2 {
+		return g
+	}
+	// pool holds one entry per edge endpoint (plus the seed vertex), so
+	// uniform sampling from it is degree-proportional sampling.
+	pool := make([]int, 0, 2*m*n)
+	pool = append(pool, 0)
+	for v := 1; v < n; v++ {
+		k := m
+		if k > v {
+			k = v
+		}
+		// Targets are collected into a slice, never iterated out of a
+		// map: edge insertion order must be a pure function of r.
+		targets := make([]int, 0, k)
+		seen := make(map[int]bool, k)
+		for len(targets) < k {
+			t := pool[r.Intn(len(pool))]
+			if !seen[t] {
+				seen[t] = true
+				targets = append(targets, t)
+			}
+		}
+		for _, t := range targets {
+			if r.Intn(2) == 0 {
+				g.MustAddEdge(graph.Vertex(v), graph.Vertex(t), RandLabel(r, labels))
+			} else {
+				g.MustAddEdge(graph.Vertex(t), graph.Vertex(v), RandLabel(r, labels))
+			}
+			pool = append(pool, v, t)
+		}
+	}
+	return g
+}
+
+// RandPowerLaw returns a graph whose degree sequence follows a
+// truncated power law Pr[d] ∝ d^−alpha, d ∈ [1, √n]: each vertex draws
+// a degree, and stubs are paired sequentially after a seeded shuffle
+// with self-loops and duplicate pairs erased — a simplified sequential
+// construction in the spirit of Bayati, Kim and Saberi. Orientation is
+// a fair coin per edge; no connectivity is guaranteed (class All).
+func RandPowerLaw(r *rand.Rand, n int, alpha float64, labels []graph.Label) *graph.Graph {
+	if alpha <= 1 {
+		alpha = 2.5
+	}
+	g := graph.New(n)
+	if n < 2 {
+		return g
+	}
+	maxDeg := int(math.Sqrt(float64(n)))
+	if maxDeg < 2 {
+		maxDeg = 2
+	}
+	// Inverse-CDF sampling over the truncated power-law weights.
+	weights := make([]float64, maxDeg+1)
+	totalW := 0.0
+	for d := 1; d <= maxDeg; d++ {
+		weights[d] = math.Pow(float64(d), -alpha)
+		totalW += weights[d]
+	}
+	var stubs []int
+	for v := 0; v < n; v++ {
+		x := r.Float64() * totalW
+		d := maxDeg
+		for c, acc := 1, 0.0; c <= maxDeg; c++ {
+			acc += weights[c]
+			if x < acc {
+				d = c
+				break
+			}
+		}
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v {
+			continue // erase self-loops
+		}
+		if _, dup := g.HasEdge(graph.Vertex(u), graph.Vertex(v)); dup {
+			continue // erase duplicate pairs
+		}
+		if _, dup := g.HasEdge(graph.Vertex(v), graph.Vertex(u)); dup {
+			continue
+		}
+		if r.Intn(2) == 0 {
+			u, v = v, u
+		}
+		g.MustAddEdge(graph.Vertex(u), graph.Vertex(v), RandLabel(r, labels))
+	}
+	return g
+}
+
+// QueryLadder returns a graded sequence of queries drawn from class c,
+// one per size in [minSize, maxSize] — the rungs a workload climbs to
+// probe how a dispatched algorithm scales with query size.
+func QueryLadder(r *rand.Rand, c graph.Class, minSize, maxSize int, labels []graph.Label) []*graph.Graph {
+	if minSize < 1 {
+		minSize = 1
+	}
+	if maxSize < minSize {
+		maxSize = minSize
+	}
+	out := make([]*graph.Graph, 0, maxSize-minSize+1)
+	for s := minSize; s <= maxSize; s++ {
+		out = append(out, RandInClass(r, c, s, labels))
+	}
+	return out
+}
+
+// ReachabilityUCQ returns the union of one-way-path queries of lengths
+// 1…k over one label — "is there a path of at most k steps", the
+// reachability query shape of the probabilistic-logic benchmark
+// generators.
+func ReachabilityUCQ(k int, label graph.Label) []*graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]*graph.Graph, k)
+	for l := 1; l <= k; l++ {
+		labels := make([]graph.Label, l)
+		for i := range labels {
+			labels[i] = label
+		}
+		out[l-1] = graph.Path1WP(labels...)
+	}
+	return out
+}
+
+// RandWalkQuery returns a one-way-path query tracing a random directed
+// walk of up to maxLen edges in g — a "needle" query guaranteed to have
+// at least one match, with a match count governed by g's label
+// diversity rather than by query size alone. Returns nil when g has no
+// edges.
+func RandWalkQuery(r *rand.Rand, g *graph.Graph, maxLen int) *graph.Graph {
+	if g.NumEdges() == 0 || maxLen < 1 {
+		return nil
+	}
+	e := g.Edge(r.Intn(g.NumEdges()))
+	labels := []graph.Label{e.Label}
+	v := e.To
+	for len(labels) < maxLen {
+		outs := g.OutEdges(v)
+		if len(outs) == 0 {
+			break
+		}
+		ei := outs[r.Intn(len(outs))]
+		labels = append(labels, g.Edge(ei).Label)
+		v = g.Edge(ei).To
+	}
+	return graph.Path1WP(labels...)
+}

@@ -1,0 +1,226 @@
+package gen_test
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"phom"
+	"phom/internal/gen"
+	"phom/internal/graph"
+)
+
+// TestFamilyMembership: every workload family must emit graphs inside
+// its claimed class, across seeds and sizes — the invariant phomgen's
+// self-verification and E23 rely on.
+func TestFamilyMembership(t *testing.T) {
+	labels := []graph.Label{"R", "S"}
+	for _, f := range gen.Families() {
+		for seed := int64(0); seed < 10; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			for n := 1; n <= 13; n += 4 {
+				g := gen.RandFamily(r, f, n, labels)
+				if !g.InClass(f.Class()) {
+					t.Fatalf("family %v seed %d n=%d: graph not in claimed class %v:\n%v",
+						f, seed, n, f.Class(), g)
+				}
+			}
+		}
+	}
+}
+
+// TestFamilyParseRoundTrip: String and ParseFamily are inverses.
+func TestFamilyParseRoundTrip(t *testing.T) {
+	for _, f := range gen.Families() {
+		got, err := gen.ParseFamily(f.String())
+		if err != nil || got != f {
+			t.Fatalf("ParseFamily(%q) = %v, %v; want %v", f.String(), got, err, f)
+		}
+	}
+	if _, err := gen.ParseFamily("nope"); err == nil {
+		t.Fatal("ParseFamily accepted an unknown family")
+	}
+}
+
+// TestRandomModelDeterminism: the ER/BA/power-law generators must be a
+// pure function of the seed — the property every BENCH_*.json
+// byte-identity guarantee is built on. A map-iteration anywhere in edge
+// construction would flake this test under -shuffle.
+func TestRandomModelDeterminism(t *testing.T) {
+	labels := []graph.Label{"R", "S"}
+	for _, f := range []gen.Family{gen.FamER, gen.FamBA, gen.FamPLaw} {
+		for seed := int64(0); seed < 5; seed++ {
+			a := gen.RandFamily(rand.New(rand.NewSource(seed)), f, 40, labels)
+			b := gen.RandFamily(rand.New(rand.NewSource(seed)), f, 40, labels)
+			if fmt.Sprintf("%v", a) != fmt.Sprintf("%v", b) {
+				t.Fatalf("family %v seed %d: two generations differ", f, seed)
+			}
+		}
+	}
+}
+
+func TestErdosRenyiDensity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	labels := []graph.Label{"R"}
+	// p = 1 must produce the complete directed graph; p = 0 the empty one.
+	if g := gen.RandErdosRenyi(r, 9, 1, labels); g.NumEdges() != 9*8 {
+		t.Fatalf("ER(9, p=1) has %d edges, want 72", g.NumEdges())
+	}
+	if g := gen.RandErdosRenyi(r, 9, 0, labels); g.NumEdges() != 0 {
+		t.Fatalf("ER(9, p=0) has %d edges, want 0", g.NumEdges())
+	}
+	// At moderate p the edge count should track n(n-1)p (law of large
+	// numbers over several draws; wide tolerance, this is not a
+	// statistical test).
+	total := 0
+	for i := 0; i < 20; i++ {
+		total += gen.RandErdosRenyi(r, 30, 0.1, labels).NumEdges()
+	}
+	mean := float64(total) / 20
+	if want := 30 * 29 * 0.1; mean < want/2 || mean > want*2 {
+		t.Fatalf("ER(30, p=0.1) mean edge count %.1f, want ≈ %.1f", mean, want)
+	}
+}
+
+func TestQueryLadderAndUCQ(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ladder := gen.QueryLadder(r, graph.Class2WP, 2, 5, []graph.Label{"R", "S"})
+	if len(ladder) != 4 {
+		t.Fatalf("ladder has %d rungs, want 4", len(ladder))
+	}
+	for i, q := range ladder {
+		if !q.InClass(graph.Class2WP) {
+			t.Fatalf("rung %d left class 2WP", i)
+		}
+	}
+	ucq := gen.ReachabilityUCQ(3, "R")
+	if len(ucq) != 3 {
+		t.Fatalf("UCQ has %d disjuncts, want 3", len(ucq))
+	}
+	for i, q := range ucq {
+		if !q.Is1WP() || q.NumEdges() != i+1 {
+			t.Fatalf("disjunct %d is not a 1WP path of length %d", i, i+1)
+		}
+	}
+}
+
+func TestRandWalkQueryHasMatch(t *testing.T) {
+	labels := []graph.Label{"R", "S"}
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := gen.RandFamily(r, gen.FamBA, 20, labels)
+		for i := 0; i < 5; i++ {
+			q := gen.RandWalkQuery(r, g, 1+i%3)
+			if q == nil {
+				t.Fatalf("seed %d: walk query is nil on a connected graph", seed)
+			}
+			if !q.Is1WP() {
+				t.Fatalf("seed %d: walk query is not 1WP", seed)
+			}
+			if !graph.HasHomomorphism(q, g) {
+				t.Fatalf("seed %d: walk query has no match in its own source graph", seed)
+			}
+		}
+	}
+	if q := gen.RandWalkQuery(rand.New(rand.NewSource(1)), graph.New(3), 2); q != nil {
+		t.Fatal("walk query on an edgeless graph should be nil")
+	}
+}
+
+// bruteWorlds evaluates Pr(G ⇝ H) for a UCQ by direct world
+// enumeration over the uncertain edges — the reference the solver's
+// plan-path results are differenced against. Independent of
+// core.BruteForce (this test must not share code with the system under
+// test).
+func bruteWorlds(t *testing.T, qs []*graph.Graph, h *graph.ProbGraph) *big.Rat {
+	t.Helper()
+	unc := h.UncertainEdges()
+	if len(unc) > 16 {
+		t.Fatalf("bruteWorlds: %d uncertain edges is too many to enumerate", len(unc))
+	}
+	total := new(big.Rat)
+	keep := make([]bool, h.G.NumEdges())
+	for mask := 0; mask < 1<<len(unc); mask++ {
+		// Certain edges (probability 1) are present in every world;
+		// impossible edges (probability 0) in none — only the uncertain
+		// ones are driven by the mask.
+		for i := range keep {
+			keep[i] = h.Prob(i).Cmp(graph.RatOne) == 0
+		}
+		for bi, ei := range unc {
+			keep[ei] = mask&(1<<bi) != 0
+		}
+		world := h.G.SubgraphKeeping(keep)
+		for _, q := range qs {
+			if graph.HasHomomorphism(q, world) {
+				total.Add(total, h.WorldProb(keep))
+				break
+			}
+		}
+	}
+	return total
+}
+
+// TestDifferentialSolveMatchesBruteForce: for every generator family,
+// the plan-path result of the public request API must byte-match direct
+// world enumeration on small instances, for single queries drawn from
+// every query-class ladder, walk-derived needle queries, and a
+// reachability UCQ. This is the seeded differential corpus: the solver
+// (dispatch, plans, fallbacks) against an implementation-independent
+// reference.
+func TestDifferentialSolveMatchesBruteForce(t *testing.T) {
+	labels := []graph.Label{"R", "S"}
+	ctx := context.Background()
+	for _, f := range gen.Families() {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			tested := 0
+			for seed := int64(0); seed < 6 && tested < 3; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				g := gen.RandFamily(r, f, 6, labels)
+				h := gen.RandProb(r, g, 0.4)
+				if len(h.UncertainEdges()) > 12 {
+					continue // keep 2^k enumeration cheap
+				}
+				tested++
+
+				queries := []*graph.Graph{
+					gen.RandInClass(r, graph.Class1WP, 2, labels),
+					gen.RandInClass(r, graph.Class2WP, 3, labels),
+					gen.RandInClass(r, graph.ClassDWT, 3, labels),
+					gen.RandInClass(r, graph.ClassPT, 4, labels),
+				}
+				if wq := gen.RandWalkQuery(r, g, 2); wq != nil {
+					queries = append(queries, wq)
+				}
+				for qi, q := range queries {
+					want := bruteWorlds(t, []*graph.Graph{q}, h)
+					res, err := phom.SolveContext(ctx, phom.NewRequest(q, h))
+					if err != nil {
+						t.Fatalf("seed %d query %d: %v", seed, qi, err)
+					}
+					if res.Prob.Cmp(want) != 0 {
+						t.Fatalf("seed %d query %d: solver %s, brute force %s (method %v)",
+							seed, qi, res.Prob.RatString(), want.RatString(), res.Method)
+					}
+				}
+
+				ucq := gen.ReachabilityUCQ(2, "R")
+				want := bruteWorlds(t, ucq, h)
+				res, err := phom.SolveContext(ctx, phom.NewUCQRequest(ucq, h))
+				if err != nil {
+					t.Fatalf("seed %d UCQ: %v", seed, err)
+				}
+				if res.Prob.Cmp(want) != 0 {
+					t.Fatalf("seed %d UCQ: solver %s, brute force %s",
+						seed, res.Prob.RatString(), want.RatString())
+				}
+			}
+			if tested == 0 {
+				t.Fatalf("no instance of family %v was small enough to difference", f)
+			}
+		})
+	}
+}

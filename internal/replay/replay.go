@@ -1,0 +1,544 @@
+// Package replay fires seeded traffic mixes at a phomserve endpoint and
+// accounts for every response: the load-generation half of the phomgen
+// workload suite. A replay run builds a deterministic corpus from a
+// generator family (instances, walk-derived needle queries, reweight
+// maps, deliberately malformed and intractable requests), fires it at
+// the configured solve/reweight/batch/stream ratios, and reports
+// latency, throughput, per-status counts, and — the hard requirement —
+// whether any response fell outside the server's typed error taxonomy
+// or any streamed NDJSON line went missing.
+package replay
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"phom/internal/gen"
+	"phom/internal/graph"
+	"phom/internal/graphio"
+)
+
+// TaxonomyStatuses is the closed set of HTTP statuses phomserve's typed
+// error taxonomy maps onto (plus success): any other status on a replay
+// response is unaccounted and fails the run.
+var TaxonomyStatuses = map[int]bool{
+	http.StatusOK:                  true, // 200
+	http.StatusBadRequest:          true, // 400 bad-input
+	http.StatusRequestTimeout:      true, // 408 deadline
+	http.StatusUnprocessableEntity: true, // 422 limit / intractable
+	499:                            true, // client closed request (canceled)
+	http.StatusServiceUnavailable:  true, // 503 unavailable
+}
+
+// Mix holds the relative weights of the request kinds in a replay run.
+// Zero-weight kinds are not fired. Bad requests are syntactically
+// malformed (expect 400); Hard requests pair a needle query with
+// disable_fallback on a #P-hard cell (expect 422).
+type Mix struct {
+	Solve    int `json:"solve"`
+	Reweight int `json:"reweight"`
+	Batch    int `json:"batch"`
+	Stream   int `json:"stream"`
+	Bad      int `json:"bad"`
+	Hard     int `json:"hard"`
+}
+
+// DefaultMix is the reweight-heavy production shape: mostly probability
+// updates over known structures, some fresh solves, a trickle of
+// batches, streams and malformed traffic.
+var DefaultMix = Mix{Solve: 4, Reweight: 8, Batch: 1, Stream: 1, Bad: 1, Hard: 1}
+
+// ParseMix parses "solve:4,reweight:8,stream:1" command-line syntax.
+func ParseMix(s string) (Mix, error) {
+	m := Mix{}
+	if strings.TrimSpace(s) == "" {
+		return DefaultMix, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kind, val, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return m, fmt.Errorf("replay: bad mix entry %q: want kind:weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("replay: bad mix weight %q", val)
+		}
+		switch kind {
+		case "solve":
+			m.Solve = w
+		case "reweight":
+			m.Reweight = w
+		case "batch":
+			m.Batch = w
+		case "stream":
+			m.Stream = w
+		case "bad":
+			m.Bad = w
+		case "hard":
+			m.Hard = w
+		default:
+			return m, fmt.Errorf("replay: unknown mix kind %q", kind)
+		}
+	}
+	if m.Solve+m.Reweight+m.Batch+m.Stream+m.Bad+m.Hard == 0 {
+		return m, fmt.Errorf("replay: mix has zero total weight")
+	}
+	return m, nil
+}
+
+// Options configures a replay run.
+type Options struct {
+	// BaseURL is the phomserve endpoint ("http://host:8080").
+	BaseURL string
+	// Requests is the total number of HTTP requests to fire.
+	Requests int
+	// Concurrency is the number of in-flight requests (default 4).
+	Concurrency int
+	// Seed makes the corpus and the kind sequence reproducible.
+	Seed int64
+	// Mix sets the traffic ratios (zero value means DefaultMix).
+	Mix Mix
+	// Family and N shape the generated instance (default FamER, 64).
+	Family gen.Family
+	N      int
+	// BatchSize is the number of jobs per batch/stream request
+	// (default 4).
+	BatchSize int
+	// Precision, when non-empty, is sent as options.precision on every
+	// well-formed job ("exact", "fast", "auto").
+	Precision string
+	// JobTimeout is sent as options.timeout_ms on every well-formed
+	// job (default 5s, negative disables). Random-model corpora land in
+	// #P-hard cells, and some seeded needle queries are pathologically
+	// expensive — a load generator must bound every request it fires,
+	// and a budget overrun is an accounted 408, not a hung run.
+	JobTimeout time.Duration
+	// Client overrides the HTTP client (tests inject the httptest
+	// server's); nil uses a fresh client without timeouts.
+	Client *http.Client
+}
+
+// Report is the accounting of one replay run. Every fired request is
+// counted in exactly one ByStatus bucket (transport failures count
+// under status 0 and are unaccounted); a run is clean iff
+// Unaccounted() == 0.
+type Report struct {
+	Requests int            `json:"requests"`
+	ByKind   map[string]int `json:"by_kind"`
+	ByStatus map[int]int    `json:"by_status"`
+	// OffTaxonomy counts responses whose status is outside
+	// TaxonomyStatuses, transport failures included.
+	OffTaxonomy int `json:"off_taxonomy"`
+	// BodyErrors counts responses whose body violated the wire
+	// contract: undecodable JSON, a batch with the wrong result count,
+	// a stream with missing lines or no trailer, or a request-id echo
+	// mismatch.
+	BodyErrors int `json:"body_errors"`
+	// StreamJobs/StreamLines/StreamTrailers account for NDJSON
+	// streaming: every submitted stream job must come back as exactly
+	// one indexed line, and every stream must end in a done trailer.
+	StreamJobs     int `json:"stream_jobs"`
+	StreamLines    int `json:"stream_lines"`
+	StreamTrailers int `json:"stream_trailers"`
+	// Latency percentiles over all requests, and the run wall clock.
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP95 time.Duration `json:"latency_p95_ns"`
+	LatencyMax time.Duration `json:"latency_max_ns"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	// Failures holds the first few anomalies verbatim, for diagnosis.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Unaccounted returns the number of responses the run cannot vouch
+// for: off-taxonomy statuses plus wire-contract violations.
+func (rep *Report) Unaccounted() int { return rep.OffTaxonomy + rep.BodyErrors }
+
+// Throughput returns requests per second over the run's wall clock.
+func (rep *Report) Throughput() float64 {
+	if rep.Elapsed <= 0 {
+		return 0
+	}
+	return float64(rep.Requests) / rep.Elapsed.Seconds()
+}
+
+// request is one prebuilt HTTP request spec: corpus generation is fully
+// deterministic under the seed, only the firing order and interleaving
+// vary with scheduling.
+type request struct {
+	kind   string
+	path   string // "/solve", "/reweight", "/batch", "/batch?stream=1"
+	body   []byte
+	jobs   int  // batch/stream job count, for line accounting
+	stream bool // parse NDJSON instead of a JSON object
+}
+
+// wire mirrors of phomserve's request/response JSON (kept local: replay
+// is a client and must speak the wire format, not link the server).
+type wireOptions struct {
+	DisableFallback bool   `json:"disable_fallback,omitempty"`
+	MatchLimit      int    `json:"match_limit,omitempty"`
+	Precision       string `json:"precision,omitempty"`
+	TimeoutMS       int64  `json:"timeout_ms,omitempty"`
+}
+
+type wireJob struct {
+	QueryText    string            `json:"query_text,omitempty"`
+	InstanceText string            `json:"instance_text,omitempty"`
+	Probs        map[string]string `json:"probs,omitempty"`
+	Options      *wireOptions      `json:"options,omitempty"`
+}
+
+type wireBatch struct {
+	Jobs []wireJob `json:"jobs"`
+}
+
+type wireResult struct {
+	Prob  string `json:"prob"`
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+type wireBatchResponse struct {
+	Results []wireResult `json:"results"`
+}
+
+type wireStreamLine struct {
+	Index *int  `json:"index"`
+	Done  *bool `json:"done"`
+}
+
+// Corpus is the deterministic request material of a run, exported so
+// cmd/phomgen can also print it without firing.
+type Corpus struct {
+	Instance *graph.ProbGraph
+	Queries  []*graph.Graph
+}
+
+// BuildCorpus generates the instance and needle queries for a family.
+func BuildCorpus(r *rand.Rand, family gen.Family, n int) (*Corpus, error) {
+	labels := []graph.Label{"R", "S"}
+	g := gen.RandFamily(r, family, n, labels)
+	if !g.InClass(family.Class()) {
+		return nil, fmt.Errorf("replay: %v generator left its claimed class %v", family, family.Class())
+	}
+	h := gen.RandProb(r, g, 0.5)
+	var queries []*graph.Graph
+	for i := 0; i < 4; i++ {
+		if q := gen.RandWalkQuery(r, g, 1+i%3); q != nil {
+			queries = append(queries, q)
+		}
+	}
+	if len(queries) == 0 {
+		queries = append(queries, graph.Path1WP("R"))
+	}
+	return &Corpus{Instance: h, Queries: queries}, nil
+}
+
+func graphText(g *graph.Graph) string {
+	var buf bytes.Buffer
+	_ = graphio.WriteGraph(&buf, g)
+	return buf.String()
+}
+
+func probGraphText(p *graph.ProbGraph) string {
+	var buf bytes.Buffer
+	_ = graphio.WriteProbGraph(&buf, p)
+	return buf.String()
+}
+
+// buildRequests pregenerates the full request sequence.
+func buildRequests(r *rand.Rand, opts Options, corpus *Corpus) ([]request, error) {
+	instText := probGraphText(corpus.Instance)
+	wopts := &wireOptions{MatchLimit: 4096, TimeoutMS: jobTimeoutMS(opts.JobTimeout)}
+	if opts.Precision != "" {
+		wopts.Precision = opts.Precision
+	}
+	queryText := func() string { return graphText(corpus.Queries[r.Intn(len(corpus.Queries))]) }
+	solveBody := func() wireJob {
+		return wireJob{QueryText: queryText(), InstanceText: instText, Options: wopts}
+	}
+	reweightBody := func() wireJob {
+		job := solveBody()
+		job.Probs = map[string]string{}
+		edges := corpus.Instance.G.Edges()
+		for i := 0; i < 3 && len(edges) > 0; i++ {
+			e := edges[r.Intn(len(edges))]
+			key := fmt.Sprintf("%d>%d", e.From, e.To)
+			job.Probs[key] = fmt.Sprintf("%d/16", r.Intn(17))
+		}
+		return job
+	}
+	kinds := weightedKinds(opts.Mix)
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("replay: mix has zero total weight")
+	}
+	batchSize := opts.BatchSize
+	if batchSize < 1 {
+		batchSize = 4
+	}
+	reqs := make([]request, 0, opts.Requests)
+	for i := 0; i < opts.Requests; i++ {
+		kind := kinds[r.Intn(len(kinds))]
+		var rq request
+		switch kind {
+		case "solve":
+			b, _ := json.Marshal(solveBody())
+			rq = request{kind: kind, path: "/solve", body: b}
+		case "reweight":
+			b, _ := json.Marshal(reweightBody())
+			rq = request{kind: kind, path: "/reweight", body: b}
+		case "batch", "stream":
+			jobs := make([]wireJob, batchSize)
+			for j := range jobs {
+				if j%2 == 0 {
+					jobs[j] = solveBody()
+				} else {
+					jobs[j] = reweightBody()
+				}
+			}
+			b, _ := json.Marshal(wireBatch{Jobs: jobs})
+			if kind == "stream" {
+				rq = request{kind: kind, path: "/batch?stream=1", body: b, jobs: batchSize, stream: true}
+			} else {
+				rq = request{kind: kind, path: "/batch", body: b, jobs: batchSize}
+			}
+		case "bad":
+			// Malformed by construction: an edge before any vertices
+			// directive. Must draw a 400, never a 5xx.
+			b, _ := json.Marshal(wireJob{QueryText: "edge 0 1 R\n", InstanceText: instText})
+			rq = request{kind: kind, path: "/solve", body: b}
+		case "hard":
+			// A labeled needle query on a random-model instance is a
+			// #P-hard cell; with fallback disabled the server must
+			// answer 422 intractable rather than burn a worker.
+			job := solveBody()
+			job.Options = &wireOptions{DisableFallback: true, Precision: wopts.Precision, TimeoutMS: wopts.TimeoutMS}
+			b, _ := json.Marshal(job)
+			rq = request{kind: kind, path: "/solve", body: b}
+		}
+		reqs = append(reqs, rq)
+	}
+	return reqs, nil
+}
+
+// jobTimeoutMS resolves Options.JobTimeout to the wire value: default
+// 5s, negative disables the budget entirely.
+func jobTimeoutMS(d time.Duration) int64 {
+	switch {
+	case d < 0:
+		return 0
+	case d == 0:
+		return (5 * time.Second).Milliseconds()
+	default:
+		return d.Milliseconds()
+	}
+}
+
+func weightedKinds(m Mix) []string {
+	if m == (Mix{}) {
+		m = DefaultMix
+	}
+	var kinds []string
+	add := func(kind string, w int) {
+		for i := 0; i < w; i++ {
+			kinds = append(kinds, kind)
+		}
+	}
+	add("solve", m.Solve)
+	add("reweight", m.Reweight)
+	add("batch", m.Batch)
+	add("stream", m.Stream)
+	add("bad", m.Bad)
+	add("hard", m.Hard)
+	return kinds
+}
+
+// Run fires the replay workload and returns the accounting report. The
+// returned error covers setup failures only; response anomalies are
+// reported through the Report so a run can complete and still be judged
+// unclean.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("replay: no base URL")
+	}
+	if opts.Requests < 1 {
+		opts.Requests = 1
+	}
+	if opts.Concurrency < 1 {
+		opts.Concurrency = 4
+	}
+	if opts.N < 1 {
+		opts.N = 64
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+	corpus, err := BuildCorpus(r, opts.Family, opts.N)
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := buildRequests(r, opts, corpus)
+	if err != nil {
+		return nil, err
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+
+	rep := &Report{ByKind: map[string]int{}, ByStatus: map[int]int{}}
+	var mu sync.Mutex
+	latencies := make([]time.Duration, 0, len(reqs))
+	fail := func(format string, args ...any) {
+		if len(rep.Failures) < 8 {
+			rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
+		}
+	}
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				rq := reqs[i]
+				status, lat, lines, trailers, bodyErr := fire(ctx, client, opts.BaseURL, i, rq)
+				mu.Lock()
+				rep.Requests++
+				rep.ByKind[rq.kind]++
+				rep.ByStatus[status]++
+				if !TaxonomyStatuses[status] {
+					rep.OffTaxonomy++
+					fail("req %d (%s): status %d outside taxonomy", i, rq.kind, status)
+				}
+				if bodyErr != nil {
+					rep.BodyErrors++
+					fail("req %d (%s): %v", i, rq.kind, bodyErr)
+				}
+				if rq.stream {
+					rep.StreamJobs += rq.jobs
+					rep.StreamLines += lines
+					rep.StreamTrailers += trailers
+				}
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range reqs {
+		select {
+		case <-ctx.Done():
+			close(work)
+			wg.Wait()
+			return rep, ctx.Err()
+		case work <- i:
+		}
+	}
+	close(work)
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if n := len(latencies); n > 0 {
+		rep.LatencyP50 = latencies[n/2]
+		rep.LatencyP95 = latencies[n*95/100]
+		rep.LatencyMax = latencies[n-1]
+	}
+	return rep, nil
+}
+
+// fire sends one request and validates the response body against the
+// wire contract. It returns the HTTP status (0 on transport failure),
+// the request latency, the stream line/trailer counts for stream
+// requests, and a non-nil error on any body-contract violation.
+func fire(ctx context.Context, client *http.Client, baseURL string, id int, rq request) (status int, lat time.Duration, lines, trailers int, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+rq.path, bytes.NewReader(rq.body))
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	reqID := strconv.Itoa(id)
+	req.Header.Set("X-Phom-Request-Id", reqID)
+	start := time.Now()
+	resp, err := client.Do(req)
+	lat = time.Since(start)
+	if err != nil {
+		return 0, lat, 0, 0, err
+	}
+	defer resp.Body.Close()
+	status = resp.StatusCode
+	if echo := resp.Header.Get("X-Phom-Request-Id"); echo != "" && echo != reqID {
+		return status, lat, 0, 0, fmt.Errorf("request-id echo %q, want %q", echo, reqID)
+	}
+	if rq.stream {
+		lines, trailers, err = parseStream(resp.Body)
+		if err != nil {
+			return status, lat, lines, trailers, err
+		}
+		if lines != rq.jobs {
+			return status, lat, lines, trailers, fmt.Errorf("stream returned %d lines for %d jobs", lines, rq.jobs)
+		}
+		if trailers != 1 {
+			return status, lat, lines, trailers, fmt.Errorf("stream ended with %d trailers", trailers)
+		}
+		return status, lat, lines, trailers, nil
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return status, lat, 0, 0, err
+	}
+	if rq.jobs > 0 { // non-streamed batch
+		var br wireBatchResponse
+		if err := json.Unmarshal(buf.Bytes(), &br); err != nil {
+			return status, lat, 0, 0, fmt.Errorf("batch body: %v", err)
+		}
+		if status == http.StatusOK && len(br.Results) != rq.jobs {
+			return status, lat, 0, 0, fmt.Errorf("batch returned %d results for %d jobs", len(br.Results), rq.jobs)
+		}
+		return status, lat, 0, 0, nil
+	}
+	var res wireResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		return status, lat, 0, 0, fmt.Errorf("solve body: %v", err)
+	}
+	if status == http.StatusOK && res.Prob == "" && res.Code == "" {
+		return status, lat, 0, 0, fmt.Errorf("200 with neither prob nor code")
+	}
+	return status, lat, 0, 0, nil
+}
+
+// parseStream reads an NDJSON stream, counting indexed result lines and
+// done trailers.
+func parseStream(r interface{ Read([]byte) (int, error) }) (lines, trailers int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var line wireStreamLine
+		if err := json.Unmarshal([]byte(text), &line); err != nil {
+			return lines, trailers, fmt.Errorf("stream line: %v", err)
+		}
+		switch {
+		case line.Done != nil && *line.Done:
+			trailers++
+		case line.Index != nil:
+			lines++
+		default:
+			return lines, trailers, fmt.Errorf("stream line is neither a result nor a trailer: %s", text)
+		}
+	}
+	return lines, trailers, sc.Err()
+}
