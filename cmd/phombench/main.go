@@ -1,6 +1,6 @@
 // Command phombench is the experiment harness: for every table and
 // figure of the paper it regenerates the corresponding artifact
-// empirically (see EXPERIMENTS.md for the index E1–E23). For PTIME
+// empirically (see EXPERIMENTS.md for the index E1–E24). For PTIME
 // cells it measures runtime scaling of the dispatched algorithm over
 // growing instances; for #P-hard cells it executes the paper's
 // reduction, checks the exact counting identity, and measures the
@@ -13,11 +13,13 @@
 // interval kernel vs exact big.Rat); E23 runs the phomgen workload
 // families (Erdős–Rényi, Barabási–Albert, power-law) across the
 // dispatch lattice: class membership, graphio round-trips, verdict
-// census, and needle-query throughput through the public request API.
+// census, and needle-query throughput through the public request API;
+// E24 measures end-to-end reweight throughput against batch width
+// (1/8/64/256) through the engine's vectorized same-structure batching.
 //
 // Experiments are selected with -run, an unanchored regular expression
-// over experiment ids (like go test -run): -run 'E2[0-3]' runs
-// E20–E23. Every experiment embeds correctness assertions; a failing
+// over experiment ids (like go test -run): -run 'E2[0-4]' runs
+// E20–E24. Every experiment embeds correctness assertions; a failing
 // assertion marks that experiment FAILED and the process exits nonzero
 // after all selected experiments have run.
 //
@@ -31,7 +33,7 @@
 //
 // Usage:
 //
-//	phombench [-run 'E2[0-3]'] [-seed 1] [-maxn 4096] [-csv]
+//	phombench [-run 'E2[0-4]'] [-seed 1] [-maxn 4096] [-csv]
 //	          [-json out/] [-workers 0] [-batchjobs 128] [-reweights 64]
 //	phombench -diff out/BENCH_E20.json old/BENCH_E20.json
 package main
@@ -73,7 +75,7 @@ var (
 	diffMode   = flag.Bool("diff", false, "compare two BENCH_*.json files: phombench -diff a.json b.json")
 	workers    = flag.Int("workers", 0, "E19: fixed engine worker count (0 = sweep 1, 2, 4, NumCPU)")
 	batchJobs  = flag.Int("batchjobs", 128, "E19: number of jobs in the engine batch workload")
-	reweights  = flag.Int("reweights", 64, "E20–E23: reweighted evaluations per compiled plan")
+	reweights  = flag.Int("reweights", 64, "E20–E24: reweighted evaluations per compiled plan")
 )
 
 // E is the per-experiment context handed to every experiment function:
@@ -170,6 +172,7 @@ func experiments() []experimentDef {
 		experimentDef{"E21", "Evaluation IR (interpreter throughput, warm-start snapshots)", runPlanSnapshot},
 		experimentDef{"E22", "Dual-precision: float64 interval kernel vs exact interpreter", runFloatPath},
 		experimentDef{"E23", "phomgen workload families on the dispatch lattice", runWorkloadFamilies},
+		experimentDef{"E24", "Vectorized reweight throughput vs batch width", runBatchedReweight},
 	)
 	return defs
 }
@@ -929,6 +932,25 @@ func runFloatPath(e *E) {
 		mFloat.Speedup = float64(dExact) / float64(dFloat)
 		e.emit(mFloat)
 
+		// The batched kernel over the same vectors: one dispatch per
+		// instruction for all lanes. Its contract is bitwise equality
+		// with per-vector ExecFloat, so the enclosures are compared
+		// exactly, not within a tolerance.
+		start = time.Now()
+		batched, err := prog.ExecFloatBatch(assignments)
+		e.check(err)
+		dBatch := time.Since(start)
+		for i, iv := range batched {
+			if iv != enclosures[i] {
+				e.fatalf("%s: batched lane %d enclosure [%g, %g] != ExecFloat [%g, %g]",
+					wl.name, i, iv.Lo, iv.Hi, enclosures[i].Lo, enclosures[i].Hi)
+			}
+		}
+		mBatch := metric(fmt.Sprintf("%s n=%d float batched x%d", wl.name, n, k),
+			fmt.Sprintf("lanes=%d bitwise-equal", k), dBatch)
+		mBatch.Speedup = float64(dFloat) / float64(dBatch)
+		e.emit(mBatch)
+
 		// Part two: auto-mode fallback rate across tolerances. A
 		// tolerance below the kernel's actual width forces exact
 		// fallback on every job; anything above it serves pure float.
@@ -951,6 +973,140 @@ func runFloatPath(e *E) {
 			d := time.Since(start)
 			e.emit(metric(fmt.Sprintf("%s n=%d auto tol=%.0e", wl.name, n, tol),
 				fmt.Sprintf("fast=%d fallback=%d (%.0f%%)", fast, fallbacks, 100*float64(fallbacks)/float64(k)), d))
+		}
+	}
+}
+
+// runBatchedReweight covers E24: end-to-end reweight throughput through
+// the engine as a function of batch width. One tractable structure
+// (dense 2WP and DWT workloads, as in E22), many distinct probability
+// vectors; width 1 loops Engine.Do per vector — paying
+// canonicalization, key hashing and scheduling per job — while widths
+// 8/64/256 submit the vectors in SolveBatch chunks, which the engine's
+// same-structure grouping routes through the vectorized kernel as one
+// keying pass and one dispatch per chunk. Results must be
+// byte-identical across widths (the batched kernel is bitwise equal to
+// per-vector evaluation), the BatchRuns/BatchLanes counters must
+// account for every lane, and the width-64 speedup over width-1 has a
+// hard floor. The probability vectors are all distinct on purpose:
+// identical lanes would be coalesced by the engine's in-group dedup and
+// the measurement would collapse.
+func runBatchedReweight(e *E) {
+	r := e.r
+	one := []graph.Label{"R"}
+	un := []graph.Label{graph.Unlabeled}
+	// Mid-sized instances: large enough that the lowered programs are
+	// real work, small enough that the per-job fixed costs the batched
+	// path amortizes stay visible next to the per-lane arithmetic.
+	n := *maxN / 32
+	if n < 48 {
+		n = 48
+	}
+	vectors := 4 * (*reweights)
+	workloads := []reweightWorkload{
+		{"2WP (Prop 4.11)", graph.Path2WP(graph.Fwd("R"), graph.Bwd("R"), graph.Fwd("R"), graph.Bwd("R"), graph.Fwd("R")),
+			gen.RandProb(r, gen.RandInClass(r, graph.Class2WP, n, one), 0.5)},
+		{"DWT (Prop 3.6)", graph.UnlabeledPath(3),
+			gen.RandProb(r, gen.RandInClass(r, graph.ClassUDWT, n, un), 0.5)},
+	}
+	opts := &core.Options{DisableFallback: true, Precision: core.PrecisionFast}
+	for _, wl := range workloads {
+		numEdges := wl.h.G.NumEdges()
+		makeLane := func() *graph.ProbGraph {
+			inst := wl.h.CloneProbs()
+			for ei := 0; ei < numEdges; ei++ {
+				e.check(inst.SetProb(ei, big.NewRat(int64(r.Intn(10001)), 10000)))
+			}
+			return inst
+		}
+		jobs := make([]engine.Job, vectors)
+		for i := range jobs {
+			jobs[i] = engine.Job{Query: wl.q, Instance: makeLane(), Opts: opts}
+		}
+		warmup := engine.Job{Query: wl.q, Instance: makeLane(), Opts: opts}
+
+		var baseline []string
+		var d1 time.Duration
+		for _, w := range []int{1, 8, 64, 256} {
+			if w > vectors {
+				continue
+			}
+			// Each width runs three times on a fresh engine with
+			// memoization off — every vector is genuinely evaluated, the
+			// warmup job pre-compiles the structure so each rep measures
+			// evaluation rather than the one-off compile, and the best of
+			// the three reps is recorded (per-width elapsed is a few
+			// milliseconds, where scheduler noise would otherwise dominate
+			// the width-to-width ratios).
+			var d time.Duration
+			var st engine.Stats
+			var got []string
+			for rep := 0; rep < 3; rep++ {
+				eng := engine.New(engine.Options{CacheSize: -1})
+				if res := eng.Do(warmup); res.Err != nil {
+					e.check(res.Err)
+				}
+				got = make([]string, vectors)
+				start := time.Now()
+				if w == 1 {
+					for i, j := range jobs {
+						res := eng.Do(j)
+						e.check(res.Err)
+						got[i] = res.Result.Prob.RatString()
+					}
+				} else {
+					for lo := 0; lo < vectors; lo += w {
+						hi := lo + w
+						if hi > vectors {
+							hi = vectors
+						}
+						for i, res := range eng.SolveBatch(jobs[lo:hi]) {
+							e.check(res.Err)
+							got[lo+i] = res.Result.Prob.RatString()
+						}
+					}
+				}
+				dr := time.Since(start)
+				st = eng.Stats()
+				e.check(eng.Close())
+				if rep == 0 || dr < d {
+					d = dr
+				}
+			}
+
+			if w == 1 {
+				baseline, d1 = got, d
+			} else {
+				for i := range got {
+					if got[i] != baseline[i] {
+						e.fatalf("%s width=%d: lane %d diverged from width-1 (%s vs %s)",
+							wl.name, w, i, got[i], baseline[i])
+					}
+				}
+				wantRuns := uint64((vectors + w - 1) / w)
+				if st.BatchRuns != wantRuns || st.BatchLanes != uint64(vectors) {
+					e.fatalf("%s width=%d: batch_runs=%d batch_lanes=%d, want %d/%d",
+						wl.name, w, st.BatchRuns, st.BatchLanes, wantRuns, vectors)
+				}
+			}
+			m := metric(fmt.Sprintf("%s n=%d width=%d", wl.name, n, w),
+				fmt.Sprintf("vectors=%d", vectors), d)
+			m.Counters = map[string]int64{
+				"batch_runs":    int64(st.BatchRuns),
+				"batch_lanes":   int64(st.BatchLanes),
+				"plan_compiles": int64(st.PlanCompiles),
+			}
+			m.OpsPerSec = float64(vectors) / d.Seconds()
+			if w > 1 {
+				m.Speedup = float64(d1) / float64(d)
+				// The conservative in-code floor; the recorded artifact
+				// carries the actual ratio (well above this on an idle
+				// machine — see EXPERIMENTS.md E24).
+				if w == 64 && m.Speedup < 2 {
+					e.fatalf("%s: width-64 speedup %.2fx below the 2x floor", wl.name, m.Speedup)
+				}
+			}
+			e.emit(m)
 		}
 	}
 }

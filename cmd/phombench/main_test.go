@@ -51,7 +51,7 @@ func TestBenchRecordsDeterministic(t *testing.T) {
 		t.Skip("runs real experiment workloads")
 	}
 	withBenchFlags(t)
-	for _, id := range []string{"E20", "E21", "E22", "E23"} {
+	for _, id := range []string{"E20", "E21", "E22", "E23", "E24"} {
 		a := recordExperiment(t, id)
 		b := recordExperiment(t, id)
 		benchrec.Normalize(a)
@@ -99,7 +99,7 @@ func TestRunOneIsolatesFailures(t *testing.T) {
 	_ = runOne(func(e *E) { panic("genuine bug") }, e)
 }
 
-// TestExperimentRegistry: ids are unique and E1–E23 are all present —
+// TestExperimentRegistry: ids are unique and E1–E24 are all present —
 // the -run filter silently matches nothing otherwise.
 func TestExperimentRegistry(t *testing.T) {
 	seen := map[string]bool{}
@@ -112,7 +112,7 @@ func TestExperimentRegistry(t *testing.T) {
 			t.Errorf("experiment %s is missing a title or function", def.id)
 		}
 	}
-	for i := 1; i <= 23; i++ {
+	for i := 1; i <= 24; i++ {
 		if id := fmt.Sprintf("E%d", i); !seen[id] {
 			t.Errorf("experiment %s not registered", id)
 		}

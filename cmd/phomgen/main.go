@@ -24,6 +24,14 @@
 //
 //	phomgen -replay http://localhost:8080 -requests 500 \
 //	    -mix solve:4,reweight:8,batch:1,stream:1,bad:1,hard:1
+//	phomgen -replay http://localhost:8080 -requests 500 \
+//	    -mix reweight-heavy -batchsize 32
+//
+// The mix accepts kind:weight pairs (solve, reweight, reweight_batch,
+// batch, stream, bad, hard) or a preset name: "default", or
+// "reweight-heavy" for a probability-sweep profile dominated by
+// multi-vector /reweight requests (probs_batch, -batchsize vectors per
+// request) that the server routes through the engine's batched kernel.
 //
 // Replay exits nonzero if any response falls outside the typed status
 // taxonomy or violates the wire contract (Report.Unaccounted > 0).
@@ -69,8 +77,8 @@ func main() {
 		replayURL   = flag.String("replay", "", "replay mode: phomserve base URL to fire traffic at")
 		requests    = flag.Int("requests", 200, "replay: total requests")
 		concurrency = flag.Int("concurrency", 4, "replay: in-flight requests")
-		mixFlag     = flag.String("mix", "", "replay: traffic mix, e.g. solve:4,reweight:8,batch:1,stream:1,bad:1,hard:1")
-		batchSize   = flag.Int("batchsize", 4, "replay: jobs per batch/stream request")
+		mixFlag     = flag.String("mix", "", "replay: traffic mix (kind:weight,... or a preset: default, reweight-heavy)")
+		batchSize   = flag.Int("batchsize", 4, "replay: jobs per batch/stream request and vectors per reweight_batch")
 		precision   = flag.String("precision", "", "replay: options.precision on every job (exact|fast|auto)")
 		jobTimeout  = flag.Duration("jobtimeout", 0, "replay: per-job timeout_ms budget (default 5s, negative disables)")
 	)

@@ -21,7 +21,11 @@
 //	               whose structure was seen before evaluate a cached
 //	               compiled plan instead of re-solving ("plan_hit": true
 //	               in the response) — the fast path for what-if analysis
-//	               and probability sweeps.
+//	               and probability sweeps. The multi-vector form
+//	               {"probs_batch": [{...}, {...}]} evaluates many
+//	               probability vectors over the one structure in a
+//	               single vectorized batch and answers with per-vector
+//	               results ({"results": [...], "stats": {...}}).
 //	POST /batch    {"jobs": [ ... ]}; results in job order, per-job errors.
 //	               With ?stream=1 the results come back as NDJSON in
 //	               completion order instead — one line per job tagged

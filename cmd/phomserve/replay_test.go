@@ -23,7 +23,7 @@ func TestReplayMixedWorkload(t *testing.T) {
 		Requests:    60,
 		Concurrency: 4,
 		Seed:        7,
-		Mix:         replay.Mix{Solve: 4, Reweight: 8, Batch: 2, Stream: 2, Bad: 1, Hard: 1},
+		Mix:         replay.Mix{Solve: 4, Reweight: 8, ReweightBatch: 3, Batch: 2, Stream: 2, Bad: 1, Hard: 1},
 		Family:      gen.FamBA,
 		N:           40,
 		BatchSize:   5,
@@ -112,12 +112,67 @@ func TestParseMix(t *testing.T) {
 	if err != nil || m.Solve != 3 || m.Stream != 1 || m.Reweight != 0 {
 		t.Fatalf("ParseMix: %+v, %v", m, err)
 	}
+	m, err = replay.ParseMix("reweight_batch:5,solve:1")
+	if err != nil || m.ReweightBatch != 5 || m.Solve != 1 {
+		t.Fatalf("ParseMix reweight_batch: %+v, %v", m, err)
+	}
 	if m, err := replay.ParseMix(""); err != nil || m != replay.DefaultMix {
 		t.Fatalf("empty mix: %+v, %v", m, err)
+	}
+	if m, err := replay.ParseMix("default"); err != nil || m != replay.DefaultMix {
+		t.Fatalf("default preset: %+v, %v", m, err)
+	}
+	m, err = replay.ParseMix("reweight-heavy")
+	if err != nil || m != replay.ReweightHeavyMix || m.ReweightBatch == 0 {
+		t.Fatalf("reweight-heavy preset: %+v, %v", m, err)
 	}
 	for _, bad := range []string{"solve", "solve:x", "warp:1", "solve:0"} {
 		if _, err := replay.ParseMix(bad); err == nil {
 			t.Errorf("ParseMix(%q) accepted", bad)
 		}
+	}
+}
+
+// TestReplayReweightHeavy: the reweight-heavy preset fires multi-vector
+// reweights that come back as full per-vector result arrays, and the
+// server routes their lanes through the engine's batched kernel.
+func TestReplayReweightHeavy(t *testing.T) {
+	ts := newTestServer(t)
+	rep, err := replay.Run(context.Background(), replay.Options{
+		BaseURL:     ts.URL,
+		Requests:    16,
+		Concurrency: 4,
+		Seed:        9,
+		Mix:         replay.ReweightHeavyMix,
+		Family:      gen.FamBA,
+		N:           32,
+		BatchSize:   4,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unaccounted() != 0 {
+		t.Fatalf("%d unaccounted responses (off-taxonomy %d, body errors %d): %v",
+			rep.Unaccounted(), rep.OffTaxonomy, rep.BodyErrors, rep.Failures)
+	}
+	if rep.ByKind["reweight_batch"] == 0 {
+		t.Fatal("reweight-heavy mix fired no reweight_batch requests")
+	}
+
+	// The lanes must have gone through the batched kernel, not the
+	// per-job path: the server's engine stats are exposed on /healthz.
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Stats.BatchRuns == 0 || health.Stats.BatchLanes == 0 {
+		t.Errorf("batch_runs=%d batch_lanes=%d after reweight-heavy replay: lanes did not batch",
+			health.Stats.BatchRuns, health.Stats.BatchLanes)
 	}
 }

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"testing"
+)
+
+// randProbsVec builds one probs-override map over the example
+// instance's uncertain edges.
+func randProbsVec(r *rand.Rand) map[string]string {
+	keys := []string{"0>2", "1>2", "1>3", "0>3", "2>3"}
+	vec := make(map[string]string, len(keys))
+	for _, k := range keys {
+		vec[k] = fmt.Sprintf("%d/17", 1+r.Intn(16))
+	}
+	return vec
+}
+
+// TestReweightBatchMatchesSingle: the multi-vector reweight answers
+// each vector exactly as a single-vector /reweight of the same map
+// would, in request order, and reports the lanes went through the
+// batched kernel.
+func TestReweightBatchMatchesSingle(t *testing.T) {
+	ts := newTestServer(t)
+	r := rand.New(rand.NewSource(11))
+	vecs := make([]map[string]string, 8)
+	for i := range vecs {
+		vecs[i] = randProbsVec(r)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/reweight", reweightRequest{
+		solveRequest: solveRequest{QueryText: exampleQueryText, InstanceText: exampleInstanceText},
+		ProbsBatch:   vecs,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != len(vecs) {
+		t.Fatalf("%d results for %d vectors", len(br.Results), len(vecs))
+	}
+	if br.Stats.BatchRuns == 0 || br.Stats.BatchLanes < uint64(len(vecs)) {
+		t.Errorf("batch_runs=%d batch_lanes=%d: lanes did not route through the batched kernel",
+			br.Stats.BatchRuns, br.Stats.BatchLanes)
+	}
+
+	// A second server answers each vector individually; answers must
+	// match byte-for-byte.
+	ts2 := newTestServer(t)
+	for i, vec := range vecs {
+		if br.Results[i].Error != "" {
+			t.Fatalf("lane %d: %s", i, br.Results[i].Error)
+		}
+		sResp, sBody := postJSON(t, ts2.URL+"/reweight", reweightRequest{
+			solveRequest: solveRequest{QueryText: exampleQueryText, InstanceText: exampleInstanceText},
+			Probs:        vec,
+		})
+		if sResp.StatusCode != http.StatusOK {
+			t.Fatalf("single reweight %d: status %d: %s", i, sResp.StatusCode, sBody)
+		}
+		var sr solveResponse
+		if err := json.Unmarshal(sBody, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if br.Results[i].Prob != sr.Prob {
+			t.Errorf("lane %d: batch prob %s, single prob %s", i, br.Results[i].Prob, sr.Prob)
+		}
+		if br.Results[i].Method != sr.Method {
+			t.Errorf("lane %d: batch method %s, single method %s", i, br.Results[i].Method, sr.Method)
+		}
+	}
+}
+
+// TestReweightBatchFastBounds: under fast precision every lane carries
+// its own certified enclosure and the point estimate sits inside it.
+// The tractable 1WP-on-path pair is used (the example pair is #P-hard
+// and would fall back to exact brute force).
+func TestReweightBatchFastBounds(t *testing.T) {
+	ts := newTestServer(t)
+	r := rand.New(rand.NewSource(13))
+	vecs := make([]map[string]string, 4)
+	for i := range vecs {
+		vecs[i] = map[string]string{
+			"0>1": fmt.Sprintf("%d/17", 1+r.Intn(16)),
+			"1>2": fmt.Sprintf("%d/17", 1+r.Intn(16)),
+		}
+	}
+	resp, body := postJSON(t, ts.URL+"/reweight", reweightRequest{
+		solveRequest: solveRequest{
+			QueryText:    precQueryText,
+			InstanceText: precInstanceText,
+			Options:      &solveOptions{Precision: "fast"},
+		},
+		ProbsBatch: vecs,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br batchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range br.Results {
+		if res.Error != "" {
+			t.Fatalf("lane %d: %s", i, res.Error)
+		}
+		if res.Precision != "fast" {
+			t.Errorf("lane %d: precision %q, want fast", i, res.Precision)
+		}
+		if res.ProbLo == nil || res.ProbHi == nil {
+			t.Fatalf("lane %d: fast result without bounds", i)
+		}
+		if res.ProbFloat < *res.ProbLo || res.ProbFloat > *res.ProbHi {
+			t.Errorf("lane %d: prob_float %v outside [%v, %v]", i, res.ProbFloat, *res.ProbLo, *res.ProbHi)
+		}
+	}
+}
+
+// TestReweightBatchBadInput: malformed vectors, the probs/probs_batch
+// exclusivity rule and the size cap are 400s before anything executes.
+func TestReweightBatchBadInput(t *testing.T) {
+	ts := newTestServer(t)
+	base := solveRequest{QueryText: exampleQueryText, InstanceText: exampleInstanceText}
+
+	cases := []struct {
+		name string
+		req  reweightRequest
+	}{
+		{"both forms", reweightRequest{solveRequest: base,
+			Probs:      map[string]string{"1>2": "1/2"},
+			ProbsBatch: []map[string]string{{"1>2": "1/3"}}}},
+		{"bad key", reweightRequest{solveRequest: base, ProbsBatch: []map[string]string{{"nope": "1/2"}}}},
+		{"bad value", reweightRequest{solveRequest: base, ProbsBatch: []map[string]string{{"1>2": "seven"}}}},
+		{"out of range", reweightRequest{solveRequest: base, ProbsBatch: []map[string]string{{"1>2": "3/2"}}}},
+		{"unknown edge", reweightRequest{solveRequest: base, ProbsBatch: []map[string]string{{"3>0": "1/2"}}}},
+		{"bad lane after good", reweightRequest{solveRequest: base,
+			ProbsBatch: []map[string]string{{"1>2": "1/2"}, {"1>2": "bad"}}}},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/reweight", tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.name, resp.StatusCode, body)
+		}
+	}
+
+	// An explicitly-empty probs_batch is a 400, not a silent fallback to
+	// the single-vector form (the Go struct's omitempty would drop it, so
+	// post it raw).
+	resp0, body0 := postRaw(t, ts.URL+"/reweight", fmt.Sprintf(
+		`{"query_text": %q, "instance_text": %q, "probs_batch": []}`,
+		exampleQueryText, exampleInstanceText))
+	if resp0.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty probs_batch: status %d, want 400: %s", resp0.StatusCode, body0)
+	}
+
+	over := make([]map[string]string, maxBatchJobs+1)
+	for i := range over {
+		over[i] = map[string]string{"1>2": "1/2"}
+	}
+	resp, body := postJSON(t, ts.URL+"/reweight", reweightRequest{solveRequest: base, ProbsBatch: over})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400: %s", resp.StatusCode, body)
+	}
+}
+
+// TestReweightBatchPlanReuse: the lanes of one multi-vector reweight
+// share a single compiled plan, and a later multi-vector reweight of
+// the same structure recompiles nothing.
+func TestReweightBatchPlanReuse(t *testing.T) {
+	ts := newTestServer(t)
+	r := rand.New(rand.NewSource(17))
+	post := func() batchResponse {
+		t.Helper()
+		vecs := make([]map[string]string, 6)
+		for i := range vecs {
+			vecs[i] = randProbsVec(r)
+		}
+		resp, body := postJSON(t, ts.URL+"/reweight", reweightRequest{
+			solveRequest: solveRequest{QueryText: exampleQueryText, InstanceText: exampleInstanceText},
+			ProbsBatch:   vecs,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var br batchResponse
+		if err := json.Unmarshal(body, &br); err != nil {
+			t.Fatal(err)
+		}
+		return br
+	}
+	first := post()
+	if first.Stats.PlanCompiles != 1 {
+		t.Errorf("first batch: plan_compiles = %d, want 1", first.Stats.PlanCompiles)
+	}
+	second := post()
+	if second.Stats.PlanCompiles != 1 {
+		t.Errorf("second batch: plan_compiles = %d, want 1 (structure already cached)", second.Stats.PlanCompiles)
+	}
+	if second.Stats.PlanHits == 0 {
+		t.Error("second batch: expected plan hits")
+	}
+}

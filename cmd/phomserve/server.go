@@ -116,6 +116,13 @@ type reweightRequest struct {
 	// Probs overrides edge probabilities: keys are "from>to" endpoint
 	// pairs, values exact rationals in [0, 1] ("1/2", "0.35").
 	Probs map[string]string `json:"probs,omitempty"`
+	// ProbsBatch is the multi-vector form: each element is a Probs-style
+	// override map, and the response is a batchResponse with one result
+	// per vector (same order). All vectors share the request's query and
+	// instance structure, which is exactly the shape the engine's
+	// vectorized reweight path batches into one kernel dispatch.
+	// Mutually exclusive with Probs.
+	ProbsBatch []map[string]string `json:"probs_batch,omitempty"`
 }
 
 type batchRequest struct {
@@ -365,31 +372,19 @@ func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) {
 		writeTypedError(w, phomerr.Wrap(phomerr.CodeBadInput, err))
 		return
 	}
+	if len(req.Probs) > 0 && len(req.ProbsBatch) > 0 {
+		writeError(w, http.StatusBadRequest, "provide probs or probs_batch, not both")
+		return
+	}
+	if req.ProbsBatch != nil {
+		s.reweightBatch(w, r, job, req.ProbsBatch)
+		return
+	}
 	if len(req.Probs) > 0 {
-		inst := job.Instance.Clone()
-		// Distinct JSON keys can normalize to the same edge ("0>1" vs
-		// " 0>1"); map iteration order must never decide which wins.
-		seen := make(map[[2]int]bool, len(req.Probs))
-		for key, val := range req.Probs {
-			from, to, ok := graphio.ParseEdgeKey(key)
-			if !ok {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("bad probs key %q: want \"from>to\"", key))
-				return
-			}
-			if seen[[2]int{from, to}] {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("duplicate probs entry for edge %d>%d", from, to))
-				return
-			}
-			seen[[2]int{from, to}] = true
-			p, err := graphio.ParseRat(val)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("bad probability for edge %q: %v", key, err))
-				return
-			}
-			if err := inst.SetEdgeProb(graph.Vertex(from), graph.Vertex(to), p); err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("probs[%q]: %v", key, err))
-				return
-			}
+		inst, err := applyProbs(job.Instance, req.Probs)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
 		}
 		job.Instance = inst
 	}
@@ -399,6 +394,78 @@ func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// applyProbs returns an instance with the {"from>to": "p"} override map
+// applied on top of base. The copy shares base's graph value
+// (graph.ProbGraph.CloneProbs), so the instances built for the lanes of
+// one multi-vector reweight are recognized as one structure by the
+// engine's batch grouping.
+func applyProbs(base *graph.ProbGraph, probs map[string]string) (*graph.ProbGraph, error) {
+	inst := base.CloneProbs()
+	// Distinct JSON keys can normalize to the same edge ("0>1" vs
+	// " 0>1"); map iteration order must never decide which wins.
+	seen := make(map[[2]int]bool, len(probs))
+	for key, val := range probs {
+		from, to, ok := graphio.ParseEdgeKey(key)
+		if !ok {
+			return nil, fmt.Errorf("bad probs key %q: want \"from>to\"", key)
+		}
+		if seen[[2]int{from, to}] {
+			return nil, fmt.Errorf("duplicate probs entry for edge %d>%d", from, to)
+		}
+		seen[[2]int{from, to}] = true
+		p, err := graphio.ParseRat(val)
+		if err != nil {
+			return nil, fmt.Errorf("bad probability for edge %q: %v", key, err)
+		}
+		if err := inst.SetEdgeProb(graph.Vertex(from), graph.Vertex(to), p); err != nil {
+			return nil, fmt.Errorf("probs[%q]: %v", key, err)
+		}
+	}
+	return inst, nil
+}
+
+// reweightBatch serves the multi-vector form of /reweight: one job per
+// probability vector, all sharing the request's query and instance
+// structure. Malformed vectors are a 400 before anything executes;
+// per-vector solver failures surface inside the corresponding result,
+// exactly like /batch. The lanes are submitted in one Engine.Stream
+// call so the engine's same-structure grouping routes them through the
+// vectorized kernel (stats.batch_runs/batch_lanes in the response show
+// it happened).
+func (s *server) reweightBatch(w http.ResponseWriter, r *http.Request, job engine.Job, vecs []map[string]string) {
+	if len(vecs) == 0 {
+		writeError(w, http.StatusBadRequest, "probs_batch is empty")
+		return
+	}
+	if len(vecs) > maxBatchJobs {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("probs_batch has %d vectors, limit is %d", len(vecs), maxBatchJobs))
+		return
+	}
+	jobs := make([]engine.Job, len(vecs))
+	for k, pm := range vecs {
+		inst, err := applyProbs(job.Instance, pm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("probs_batch[%d]: %v", k, err))
+			return
+		}
+		lane := job
+		lane.Instance = inst
+		jobs[k] = lane
+	}
+	start := time.Now()
+	results := make([]solveResponse, len(jobs))
+	for sr := range s.engine.Stream(r.Context(), jobs) {
+		// elapsed_us is completion-order latency (batch start to this
+		// lane's delivery), matching the streamed /batch convention.
+		results[sr.Index] = buildResponse(jobs[sr.Index], sr.JobResult, time.Since(start))
+	}
+	writeJSON(w, http.StatusOK, batchResponse{
+		Results:   results,
+		Stats:     s.engine.Stats(),
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
 }
 
 // handlePlansExport streams a snapshot of the engine's compiled-plan

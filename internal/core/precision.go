@@ -6,7 +6,6 @@ import (
 	"math"
 	"math/big"
 
-	"phom/internal/graph"
 	"phom/internal/phomerr"
 	"phom/internal/plan"
 )
@@ -111,16 +110,8 @@ func (cp *CompiledPlan) EvaluateOptsContext(ctx context.Context, probs []*big.Ra
 // evaluate is the routing core shared by Evaluate and EvaluateOpts:
 // validate the probability vector, then pick the numeric substrate.
 func (cp *CompiledPlan) evaluate(ctx context.Context, probs []*big.Rat, prec Precision, tol float64) (*Result, error) {
-	if len(probs) != cp.numEdges {
-		return nil, phomerr.New(phomerr.CodeBadInput, "core: %d probabilities for a plan over %d edges", len(probs), cp.numEdges)
-	}
-	for i, p := range probs {
-		if p == nil {
-			return nil, phomerr.New(phomerr.CodeBadInput, "core: nil probability for edge %d", i)
-		}
-		if p.Sign() < 0 || p.Cmp(graph.RatOne) > 0 {
-			return nil, phomerr.New(phomerr.CodeBadInput, "core: edge %d probability %s outside [0,1]", i, p.RatString())
-		}
+	if err := cp.validateProbs(probs); err != nil {
+		return nil, err
 	}
 	if cp.opaque {
 		// Opaque plans have no program, hence no float kernel: every
@@ -140,6 +131,28 @@ func (cp *CompiledPlan) evaluate(ctx context.Context, probs []*big.Rat, prec Pre
 	return &Result{Prob: pr, Method: cp.method, Precision: PrecisionExact}, nil
 }
 
+// validateProbs checks a probability vector against the plan: right
+// length, no nils, every entry in [0,1]. Shared by the single-vector
+// and batched evaluation entry points.
+func (cp *CompiledPlan) validateProbs(probs []*big.Rat) error {
+	if len(probs) != cp.numEdges {
+		return phomerr.New(phomerr.CodeBadInput, "core: %d probabilities for a plan over %d edges", len(probs), cp.numEdges)
+	}
+	for i, p := range probs {
+		if p == nil {
+			return phomerr.New(phomerr.CodeBadInput, "core: nil probability for edge %d", i)
+		}
+		// p ∈ [0,1] iff 0 ≤ num ≤ denom (big.Rat keeps denom > 0 and the
+		// sign on num). Comparing the parts directly avoids Rat.Cmp's
+		// cross-multiplication, which allocates — this runs per edge per
+		// lane on the batched reweight path.
+		if p.Num().Sign() < 0 || p.Num().Cmp(p.Denom()) > 0 {
+			return phomerr.New(phomerr.CodeBadInput, "core: edge %d probability %s outside [0,1]", i, p.RatString())
+		}
+	}
+	return nil
+}
+
 // evaluateFloat runs the float64 interval kernel and decides whether
 // its result may be served: always for PrecisionFast (the caller asked
 // for float speed), and only within tolerance for PrecisionAuto. ok is
@@ -150,6 +163,14 @@ func (cp *CompiledPlan) evaluateFloat(probs []*big.Rat, prec Precision, tol floa
 	if err != nil {
 		return nil, false
 	}
+	return cp.serveFloat(iv, prec, tol)
+}
+
+// serveFloat applies the serve-or-fall-back decision to one certified
+// enclosure — the per-lane half of evaluateFloat, shared with the
+// batched path, which produces K enclosures from a single kernel
+// dispatch and routes each lane through this independently.
+func (cp *CompiledPlan) serveFloat(iv plan.Enclosure, prec Precision, tol float64) (*Result, bool) {
 	mid := iv.Mid()
 	if math.IsInf(mid, 0) || math.IsNaN(mid) {
 		return nil, false

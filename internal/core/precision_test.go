@@ -233,11 +233,13 @@ func TestPrecisionToleranceBoundaries(t *testing.T) {
 		// Near 1, the enclosure cannot be tighter than an ulp of 1.
 		{"near-1 loose tol", nearOne, 1e-9, true},
 		{"near-1 tight tol", nearOne, 1e-17, false},
-		// Near 0 the chain DP still computes 1−(1−p)·…, so the bound is
-		// ulp-of-1-scale, not subnormal-scale: a tolerance under that
-		// must fall back even though p itself converts almost exactly.
+		// Near 0 the chain DP emits 1−(1−p), which the lowering-time
+		// optimizer collapses to p itself, so the enclosure is ulp-of-p
+		// scale (~1e-316 here), not ulp-of-1 scale. Only a tolerance
+		// below that forces fallback.
 		{"near-0 loose tol", tiny, 1e-9, true},
-		{"near-0 tight tol", tiny, 1e-17, false},
+		{"near-0 tol below ulp(1)", tiny, 1e-17, true},
+		{"near-0 tight tol", tiny, 1e-317, false},
 	}
 	for _, tc := range cases {
 		if err := h.SetProb(0, tc.p); err != nil {

@@ -170,6 +170,14 @@ type Stats struct {
 	PlanHits uint64 `json:"plan_hits"`
 	// PlanCompiles counts executed jobs that compiled a fresh plan.
 	PlanCompiles uint64 `json:"plan_compiles"`
+	// BatchRuns counts batched executions: groups of same-structure,
+	// same-options reweight jobs that Stream/SolveBatch routed through
+	// the vectorized kernel as one dispatch (each chunk of up to
+	// batchMaxLanes lanes is one run).
+	BatchRuns uint64 `json:"batch_runs"`
+	// BatchLanes counts the jobs carried by those batched runs — lanes
+	// served from the memo cache included, kernel-evaluated or not.
+	BatchLanes uint64 `json:"batch_lanes"`
 	// FloatFast counts executed jobs that requested the float64 fast
 	// path (precision fast or auto) and were answered by it — the
 	// result carries a certified error bound instead of an exact
@@ -436,6 +444,15 @@ type StreamResult struct {
 // remaining jobs — they fail fast and their StreamResults carry the
 // typed phomerr.ErrCanceled. Per-job failures arrive as StreamResults
 // with Err set, like SolveBatch's.
+//
+// Jobs that share one query, one instance structure (graph identity —
+// see graph.ProbGraph.CloneProbs) and one options fingerprint — the
+// reweight pattern — are grouped and executed through the batched
+// evaluation kernel: one plan fetch and one vectorized dispatch for the
+// whole group instead of one interpreter walk per job (Stats.BatchRuns
+// / BatchLanes). Grouping changes scheduling only, never results:
+// per-lane results, errors, memo-cache interaction and cancellation
+// behave as if each job ran alone.
 func (e *Engine) Stream(ctx context.Context, jobs []Job) <-chan StreamResult {
 	// Buffered to len(jobs): each job sends exactly once, so the sends
 	// can never block and every job's result is delivered even if ctx
@@ -443,6 +460,7 @@ func (e *Engine) Stream(ctx context.Context, jobs []Job) <-chan StreamResult {
 	// O(len(jobs)) a SolveBatch result slice costs; what Stream saves
 	// is the *latency* of the barrier, not the result storage.
 	out := make(chan StreamResult, len(jobs))
+	groups, singles := batchGroups(jobs)
 	go func() {
 		// Bound the submission fan-out like the historical SolveBatch:
 		// a slot is acquired *before* spawning, so a million-job stream
@@ -450,26 +468,45 @@ func (e *Engine) Stream(ctx context.Context, jobs []Job) <-chan StreamResult {
 		// rather than a million stacks. Coalesced waiters holding a
 		// slot cannot deadlock the stream: a waiter only ever waits on
 		// a call whose leader has already enqueued, and the workers
-		// drain independently of these slots.
+		// drain independently of these slots. A batch group occupies
+		// one slot for all its lanes.
 		sem := make(chan struct{}, 4*e.workers)
 		var wg sync.WaitGroup
-		for i, job := range jobs {
+		// launch runs f on a fresh goroutine once a slot frees up; it
+		// reports false when ctx fired first (nothing was launched).
+		launch := func(f func()) bool {
 			select {
 			case sem <- struct{}{}:
 			case <-ctx.Done():
+				return false
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				f()
+				<-sem
+			}()
+			return true
+		}
+		for _, lanes := range groups {
+			lanes := lanes
+			if !launch(func() { e.runBatchGroup(ctx, out, jobs, lanes) }) {
 				// Cancelled while queueing: deliver the typed error
 				// directly — no worker slot, no goroutine — so the
 				// consumer still sees one result per job.
-				out <- StreamResult{Index: i, JobResult: JobResult{Err: phomerr.FromContext(ctx)}}
-				continue
+				err := phomerr.FromContext(ctx)
+				for _, i := range lanes {
+					out <- StreamResult{Index: i, JobResult: JobResult{Err: err}}
+				}
 			}
-			wg.Add(1)
-			go func(i int, job Job) {
-				defer wg.Done()
-				r := e.DoContext(ctx, job)
-				<-sem
-				out <- StreamResult{Index: i, JobResult: r}
-			}(i, job)
+		}
+		for _, i := range singles {
+			i := i
+			if !launch(func() {
+				out <- StreamResult{Index: i, JobResult: e.DoContext(ctx, jobs[i])}
+			}) {
+				out <- StreamResult{Index: i, JobResult: JobResult{Err: phomerr.FromContext(ctx)}}
+			}
 		}
 		wg.Wait()
 		close(out)

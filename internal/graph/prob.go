@@ -120,6 +120,20 @@ func (p *ProbGraph) Clone() *ProbGraph {
 	return q
 }
 
+// CloneProbs returns a probabilistic graph sharing p's underlying
+// graph value but owning its probability assignment: SetProb on either
+// never affects the other (probabilities are stored as fresh copies and
+// replaced whole, never mutated in place). This is the reweight-lane
+// constructor — K lanes over one structure share one *Graph, which is
+// what lets batch consumers (the engine's same-structure grouping, the
+// server's multi-vector reweight) recognize the lanes as groupable by
+// graph identity instead of re-canonicalizing each.
+func (p *ProbGraph) CloneProbs() *ProbGraph {
+	q := &ProbGraph{G: p.G, probs: make([]*big.Rat, len(p.probs))}
+	copy(q.probs, p.probs)
+	return q
+}
+
 // Validate checks that every probability is a rational in [0, 1].
 func (p *ProbGraph) Validate() error {
 	if len(p.probs) != p.G.NumEdges() {

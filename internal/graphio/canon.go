@@ -1,10 +1,13 @@
 package graphio
 
 import (
+	"bytes"
 	"crypto/sha256"
+	"encoding"
 	"encoding/hex"
 	"fmt"
 	"io"
+	"math/big"
 	"sort"
 	"strconv"
 	"strings"
@@ -185,6 +188,89 @@ func StructKeyJob(queryCanon []string, g *graph.Graph, optsFingerprint string) (
 	}
 	writeOptsSection(hs, optsFingerprint)
 	return hex.EncodeToString(hs.Sum(nil)), order
+}
+
+// BatchJobKeys computes JobKeys for a batch of same-structure lanes in
+// one pass: K instances sharing one underlying graph get K job keys,
+// one structure key and one canonical edge order, byte-identical to K
+// independent JobKeys calls. The shared work — canonical edge ordering,
+// edge-line rendering, the query/instance header hash — is done once;
+// per lane only the probability suffixes and the options section are
+// hashed, with the header's sha256 state cloned via its binary
+// marshaling instead of re-hashed. This is the keying half of the
+// engine's batched reweight path: deriving K memo-cache keys must not
+// cost K full canonicalizations, or batching's win dies in the hasher.
+//
+// Lanes whose instance does not share instances[0]'s underlying graph
+// value are keyed with a full per-lane JobKeys pass — correct, just not
+// amortized. Callers that group by graph identity (package engine) never
+// hit that path.
+func BatchJobKeys(queryCanon []string, instances []*graph.ProbGraph, optsFingerprint, structOptsFingerprint string) (jobKeys []string, structKey string, order []int) {
+	if len(instances) == 0 {
+		return nil, "", nil
+	}
+	g := instances[0].G
+	hs, hp := sha256.New(), sha256.New()
+	fmt.Fprintf(hs, "struct\n")
+	var prefix bytes.Buffer
+	writeJobSections(io.MultiWriter(hp, hs, &prefix), queryCanon, g.NumVertices())
+	order = CanonicalEdgeOrder(g)
+	// Render every canonical edge line once, ending in the '=' that the
+	// per-lane probability suffix continues.
+	lines := make([][]byte, len(order))
+	for i, ei := range order {
+		b := canonEdgeLine(nil, g.Edge(ei))
+		hs.Write(append(b, '\n'))
+		lines[i] = append(b[:len(b):len(b)], '=')
+	}
+	writeOptsSection(hs, structOptsFingerprint)
+	structKey = hex.EncodeToString(hs.Sum(nil))
+
+	snap, snapErr := hp.(encoding.BinaryMarshaler).MarshalBinary()
+	jobKeys = make([]string, len(instances))
+	var buf []byte
+	for k, inst := range instances {
+		if inst.G != g {
+			jobKeys[k], _, _ = JobKeys(queryCanon, inst, optsFingerprint, structOptsFingerprint)
+			continue
+		}
+		hj := sha256.New()
+		if snapErr == nil && hj.(encoding.BinaryUnmarshaler).UnmarshalBinary(snap) == nil {
+			// header state restored without re-hashing
+		} else {
+			hj = sha256.New()
+			hj.Write(prefix.Bytes())
+		}
+		// The whole probability suffix is rendered into one reused buffer
+		// and hashed with a single Write: per-edge hash writes and
+		// big.Int decimal rendering are exactly the per-lane costs that
+		// must stay negligible for batched keying to beat K full passes.
+		buf = buf[:0]
+		for i, ei := range order {
+			buf = append(buf, lines[i]...)
+			buf = appendRat(buf, inst.Prob(ei))
+			buf = append(buf, '\n')
+		}
+		hj.Write(buf)
+		writeOptsSection(hj, optsFingerprint)
+		jobKeys[k] = hex.EncodeToString(hj.Sum(nil))
+	}
+	return jobKeys, structKey, order
+}
+
+// appendRat appends r in the canonical "num/denom" form, with a fast
+// path for machine-word-sized numerators and denominators (the shape of
+// real probability traffic) that skips big.Int's slower decimal
+// rendering. Byte-identical to Num().Append + "/" + Denom().Append.
+func appendRat(buf []byte, r *big.Rat) []byte {
+	if n, d := r.Num(), r.Denom(); n.IsInt64() && d.IsInt64() {
+		buf = strconv.AppendInt(buf, n.Int64(), 10)
+		buf = append(buf, '/')
+		return strconv.AppendInt(buf, d.Int64(), 10)
+	}
+	buf = r.Num().Append(buf, 10)
+	buf = append(buf, '/')
+	return r.Denom().Append(buf, 10)
 }
 
 // CanonicalEdgeOrder returns the edge indices of g sorted by endpoint

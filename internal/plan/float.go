@@ -4,7 +4,24 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sync"
 )
+
+// floatRegPool recycles interval register files across ExecFloat calls,
+// the same way ratRegPool does for the exact path: the fast kernel's
+// per-call cost is a few flops per op, so a register-file allocation
+// per call is a measurable fraction of a dense reweight's budget.
+// Define-before-use (Validate) makes stale contents invisible.
+var floatRegPool sync.Pool
+
+func getFloatRegs(n int) *[]Enclosure {
+	if v, ok := floatRegPool.Get().(*[]Enclosure); ok && cap(*v) >= n {
+		*v = (*v)[:n]
+		return v
+	}
+	s := make([]Enclosure, n)
+	return &s
+}
 
 // This file is the second numeric substrate of the Program IR: ExecFloat
 // runs the same instruction stream as Exec, but over a float64 register
@@ -67,8 +84,38 @@ func (iv Enclosure) Contains(x *big.Rat) bool {
 // representable value in each direction is a certified directed-rounding
 // bound; this trades at most one ulp of tightness per op for not having
 // to touch the FPU rounding mode (which Go cannot portably do).
-func down(x float64) float64 { return math.Nextafter(x, math.Inf(-1)) }
-func up(x float64) float64   { return math.Nextafter(x, math.Inf(1)) }
+//
+// They are open-coded equivalents of math.Nextafter(x, ∓Inf) — same
+// result for every input, NaN and ±Inf included — because Nextafter is
+// too large to inline and these run once or twice per op per lane on
+// the kernel's hot path. IEEE binary64 ordering makes the neighbour a
+// ±1 on the bit pattern within each sign half; only the sign boundary
+// (±0) and the receiving infinity need cases of their own.
+func down(x float64) float64 {
+	if x > 0 { // +Inf lands on MaxFloat64 via the same bits-1
+		return math.Float64frombits(math.Float64bits(x) - 1)
+	}
+	if x < -math.MaxFloat64 || x != x { // -Inf and NaN are fixed points
+		return x
+	}
+	if x < 0 {
+		return math.Float64frombits(math.Float64bits(x) + 1)
+	}
+	return math.Float64frombits(0x8000000000000001) // ±0 → -tiniest subnormal
+}
+
+func up(x float64) float64 {
+	if x < 0 { // -Inf lands on -MaxFloat64 via the same bits-1
+		return math.Float64frombits(math.Float64bits(x) - 1)
+	}
+	if x > math.MaxFloat64 || x != x { // +Inf and NaN are fixed points
+		return x
+	}
+	if x > 0 {
+		return math.Float64frombits(math.Float64bits(x) + 1)
+	}
+	return math.Float64frombits(1) // ±0 → +tiniest subnormal
+}
 
 // sumExact reports whether s is exactly x+y, using the Knuth 2Sum error
 // extraction (valid for all finite floats, subnormals included: the
@@ -118,13 +165,31 @@ func prodExact(x, y, p float64) bool {
 	return math.FMA(x, y, -p) == 0 // Inf/NaN p fail this, forcing widening
 }
 
-// prodBounds returns a certified enclosure of the single product x·y.
+// prodBounds returns a certified enclosure of the single product x·y;
+// prodLo and prodHi are its one-sided halves for callers that only need
+// one bound.
 func prodBounds(x, y float64) (lo, hi float64) {
 	p := x * y
 	if prodExact(x, y, p) {
 		return p, p
 	}
 	return down(p), up(p)
+}
+
+func prodLo(x, y float64) float64 {
+	p := x * y
+	if prodExact(x, y, p) {
+		return p
+	}
+	return down(p)
+}
+
+func prodHi(x, y float64) float64 {
+	p := x * y
+	if prodExact(x, y, p) {
+		return p
+	}
+	return up(p)
 }
 
 // enclose returns a one-ulp float64 interval containing the exact
@@ -163,14 +228,23 @@ func enclose(r *big.Rat) Enclosure {
 	return Enclosure{Lo: down(f), Hi: up(f)}
 }
 
-// mulEnclosure multiplies two intervals. The general four-product form
-// is kept (rather than assuming [0,1] operands) because decoded
-// programs may carry arbitrary constants; the bounds are the min/max of
-// the four per-pair certified enclosures — per-pair, because picking
-// the min of the round-to-nearest products first and bounding it after
-// could land up to half an ulp above the true minimum when two products
-// are within an ulp of each other.
+// mulEnclosure multiplies two intervals. Nonnegative operands — the
+// entire probability domain, hence nearly every multiplication a
+// lowered program performs — take a two-product fast path: the product
+// interval of [a,b]×[c,d] with a,c ≥ 0 is exactly [a·c, b·d], so only
+// those two corners need certified bounds. The general four-product
+// form remains for the rest (decoded programs may carry arbitrary
+// constants, and sound enclosures can dip an ulp below zero); its
+// bounds are the min/max of the four per-pair certified enclosures —
+// per-pair, because picking the min of the round-to-nearest products
+// first and bounding it after could land up to half an ulp above the
+// true minimum when two products are within an ulp of each other. A
+// NaN operand fails the fast path's comparisons and propagates through
+// min/max as before.
 func mulEnclosure(a, b Enclosure) Enclosure {
+	if a.Lo >= 0 && b.Lo >= 0 {
+		return Enclosure{Lo: prodLo(a.Lo, b.Lo), Hi: prodHi(a.Hi, b.Hi)}
+	}
 	lo, hi := prodBounds(a.Lo, b.Lo)
 	for _, xy := range [3][2]float64{{a.Lo, b.Hi}, {a.Hi, b.Lo}, {a.Hi, b.Hi}} {
 		l, h := prodBounds(xy[0], xy[1])
@@ -197,7 +271,9 @@ func (p *Program) ExecFloat(probs []*big.Rat) (Enclosure, error) {
 	if len(probs) != p.NumEdges {
 		return Enclosure{}, fmt.Errorf("plan: %d probabilities for a program over %d edges", len(probs), p.NumEdges)
 	}
-	regs := make([]Enclosure, p.NumRegs)
+	rp := getFloatRegs(p.NumRegs)
+	defer floatRegPool.Put(rp)
+	regs := *rp
 	for i := range p.Ops {
 		op := &p.Ops[i]
 		var r Enclosure

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"phom/internal/phomerr"
 )
@@ -145,6 +146,26 @@ func (p *Program) Exec(probs []*big.Rat) (*big.Rat, error) {
 	return p.ExecCtx(context.Background(), probs)
 }
 
+// ratRegPool recycles exact register files across Exec calls. Pooling
+// does more than skip one make: a reused big.Rat keeps the big.Int
+// backing arrays its numerators and denominators grew on earlier runs,
+// so steady-state reweight serving performs the GCD-normalizing
+// arithmetic of OpMul/OpAdd almost entirely in place instead of
+// re-allocating limb storage per op. Register files of different
+// programs share the pool; an entry too small for the requesting
+// program is dropped and replaced (define-before-use makes stale
+// register contents invisible, so no clearing is needed).
+var ratRegPool sync.Pool
+
+func getRatRegs(n int) *[]big.Rat {
+	if v, ok := ratRegPool.Get().(*[]big.Rat); ok && cap(*v) >= n {
+		*v = (*v)[:n]
+		return v
+	}
+	s := make([]big.Rat, n)
+	return &s
+}
+
 // ExecCtx is Exec with cooperative cancellation: the interpreter polls
 // ctx every phomerr.CheckInterval ops, so a cancelled context aborts a
 // long exact evaluation (programs over large instances run millions of
@@ -155,8 +176,10 @@ func (p *Program) ExecCtx(ctx context.Context, probs []*big.Rat) (*big.Rat, erro
 		return nil, fmt.Errorf("plan: %d probabilities for a program over %d edges", len(probs), p.NumEdges)
 	}
 	cp := phomerr.NewCheckpoint(ctx)
-	regs := make([]big.Rat, p.NumRegs)
-	one := big.NewRat(1, 1)
+	rp := getRatRegs(p.NumRegs)
+	defer ratRegPool.Put(rp)
+	regs := *rp
+	one := ratOne
 	for i := range p.Ops {
 		if err := cp.Check(); err != nil {
 			return nil, err
@@ -355,8 +378,10 @@ var (
 )
 
 // Lower flattens a plan tree into a Program over numEdges instance
-// edges. Opaque plans have no program (ErrOpaque): their evaluation
-// re-runs an exponential baseline and is not expressible as
+// edges and runs the Optimize pass on the result, so every program the
+// solver pipeline executes or serializes is already folded, shared and
+// dead-op free. Opaque plans have no program (ErrOpaque): their
+// evaluation re-runs an exponential baseline and is not expressible as
 // straight-line arithmetic.
 func Lower(p Plan, numEdges int) (*Program, error) {
 	return LowerContext(context.Background(), p, numEdges)
@@ -373,5 +398,9 @@ func LowerContext(ctx context.Context, p Plan, numEdges int) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return b.Finish(out)
+	prog, err := b.Finish(out)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Optimize(), nil
 }

@@ -41,33 +41,47 @@ var TaxonomyStatuses = map[int]bool{
 }
 
 // Mix holds the relative weights of the request kinds in a replay run.
-// Zero-weight kinds are not fired. Bad requests are syntactically
-// malformed (expect 400); Hard requests pair a needle query with
-// disable_fallback on a #P-hard cell (expect 422).
+// Zero-weight kinds are not fired. ReweightBatch requests carry
+// BatchSize probability vectors in one multi-vector /reweight call
+// (the probs_batch wire form the engine routes through its vectorized
+// kernel). Bad requests are syntactically malformed (expect 400); Hard
+// requests pair a needle query with disable_fallback on a #P-hard cell
+// (expect 422).
 type Mix struct {
-	Solve    int `json:"solve"`
-	Reweight int `json:"reweight"`
-	Batch    int `json:"batch"`
-	Stream   int `json:"stream"`
-	Bad      int `json:"bad"`
-	Hard     int `json:"hard"`
+	Solve         int `json:"solve"`
+	Reweight      int `json:"reweight"`
+	ReweightBatch int `json:"reweight_batch"`
+	Batch         int `json:"batch"`
+	Stream        int `json:"stream"`
+	Bad           int `json:"bad"`
+	Hard          int `json:"hard"`
 }
 
-// DefaultMix is the reweight-heavy production shape: mostly probability
+// DefaultMix is the balanced production shape: mostly probability
 // updates over known structures, some fresh solves, a trickle of
 // batches, streams and malformed traffic.
 var DefaultMix = Mix{Solve: 4, Reweight: 8, Batch: 1, Stream: 1, Bad: 1, Hard: 1}
 
+// ReweightHeavyMix is the "reweight-heavy" preset: a probability-sweep
+// serving profile dominated by multi-vector reweights with a floor of
+// single reweights and solves, exercising the engine's batched kernel
+// path end to end.
+var ReweightHeavyMix = Mix{Solve: 2, Reweight: 4, ReweightBatch: 8, Stream: 1, Bad: 1}
+
 // ParseMix parses "solve:4,reweight:8,stream:1" command-line syntax.
+// The named presets "default" and "reweight-heavy" are also accepted.
 func ParseMix(s string) (Mix, error) {
 	m := Mix{}
-	if strings.TrimSpace(s) == "" {
+	switch strings.TrimSpace(s) {
+	case "", "default":
 		return DefaultMix, nil
+	case "reweight-heavy":
+		return ReweightHeavyMix, nil
 	}
 	for _, part := range strings.Split(s, ",") {
 		kind, val, ok := strings.Cut(strings.TrimSpace(part), ":")
 		if !ok {
-			return m, fmt.Errorf("replay: bad mix entry %q: want kind:weight", part)
+			return m, fmt.Errorf("replay: bad mix entry %q: want kind:weight or a preset name", part)
 		}
 		w, err := strconv.Atoi(val)
 		if err != nil || w < 0 {
@@ -78,6 +92,8 @@ func ParseMix(s string) (Mix, error) {
 			m.Solve = w
 		case "reweight":
 			m.Reweight = w
+		case "reweight_batch":
+			m.ReweightBatch = w
 		case "batch":
 			m.Batch = w
 		case "stream":
@@ -90,7 +106,7 @@ func ParseMix(s string) (Mix, error) {
 			return m, fmt.Errorf("replay: unknown mix kind %q", kind)
 		}
 	}
-	if m.Solve+m.Reweight+m.Batch+m.Stream+m.Bad+m.Hard == 0 {
+	if m.Solve+m.Reweight+m.ReweightBatch+m.Batch+m.Stream+m.Bad+m.Hard == 0 {
 		return m, fmt.Errorf("replay: mix has zero total weight")
 	}
 	return m, nil
@@ -111,8 +127,8 @@ type Options struct {
 	// Family and N shape the generated instance (default FamER, 64).
 	Family gen.Family
 	N      int
-	// BatchSize is the number of jobs per batch/stream request
-	// (default 4).
+	// BatchSize is the number of jobs per batch/stream request and of
+	// probability vectors per reweight_batch request (default 4).
 	BatchSize int
 	// Precision, when non-empty, is sent as options.precision on every
 	// well-formed job ("exact", "fast", "auto").
@@ -192,10 +208,11 @@ type wireOptions struct {
 }
 
 type wireJob struct {
-	QueryText    string            `json:"query_text,omitempty"`
-	InstanceText string            `json:"instance_text,omitempty"`
-	Probs        map[string]string `json:"probs,omitempty"`
-	Options      *wireOptions      `json:"options,omitempty"`
+	QueryText    string              `json:"query_text,omitempty"`
+	InstanceText string              `json:"instance_text,omitempty"`
+	Probs        map[string]string   `json:"probs,omitempty"`
+	ProbsBatch   []map[string]string `json:"probs_batch,omitempty"`
+	Options      *wireOptions        `json:"options,omitempty"`
 }
 
 type wireBatch struct {
@@ -267,15 +284,19 @@ func buildRequests(r *rand.Rand, opts Options, corpus *Corpus) ([]request, error
 	solveBody := func() wireJob {
 		return wireJob{QueryText: queryText(), InstanceText: instText, Options: wopts}
 	}
-	reweightBody := func() wireJob {
-		job := solveBody()
-		job.Probs = map[string]string{}
+	probsVec := func() map[string]string {
+		vec := map[string]string{}
 		edges := corpus.Instance.G.Edges()
 		for i := 0; i < 3 && len(edges) > 0; i++ {
 			e := edges[r.Intn(len(edges))]
 			key := fmt.Sprintf("%d>%d", e.From, e.To)
-			job.Probs[key] = fmt.Sprintf("%d/16", r.Intn(17))
+			vec[key] = fmt.Sprintf("%d/16", r.Intn(17))
 		}
+		return vec
+	}
+	reweightBody := func() wireJob {
+		job := solveBody()
+		job.Probs = probsVec()
 		return job
 	}
 	kinds := weightedKinds(opts.Mix)
@@ -297,6 +318,17 @@ func buildRequests(r *rand.Rand, opts Options, corpus *Corpus) ([]request, error
 		case "reweight":
 			b, _ := json.Marshal(reweightBody())
 			rq = request{kind: kind, path: "/reweight", body: b}
+		case "reweight_batch":
+			// One multi-vector reweight: BatchSize probability vectors over
+			// the shared structure, answered as an indexed results array the
+			// engine serves through its batched kernel.
+			job := solveBody()
+			job.ProbsBatch = make([]map[string]string, batchSize)
+			for v := range job.ProbsBatch {
+				job.ProbsBatch[v] = probsVec()
+			}
+			b, _ := json.Marshal(job)
+			rq = request{kind: kind, path: "/reweight", body: b, jobs: batchSize}
 		case "batch", "stream":
 			jobs := make([]wireJob, batchSize)
 			for j := range jobs {
@@ -356,6 +388,7 @@ func weightedKinds(m Mix) []string {
 	}
 	add("solve", m.Solve)
 	add("reweight", m.Reweight)
+	add("reweight_batch", m.ReweightBatch)
 	add("batch", m.Batch)
 	add("stream", m.Stream)
 	add("bad", m.Bad)
