@@ -1,6 +1,6 @@
 // Command phombench is the experiment harness: for every table and
 // figure of the paper it regenerates the corresponding artifact
-// empirically (see EXPERIMENTS.md for the index E1–E24). For PTIME
+// empirically (see EXPERIMENTS.md for the index E1–E25). For PTIME
 // cells it measures runtime scaling of the dispatched algorithm over
 // growing instances; for #P-hard cells it executes the paper's
 // reduction, checks the exact counting identity, and measures the
@@ -15,11 +15,14 @@
 // dispatch lattice: class membership, graphio round-trips, verdict
 // census, and needle-query throughput through the public request API;
 // E24 measures end-to-end reweight throughput against batch width
-// (1/8/64/256) through the engine's vectorized same-structure batching.
+// (1/8/64/256) through the engine's vectorized same-structure batching;
+// E25 runs the sharded serving tier end to end: a phomgate over 1/2/4
+// in-process phomserve replicas against one process, with the
+// per-process plan cache as the resource replication multiplies.
 //
 // Experiments are selected with -run, an unanchored regular expression
-// over experiment ids (like go test -run): -run 'E2[0-4]' runs
-// E20–E24. Every experiment embeds correctness assertions; a failing
+// over experiment ids (like go test -run): -run 'E2[0-5]' runs
+// E20–E25. Every experiment embeds correctness assertions; a failing
 // assertion marks that experiment FAILED and the process exits nonzero
 // after all selected experiments have run.
 //
@@ -33,7 +36,7 @@
 //
 // Usage:
 //
-//	phombench [-run 'E2[0-4]'] [-seed 1] [-maxn 4096] [-csv]
+//	phombench [-run 'E2[0-5]'] [-seed 1] [-maxn 4096] [-csv]
 //	          [-json out/] [-workers 0] [-batchjobs 128] [-reweights 64]
 //	phombench -diff out/BENCH_E20.json old/BENCH_E20.json
 package main
@@ -75,7 +78,7 @@ var (
 	diffMode   = flag.Bool("diff", false, "compare two BENCH_*.json files: phombench -diff a.json b.json")
 	workers    = flag.Int("workers", 0, "E19: fixed engine worker count (0 = sweep 1, 2, 4, NumCPU)")
 	batchJobs  = flag.Int("batchjobs", 128, "E19: number of jobs in the engine batch workload")
-	reweights  = flag.Int("reweights", 64, "E20–E24: reweighted evaluations per compiled plan")
+	reweights  = flag.Int("reweights", 64, "E20–E25: reweighted evaluations per compiled plan")
 )
 
 // E is the per-experiment context handed to every experiment function:
@@ -173,6 +176,7 @@ func experiments() []experimentDef {
 		experimentDef{"E22", "Dual-precision: float64 interval kernel vs exact interpreter", runFloatPath},
 		experimentDef{"E23", "phomgen workload families on the dispatch lattice", runWorkloadFamilies},
 		experimentDef{"E24", "Vectorized reweight throughput vs batch width", runBatchedReweight},
+		experimentDef{"E25", "Sharded serving tier: aggregate throughput vs replicas (phomgate)", runGateTier},
 	)
 	return defs
 }

@@ -26,6 +26,8 @@
 //	    -mix solve:4,reweight:8,batch:1,stream:1,bad:1,hard:1
 //	phomgen -replay http://localhost:8080 -requests 500 \
 //	    -mix reweight-heavy -batchsize 32
+//	phomgen -replay http://gate:8080 -requests 2000   # drive a phomgate tier
+//	phomgen -replay http://a:8081,http://b:8082       # round-robin replicas
 //
 // The mix accepts kind:weight pairs (solve, reweight, reweight_batch,
 // batch, stream, bad, hard) or a preset name: "default", or
@@ -74,7 +76,7 @@ func main() {
 		ladder  = flag.String("ladder", "", "emit a query ladder: class:min:max (e.g. dwt:3:6)")
 		ucq     = flag.Int("ucq", 0, "emit a reachability UCQ with path lengths 1..k (JSON array)")
 
-		replayURL   = flag.String("replay", "", "replay mode: phomserve base URL to fire traffic at")
+		replayURL   = flag.String("replay", "", "replay mode: comma-separated base URL(s) to fire traffic at (phomserve replicas or a phomgate)")
 		requests    = flag.Int("requests", 200, "replay: total requests")
 		concurrency = flag.Int("concurrency", 4, "replay: in-flight requests")
 		mixFlag     = flag.String("mix", "", "replay: traffic mix (kind:weight,... or a preset: default, reweight-heavy)")
@@ -297,8 +299,17 @@ func runReplay(url string, requests, concurrency int, mixSpec string, batchSize 
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// -replay accepts a comma-separated target list: one URL drives a
+	// single server (or a gate fronting a tier), several round-robin —
+	// total accounting is identical either way.
+	var targets []string
+	for _, t := range strings.Split(url, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, strings.TrimRight(t, "/"))
+		}
+	}
 	rep, err := replay.Run(ctx, replay.Options{
-		BaseURL:     strings.TrimRight(url, "/"),
+		Targets:     targets,
 		Requests:    requests,
 		Concurrency: concurrency,
 		Seed:        seed,
@@ -337,6 +348,14 @@ func printReport(w io.Writer, rep *replay.Report) {
 	sort.Ints(statuses)
 	for _, s := range statuses {
 		fmt.Fprintf(w, "  status %-8d %6d\n", s, rep.ByStatus[s])
+	}
+	targets := make([]string, 0, len(rep.ByTarget))
+	for t := range rep.ByTarget {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+	for _, t := range targets {
+		fmt.Fprintf(w, "  target %-30s %6d\n", t, rep.ByTarget[t])
 	}
 	fmt.Fprintf(w, "  stream: %d jobs, %d lines, %d trailers\n", rep.StreamJobs, rep.StreamLines, rep.StreamTrailers)
 	fmt.Fprintf(w, "  unaccounted: %d (off-taxonomy %d, body errors %d)\n", rep.Unaccounted(), rep.OffTaxonomy, rep.BodyErrors)

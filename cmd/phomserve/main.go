@@ -59,11 +59,17 @@
 // See DESIGN.md (Serving layer, Request API and cancellation) and
 // README.md for examples.
 //
+// The HTTP layer itself lives in internal/serve (shared with the
+// phomgate router and the benchmark harness); this command is the thin
+// process wrapper: flags, engine lifecycle, and graceful shutdown.
+// Behind cmd/phomgate, give each replica a -shard name so its /healthz
+// identifies which slice of the ring it is serving.
+//
 // Usage:
 //
 //	phomserve [-addr :8080] [-workers 0] [-cache 4096] [-plancache 1024]
 //	          [-maxbody 8388608] [-plansnapshot plans.bin]
-//	          [-precision exact] [-floattol 0]
+//	          [-precision exact] [-floattol 0] [-shard name]
 package main
 
 import (
@@ -80,6 +86,7 @@ import (
 
 	"phom/internal/core"
 	"phom/internal/engine"
+	"phom/internal/serve"
 )
 
 func main() {
@@ -88,10 +95,11 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		cache     = flag.Int("cache", 0, fmt.Sprintf("result cache capacity (0 = %d, negative disables)", engine.DefaultCacheSize))
 		planCache = flag.Int("plancache", 0, fmt.Sprintf("compiled-plan cache capacity (0 = %d, negative disables)", engine.DefaultPlanCacheSize))
-		maxBody   = flag.Int64("maxbody", DefaultMaxBodyBytes, "request body cap in bytes (oversized requests get 413)")
+		maxBody   = flag.Int64("maxbody", serve.DefaultMaxBodyBytes, "request body cap in bytes (oversized requests get 413)")
 		planSnap  = flag.String("plansnapshot", "", "plan-cache snapshot file: restored at boot if present, written on shutdown")
 		precision = flag.String("precision", "exact", "default precision for jobs that do not choose one: exact, fast or auto")
 		floatTol  = flag.Float64("floattol", 0, fmt.Sprintf("default auto-mode tolerance: widest certified error served without exact fallback (0 = %g)", core.DefaultFloatTolerance))
+		shard     = flag.String("shard", "", "shard name reported by /healthz (set by the gate's recipe, purely observational)")
 	)
 	flag.Parse()
 	defPrec, err := core.ParsePrecision(*precision)
@@ -129,7 +137,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng).withMaxBody(*maxBody).withPrecision(defPrec, *floatTol).handler(),
+		Handler:           serve.New(eng).WithMaxBody(*maxBody).WithPrecision(defPrec, *floatTol).WithShard(*shard).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

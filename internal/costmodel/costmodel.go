@@ -1,0 +1,166 @@
+// Package costmodel prices phom jobs for phomgate's admission control.
+//
+// The estimate is deliberately crude — admission control needs ordering
+// and magnitude, not accuracy. A job costs
+//
+//	units = classWeight × (edges+1) × vectors
+//
+// where classWeight encodes the dispatch verdict: tractable structures
+// run the polynomial kernels (weight 1), predicted-#P-hard structures
+// take the exponential brute-force fallback (weight 64), and hard
+// structures with the fallback disabled are a fast typed refusal
+// (weight 1 — the backend answers 422 without doing the work). The
+// (edges+1)×vectors factor is the size axis: the E20 trajectory shows
+// plan-cache reweight latency growing linearly in edge count, and E24
+// shows batched multi-vector reweights costing per-lane, not per-call.
+// The hard-class weight 64 comes from the same trajectory: at the
+// instance sizes the serving tier admits, fallback solves run one to
+// two orders of magnitude over the tractable kernels, and 64 keeps a
+// single hard job from being priced like a page of cheap ones while
+// still letting it through an idle backend.
+//
+// Units become seconds through a per-unit latency scale that starts at
+// a calibrated default and is refined online from observed (units,
+// elapsed) pairs via an exponentially weighted moving average — so a
+// slow machine or an unusually expensive structure mix shifts the
+// model instead of permanently shedding too little or too much.
+package costmodel
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Class weights (see the package comment for calibration).
+const (
+	weightTractable = 1
+	weightFallback  = 64
+)
+
+// DefaultScaleUS is the boot-time estimate of microseconds per cost
+// unit, calibrated from the E20 reweight trajectory on the development
+// machine (a cached-plan reweight of a ~100-edge structure lands in the
+// low hundreds of microseconds). Online observation replaces it within
+// a few dozen requests.
+const DefaultScaleUS = 3.0
+
+// ewmaAlpha weights each new observation at 10%: smooth enough that a
+// single outlier (GC pause, cold cache) does not flap admission, fresh
+// enough to converge within ~30 observations.
+const ewmaAlpha = 0.1
+
+// Estimate returns the cost in units of a job with the given routing
+// facts. It is a pure function so gate and tests agree by construction.
+func Estimate(edges int, hard, disableFallback bool, vectors int) float64 {
+	w := float64(weightTractable)
+	if hard && !disableFallback {
+		w = weightFallback
+	}
+	if edges < 0 {
+		edges = 0
+	}
+	if vectors < 1 {
+		vectors = 1
+	}
+	return w * float64(edges+1) * float64(vectors)
+}
+
+// Model converts units to predicted latency, learning the scale online.
+type Model struct {
+	mu      sync.Mutex
+	scaleUS float64
+}
+
+// New returns a model seeded with DefaultScaleUS.
+func New() *Model { return &Model{scaleUS: DefaultScaleUS} }
+
+// Observe folds one completed request into the latency scale.
+// Zero-unit or non-positive durations are ignored.
+func (m *Model) Observe(units float64, elapsed time.Duration) {
+	if units <= 0 || elapsed <= 0 {
+		return
+	}
+	perUnit := float64(elapsed.Microseconds()) / units
+	if perUnit <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.scaleUS = (1-ewmaAlpha)*m.scaleUS + ewmaAlpha*perUnit
+	m.mu.Unlock()
+}
+
+// LatencyUS predicts the latency in microseconds of units of work.
+func (m *Model) LatencyUS(units float64) float64 {
+	m.mu.Lock()
+	s := m.scaleUS
+	m.mu.Unlock()
+	return s * units
+}
+
+// RetryAfter predicts how many whole seconds until pending units of
+// already-admitted work drain, clamped to [1, 30] — the value a shed
+// response advertises in its Retry-After header. The clamp keeps the
+// advice honest: never "retry immediately" while we are shedding, never
+// park a client for minutes on a model guess.
+func (m *Model) RetryAfter(pendingUnits float64) int {
+	sec := int(math.Ceil(m.LatencyUS(pendingUnits) / 1e6))
+	if sec < 1 {
+		return 1
+	}
+	if sec > 30 {
+		return 30
+	}
+	return sec
+}
+
+// Ledger tracks the admitted-but-unfinished cost units of one backend
+// against a budget. It is the shedding decision: a job is admitted iff
+// the backend is idle (something must always make progress) or the job
+// fits in the remaining budget.
+type Ledger struct {
+	mu          sync.Mutex
+	budget      float64
+	outstanding float64
+}
+
+// NewLedger returns a ledger with the given budget; budget <= 0 means
+// unlimited (Admit always succeeds).
+func NewLedger(budget float64) *Ledger { return &Ledger{budget: budget} }
+
+// Admit tries to reserve units. On success the caller must Release the
+// same amount when the request finishes. An idle backend admits any
+// single job regardless of size — shedding exists to protect queued
+// work, not to refuse work no one is waiting behind.
+func (l *Ledger) Admit(units float64) bool {
+	if units < 0 {
+		units = 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.budget > 0 && l.outstanding > 0 && l.outstanding+units > l.budget {
+		return false
+	}
+	l.outstanding += units
+	return true
+}
+
+// Release returns units reserved by a successful Admit.
+func (l *Ledger) Release(units float64) {
+	if units < 0 {
+		units = 0
+	}
+	l.mu.Lock()
+	l.outstanding -= units
+	if l.outstanding < 0 {
+		l.outstanding = 0
+	}
+	l.mu.Unlock()
+}
+
+// Outstanding reports the currently reserved units.
+func (l *Ledger) Outstanding() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.outstanding
+}

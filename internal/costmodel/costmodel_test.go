@@ -1,0 +1,99 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEstimateClasses(t *testing.T) {
+	tractable := Estimate(10, false, false, 1)
+	hard := Estimate(10, true, false, 1)
+	refused := Estimate(10, true, true, 1)
+	if hard != 64*tractable {
+		t.Fatalf("hard=%v tractable=%v, want 64x", hard, tractable)
+	}
+	// A hard job with the fallback disabled is a cheap typed 422, not
+	// heavy work: priced like a tractable job.
+	if refused != tractable {
+		t.Fatalf("refused=%v tractable=%v, want equal", refused, tractable)
+	}
+	if got := Estimate(10, false, false, 8); got != 8*tractable {
+		t.Fatalf("8 vectors = %v, want 8x single %v", got, tractable)
+	}
+	// Degenerate inputs clamp instead of producing zero/negative cost.
+	if got := Estimate(-3, false, false, 0); got != 1 {
+		t.Fatalf("clamped estimate = %v, want 1", got)
+	}
+}
+
+func TestModelLearns(t *testing.T) {
+	m := New()
+	// Feed consistent 10µs/unit observations; the EWMA must converge
+	// there from the calibrated default.
+	for i := 0; i < 200; i++ {
+		m.Observe(100, 1000*time.Microsecond)
+	}
+	if got := m.LatencyUS(1); got < 9.5 || got > 10.5 {
+		t.Fatalf("scale after convergence = %vµs/unit, want ~10", got)
+	}
+	// Garbage observations must be ignored, not corrupt the scale.
+	m.Observe(0, time.Second)
+	m.Observe(100, -time.Second)
+	if got := m.LatencyUS(1); got < 9.5 || got > 10.5 {
+		t.Fatalf("scale moved on garbage observation: %v", got)
+	}
+}
+
+func TestRetryAfterClamp(t *testing.T) {
+	m := New()
+	if got := m.RetryAfter(0); got != 1 {
+		t.Fatalf("RetryAfter(0) = %d, want clamp to 1", got)
+	}
+	if got := m.RetryAfter(1e12); got != 30 {
+		t.Fatalf("RetryAfter(huge) = %d, want clamp to 30", got)
+	}
+	// In between it tracks the model: 2e6 units at the 3µs default is
+	// 6 seconds of predicted drain.
+	if got := m.RetryAfter(2e6); got != 6 {
+		t.Fatalf("RetryAfter(2e6) = %d, want 6", got)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	l := NewLedger(100)
+	if !l.Admit(150) {
+		t.Fatal("idle backend must admit even an over-budget job")
+	}
+	if l.Admit(1) {
+		t.Fatal("budget exhausted; second job must shed")
+	}
+	l.Release(150)
+	if got := l.Outstanding(); got != 0 {
+		t.Fatalf("outstanding after release = %v", got)
+	}
+	if !l.Admit(60) || !l.Admit(40) {
+		t.Fatal("jobs within budget must admit")
+	}
+	if l.Admit(1) {
+		t.Fatal("exactly-full ledger must shed the next job")
+	}
+	l.Release(40)
+	if !l.Admit(40) {
+		t.Fatal("released budget must readmit")
+	}
+
+	unlimited := NewLedger(0)
+	for i := 0; i < 10; i++ {
+		if !unlimited.Admit(1e9) {
+			t.Fatal("unlimited ledger must always admit")
+		}
+	}
+	// Over-release clamps at zero rather than going negative (which
+	// would silently widen the budget).
+	l2 := NewLedger(10)
+	l2.Admit(5)
+	l2.Release(500)
+	if got := l2.Outstanding(); got != 0 {
+		t.Fatalf("over-release left outstanding = %v", got)
+	}
+}

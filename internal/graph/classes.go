@@ -221,14 +221,44 @@ func (g *Graph) Classify() []Class {
 
 // TightestClass returns the smallest class (w.r.t. the Figure 2
 // inclusion lattice) that contains g; every class g belongs to includes
-// the result. Used to locate the Tables 1–3 cell of an input pair.
+// the result. Used to locate the Tables 1–3 cell of an input pair. The
+// answer is memoized on the graph (invalidated by mutation), so
+// serving-path callers can re-ask per evaluation without re-walking the
+// graph.
 func (g *Graph) TightestClass() Class {
+	if v := g.tightest.Load(); v != 0 {
+		return Class(v - 1)
+	}
+	// Component structure is shared across the whole scan: the four
+	// union-closure membership tests and the connectivity test all
+	// reduce to it, and recomputing the partition per class would make
+	// one TightestClass cost five traversals of the graph.
+	comps := g.Components()
+	inClass := func(c Class) bool {
+		switch c {
+		case ClassConnected:
+			return len(comps) == 1
+		case ClassU1WP, ClassU2WP, ClassUDWT, ClassUPT:
+			if g.n == 0 {
+				return false
+			}
+			base := c.Base()
+			for _, comp := range comps {
+				if !comp.InClass(base) {
+					return false
+				}
+			}
+			return true
+		}
+		return g.InClass(c)
+	}
 	best := ClassAll
 	for _, c := range AllClasses {
-		if g.InClass(c) && ClassIncluded(c, best) {
+		if inClass(c) && ClassIncluded(c, best) {
 			best = c
 		}
 	}
+	g.tightest.Store(int32(best) + 1)
 	return best
 }
 

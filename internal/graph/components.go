@@ -14,16 +14,28 @@ func (g *Graph) ConnectedComponents() [][]Vertex {
 			continue
 		}
 		var comp []Vertex
-		queue := []Vertex{Vertex(s)}
+		stack := []Vertex{Vertex(s)}
 		seen[s] = true
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
 			comp = append(comp, v)
-			for _, u := range g.Neighbors(v) {
-				if !seen[u] {
+			// Walk the incident edge indices directly rather than
+			// through Neighbors: traversal only needs each endpoint
+			// once, and seen[] already deduplicates, so the map and
+			// sort Neighbors pays for are wasted here. Classification
+			// asks for components on every serving-path prediction,
+			// which makes this the hottest loop in the package.
+			for _, i := range g.out[v] {
+				if u := g.edges[i].To; !seen[u] {
 					seen[u] = true
-					queue = append(queue, u)
+					stack = append(stack, u)
+				}
+			}
+			for _, i := range g.in[v] {
+				if u := g.edges[i].From; !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
 				}
 			}
 		}
@@ -40,7 +52,28 @@ func (g *Graph) IsConnected() bool {
 	if g.n == 0 {
 		return false
 	}
-	return len(g.ConnectedComponents()) == 1
+	seen := make([]bool, g.n)
+	stack := []Vertex{0}
+	seen[0] = true
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, i := range g.out[v] {
+			if u := g.edges[i].To; !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+		for _, i := range g.in[v] {
+			if u := g.edges[i].From; !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == g.n
 }
 
 // InducedSubgraph returns the subgraph of g induced by the given vertices

@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestTightestClassMemo pins the memoization contract: repeated calls
+// return the cached answer, mutation invalidates it, and concurrent
+// callers on a shared graph agree.
+func TestTightestClassMemo(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, "R")
+	g.MustAddEdge(1, 2, "R")
+	if c := g.TightestClass(); c != Class1WP {
+		t.Fatalf("path classified as %v, want %v", c, Class1WP)
+	}
+	if c := g.TightestClass(); c != Class1WP {
+		t.Fatalf("memoized answer %v, want %v", c, Class1WP)
+	}
+
+	// Mutation must recompute: adding a back-edge 2->1 leaves the
+	// one-way path world.
+	g.MustAddEdge(2, 1, "R")
+	if c := g.TightestClass(); c == Class1WP {
+		t.Fatal("stale memo survived AddEdge")
+	}
+
+	// AddVertex invalidates too: a new isolated vertex disconnects g.
+	before := g.TightestClass()
+	g.AddVertex()
+	if after := g.TightestClass(); after == before && before == ClassConnected {
+		t.Fatalf("stale memo survived AddVertex: %v", after)
+	}
+
+	// Clones never inherit the memo state wrongly: a clone classifies
+	// like its source from scratch.
+	if c := g.Clone().TightestClass(); c != g.TightestClass() {
+		t.Fatal("clone classified differently from its source")
+	}
+}
+
+func TestTightestClassMemoConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(20)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			from, to := Vertex(r.Intn(n)), Vertex(r.Intn(n))
+			_ = g.AddEdge(from, to, "R") // duplicates rejected, fine
+		}
+		want := g.Clone().TightestClass()
+		var wg sync.WaitGroup
+		got := make([]Class, 8)
+		for k := range got {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				got[k] = g.TightestClass()
+			}(k)
+		}
+		wg.Wait()
+		for k, c := range got {
+			if c != want {
+				t.Fatalf("trial %d goroutine %d: %v, want %v", trial, k, c, want)
+			}
+		}
+	}
+}

@@ -116,6 +116,13 @@ func ParseMix(s string) (Mix, error) {
 type Options struct {
 	// BaseURL is the phomserve endpoint ("http://host:8080").
 	BaseURL string
+	// Targets, when non-empty, replaces BaseURL with a list of
+	// endpoints; requests round-robin across them by request index.
+	// This is how a replay drives a phomgate tier (one target: the
+	// gate) or compares replicas side by side (several targets), with
+	// the same total accounting either way — a gate-shed 503 is a
+	// taxonomy status like any other, never a dropped request.
+	Targets []string
 	// Requests is the total number of HTTP requests to fire.
 	Requests int
 	// Concurrency is the number of in-flight requests (default 4).
@@ -152,6 +159,9 @@ type Report struct {
 	Requests int            `json:"requests"`
 	ByKind   map[string]int `json:"by_kind"`
 	ByStatus map[int]int    `json:"by_status"`
+	// ByTarget counts fired requests per target endpoint (only present
+	// on multi-target runs).
+	ByTarget map[string]int `json:"by_target,omitempty"`
 	// OffTaxonomy counts responses whose status is outside
 	// TaxonomyStatuses, transport failures included.
 	OffTaxonomy int `json:"off_taxonomy"`
@@ -401,7 +411,11 @@ func weightedKinds(m Mix) []string {
 // reported through the Report so a run can complete and still be judged
 // unclean.
 func Run(ctx context.Context, opts Options) (*Report, error) {
-	if opts.BaseURL == "" {
+	targets := opts.Targets
+	if len(targets) == 0 && opts.BaseURL != "" {
+		targets = []string{opts.BaseURL}
+	}
+	if len(targets) == 0 {
 		return nil, fmt.Errorf("replay: no base URL")
 	}
 	if opts.Requests < 1 {
@@ -428,6 +442,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 
 	rep := &Report{ByKind: map[string]int{}, ByStatus: map[int]int{}}
+	if len(targets) > 1 {
+		rep.ByTarget = map[string]int{}
+	}
 	var mu sync.Mutex
 	latencies := make([]time.Duration, 0, len(reqs))
 	fail := func(format string, args ...any) {
@@ -445,11 +462,15 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			defer wg.Done()
 			for i := range work {
 				rq := reqs[i]
-				status, lat, lines, trailers, bodyErr := fire(ctx, client, opts.BaseURL, i, rq)
+				target := targets[i%len(targets)]
+				status, lat, lines, trailers, bodyErr := fire(ctx, client, target, i, rq)
 				mu.Lock()
 				rep.Requests++
 				rep.ByKind[rq.kind]++
 				rep.ByStatus[status]++
+				if rep.ByTarget != nil {
+					rep.ByTarget[target]++
+				}
 				if !TaxonomyStatuses[status] {
 					rep.OffTaxonomy++
 					fail("req %d (%s): status %d outside taxonomy", i, rq.kind, status)
@@ -458,7 +479,11 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 					rep.BodyErrors++
 					fail("req %d (%s): %v", i, rq.kind, bodyErr)
 				}
-				if rq.stream {
+				// Line accounting covers streams the server actually
+				// started (200): a shed or refused stream request is a
+				// plain JSON error accounted by its status, not a
+				// missing-lines violation.
+				if rq.stream && status == http.StatusOK {
 					rep.StreamJobs += rq.jobs
 					rep.StreamLines += lines
 					rep.StreamTrailers += trailers
@@ -513,7 +538,11 @@ func fire(ctx context.Context, client *http.Client, baseURL string, id int, rq r
 	if echo := resp.Header.Get("X-Phom-Request-Id"); echo != "" && echo != reqID {
 		return status, lat, 0, 0, fmt.Errorf("request-id echo %q, want %q", echo, reqID)
 	}
-	if rq.stream {
+	// A stream request only answers NDJSON once the server commits to
+	// the stream (200). Before that — body-cap 413, a gate shedding
+	// with 503 — the response is an ordinary JSON error object and is
+	// validated as one below.
+	if rq.stream && status == http.StatusOK {
 		lines, trailers, err = parseStream(resp.Body)
 		if err != nil {
 			return status, lat, lines, trailers, err

@@ -1,0 +1,115 @@
+package ring
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func keys(n int) []string {
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("structkey-%d", i*2654435761)
+	}
+	return ks
+}
+
+// Lookups are pure functions of (n, vnodes, key): two rings built with
+// the same parameters agree on every owner set. This is what lets the
+// gate restart (or a test re-bind backends to new ports) without moving
+// a single key.
+func TestDeterministic(t *testing.T) {
+	a, b := New(5, 64), New(5, 64)
+	for _, k := range keys(500) {
+		oa, ob := a.Owners(k, 3, nil), b.Owners(k, 3, nil)
+		if !reflect.DeepEqual(oa, ob) {
+			t.Fatalf("owners(%q) differ: %v vs %v", k, oa, ob)
+		}
+		if len(oa) != 3 {
+			t.Fatalf("owners(%q) = %v, want 3 distinct nodes", k, oa)
+		}
+		seen := map[int]bool{}
+		for _, n := range oa {
+			if n < 0 || n >= 5 || seen[n] {
+				t.Fatalf("owners(%q) = %v: out of range or duplicate", k, oa)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// With DefaultVNodes the primary-owner distribution over many keys is
+// roughly fair: no node owns more than twice its fair share.
+func TestDistribution(t *testing.T) {
+	const nodes, nkeys = 4, 4000
+	r := New(nodes, 0)
+	counts := make([]int, nodes)
+	for _, k := range keys(nkeys) {
+		counts[r.Owner(k)]++
+	}
+	fair := nkeys / nodes
+	for n, c := range counts {
+		if c > 2*fair || c < fair/2 {
+			t.Fatalf("node %d owns %d of %d keys (fair %d): %v", n, c, nkeys, fair, counts)
+		}
+	}
+}
+
+// Ejecting a node must move exactly its keys — every key whose primary
+// owner is still alive keeps that owner, and orphaned keys land on the
+// clockwise successor deterministically.
+func TestEjectRehash(t *testing.T) {
+	r := New(4, 64)
+	const dead = 2
+	alive := func(n int) bool { return n != dead }
+	moved := 0
+	for _, k := range keys(2000) {
+		before := r.Owner(k)
+		after := r.Owners(k, 1, alive)
+		if len(after) != 1 {
+			t.Fatalf("owners(%q) with one ejection empty", k)
+		}
+		if before != dead {
+			if after[0] != before {
+				t.Fatalf("key %q moved %d->%d though owner alive", k, before, after[0])
+			}
+			continue
+		}
+		moved++
+		full := r.Owners(k, 2, nil)
+		if after[0] != full[1] {
+			t.Fatalf("key %q rehashed to %d, want clockwise successor %d", k, after[0], full[1])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("ejected node owned no keys; distribution broken")
+	}
+}
+
+// All owners dead -> the walk still finds any alive node; no alive
+// node -> empty.
+func TestExhaustiveWalk(t *testing.T) {
+	r := New(3, 8)
+	only := func(n int) func(int) bool { return func(m int) bool { return m == n } }
+	for _, k := range keys(50) {
+		for n := 0; n < 3; n++ {
+			got := r.Owners(k, 1, only(n))
+			if len(got) != 1 || got[0] != n {
+				t.Fatalf("owners(%q) with only node %d alive = %v", k, n, got)
+			}
+		}
+		if got := r.Owners(k, 1, func(int) bool { return false }); len(got) != 0 {
+			t.Fatalf("owners(%q) with nothing alive = %v, want empty", k, got)
+		}
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(0, 16)
+	if r.Owner("k") != -1 {
+		t.Fatal("empty ring must return -1")
+	}
+	if got := r.Owners("k", 2, nil); len(got) != 0 {
+		t.Fatalf("empty ring owners = %v", got)
+	}
+}

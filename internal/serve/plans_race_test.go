@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestPlansImportRacingSolves pins the warm-start safety property the
+// gateway relies on: a POST /plans/import landing while a batch of
+// solves and reweights is in flight must not corrupt the plan cache —
+// every answer produced during the race, and every answer produced
+// after it, is byte-identical to a race-free baseline. (The engine adds
+// imported records under its lock one at a time, so an import can only
+// ever swap a compiled plan for an equivalent one, never expose a
+// half-written cache to an evaluating job.)
+func TestPlansImportRacingSolves(t *testing.T) {
+	ts := newTestServer(t)
+
+	// A small structure family: distinct path queries over the shared
+	// tractable instance, each reweighted with several vectors.
+	var jobs []ReweightRequest
+	for i := 0; i < 6; i++ {
+		rq := reweightBody(fmt.Sprintf("%d/7", 1+i%6))
+		if i%2 == 1 {
+			rq.QueryText = "vertices 3\nedge 0 1 R\nedge 1 2 S\n"
+		}
+		jobs = append(jobs, rq)
+	}
+	answers := func() []string {
+		out := make([]string, len(jobs))
+		for i, rq := range jobs {
+			resp, body := postJSON(t, ts.URL+"/reweight", rq)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("reweight %d: status %d: %s", i, resp.StatusCode, body)
+			}
+			var sr SolveResponse
+			if err := json.Unmarshal(body, &sr); err != nil {
+				t.Fatal(err)
+			}
+			if sr.Prob == "" {
+				t.Fatalf("reweight %d: empty prob: %s", i, body)
+			}
+			out[i] = sr.Prob
+		}
+		return out
+	}
+
+	// Baseline (also warms the plan cache) and its exported snapshot.
+	baseline := answers()
+	getResp, err := http.Get(ts.URL + "/plans/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+	if err != nil || len(snapshot) == 0 {
+		t.Fatalf("export: %v (%d bytes)", err, len(snapshot))
+	}
+
+	// The race: importers hammer /plans/import while solvers replay the
+	// job set; every in-race answer must equal the baseline exactly.
+	const rounds = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, rounds+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds*2; r++ {
+			resp, err := http.Post(ts.URL+"/plans/import", "application/octet-stream", bytes.NewReader(snapshot))
+			if err != nil {
+				errc <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("import status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	for r := 0; r < rounds; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, rq := range jobs {
+				b, _ := json.Marshal(rq)
+				resp, err := http.Post(ts.URL+"/reweight", "application/json", bytes.NewReader(b))
+				if err != nil {
+					errc <- err
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				var sr SolveResponse
+				if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &sr) != nil {
+					errc <- fmt.Errorf("mid-import reweight %d: status %d: %s", i, resp.StatusCode, body)
+					return
+				}
+				if sr.Prob != baseline[i] {
+					errc <- fmt.Errorf("mid-import reweight %d answered %q, baseline %q", i, sr.Prob, baseline[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// And after the dust settles: still byte-identical.
+	after := answers()
+	for i := range baseline {
+		if after[i] != baseline[i] {
+			t.Fatalf("post-import reweight %d answered %q, baseline %q", i, after[i], baseline[i])
+		}
+	}
+}

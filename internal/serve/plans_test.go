@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -27,9 +27,9 @@ edge 0 3 R 1/4
 
 // reweightBody builds a /reweight request over the tractable instance
 // with one probability substituted.
-func reweightBody(p string) reweightRequest {
-	return reweightRequest{
-		solveRequest: solveRequest{
+func reweightBody(p string) ReweightRequest {
+	return ReweightRequest{
+		SolveRequest: SolveRequest{
 			QueryText:    tractableQueryText,
 			InstanceText: tractableInstanceText,
 		},
@@ -46,7 +46,7 @@ func TestPlansExportImportWarmStart(t *testing.T) {
 	ts := newTestServer(t)
 
 	// Warm: one solve compiles the structure.
-	resp, body := postJSON(t, ts.URL+"/solve", solveRequest{
+	resp, body := postJSON(t, ts.URL+"/solve", SolveRequest{
 		QueryText:    tractableQueryText,
 		InstanceText: tractableInstanceText,
 	})
@@ -74,7 +74,7 @@ func TestPlansExportImportWarmStart(t *testing.T) {
 	// Import into a fresh engine behind a second server.
 	eng2 := engine.New(engine.Options{Workers: 2})
 	t.Cleanup(func() { eng2.Close() })
-	ts2 := httptest.NewServer(newServer(eng2).handler())
+	ts2 := httptest.NewServer(New(eng2).Handler())
 	t.Cleanup(ts2.Close)
 	impResp, err := http.Post(ts2.URL+"/plans/import", "application/octet-stream", bytes.NewReader(snap))
 	if err != nil {
@@ -98,7 +98,7 @@ func TestPlansExportImportWarmStart(t *testing.T) {
 	if rwResp.StatusCode != http.StatusOK {
 		t.Fatalf("warm reweight: status %d: %s", rwResp.StatusCode, rwBody)
 	}
-	var sr solveResponse
+	var sr SolveResponse
 	if err := json.Unmarshal(rwBody, &sr); err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestPlansExportImportWarmStart(t *testing.T) {
 	if coldResp.StatusCode != http.StatusOK {
 		t.Fatalf("cold reweight: status %d: %s", coldResp.StatusCode, coldBody)
 	}
-	var cold solveResponse
+	var cold SolveResponse
 	if err := json.Unmarshal(coldBody, &cold); err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestHealthzReportsSnapshotCounters(t *testing.T) {
 func TestMaxBodyLimit(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 1})
 	t.Cleanup(func() { eng.Close() })
-	ts := httptest.NewServer(newServer(eng).withMaxBody(512).handler())
+	ts := httptest.NewServer(New(eng).WithMaxBody(512).Handler())
 	t.Cleanup(ts.Close)
 
 	huge := fmt.Sprintf(`{"query_text": %q, "instance_text": %q}`,
@@ -208,7 +208,7 @@ func TestMaxBodyLimit(t *testing.T) {
 		t.Errorf("/plans/import: status %d, want 413: %s", resp.StatusCode, body)
 	}
 	// A small request still works under the tight limit.
-	resp, body = postJSON(t, ts.URL+"/solve", solveRequest{
+	resp, body = postJSON(t, ts.URL+"/solve", SolveRequest{
 		QueryText:    exampleQueryText,
 		InstanceText: exampleInstanceText,
 	})

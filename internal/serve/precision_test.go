@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -47,8 +47,8 @@ const (
 	precInstanceText = "vertices 3\nedge 0 1 R 1/3\nedge 1 2 R 2/7\n"
 )
 
-func precRequest(opts *solveOptions) solveRequest {
-	return solveRequest{
+func precRequest(opts *SolveOptions) SolveRequest {
+	return SolveRequest{
 		QueryText:    precQueryText,
 		InstanceText: precInstanceText,
 		Options:      opts,
@@ -63,7 +63,7 @@ func TestSolvePrecisionFast(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var exact solveResponse
+	var exact SolveResponse
 	if err := json.Unmarshal(body, &exact); err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +72,11 @@ func TestSolvePrecisionFast(t *testing.T) {
 	}
 
 	// Fast: certified bounds straddling the true probability.
-	resp, body = postJSON(t, ts.URL+"/solve", precRequest(&solveOptions{Precision: "fast"}))
+	resp, body = postJSON(t, ts.URL+"/solve", precRequest(&SolveOptions{Precision: "fast"}))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var fast solveResponse
+	var fast SolveResponse
 	if err := json.Unmarshal(body, &fast); err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +94,11 @@ func TestSolvePrecisionFast(t *testing.T) {
 	}
 
 	// Auto with an unreachable tolerance: exact fallback, byte-identical.
-	resp, body = postJSON(t, ts.URL+"/solve", precRequest(&solveOptions{Precision: "auto", FloatTolerance: 5e-324}))
+	resp, body = postJSON(t, ts.URL+"/solve", precRequest(&SolveOptions{Precision: "auto", FloatTolerance: 5e-324}))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var auto solveResponse
+	var auto SolveResponse
 	if err := json.Unmarshal(body, &auto); err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestSolvePrecisionFast(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
 	}
-	var hr healthResponse
+	var hr HealthResponse
 	if err := json.Unmarshal(body, &hr); err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestSolvePrecisionFast(t *testing.T) {
 // malformed precision (or tolerance) never silently defaults.
 func TestPrecisionMalformedIsA400(t *testing.T) {
 	ts := newTestServer(t)
-	for _, bad := range []*solveOptions{
+	for _, bad := range []*SolveOptions{
 		{Precision: "fats"},
 		{Precision: "EXACT"},
 		{Precision: "rational"},
@@ -153,14 +153,14 @@ func TestPrecisionMalformedIsA400(t *testing.T) {
 func TestPrecisionOnReweightAndBatch(t *testing.T) {
 	ts := newTestServer(t)
 
-	resp, body := postJSON(t, ts.URL+"/reweight", reweightRequest{
-		solveRequest: precRequest(&solveOptions{Precision: "fast"}),
+	resp, body := postJSON(t, ts.URL+"/reweight", ReweightRequest{
+		SolveRequest: precRequest(&SolveOptions{Precision: "fast"}),
 		Probs:        map[string]string{"0>1": "3/5"},
 	})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("reweight status %d: %s", resp.StatusCode, body)
 	}
-	var rw solveResponse
+	var rw SolveResponse
 	if err := json.Unmarshal(body, &rw); err != nil {
 		t.Fatal(err)
 	}
@@ -168,15 +168,15 @@ func TestPrecisionOnReweightAndBatch(t *testing.T) {
 		t.Fatalf("reweight ignored precision: %s", body)
 	}
 
-	resp, body = postJSON(t, ts.URL+"/batch", batchRequest{Jobs: []solveRequest{
+	resp, body = postJSON(t, ts.URL+"/batch", BatchRequest{Jobs: []SolveRequest{
 		precRequest(nil),
-		precRequest(&solveOptions{Precision: "fast"}),
-		precRequest(&solveOptions{Precision: "nope"}),
+		precRequest(&SolveOptions{Precision: "fast"}),
+		precRequest(&SolveOptions{Precision: "nope"}),
 	}})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
 	}
-	var br batchResponse
+	var br BatchResponse
 	if err := json.Unmarshal(body, &br); err != nil {
 		t.Fatal(err)
 	}
@@ -193,21 +193,21 @@ func TestPrecisionOnReweightAndBatch(t *testing.T) {
 func TestServerDefaultPrecision(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 2})
 	t.Cleanup(func() { eng.Close() })
-	ts := httptest.NewServer(newServer(eng).withPrecision(core.PrecisionFast, 0).handler())
+	ts := httptest.NewServer(New(eng).WithPrecision(core.PrecisionFast, 0).Handler())
 	t.Cleanup(ts.Close)
 
 	resp, body := postJSON(t, ts.URL+"/solve", precRequest(nil))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var sr solveResponse
+	var sr SolveResponse
 	if err := json.Unmarshal(body, &sr); err != nil {
 		t.Fatal(err)
 	}
 	if sr.Precision != "fast" {
 		t.Fatalf("default precision not applied: %q", sr.Precision)
 	}
-	resp, body = postJSON(t, ts.URL+"/solve", precRequest(&solveOptions{Precision: "exact"}))
+	resp, body = postJSON(t, ts.URL+"/solve", precRequest(&SolveOptions{Precision: "exact"}))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}

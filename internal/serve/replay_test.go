@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"context"
@@ -73,7 +73,7 @@ func TestReplayMixedWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var health healthResponse
+	var health HealthResponse
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestReplayReweightHeavy(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var health healthResponse
+	var health HealthResponse
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}

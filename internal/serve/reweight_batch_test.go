@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -31,14 +31,14 @@ func TestReweightBatchMatchesSingle(t *testing.T) {
 		vecs[i] = randProbsVec(r)
 	}
 
-	resp, body := postJSON(t, ts.URL+"/reweight", reweightRequest{
-		solveRequest: solveRequest{QueryText: exampleQueryText, InstanceText: exampleInstanceText},
+	resp, body := postJSON(t, ts.URL+"/reweight", ReweightRequest{
+		SolveRequest: SolveRequest{QueryText: exampleQueryText, InstanceText: exampleInstanceText},
 		ProbsBatch:   vecs,
 	})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var br batchResponse
+	var br BatchResponse
 	if err := json.Unmarshal(body, &br); err != nil {
 		t.Fatal(err)
 	}
@@ -57,14 +57,14 @@ func TestReweightBatchMatchesSingle(t *testing.T) {
 		if br.Results[i].Error != "" {
 			t.Fatalf("lane %d: %s", i, br.Results[i].Error)
 		}
-		sResp, sBody := postJSON(t, ts2.URL+"/reweight", reweightRequest{
-			solveRequest: solveRequest{QueryText: exampleQueryText, InstanceText: exampleInstanceText},
+		sResp, sBody := postJSON(t, ts2.URL+"/reweight", ReweightRequest{
+			SolveRequest: SolveRequest{QueryText: exampleQueryText, InstanceText: exampleInstanceText},
 			Probs:        vec,
 		})
 		if sResp.StatusCode != http.StatusOK {
 			t.Fatalf("single reweight %d: status %d: %s", i, sResp.StatusCode, sBody)
 		}
-		var sr solveResponse
+		var sr SolveResponse
 		if err := json.Unmarshal(sBody, &sr); err != nil {
 			t.Fatal(err)
 		}
@@ -91,18 +91,18 @@ func TestReweightBatchFastBounds(t *testing.T) {
 			"1>2": fmt.Sprintf("%d/17", 1+r.Intn(16)),
 		}
 	}
-	resp, body := postJSON(t, ts.URL+"/reweight", reweightRequest{
-		solveRequest: solveRequest{
+	resp, body := postJSON(t, ts.URL+"/reweight", ReweightRequest{
+		SolveRequest: SolveRequest{
 			QueryText:    precQueryText,
 			InstanceText: precInstanceText,
-			Options:      &solveOptions{Precision: "fast"},
+			Options:      &SolveOptions{Precision: "fast"},
 		},
 		ProbsBatch: vecs,
 	})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var br batchResponse
+	var br BatchResponse
 	if err := json.Unmarshal(body, &br); err != nil {
 		t.Fatal(err)
 	}
@@ -126,20 +126,20 @@ func TestReweightBatchFastBounds(t *testing.T) {
 // exclusivity rule and the size cap are 400s before anything executes.
 func TestReweightBatchBadInput(t *testing.T) {
 	ts := newTestServer(t)
-	base := solveRequest{QueryText: exampleQueryText, InstanceText: exampleInstanceText}
+	base := SolveRequest{QueryText: exampleQueryText, InstanceText: exampleInstanceText}
 
 	cases := []struct {
 		name string
-		req  reweightRequest
+		req  ReweightRequest
 	}{
-		{"both forms", reweightRequest{solveRequest: base,
+		{"both forms", ReweightRequest{SolveRequest: base,
 			Probs:      map[string]string{"1>2": "1/2"},
 			ProbsBatch: []map[string]string{{"1>2": "1/3"}}}},
-		{"bad key", reweightRequest{solveRequest: base, ProbsBatch: []map[string]string{{"nope": "1/2"}}}},
-		{"bad value", reweightRequest{solveRequest: base, ProbsBatch: []map[string]string{{"1>2": "seven"}}}},
-		{"out of range", reweightRequest{solveRequest: base, ProbsBatch: []map[string]string{{"1>2": "3/2"}}}},
-		{"unknown edge", reweightRequest{solveRequest: base, ProbsBatch: []map[string]string{{"3>0": "1/2"}}}},
-		{"bad lane after good", reweightRequest{solveRequest: base,
+		{"bad key", ReweightRequest{SolveRequest: base, ProbsBatch: []map[string]string{{"nope": "1/2"}}}},
+		{"bad value", ReweightRequest{SolveRequest: base, ProbsBatch: []map[string]string{{"1>2": "seven"}}}},
+		{"out of range", ReweightRequest{SolveRequest: base, ProbsBatch: []map[string]string{{"1>2": "3/2"}}}},
+		{"unknown edge", ReweightRequest{SolveRequest: base, ProbsBatch: []map[string]string{{"3>0": "1/2"}}}},
+		{"bad lane after good", ReweightRequest{SolveRequest: base,
 			ProbsBatch: []map[string]string{{"1>2": "1/2"}, {"1>2": "bad"}}}},
 	}
 	for _, tc := range cases {
@@ -159,11 +159,11 @@ func TestReweightBatchBadInput(t *testing.T) {
 		t.Errorf("empty probs_batch: status %d, want 400: %s", resp0.StatusCode, body0)
 	}
 
-	over := make([]map[string]string, maxBatchJobs+1)
+	over := make([]map[string]string, MaxBatchJobs+1)
 	for i := range over {
 		over[i] = map[string]string{"1>2": "1/2"}
 	}
-	resp, body := postJSON(t, ts.URL+"/reweight", reweightRequest{solveRequest: base, ProbsBatch: over})
+	resp, body := postJSON(t, ts.URL+"/reweight", ReweightRequest{SolveRequest: base, ProbsBatch: over})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("oversized batch: status %d, want 400: %s", resp.StatusCode, body)
 	}
@@ -175,20 +175,20 @@ func TestReweightBatchBadInput(t *testing.T) {
 func TestReweightBatchPlanReuse(t *testing.T) {
 	ts := newTestServer(t)
 	r := rand.New(rand.NewSource(17))
-	post := func() batchResponse {
+	post := func() BatchResponse {
 		t.Helper()
 		vecs := make([]map[string]string, 6)
 		for i := range vecs {
 			vecs[i] = randProbsVec(r)
 		}
-		resp, body := postJSON(t, ts.URL+"/reweight", reweightRequest{
-			solveRequest: solveRequest{QueryText: exampleQueryText, InstanceText: exampleInstanceText},
+		resp, body := postJSON(t, ts.URL+"/reweight", ReweightRequest{
+			SolveRequest: SolveRequest{QueryText: exampleQueryText, InstanceText: exampleInstanceText},
 			ProbsBatch:   vecs,
 		})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("status %d: %s", resp.StatusCode, body)
 		}
-		var br batchResponse
+		var br BatchResponse
 		if err := json.Unmarshal(body, &br); err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"phom/internal/core"
+	"phom/internal/graphio"
+)
+
+// RouteInfo is what a gateway needs to place one wire job on a
+// consistent-hash ring and price it for admission control, derived
+// without executing anything.
+type RouteInfo struct {
+	// Key is the job's routing key: graphio.StructKey over the
+	// canonical query set and the probability-stripped instance
+	// structure, with an empty options fingerprint. Jobs that differ
+	// only in probabilities or evaluation policy share a Key, which is
+	// exactly the plan-cache locality a sharded tier wants: every
+	// reweight of one structure lands on the replica that compiled it.
+	// For a job that does not parse, Key is a deterministic hash of the
+	// raw body bytes instead (the job still needs a backend — the
+	// owning backend produces the authoritative 400, byte-identical to
+	// an unsharded deployment's).
+	Key string
+	// Edges is the instance's edge count, the size axis of the cost
+	// model (0 when the job did not parse).
+	Edges int
+	// Hard reports that the dispatch lattice predicts a #P-hard cell
+	// for at least one disjunct: the job will take the exponential
+	// fallback (or be refused, when DisableFallback is set).
+	Hard bool
+	// DisableFallback mirrors options.disable_fallback: a hard job
+	// with the fallback disabled is a fast typed refusal, not heavy
+	// work, and the cost model prices it accordingly.
+	DisableFallback bool
+	// Vectors is the multi-vector width of a reweight (len of
+	// probs_batch), 1 for everything else; evaluation cost scales with
+	// it.
+	Vectors int
+	// ParseErr is the parse failure for jobs routed by raw-byte hash.
+	ParseErr error
+}
+
+// RouteJob parses one solve/reweight wire job just far enough to route
+// it. It never fails: malformed jobs get a byte-hash key and their
+// ParseErr recorded, so the gateway can still proxy them to a
+// deterministic backend and let it produce the authoritative error.
+func RouteJob(raw []byte) RouteInfo {
+	var req ReweightRequest // superset of SolveRequest; extra fields ignored on plain solves
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return rawRoute(raw, err)
+	}
+	return routeParsed(&req)
+}
+
+// routeParsed derives the RouteInfo of a decoded wire job.
+func routeParsed(req *ReweightRequest) RouteInfo {
+	job, err := req.SolveRequest.toJob(core.PrecisionExact, 0)
+	if err != nil {
+		raw, merr := json.Marshal(req)
+		if merr != nil {
+			raw = nil
+		}
+		return rawRoute(raw, err)
+	}
+	qs, err := job.Disjuncts()
+	if err != nil {
+		raw, _ := json.Marshal(req)
+		return rawRoute(raw, err)
+	}
+	canon := make([]string, len(qs))
+	for i, q := range qs {
+		canon[i] = graphio.CanonicalGraph(q)
+	}
+	// Disjunct order is irrelevant to the result, so it must be
+	// irrelevant to placement too (mirrors the engine's job keying).
+	sort.Strings(canon)
+	info := RouteInfo{
+		Key:     graphio.StructKey(canon, graphio.CanonicalGraph(job.Instance.G), ""),
+		Edges:   job.Instance.G.NumEdges(),
+		Vectors: 1,
+	}
+	for _, q := range qs {
+		if _, _, _, v := core.PredictInput(q, job.Instance); !v.Tractable {
+			info.Hard = true
+			break
+		}
+	}
+	if job.Opts != nil {
+		info.DisableFallback = job.Opts.DisableFallback
+	}
+	if n := len(req.ProbsBatch); n > 1 {
+		info.Vectors = n
+	}
+	return info
+}
+
+// rawRoute keys an unparseable job by its raw bytes: deterministic, so
+// repeated sends of the same bad body always hit the same backend.
+func rawRoute(raw []byte, err error) RouteInfo {
+	h := sha256.Sum256(append([]byte("route-raw\n"), raw...))
+	return RouteInfo{Key: hex.EncodeToString(h[:]), Vectors: 1, ParseErr: err}
+}
+
+// DefaultRouteCacheSize is the default capacity of a RouteCache.
+const DefaultRouteCacheSize = 4096
+
+// RouteCache memoizes the structure-derived part of RouteInfo (Key,
+// Edges, Hard) by a fingerprint of the request's structure-bearing
+// fields. The dominant serving pattern — reweighting a known
+// query/instance under fresh probabilities — repeats those fields
+// verbatim on every request, but deriving RouteInfo from scratch parses
+// and classifies the whole instance each time, which can cost as much
+// as the backend's own warm evaluation. A cache hit reduces routing to
+// one envelope decode and a hash. Request-variant fields
+// (DisableFallback, Vectors) are re-derived from the envelope on every
+// call; parse failures are never cached (their raw-byte keys depend on
+// the full body, probabilities included).
+type RouteCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used; values are *routeEntry
+}
+
+type routeEntry struct {
+	fp   string
+	info RouteInfo // Vectors/DisableFallback normalized (1, false)
+}
+
+// NewRouteCache returns a RouteCache holding up to size structures
+// (DefaultRouteCacheSize when size <= 0).
+func NewRouteCache(size int) *RouteCache {
+	if size <= 0 {
+		size = DefaultRouteCacheSize
+	}
+	return &RouteCache{max: size, entries: make(map[string]*list.Element), order: list.New()}
+}
+
+// Len returns the number of cached structures.
+func (c *RouteCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Route is RouteJob through the cache: identical results, with the
+// parse/classify work skipped when the request's structure fields have
+// been routed before.
+func (c *RouteCache) Route(raw []byte) RouteInfo {
+	var req ReweightRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return rawRoute(raw, err)
+	}
+	fp := routeFingerprint(&req)
+	if info, ok := c.get(fp); ok {
+		if req.Options != nil {
+			info.DisableFallback = req.Options.DisableFallback
+		}
+		if n := len(req.ProbsBatch); n > 1 {
+			info.Vectors = n
+		}
+		return info
+	}
+	info := routeParsed(&req)
+	if info.ParseErr == nil {
+		cached := info
+		cached.Vectors = 1
+		cached.DisableFallback = false
+		c.put(fp, cached)
+	}
+	return info
+}
+
+// Batch is RouteBatch through the cache.
+func (c *RouteCache) Batch(raw []byte) (jobs []json.RawMessage, infos []RouteInfo, err error) {
+	jobs, err = splitBatch(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	infos = make([]RouteInfo, len(jobs))
+	for i, j := range jobs {
+		infos[i] = c.Route(j)
+	}
+	return jobs, infos, nil
+}
+
+func (c *RouteCache) get(fp string) (RouteInfo, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[fp]
+	if !ok {
+		return RouteInfo{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*routeEntry).info, true
+}
+
+func (c *RouteCache) put(fp string, info RouteInfo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[fp]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*routeEntry).info = info
+		return
+	}
+	c.entries[fp] = c.order.PushFront(&routeEntry{fp: fp, info: info})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*routeEntry).fp)
+	}
+}
+
+// routeFingerprint hashes exactly the fields of a wire job that
+// determine its structure-derived RouteInfo: queries and instance in
+// every wire form. Probability maps and evaluation options are
+// deliberately excluded — they never move a job between shards.
+func routeFingerprint(req *ReweightRequest) string {
+	h := sha256.New()
+	section := func(tag string, b []byte) {
+		fmt.Fprintf(h, "%s %d\n", tag, len(b))
+		h.Write(b)
+	}
+	section("query", req.Query)
+	for _, q := range req.Queries {
+		section("queries", q)
+	}
+	section("query_text", []byte(req.QueryText))
+	for _, q := range req.QueriesText {
+		section("queries_text", []byte(q))
+	}
+	section("instance", req.Instance)
+	section("instance_text", []byte(req.InstanceText))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RouteBatch splits a /batch body into its per-job raw messages and
+// their RouteInfos. The raw job bytes are preserved verbatim so the
+// gateway's per-shard sub-batches re-marshal each job untouched — the
+// backends parse exactly what the client sent.
+func RouteBatch(raw []byte) (jobs []json.RawMessage, infos []RouteInfo, err error) {
+	jobs, err = splitBatch(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	infos = make([]RouteInfo, len(jobs))
+	for i, j := range jobs {
+		infos[i] = RouteJob(j)
+	}
+	return jobs, infos, nil
+}
+
+func splitBatch(raw []byte) ([]json.RawMessage, error) {
+	var req struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return nil, fmt.Errorf("bad request body: %v", err)
+	}
+	return req.Jobs, nil
+}

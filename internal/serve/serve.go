@@ -1,8 +1,22 @@
-package main
+// Package serve implements the phomserve HTTP layer: the JSON wire
+// protocol (/solve, /reweight, /batch with NDJSON streaming,
+// /plans/export, /plans/import, /healthz) routed onto a shared
+// engine.Engine. It is a library rather than part of cmd/phomserve so
+// the gateway tier (internal/gateway), the in-process test harnesses
+// and phombench's multi-replica experiments can boot backend replicas
+// without spawning processes; cmd/phomserve is a thin flag-parsing
+// main over serve.New. The exported wire types (SolveRequest,
+// SolveResponse, StreamLine, …) are the single definition of the
+// protocol — the gateway decodes and re-encodes backend NDJSON through
+// them, which is what keeps gate-merged stream lines byte-compatible
+// with single-backend ones.
+package serve
 
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"phom/internal/core"
@@ -25,9 +40,13 @@ const (
 	// DefaultMaxBodyBytes is the default request-body cap (-maxbody);
 	// bodies beyond the cap are refused with 413.
 	DefaultMaxBodyBytes = 8 << 20 // 8 MiB per request
-	maxBatchJobs        = 4096    // jobs per /batch request
-	maxBruteForceLimit  = 26      // client-requested coins cap (2^26 worlds)
-	maxMatchLimit       = 1 << 20 // client-requested match-enumeration cap
+	// MaxBatchJobs caps the jobs of one /batch request (and the vectors
+	// of one probs_batch). Exported so the gateway refuses oversized
+	// batches the same way a single backend would instead of sharding
+	// them into individually legal sub-batches.
+	MaxBatchJobs       = 4096
+	maxBruteForceLimit = 26      // client-requested coins cap (2^26 worlds)
+	maxMatchLimit      = 1 << 20 // client-requested match-enumeration cap
 )
 
 // Wire types. Graphs are accepted in both formats understood by the
@@ -35,7 +54,7 @@ const (
 // [...]}) and the line-oriented text format that cmd/phom reads
 // ("vertices 4\nedge 0 1 R 1/2\n..."), the latter in the *_text fields.
 
-type solveOptions struct {
+type SolveOptions struct {
 	BruteForceLimit int  `json:"brute_force_limit,omitempty"`
 	MatchLimit      int  `json:"match_limit,omitempty"`
 	DisableFallback bool `json:"disable_fallback,omitempty"`
@@ -57,17 +76,17 @@ type solveOptions struct {
 	FloatTolerance float64 `json:"float_tolerance,omitempty"`
 }
 
-type solveRequest struct {
+type SolveRequest struct {
 	Query        json.RawMessage   `json:"query,omitempty"`
 	Queries      []json.RawMessage `json:"queries,omitempty"`
 	QueryText    string            `json:"query_text,omitempty"`
 	QueriesText  []string          `json:"queries_text,omitempty"`
 	Instance     json.RawMessage   `json:"instance,omitempty"`
 	InstanceText string            `json:"instance_text,omitempty"`
-	Options      *solveOptions     `json:"options,omitempty"`
+	Options      *SolveOptions     `json:"options,omitempty"`
 }
 
-type verdictResponse struct {
+type VerdictResponse struct {
 	QueryClass    string `json:"query_class"`
 	InstanceClass string `json:"instance_class"`
 	Labeled       bool   `json:"labeled"`
@@ -75,7 +94,7 @@ type verdictResponse struct {
 	Verdict       string `json:"verdict"`
 }
 
-type solveResponse struct {
+type SolveResponse struct {
 	Prob      string  `json:"prob,omitempty"`
 	ProbFloat float64 `json:"prob_float,omitempty"`
 	// Code is the typed error code accompanying Error ("bad-input",
@@ -101,23 +120,23 @@ type solveResponse struct {
 	CacheHit  bool             `json:"cache_hit,omitempty"`
 	Shared    bool             `json:"shared,omitempty"`
 	PlanHit   bool             `json:"plan_hit,omitempty"`
-	Predicted *verdictResponse `json:"predicted,omitempty"`
+	Predicted *VerdictResponse `json:"predicted,omitempty"`
 	ElapsedUS int64            `json:"elapsed_us"`
 	Error     string           `json:"error,omitempty"`
 }
 
-// reweightRequest is a solve request plus a probability remap: the
+// ReweightRequest is a solve request plus a probability remap: the
 // /reweight endpoint solves the job with the given edge probabilities
 // substituted into the instance. Structure-identical jobs share a
 // compiled plan in the engine, so a reweight of a previously seen
 // structure pays only linear evaluation (plan_hit in the response).
-type reweightRequest struct {
-	solveRequest
+type ReweightRequest struct {
+	SolveRequest
 	// Probs overrides edge probabilities: keys are "from>to" endpoint
 	// pairs, values exact rationals in [0, 1] ("1/2", "0.35").
 	Probs map[string]string `json:"probs,omitempty"`
 	// ProbsBatch is the multi-vector form: each element is a Probs-style
-	// override map, and the response is a batchResponse with one result
+	// override map, and the response is a BatchResponse with one result
 	// per vector (same order). All vectors share the request's query and
 	// instance structure, which is exactly the shape the engine's
 	// vectorized reweight path batches into one kernel dispatch.
@@ -125,31 +144,40 @@ type reweightRequest struct {
 	ProbsBatch []map[string]string `json:"probs_batch,omitempty"`
 }
 
-type batchRequest struct {
-	Jobs []solveRequest `json:"jobs"`
+type BatchRequest struct {
+	Jobs []SolveRequest `json:"jobs"`
 }
 
-type batchResponse struct {
-	Results []solveResponse `json:"results"`
+type BatchResponse struct {
+	Results []SolveResponse `json:"results"`
 	Stats   engine.Stats    `json:"stats"`
 	// ElapsedUS is the wall-clock time of the whole batch; each
 	// result's elapsed_us is that job's own latency.
 	ElapsedUS int64 `json:"elapsed_us"`
 }
 
-type healthResponse struct {
+type HealthResponse struct {
 	Status  string       `json:"status"`
 	Workers int          `json:"workers"`
 	Stats   engine.Stats `json:"stats"`
+	// Shard is the replica's shard name (-shard), echoed so a gateway
+	// operator can tell which member of the tier answered a probe.
+	Shard string `json:"shard,omitempty"`
+	// UptimeMS is the monotonic time since this process created its
+	// server, in milliseconds. The gateway watches it across probes: an
+	// uptime regression means the replica restarted (losing its plan
+	// cache) even if no probe ever failed, and triggers a warm-start
+	// snapshot push.
+	UptimeMS int64 `json:"uptime_ms"`
 	// HTTP counts every response served since startup, keyed by status
 	// code — the server-side half of phomgen's replay accounting (a
 	// replay is clean when the two sides agree).
 	HTTP map[string]uint64 `json:"http,omitempty"`
 }
 
-type errorResponse struct {
+type ErrorResponse struct {
 	Error string `json:"error"`
-	// Code is the typed error code (see solveResponse.Code).
+	// Code is the typed error code (see SolveResponse.Code).
 	Code string `json:"code,omitempty"`
 }
 
@@ -159,12 +187,12 @@ type errorResponse struct {
 // widely understood one.
 const StatusClientClosedRequest = 499
 
-// statusOf maps the typed error taxonomy onto HTTP statuses:
+// StatusOf maps the typed error taxonomy onto HTTP statuses:
 // bad-input → 400, deadline → 408, limit and intractable → 422 (the
 // request is well-formed but cannot be answered under its constraints),
 // canceled → 499, unavailable → 503, and anything unknown → 422 (the
 // historical catch-all for solver failures).
-func statusOf(err error) int {
+func StatusOf(err error) int {
 	switch phomerr.CodeOf(err) {
 	case phomerr.CodeBadInput:
 		return http.StatusBadRequest
@@ -179,8 +207,8 @@ func statusOf(err error) int {
 	}
 }
 
-// server routes HTTP requests onto a shared engine.
-type server struct {
+// Server routes HTTP requests onto a shared engine.
+type Server struct {
 	engine  *engine.Engine
 	maxBody int64 // request-body cap in bytes; ≤0 means DefaultMaxBodyBytes
 	// defPrec and defTol are the precision mode and auto tolerance
@@ -188,31 +216,43 @@ type server struct {
 	// -floattol); an explicit "precision" in the request always wins.
 	defPrec core.Precision
 	defTol  float64
+	// shard names this replica in a sharded tier (-shard); surfaced
+	// through /healthz so probes can tell replicas apart.
+	shard string
+	// start anchors the /healthz uptime_ms monotonic clock.
+	start time.Time
 	// httpByStatus counts served responses per status code, under
 	// httpMu; surfaced through /healthz for replay accounting.
 	httpMu       sync.Mutex
 	httpByStatus map[int]uint64
 }
 
-func newServer(e *engine.Engine) *server {
-	return &server{engine: e, httpByStatus: map[int]uint64{}}
+func New(e *engine.Engine) *Server {
+	return &Server{engine: e, start: time.Now(), httpByStatus: map[int]uint64{}}
 }
 
-// withMaxBody sets the request-body cap (the -maxbody flag).
-func (s *server) withMaxBody(n int64) *server {
+// WithMaxBody sets the request-body cap (the -maxbody flag).
+func (s *Server) WithMaxBody(n int64) *Server {
 	s.maxBody = n
 	return s
 }
 
-// withPrecision sets the default precision mode and auto tolerance
+// WithPrecision sets the default precision mode and auto tolerance
 // (the -precision and -floattol flags).
-func (s *server) withPrecision(p core.Precision, tol float64) *server {
+func (s *Server) WithPrecision(p core.Precision, tol float64) *Server {
 	s.defPrec = p
 	s.defTol = tol
 	return s
 }
 
-func (s *server) bodyLimit() int64 {
+// WithShard names this replica in a sharded tier (the -shard flag);
+// the name is reported by /healthz.
+func (s *Server) WithShard(name string) *Server {
+	s.shard = name
+	return s
+}
+
+func (s *Server) bodyLimit() int64 {
 	if s.maxBody > 0 {
 		return s.maxBody
 	}
@@ -223,22 +263,22 @@ func (s *server) bodyLimit() int64 {
 // cap, reporting (writing the response itself) and returning false on
 // failure. Oversized bodies are a 413, not a generic 400: the request
 // may be well-formed, the server just refuses to read that much.
-func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit())).Decode(v)
 	if err == nil {
 		return true
 	}
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		WriteError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 		return false
 	}
-	writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	WriteError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 	return false
 }
 
-func (s *server) handler() http.Handler {
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/reweight", s.handleReweight)
@@ -249,20 +289,46 @@ func (s *server) handler() http.Handler {
 	return s.instrument(mux)
 }
 
-// RequestIDHeader is echoed verbatim from request to response when the
-// client sets it, so a load generator can pair every response with the
-// request that caused it without trusting ordering.
+// RequestIDHeader carries the request id: echoed verbatim from request
+// to response when the client sets it (so a load generator can pair
+// every response with the request that caused it without trusting
+// ordering), minted by the server when absent. A gateway propagates
+// the ingress id to the backend hop, so one id traces a request across
+// the whole tier.
 const RequestIDHeader = "X-Phom-Request-Id"
 
+// idPrefix and idCounter mint process-unique request ids for requests
+// that arrive without one: a random boot prefix plus a monotonic
+// counter, cheap and collision-free across replicas.
+var (
+	idPrefix  = func() string { var b [4]byte; _, _ = rand.Read(b[:]); return hex.EncodeToString(b[:]) }()
+	idCounter atomic.Uint64
+)
+
+// MintRequestID returns a fresh process-unique request id.
+func MintRequestID() string {
+	return idPrefix + "-" + strconv.FormatUint(idCounter.Add(1), 10)
+}
+
+// EnsureRequestID returns the request's id, minting one (and storing it
+// back into the request headers, so downstream handlers and proxied
+// hops see it) when the client did not send one.
+func EnsureRequestID(r *http.Request) string {
+	id := r.Header.Get(RequestIDHeader)
+	if id == "" {
+		id = MintRequestID()
+		r.Header.Set(RequestIDHeader, id)
+	}
+	return id
+}
+
 // instrument wraps the mux with the replay-target plumbing: the
-// request-id echo and the per-status response counters surfaced by
-// /healthz.
-func (s *server) instrument(next http.Handler) http.Handler {
+// request-id mint/echo and the per-status response counters surfaced
+// by /healthz.
+func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if id := r.Header.Get(RequestIDHeader); id != "" {
-			w.Header().Set(RequestIDHeader, id)
-		}
-		sw := &statusWriter{ResponseWriter: w}
+		w.Header().Set(RequestIDHeader, EnsureRequestID(r))
+		sw := &StatusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		s.httpMu.Lock()
 		s.httpByStatus[sw.Status()]++
@@ -270,36 +336,36 @@ func (s *server) instrument(next http.Handler) http.Handler {
 	})
 }
 
-// statusWriter records the response status. It must keep forwarding
+// StatusWriter records the response status. It must keep forwarding
 // Flush: the streamed batch path type-asserts http.Flusher on the
 // writer it is handed, and NDJSON streaming dies silently without it.
-type statusWriter struct {
+type StatusWriter struct {
 	http.ResponseWriter
 	status int
 }
 
-func (sw *statusWriter) WriteHeader(code int) {
+func (sw *StatusWriter) WriteHeader(code int) {
 	if sw.status == 0 {
 		sw.status = code
 	}
 	sw.ResponseWriter.WriteHeader(code)
 }
 
-func (sw *statusWriter) Write(b []byte) (int, error) {
+func (sw *StatusWriter) Write(b []byte) (int, error) {
 	if sw.status == 0 {
 		sw.status = http.StatusOK
 	}
 	return sw.ResponseWriter.Write(b)
 }
 
-func (sw *statusWriter) Flush() {
+func (sw *StatusWriter) Flush() {
 	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
 }
 
 // Status returns the recorded status (200 if the handler never wrote).
-func (sw *statusWriter) Status() int {
+func (sw *StatusWriter) Status() int {
 	if sw.status == 0 {
 		return http.StatusOK
 	}
@@ -307,7 +373,7 @@ func (sw *statusWriter) Status() int {
 }
 
 // httpCounts snapshots the per-status counters for /healthz.
-func (s *server) httpCounts() map[string]uint64 {
+func (s *Server) httpCounts() map[string]uint64 {
 	s.httpMu.Lock()
 	defer s.httpMu.Unlock()
 	out := make(map[string]uint64, len(s.httpByStatus))
@@ -317,39 +383,41 @@ func (s *server) httpCounts() map[string]uint64 {
 	return out
 }
 
-func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		WriteError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, healthResponse{
-		Status:  "ok",
-		Workers: s.engine.Workers(),
-		Stats:   s.engine.Stats(),
-		HTTP:    s.httpCounts(),
+	WriteJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Workers:  s.engine.Workers(),
+		Stats:    s.engine.Stats(),
+		Shard:    s.shard,
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		HTTP:     s.httpCounts(),
 	})
 }
 
-func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		WriteError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	var req solveRequest
+	var req SolveRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	job, err := req.toJob(s.defPrec, s.defTol)
 	if err != nil {
-		writeTypedError(w, phomerr.Wrap(phomerr.CodeBadInput, err))
+		WriteTypedError(w, phomerr.Wrap(phomerr.CodeBadInput, err))
 		return
 	}
 	resp, jerr := s.runJob(r.Context(), job)
 	if jerr != nil {
-		writeJSON(w, statusOf(jerr), resp)
+		WriteJSON(w, StatusOf(jerr), resp)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // handleReweight solves a job with updated edge probabilities: the wire
@@ -358,22 +426,22 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // a known query/instance topology under new weights — which the
 // engine's structure-keyed plan cache answers without recompiling
 // (plan_hit reports whether that happened).
-func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleReweight(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		WriteError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	var req reweightRequest
+	var req ReweightRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	job, err := req.solveRequest.toJob(s.defPrec, s.defTol)
+	job, err := req.SolveRequest.toJob(s.defPrec, s.defTol)
 	if err != nil {
-		writeTypedError(w, phomerr.Wrap(phomerr.CodeBadInput, err))
+		WriteTypedError(w, phomerr.Wrap(phomerr.CodeBadInput, err))
 		return
 	}
 	if len(req.Probs) > 0 && len(req.ProbsBatch) > 0 {
-		writeError(w, http.StatusBadRequest, "provide probs or probs_batch, not both")
+		WriteError(w, http.StatusBadRequest, "provide probs or probs_batch, not both")
 		return
 	}
 	if req.ProbsBatch != nil {
@@ -383,17 +451,17 @@ func (s *server) handleReweight(w http.ResponseWriter, r *http.Request) {
 	if len(req.Probs) > 0 {
 		inst, err := applyProbs(job.Instance, req.Probs)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			WriteError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		job.Instance = inst
 	}
 	resp, jerr := s.runJob(r.Context(), job)
 	if jerr != nil {
-		writeJSON(w, statusOf(jerr), resp)
+		WriteJSON(w, StatusOf(jerr), resp)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // applyProbs returns an instance with the {"from>to": "p"} override map
@@ -434,20 +502,20 @@ func applyProbs(base *graph.ProbGraph, probs map[string]string) (*graph.ProbGrap
 // call so the engine's same-structure grouping routes them through the
 // vectorized kernel (stats.batch_runs/batch_lanes in the response show
 // it happened).
-func (s *server) reweightBatch(w http.ResponseWriter, r *http.Request, job engine.Job, vecs []map[string]string) {
+func (s *Server) reweightBatch(w http.ResponseWriter, r *http.Request, job engine.Job, vecs []map[string]string) {
 	if len(vecs) == 0 {
-		writeError(w, http.StatusBadRequest, "probs_batch is empty")
+		WriteError(w, http.StatusBadRequest, "probs_batch is empty")
 		return
 	}
-	if len(vecs) > maxBatchJobs {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("probs_batch has %d vectors, limit is %d", len(vecs), maxBatchJobs))
+	if len(vecs) > MaxBatchJobs {
+		WriteError(w, http.StatusBadRequest, fmt.Sprintf("probs_batch has %d vectors, limit is %d", len(vecs), MaxBatchJobs))
 		return
 	}
 	jobs := make([]engine.Job, len(vecs))
 	for k, pm := range vecs {
 		inst, err := applyProbs(job.Instance, pm)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("probs_batch[%d]: %v", k, err))
+			WriteError(w, http.StatusBadRequest, fmt.Sprintf("probs_batch[%d]: %v", k, err))
 			return
 		}
 		lane := job
@@ -455,13 +523,13 @@ func (s *server) reweightBatch(w http.ResponseWriter, r *http.Request, job engin
 		jobs[k] = lane
 	}
 	start := time.Now()
-	results := make([]solveResponse, len(jobs))
+	results := make([]SolveResponse, len(jobs))
 	for sr := range s.engine.Stream(r.Context(), jobs) {
 		// elapsed_us is completion-order latency (batch start to this
 		// lane's delivery), matching the streamed /batch convention.
 		results[sr.Index] = buildResponse(jobs[sr.Index], sr.JobResult, time.Since(start))
 	}
-	writeJSON(w, http.StatusOK, batchResponse{
+	WriteJSON(w, http.StatusOK, BatchResponse{
 		Results:   results,
 		Stats:     s.engine.Stats(),
 		ElapsedUS: time.Since(start).Microseconds(),
@@ -474,15 +542,15 @@ func (s *server) reweightBatch(w http.ResponseWriter, r *http.Request, job engin
 // across restarts) and structurally known jobs never recompile. The
 // snapshot is buffered before the first response byte so failures
 // still get a proper status.
-func (s *server) handlePlansExport(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePlansExport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		WriteError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	var buf bytes.Buffer
 	n, err := s.engine.SavePlans(&buf)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "plan export: "+err.Error())
+		WriteError(w, http.StatusInternalServerError, "plan export: "+err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -500,43 +568,43 @@ type plansImportResponse struct {
 // the engine's plan cache. Records are fully validated; a corrupt
 // snapshot is rejected without panicking, and records decoded before
 // the corruption point stay loaded (the response reports how many).
-func (s *server) handlePlansImport(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePlansImport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		WriteError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	n, err := s.engine.LoadPlans(http.MaxBytesReader(w, r.Body, s.bodyLimit()))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			WriteError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("snapshot exceeds %d bytes", tooBig.Limit))
 			return
 		}
-		writeError(w, http.StatusBadRequest, "plan import: "+err.Error())
+		WriteError(w, http.StatusBadRequest, "plan import: "+err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, plansImportResponse{
+	WriteJSON(w, http.StatusOK, plansImportResponse{
 		Loaded:       n,
 		PlanCacheLen: s.engine.Stats().PlanCacheLen,
 	})
 }
 
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		WriteError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	var req batchRequest
+	var req BatchRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Jobs) == 0 {
-		writeError(w, http.StatusBadRequest, "batch has no jobs")
+		WriteError(w, http.StatusBadRequest, "batch has no jobs")
 		return
 	}
-	if len(req.Jobs) > maxBatchJobs {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch has %d jobs, limit is %d", len(req.Jobs), maxBatchJobs))
+	if len(req.Jobs) > MaxBatchJobs {
+		WriteError(w, http.StatusBadRequest, fmt.Sprintf("batch has %d jobs, limit is %d", len(req.Jobs), MaxBatchJobs))
 		return
 	}
 	if streamRequested(r) {
@@ -547,7 +615,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// well-formed jobs reach the engine. Each job is timed individually
 	// (runJob), so elapsed_us is that job's latency, not the batch's;
 	// the engine's worker pool bounds the actual compute concurrency.
-	results := make([]solveResponse, len(req.Jobs))
+	results := make([]SolveResponse, len(req.Jobs))
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i, jr := range req.Jobs {
@@ -563,7 +631,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(i, job)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, batchResponse{
+	WriteJSON(w, http.StatusOK, BatchResponse{
 		Results:   results,
 		Stats:     s.engine.Stats(),
 		ElapsedUS: time.Since(start).Microseconds(),
@@ -577,20 +645,25 @@ func streamRequested(r *http.Request) bool {
 	return v == "1" || v == "true"
 }
 
-// streamLine is one NDJSON line of /batch?stream=1: the response of
+// StreamLine is one NDJSON line of /batch?stream=1: the response of
 // the batch job at Index, emitted when that job completes. elapsed_us
 // on a streamed line is the time from the start of the batch to this
 // job's delivery (completion-order latency), not the job's solo cost.
-type streamLine struct {
+type StreamLine struct {
 	Index int `json:"index"`
-	solveResponse
+	SolveResponse
+	// RequestID is the request's traced id (minted or client-provided,
+	// propagated across gateway hops), echoed on every line so a
+	// stream merged by the gateway from several backends still
+	// attributes each line to the ingress request that caused it.
+	RequestID string `json:"request_id,omitempty"`
 }
 
-// streamTrailer is the final NDJSON line of a streamed batch: a
+// StreamTrailer is the final NDJSON line of a streamed batch: a
 // summary marker carrying the engine counters and the batch wall-clock
 // time, so clients know the stream ended deliberately rather than by a
 // dropped connection.
-type streamTrailer struct {
+type StreamTrailer struct {
 	Done      bool         `json:"done"`
 	Jobs      int          `json:"jobs"`
 	Stats     engine.Stats `json:"stats"`
@@ -604,18 +677,19 @@ type streamTrailer struct {
 // and the server never buffers the full result slice; cancelling the
 // request (client disconnect) aborts the remaining jobs at their next
 // cooperative checkpoint.
-func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, req batchRequest) {
+func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, req BatchRequest) {
 	start := time.Now()
+	reqID := r.Header.Get(RequestIDHeader) // set by instrument when absent
 	// Parse first: malformed jobs yield immediate error lines and never
 	// reach the engine; idx maps engine-stream positions back to the
 	// caller's job numbering.
 	jobs := make([]engine.Job, 0, len(req.Jobs))
 	idx := make([]int, 0, len(req.Jobs))
-	parseFailures := make([]streamLine, 0)
+	parseFailures := make([]StreamLine, 0)
 	for i, jr := range req.Jobs {
 		job, err := jr.toJob(s.defPrec, s.defTol)
 		if err != nil {
-			parseFailures = append(parseFailures, streamLine{Index: i, solveResponse: parseFailure(err)})
+			parseFailures = append(parseFailures, StreamLine{Index: i, SolveResponse: parseFailure(err), RequestID: reqID})
 			continue
 		}
 		jobs = append(jobs, job)
@@ -636,9 +710,9 @@ func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, req batchRe
 	}
 	for sr := range s.engine.Stream(r.Context(), jobs) {
 		resp := buildResponse(jobs[sr.Index], sr.JobResult, time.Since(start))
-		emit(streamLine{Index: idx[sr.Index], solveResponse: resp})
+		emit(StreamLine{Index: idx[sr.Index], SolveResponse: resp, RequestID: reqID})
 	}
-	emit(streamTrailer{
+	emit(StreamTrailer{
 		Done:      true,
 		Jobs:      len(req.Jobs),
 		Stats:     s.engine.Stats(),
@@ -648,19 +722,19 @@ func (s *server) streamBatch(w http.ResponseWriter, r *http.Request, req batchRe
 
 // parseFailure is the per-job response for a request that failed to
 // parse (never submitted to the engine).
-func parseFailure(err error) solveResponse {
+func parseFailure(err error) SolveResponse {
 	terr := phomerr.Wrap(phomerr.CodeBadInput, err)
-	return solveResponse{Error: terr.Error(), Code: phomerr.CodeOf(terr).String()}
+	return SolveResponse{Error: terr.Error(), Code: phomerr.CodeOf(terr).String()}
 }
 
-func (s *server) runJob(ctx context.Context, job engine.Job) (solveResponse, error) {
+func (s *Server) runJob(ctx context.Context, job engine.Job) (SolveResponse, error) {
 	start := time.Now()
 	jr := s.engine.DoContext(ctx, job)
 	return buildResponse(job, jr, time.Since(start)), jr.Err
 }
 
-func buildResponse(job engine.Job, jr engine.JobResult, elapsed time.Duration) solveResponse {
-	resp := solveResponse{ElapsedUS: elapsed.Microseconds(), CacheHit: jr.CacheHit, Shared: jr.Shared, PlanHit: jr.PlanHit}
+func buildResponse(job engine.Job, jr engine.JobResult, elapsed time.Duration) SolveResponse {
+	resp := SolveResponse{ElapsedUS: elapsed.Microseconds(), CacheHit: jr.CacheHit, Shared: jr.Shared, PlanHit: jr.PlanHit}
 	if jr.Err != nil {
 		resp.Error = jr.Err.Error()
 		resp.Code = phomerr.CodeOf(jr.Err).String()
@@ -679,7 +753,7 @@ func buildResponse(job engine.Job, jr engine.JobResult, elapsed time.Duration) s
 	// for single-query jobs only.
 	if job.Query != nil {
 		qc, ic, labeled, v := core.PredictInput(job.Query, job.Instance)
-		resp.Predicted = &verdictResponse{
+		resp.Predicted = &VerdictResponse{
 			QueryClass:    qc.String(),
 			InstanceClass: ic.String(),
 			Labeled:       labeled,
@@ -693,7 +767,7 @@ func buildResponse(job engine.Job, jr engine.JobResult, elapsed time.Duration) s
 // toJob parses the wire request into an engine job. defPrec and defTol
 // are the server's default precision mode and auto tolerance, applied
 // when the request does not choose its own.
-func (r *solveRequest) toJob(defPrec core.Precision, defTol float64) (engine.Job, error) {
+func (r *SolveRequest) toJob(defPrec core.Precision, defTol float64) (engine.Job, error) {
 	var job engine.Job
 
 	queries, err := r.parseQueries()
@@ -770,7 +844,7 @@ func (r *solveRequest) toJob(defPrec core.Precision, defTol float64) (engine.Job
 	return job, nil
 }
 
-func (r *solveRequest) parseQueries() ([]*graph.Graph, error) {
+func (r *SolveRequest) parseQueries() ([]*graph.Graph, error) {
 	forms := 0
 	for _, set := range []bool{r.Query != nil, len(r.Queries) > 0, r.QueryText != "", len(r.QueriesText) > 0} {
 		if set {
@@ -825,18 +899,18 @@ func parseQueryJSON(data []byte) (*graph.Graph, error) {
 	return pg.G, nil
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+func WriteError(w http.ResponseWriter, status int, msg string) {
+	WriteJSON(w, status, ErrorResponse{Error: msg})
 }
 
-// writeTypedError reports a typed error with its taxonomy-derived
+// WriteTypedError reports a typed error with its taxonomy-derived
 // status and machine-readable code.
-func writeTypedError(w http.ResponseWriter, err error) {
-	writeJSON(w, statusOf(err), errorResponse{Error: err.Error(), Code: phomerr.CodeOf(err).String()})
+func WriteTypedError(w http.ResponseWriter, err error) {
+	WriteJSON(w, StatusOf(err), ErrorResponse{Error: err.Error(), Code: phomerr.CodeOf(err).String()})
 }

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -35,7 +35,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	eng := engine.New(engine.Options{Workers: 4})
 	t.Cleanup(func() { eng.Close() })
-	ts := httptest.NewServer(newServer(eng).handler())
+	ts := httptest.NewServer(New(eng).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -60,14 +60,14 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
 
 func TestSolveTextFormat(t *testing.T) {
 	ts := newTestServer(t)
-	resp, body := postJSON(t, ts.URL+"/solve", solveRequest{
+	resp, body := postJSON(t, ts.URL+"/solve", SolveRequest{
 		QueryText:    exampleQueryText,
 		InstanceText: exampleInstanceText,
 	})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var sr solveResponse
+	var sr SolveResponse
 	if err := json.Unmarshal(body, &sr); err != nil {
 		t.Fatal(err)
 	}
@@ -113,8 +113,8 @@ func TestSolveJSONFormatAndCacheHit(t *testing.T) {
 			},
 		},
 	}
-	var first, second solveResponse
-	for i, dst := range []*solveResponse{&first, &second} {
+	var first, second SolveResponse
+	for i, dst := range []*SolveResponse{&first, &second} {
 		resp, body := postJSON(t, ts.URL+"/solve", req)
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, body)
@@ -136,22 +136,22 @@ func TestSolveJSONFormatAndCacheHit(t *testing.T) {
 
 func TestBatchRoundTrip(t *testing.T) {
 	ts := newTestServer(t)
-	good := solveRequest{QueryText: exampleQueryText, InstanceText: exampleInstanceText}
-	ucq := solveRequest{
+	good := SolveRequest{QueryText: exampleQueryText, InstanceText: exampleInstanceText}
+	ucq := SolveRequest{
 		QueriesText:  []string{"vertices 2\nedge 0 1 R\n", "vertices 2\nedge 0 1 S\n"},
 		InstanceText: exampleInstanceText,
 	}
-	bad := solveRequest{QueryText: "vertices zero\n", InstanceText: exampleInstanceText}
-	hard := solveRequest{
+	bad := SolveRequest{QueryText: "vertices zero\n", InstanceText: exampleInstanceText}
+	hard := SolveRequest{
 		QueryText:    exampleQueryText,
 		InstanceText: exampleInstanceText,
-		Options:      &solveOptions{DisableFallback: true},
+		Options:      &SolveOptions{DisableFallback: true},
 	}
-	resp, body := postJSON(t, ts.URL+"/batch", batchRequest{Jobs: []solveRequest{good, ucq, bad, good, hard}})
+	resp, body := postJSON(t, ts.URL+"/batch", BatchRequest{Jobs: []SolveRequest{good, ucq, bad, good, hard}})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var br batchResponse
+	var br BatchResponse
 	if err := json.Unmarshal(body, &br); err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var hr healthResponse
+	var hr HealthResponse
 	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestBadRequests(t *testing.T) {
 			"vertices 2\nedge 0 1 R\n", "vertices 2\nedge 0 1 R\n"), http.StatusBadRequest},
 		{"empty batch", "/batch", `{"jobs": []}`, http.StatusBadRequest},
 		{"oversize batch", "/batch",
-			`{"jobs": [` + strings.Repeat("{},", maxBatchJobs) + `{}]}`,
+			`{"jobs": [` + strings.Repeat("{},", MaxBatchJobs) + `{}]}`,
 			http.StatusBadRequest},
 	}
 	for _, c := range cases {
@@ -264,7 +264,7 @@ func TestReweight(t *testing.T) {
 	instanceText := "vertices 4\nedge 0 1 R 1/2\nedge 1 2 S 1/3\nedge 1 3 S 1/5\n"
 
 	// Prime the plan cache through /solve.
-	resp, body := postJSON(t, ts.URL+"/solve", solveRequest{
+	resp, body := postJSON(t, ts.URL+"/solve", SolveRequest{
 		QueryText: queryText, InstanceText: instanceText,
 	})
 	if resp.StatusCode != http.StatusOK {
@@ -281,7 +281,7 @@ func TestReweight(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("reweight: status %d: %s", resp.StatusCode, body)
 	}
-	var sr solveResponse
+	var sr SolveResponse
 	if err := json.Unmarshal(body, &sr); err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +302,7 @@ func TestReweight(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("repeat: status %d: %s", resp.StatusCode, body)
 	}
-	var sr2 solveResponse
+	var sr2 SolveResponse
 	if err := json.Unmarshal(body, &sr2); err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestReweight(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer hresp.Body.Close()
-	var hr healthResponse
+	var hr HealthResponse
 	if err := json.NewDecoder(hresp.Body).Decode(&hr); err != nil {
 		t.Fatal(err)
 	}
@@ -329,14 +329,14 @@ func TestReweight(t *testing.T) {
 // so /reweight degrades to /solve (plus plan-cache provenance).
 func TestReweightWithoutProbs(t *testing.T) {
 	ts := newTestServer(t)
-	resp, body := postJSON(t, ts.URL+"/reweight", solveRequest{
+	resp, body := postJSON(t, ts.URL+"/reweight", SolveRequest{
 		QueryText:    exampleQueryText,
 		InstanceText: exampleInstanceText,
 	})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var sr solveResponse
+	var sr SolveResponse
 	if err := json.Unmarshal(body, &sr); err != nil {
 		t.Fatal(err)
 	}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bufio"
@@ -50,8 +50,8 @@ func TestStatusOfMapping(t *testing.T) {
 		{fmt.Errorf("mystery"), http.StatusUnprocessableEntity},
 	}
 	for _, tc := range cases {
-		if got := statusOf(tc.err); got != tc.want {
-			t.Errorf("statusOf(%v) = %d, want %d", tc.err, got, tc.want)
+		if got := StatusOf(tc.err); got != tc.want {
+			t.Errorf("StatusOf(%v) = %d, want %d", tc.err, got, tc.want)
 		}
 	}
 }
@@ -63,26 +63,26 @@ func TestTypedErrorStatuses(t *testing.T) {
 	ts := newTestServer(t)
 
 	t.Run("bad-input-400", func(t *testing.T) {
-		resp, body := postJSON(t, ts.URL+"/solve", solveRequest{
+		resp, body := postJSON(t, ts.URL+"/solve", SolveRequest{
 			QueryText:    "vertices nope",
 			InstanceText: exampleInstanceText,
 		})
 		assertStatusCode(t, resp, body, http.StatusBadRequest, "bad-input")
 	})
 	t.Run("negative-timeout-400", func(t *testing.T) {
-		resp, body := postJSON(t, ts.URL+"/solve", solveRequest{
+		resp, body := postJSON(t, ts.URL+"/solve", SolveRequest{
 			QueryText:    hardQueryText,
 			InstanceText: hardInstanceText(),
-			Options:      &solveOptions{TimeoutMS: -5},
+			Options:      &SolveOptions{TimeoutMS: -5},
 		})
 		assertStatusCode(t, resp, body, http.StatusBadRequest, "bad-input")
 	})
 	t.Run("deadline-408", func(t *testing.T) {
 		start := time.Now()
-		resp, body := postJSON(t, ts.URL+"/solve", solveRequest{
+		resp, body := postJSON(t, ts.URL+"/solve", SolveRequest{
 			QueryText:    hardQueryText,
 			InstanceText: hardInstanceText(),
-			Options:      &solveOptions{BruteForceLimit: 26, TimeoutMS: 50},
+			Options:      &SolveOptions{BruteForceLimit: 26, TimeoutMS: 50},
 		})
 		if elapsed := time.Since(start); elapsed > 15*time.Second {
 			t.Fatalf("timeout took %v to fire", elapsed)
@@ -90,29 +90,29 @@ func TestTypedErrorStatuses(t *testing.T) {
 		assertStatusCode(t, resp, body, http.StatusRequestTimeout, "deadline")
 	})
 	t.Run("intractable-422", func(t *testing.T) {
-		resp, body := postJSON(t, ts.URL+"/solve", solveRequest{
+		resp, body := postJSON(t, ts.URL+"/solve", SolveRequest{
 			QueryText:    hardQueryText,
 			InstanceText: hardInstanceText(),
-			Options:      &solveOptions{DisableFallback: true},
+			Options:      &SolveOptions{DisableFallback: true},
 		})
 		assertStatusCode(t, resp, body, http.StatusUnprocessableEntity, "intractable")
 	})
 	t.Run("limit-422", func(t *testing.T) {
-		resp, body := postJSON(t, ts.URL+"/solve", solveRequest{
+		resp, body := postJSON(t, ts.URL+"/solve", SolveRequest{
 			QueryText:    hardQueryText,
 			InstanceText: hardInstanceText(),
-			Options:      &solveOptions{BruteForceLimit: 2, MatchLimit: 1},
+			Options:      &SolveOptions{BruteForceLimit: 2, MatchLimit: 1},
 		})
 		assertStatusCode(t, resp, body, http.StatusUnprocessableEntity, "limit")
 	})
 	t.Run("unavailable-503", func(t *testing.T) {
 		eng := engine.New(engine.Options{Workers: 1})
-		closedTS := httptest.NewServer(newServer(eng).handler())
+		closedTS := httptest.NewServer(New(eng).Handler())
 		defer closedTS.Close()
 		if err := eng.Close(); err != nil {
 			t.Fatal(err)
 		}
-		resp, body := postJSON(t, closedTS.URL+"/solve", solveRequest{
+		resp, body := postJSON(t, closedTS.URL+"/solve", SolveRequest{
 			QueryText:    exampleQueryText,
 			InstanceText: exampleInstanceText,
 		})
@@ -144,16 +144,16 @@ func TestBatchStreaming(t *testing.T) {
 	ts := newTestServer(t)
 
 	// The reference answer via the plain endpoint.
-	_, refBody := postJSON(t, ts.URL+"/solve", solveRequest{
+	_, refBody := postJSON(t, ts.URL+"/solve", SolveRequest{
 		QueryText:    exampleQueryText,
 		InstanceText: exampleInstanceText,
 	})
-	var ref solveResponse
+	var ref SolveResponse
 	if err := json.Unmarshal(refBody, &ref); err != nil {
 		t.Fatal(err)
 	}
 
-	req := batchRequest{Jobs: []solveRequest{
+	req := BatchRequest{Jobs: []SolveRequest{
 		{QueryText: exampleQueryText, InstanceText: exampleInstanceText},
 		{QueryText: "vertices nope", InstanceText: exampleInstanceText},
 		{QueryText: exampleQueryText, InstanceText: exampleInstanceText},
@@ -231,9 +231,9 @@ func TestBatchStreaming(t *testing.T) {
 // submission order.
 func TestStreamingDeliversFastJobsFirst(t *testing.T) {
 	ts := newTestServer(t)
-	req := batchRequest{Jobs: []solveRequest{
+	req := BatchRequest{Jobs: []SolveRequest{
 		{QueryText: hardQueryText, InstanceText: hardInstanceText(),
-			Options: &solveOptions{BruteForceLimit: 26, TimeoutMS: 300}},
+			Options: &SolveOptions{BruteForceLimit: 26, TimeoutMS: 300}},
 		{QueryText: exampleQueryText, InstanceText: exampleInstanceText},
 	}}
 	b, err := json.Marshal(req)
@@ -280,7 +280,7 @@ func TestShutdownCancelsInflightJobs(t *testing.T) {
 	serveCtx, shutdown := context.WithCancel(context.Background())
 	defer shutdown()
 	eng := engine.New(engine.Options{Workers: 2, BaseContext: serveCtx})
-	ts := httptest.NewServer(newServer(eng).handler())
+	ts := httptest.NewServer(New(eng).Handler())
 	defer ts.Close()
 
 	type result struct {
@@ -293,10 +293,10 @@ func TestShutdownCancelsInflightJobs(t *testing.T) {
 		// postJSON would t.Fatal off the test goroutine (FailNow must
 		// run on the test goroutine); report transport errors through
 		// the channel instead.
-		b, err := json.Marshal(solveRequest{
+		b, err := json.Marshal(SolveRequest{
 			QueryText:    hardQueryText,
 			InstanceText: hardInstanceText(),
-			Options:      &solveOptions{BruteForceLimit: 26},
+			Options:      &SolveOptions{BruteForceLimit: 26},
 		})
 		if err != nil {
 			done <- result{err: err}
