@@ -1,6 +1,6 @@
 // Command phombench is the experiment harness: for every table and
 // figure of the paper it regenerates the corresponding artifact
-// empirically (see EXPERIMENTS.md for the index E1–E25). For PTIME
+// empirically (see EXPERIMENTS.md for the index E1–E26). For PTIME
 // cells it measures runtime scaling of the dispatched algorithm over
 // growing instances; for #P-hard cells it executes the paper's
 // reduction, checks the exact counting identity, and measures the
@@ -18,11 +18,15 @@
 // (1/8/64/256) through the engine's vectorized same-structure batching;
 // E25 runs the sharded serving tier end to end: a phomgate over 1/2/4
 // in-process phomserve replicas against one process, with the
-// per-process plan cache as the resource replication multiplies.
+// per-process plan cache as the resource replication multiplies; E26
+// runs the Karp–Luby (ε,δ) estimator on #P-hard cells: calibration
+// against the brute-force oracle across fixed seeds, then needles
+// beyond the brute-force horizon where exact evaluation refuses and the
+// seeded sampler answers with statistical bounds, byte-reproducibly.
 //
 // Experiments are selected with -run, an unanchored regular expression
-// over experiment ids (like go test -run): -run 'E2[0-5]' runs
-// E20–E25. Every experiment embeds correctness assertions; a failing
+// over experiment ids (like go test -run): -run 'E2[0-6]' runs
+// E20–E26. Every experiment embeds correctness assertions; a failing
 // assertion marks that experiment FAILED and the process exits nonzero
 // after all selected experiments have run.
 //
@@ -36,7 +40,7 @@
 //
 // Usage:
 //
-//	phombench [-run 'E2[0-5]'] [-seed 1] [-maxn 4096] [-csv]
+//	phombench [-run 'E2[0-6]'] [-seed 1] [-maxn 4096] [-csv]
 //	          [-json out/] [-workers 0] [-batchjobs 128] [-reweights 64]
 //	phombench -diff out/BENCH_E20.json old/BENCH_E20.json
 package main
@@ -177,6 +181,7 @@ func experiments() []experimentDef {
 		experimentDef{"E23", "phomgen workload families on the dispatch lattice", runWorkloadFamilies},
 		experimentDef{"E24", "Vectorized reweight throughput vs batch width", runBatchedReweight},
 		experimentDef{"E25", "Sharded serving tier: aggregate throughput vs replicas (phomgate)", runGateTier},
+		experimentDef{"E26", "Karp–Luby (ε,δ) approximation on #P-hard cells beyond the exact horizon", runApproxHardCells},
 	)
 	return defs
 }

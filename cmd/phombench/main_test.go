@@ -41,7 +41,7 @@ func recordExperiment(t *testing.T, id string) *benchrec.Run {
 }
 
 // TestBenchRecordsDeterministic: the acceptance bar for the perf
-// trajectory — two seeded runs of E20–E25 must produce byte-identical
+// trajectory — two seeded runs of E20–E26 must produce byte-identical
 // records once the volatile fields are normalized. E19 is excluded by
 // design: its cache-hit/coalesce split is scheduling-dependent and its
 // record only carries the stable dedup counter, but its wall-clock
@@ -51,7 +51,7 @@ func TestBenchRecordsDeterministic(t *testing.T) {
 		t.Skip("runs real experiment workloads")
 	}
 	withBenchFlags(t)
-	for _, id := range []string{"E20", "E21", "E22", "E23", "E24", "E25"} {
+	for _, id := range []string{"E20", "E21", "E22", "E23", "E24", "E25", "E26"} {
 		a := recordExperiment(t, id)
 		b := recordExperiment(t, id)
 		benchrec.Normalize(a)
@@ -99,7 +99,7 @@ func TestRunOneIsolatesFailures(t *testing.T) {
 	_ = runOne(func(e *E) { panic("genuine bug") }, e)
 }
 
-// TestExperimentRegistry: ids are unique and E1–E25 are all present —
+// TestExperimentRegistry: ids are unique and E1–E26 are all present —
 // the -run filter silently matches nothing otherwise.
 func TestExperimentRegistry(t *testing.T) {
 	seen := map[string]bool{}
@@ -112,7 +112,7 @@ func TestExperimentRegistry(t *testing.T) {
 			t.Errorf("experiment %s is missing a title or function", def.id)
 		}
 	}
-	for i := 1; i <= 25; i++ {
+	for i := 1; i <= 26; i++ {
 		if id := fmt.Sprintf("E%d", i); !seen[id] {
 			t.Errorf("experiment %s not registered", id)
 		}

@@ -1,0 +1,258 @@
+package approx
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"phom/internal/boolform"
+	"phom/internal/phomerr"
+)
+
+func randDNF(r *rand.Rand, n, clauses, width int) *boolform.DNF {
+	f := boolform.NewDNF(n)
+	for c := 0; c < clauses; c++ {
+		w := 1 + r.Intn(width)
+		vars := make([]boolform.Var, w)
+		for i := range vars {
+			vars[i] = boolform.Var(r.Intn(n))
+		}
+		f.AddClause(vars...)
+	}
+	return f
+}
+
+func randProbs(r *rand.Rand, n int) []*big.Rat {
+	out := make([]*big.Rat, n)
+	for i := range out {
+		d := int64(1 + r.Intn(8))
+		out[i] = big.NewRat(r.Int63n(d+1), d)
+	}
+	return out
+}
+
+func halves(n int) []*big.Rat {
+	out := make([]*big.Rat, n)
+	for i := range out {
+		out[i] = big.NewRat(1, 2)
+	}
+	return out
+}
+
+func TestKarpLubyParamValidation(t *testing.T) {
+	f := boolform.NewDNF(2)
+	f.AddClause(0, 1)
+	probs := halves(2)
+	bad := []Params{
+		{Epsilon: 0, Delta: 0.1},
+		{Epsilon: 1, Delta: 0.1},
+		{Epsilon: -0.5, Delta: 0.1},
+		{Epsilon: 0.1, Delta: 0},
+		{Epsilon: 0.1, Delta: 1},
+		{Epsilon: 0.1, Delta: 2},
+	}
+	for _, p := range bad {
+		if _, err := KarpLuby(context.Background(), f, probs, p); !errors.Is(err, phomerr.ErrBadInput) {
+			t.Errorf("KarpLuby(%+v) err = %v, want ErrBadInput", p, err)
+		}
+	}
+	ok := Params{Epsilon: 0.5, Delta: 0.5}
+	if _, err := KarpLuby(context.Background(), f, probs, ok); err != nil {
+		t.Fatalf("KarpLuby(%+v): %v", ok, err)
+	}
+	// Probability vector: wrong length, nil entry, out of range.
+	if _, err := KarpLuby(context.Background(), f, halves(3), ok); !errors.Is(err, phomerr.ErrBadInput) {
+		t.Errorf("wrong-length probs err = %v, want ErrBadInput", err)
+	}
+	if _, err := KarpLuby(context.Background(), f, []*big.Rat{nil, big.NewRat(1, 2)}, ok); !errors.Is(err, phomerr.ErrBadInput) {
+		t.Errorf("nil prob err = %v, want ErrBadInput", err)
+	}
+	if _, err := KarpLuby(context.Background(), f, []*big.Rat{big.NewRat(3, 2), big.NewRat(1, 2)}, ok); !errors.Is(err, phomerr.ErrBadInput) {
+		t.Errorf("out-of-range prob err = %v, want ErrBadInput", err)
+	}
+}
+
+// TestKarpLubyExactShortCircuits pins the deterministic-edge contract:
+// formulas whose truth value is decided by probability-0/1 edges answer
+// exactly, without sampling, byte-identical to the exact oracles.
+func TestKarpLubyExactShortCircuits(t *testing.T) {
+	p := Params{Epsilon: 0.3, Delta: 0.1, Seed: 1}
+	one, zero := big.NewRat(1, 1), new(big.Rat)
+
+	// All clauses dead (each contains a probability-0 variable).
+	f := boolform.NewDNF(3)
+	f.AddClause(0, 1)
+	f.AddClause(0, 2)
+	est, err := KarpLuby(context.Background(), f, []*big.Rat{zero, one, one}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Exact || est.P != 0 || est.Lo != 0 || est.Hi != 0 || est.Samples != 0 {
+		t.Fatalf("dead formula: %+v, want exact 0", est)
+	}
+
+	// One clause certain (all its variables exactly 1).
+	g := boolform.NewDNF(3)
+	g.AddClause(0, 1)
+	g.AddClause(2)
+	est, err = KarpLuby(context.Background(), g, []*big.Rat{big.NewRat(1, 2), big.NewRat(1, 2), one}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Exact || est.P != 1 || est.Lo != 1 || est.Hi != 1 {
+		t.Fatalf("certain formula: %+v, want exact 1", est)
+	}
+
+	// Empty formula is false.
+	est, err = KarpLuby(context.Background(), boolform.NewDNF(2), halves(2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Exact || est.P != 0 {
+		t.Fatalf("empty formula: %+v, want exact 0", est)
+	}
+
+	// Fully deterministic probabilities always agree with brute force,
+	// whatever the formula shape.
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		f := randDNF(r, 8, 5, 3)
+		probs := make([]*big.Rat, 8)
+		for j := range probs {
+			if r.Intn(2) == 0 {
+				probs[j] = new(big.Rat)
+			} else {
+				probs[j] = big.NewRat(1, 1)
+			}
+		}
+		est, err := KarpLuby(context.Background(), f, probs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.BruteForceProb(probs)
+		if !est.Exact {
+			t.Fatalf("deterministic instance sampled: %+v", est)
+		}
+		if got := new(big.Rat).SetFloat64(est.P); got.Cmp(want) != 0 {
+			t.Fatalf("deterministic instance: estimate %v, exact %v", got, want)
+		}
+	}
+}
+
+// TestKarpLubySeedDeterminism is the seeded-twin test: equal inputs and
+// equal seeds reproduce the whole Estimate byte-for-byte; distinct
+// seeds drive distinct sample paths.
+func TestKarpLubySeedDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := randDNF(r, 12, 8, 3)
+	probs := halves(12) // interior probabilities: no exact short-circuit, no clamp at 0/1
+	p := Params{Epsilon: 0.2, Delta: 0.1, Seed: 42}
+	a, err := KarpLuby(context.Background(), f, probs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Exact || a.Samples == 0 {
+		t.Fatalf("expected a sampled estimate, got %+v", a)
+	}
+	b, err := KarpLuby(context.Background(), f, probs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("equal seeds disagree: %+v vs %+v", a, b)
+	}
+	p2 := p
+	p2.Seed = 43
+	c, err := KarpLuby(context.Background(), f, probs, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P == c.P {
+		// Distinct seeds agreeing to the last bit on a genuinely sampled
+		// estimate means the seed is not reaching the generator.
+		t.Fatalf("seeds 42 and 43 produced identical estimates %v", a.P)
+	}
+}
+
+func TestKarpLubySampleCountAndLimit(t *testing.T) {
+	if got := SampleCount(0, 0.1, 0.1); got != 0 {
+		t.Fatalf("SampleCount(0) = %d", got)
+	}
+	// ⌈3·10·ln(2/0.01)/0.05²⌉ = ⌈63592.0…⌉
+	if got := SampleCount(10, 0.05, 0.01); got < 63000 || got > 64000 {
+		t.Fatalf("SampleCount(10, 0.05, 0.01) = %d", got)
+	}
+	// Saturation instead of overflow.
+	if got := SampleCount(1<<40, 1e-9, 1e-9); got <= 0 {
+		t.Fatalf("SampleCount huge = %d, want saturated positive", got)
+	}
+	f := boolform.NewDNF(4)
+	f.AddClause(0, 1)
+	f.AddClause(2, 3)
+	_, err := KarpLuby(context.Background(), f, halves(4), Params{Epsilon: 0.1, Delta: 0.1, MaxSamples: 10})
+	if !errors.Is(err, phomerr.ErrLimit) {
+		t.Fatalf("over-budget err = %v, want ErrLimit", err)
+	}
+}
+
+func TestKarpLubyCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	f := randDNF(r, 20, 12, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Default (ε,δ) needs thousands of samples per clause, far past the
+	// checkpoint interval, so the pre-canceled context must abort.
+	_, err := KarpLuby(ctx, f, halves(20), Params{Epsilon: 0.05, Delta: 0.01, Seed: 1})
+	if !errors.Is(err, phomerr.ErrCanceled) {
+		t.Fatalf("pre-canceled err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestKarpLubyStatisticalSoundness is the estimator-level half of the
+// differential suite: across many fixed seeds on enumerable formulas,
+// the empirical failure rate of |p̂ − p| ≤ ε·p stays within the δ
+// budget (with binomial slack). The solver-level half, over the
+// dispatch lattice's hard-cell families, lives in internal/core.
+func TestKarpLubyStatisticalSoundness(t *testing.T) {
+	const seeds = 200
+	// Loose (ε,δ) keep the per-seed sample count (≈ 77·m) small enough
+	// for 200 runs; the Chernoff-derived count makes the true failure
+	// rate far below δ, so the binomial tolerance below is generous.
+	p := Params{Epsilon: 0.3, Delta: 0.2}
+	r := rand.New(rand.NewSource(13))
+	shapes := []struct{ n, clauses, width int }{
+		{8, 6, 3},
+		{12, 10, 4},
+		{16, 20, 3},
+	}
+	for _, sh := range shapes {
+		f := randDNF(r, sh.n, sh.clauses, sh.width)
+		probs := randProbs(r, sh.n)
+		exact := f.BruteForceProb(probs)
+		exactF, _ := exact.Float64()
+		failures := 0
+		for seed := uint64(0); seed < seeds; seed++ {
+			ps := p
+			ps.Seed = seed
+			est, err := KarpLuby(context.Background(), f, probs, ps)
+			if err != nil {
+				t.Fatalf("shape %+v seed %d: %v", sh, seed, err)
+			}
+			if est.P < 0 || est.P > 1 || est.Lo > est.P || est.P > est.Hi {
+				t.Fatalf("shape %+v seed %d: malformed estimate %+v", sh, seed, est)
+			}
+			tol := p.Epsilon * exactF
+			if diff := est.P - exactF; diff > tol || diff < -tol {
+				failures++
+			}
+		}
+		// Binomial tolerance: failures ~ Bin(seeds, q) with q ≤ δ, so
+		// observing more than δ·N + 4·√(δ(1−δ)N) ≈ 62 would put the true
+		// rate above δ with overwhelming confidence.
+		if failures > 62 {
+			t.Fatalf("shape %+v: %d/%d runs outside ε·p, δ budget is %v", sh, failures, seeds, p.Delta)
+		}
+	}
+}

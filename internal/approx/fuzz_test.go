@@ -1,0 +1,73 @@
+package approx
+
+import (
+	"context"
+	"math/big"
+	"testing"
+
+	"phom/internal/boolform"
+)
+
+// FuzzKarpLubySample: the estimator must hold its deterministic
+// invariants on arbitrary formula shapes — the estimate and its bounds
+// are probabilities in [0,1] with Lo ≤ P ≤ Hi, equal seeds reproduce
+// the full Estimate byte-for-byte, fully deterministic (probability
+// 0/1) inputs agree exactly with brute-force enumeration, and nothing
+// ever panics. The clause-conditioned sampler guarantees every drawn
+// valuation satisfies its chosen clause, which surfaces here as
+// N(ν) ≥ 1: a violation would make a score exceed 1 and push the
+// estimate past the [0,1] clamp invariants below.
+func FuzzKarpLubySample(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(2), []byte{0, 1, 1, 2}, []byte{4, 4, 4, 4})
+	f.Add(uint64(7), uint8(8), uint8(3), []byte{0, 1, 2, 3, 4, 5, 6, 7, 0}, []byte{0, 8, 1, 7, 2, 6, 3, 5})
+	f.Add(uint64(42), uint8(6), uint8(1), []byte{5, 5, 5}, []byte{8, 0, 8, 0, 8, 0})
+	f.Add(uint64(0), uint8(2), uint8(2), []byte{}, []byte{4, 4})
+	f.Fuzz(func(t *testing.T, seed uint64, nv, width uint8, clauseData, probData []byte) {
+		n := int(nv%16) + 1
+		w := int(width%4) + 1
+		dnf := boolform.NewDNF(n)
+		for i := 0; i+w <= len(clauseData) && len(dnf.Clauses) < 12; i += w {
+			vars := make([]boolform.Var, w)
+			for j := 0; j < w; j++ {
+				vars[j] = boolform.Var(int(clauseData[i+j]) % n)
+			}
+			dnf.AddClause(vars...)
+		}
+		probs := make([]*big.Rat, n)
+		deterministic := true
+		for i := range probs {
+			num := int64(0)
+			if i < len(probData) {
+				num = int64(probData[i] % 9)
+			}
+			probs[i] = big.NewRat(num, 8)
+			if num != 0 && num != 8 {
+				deterministic = false
+			}
+		}
+		p := Params{Epsilon: 0.4, Delta: 0.3, Seed: seed}
+		est, err := KarpLuby(context.Background(), dnf, probs, p)
+		if err != nil {
+			t.Fatalf("KarpLuby failed on valid input: %v", err)
+		}
+		if est.P < 0 || est.P > 1 || est.Lo < 0 || est.Hi > 1 || est.Lo > est.P || est.P > est.Hi {
+			t.Fatalf("malformed estimate: %+v", est)
+		}
+		twin, err := KarpLuby(context.Background(), dnf, probs, p)
+		if err != nil {
+			t.Fatalf("twin run failed: %v", err)
+		}
+		if est != twin {
+			t.Fatalf("equal seeds disagree: %+v vs %+v", est, twin)
+		}
+		if deterministic {
+			if !est.Exact {
+				t.Fatalf("deterministic input sampled: %+v", est)
+			}
+			want := dnf.BruteForceProb(probs)
+			if got := new(big.Rat).SetFloat64(est.P); got.Cmp(want) != 0 {
+				t.Fatalf("deterministic input: estimate %v, exact %v", got, want)
+			}
+		}
+	})
+}

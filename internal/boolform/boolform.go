@@ -1,10 +1,13 @@
 package boolform
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
 	"strings"
+
+	"phom/internal/phomerr"
 )
 
 // Var is a Boolean variable, identified by an index 0 … NumVars−1.
@@ -167,25 +170,45 @@ func (f *DNF) BruteForceProb(probs []*big.Rat) *big.Rat {
 // the structured lineages this library produces; it is the reference
 // oracle for the PTIME evaluators.
 func (f *DNF) ShannonProb(probs []*big.Rat) *big.Rat {
+	r, err := f.ShannonProbContext(context.Background(), probs)
+	if err != nil {
+		panic(err) // unreachable: the background context never fires
+	}
+	return r
+}
+
+// ShannonProbContext is ShannonProb with cooperative cancellation: the
+// expansion polls ctx every phomerr.CheckInterval recursion steps, so a
+// cancelled or deadlined context aborts even a worst-case exponential
+// expansion within one checkpoint interval and returns the typed
+// cancellation error. A run that completes is identical to ShannonProb.
+func (f *DNF) ShannonProbContext(ctx context.Context, probs []*big.Rat) (*big.Rat, error) {
 	if len(probs) != f.NumVars {
 		panic("boolform: probability vector length mismatch")
 	}
 	memo := map[string]*big.Rat{}
-	return shannon(f.Absorb().Clauses, probs, memo)
+	return shannon(f.Absorb().Clauses, probs, memo, phomerr.NewCheckpoint(ctx))
 }
 
-func shannon(clauses []Clause, probs []*big.Rat, memo map[string]*big.Rat) *big.Rat {
+func shannon(clauses []Clause, probs []*big.Rat, memo map[string]*big.Rat, cp *phomerr.Checkpoint) (*big.Rat, error) {
 	if len(clauses) == 0 {
-		return new(big.Rat) // false
+		return new(big.Rat), nil // false
 	}
 	for _, c := range clauses {
 		if len(c) == 0 {
-			return big.NewRat(1, 1) // contains true
+			return big.NewRat(1, 1), nil // contains true
 		}
+	}
+	// The recursion checkpoint: each expansion node costs an absorption
+	// pass and a memo probe, so polling per node keeps the abort within
+	// one CheckInterval of the cancellation even on expansions whose
+	// memo table no longer fits the structured-lineage fast case.
+	if err := cp.Check(); err != nil {
+		return nil, err
 	}
 	key := clausesKey(clauses)
 	if r, ok := memo[key]; ok {
-		return r
+		return r, nil
 	}
 	x := mostFrequentVar(clauses)
 	p := probs[x]
@@ -208,11 +231,19 @@ func shannon(clauses []Clause, probs []*big.Rat, memo map[string]*big.Rat) *big.
 	pos = absorbClauses(pos)
 	neg = absorbClauses(neg)
 
-	res := new(big.Rat).Mul(p, shannon(pos, probs, memo))
+	rp, err := shannon(pos, probs, memo, cp)
+	if err != nil {
+		return nil, err
+	}
+	rn, err := shannon(neg, probs, memo, cp)
+	if err != nil {
+		return nil, err
+	}
+	res := new(big.Rat).Mul(p, rp)
 	q := new(big.Rat).Sub(one, p)
-	res.Add(res, q.Mul(q, shannon(neg, probs, memo)))
+	res.Add(res, q.Mul(q, rn))
 	memo[key] = res
-	return res
+	return res, nil
 }
 
 func clauseFind(c Clause, x Var) int {

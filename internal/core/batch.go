@@ -38,15 +38,19 @@ func (cp *CompiledPlan) EvaluateBatchOpts(probVecs [][]*big.Rat, opts *Options) 
 // per-lane exact fallbacks at theirs, so a cancelled batch surfaces the
 // typed cancellation error on the lanes that had not completed.
 func (cp *CompiledPlan) EvaluateBatchOptsContext(ctx context.Context, probVecs [][]*big.Rat, opts *Options) []BatchOutcome {
-	prec, tol := opts.EffectivePrecision(), opts.EffectiveFloatTolerance()
+	pol := opts.policy()
 	out := make([]BatchOutcome, len(probVecs))
 	if len(probVecs) == 0 {
 		return out
 	}
 
-	if cp.opaque || prec == PrecisionExact {
+	// Opaque plans, exact mode and approx mode have no vectorizable
+	// kernel: the lanes loop through the routing core one by one (an
+	// approx batch still shares the plan's memoized lineage DNF, so the
+	// extraction cost is paid once).
+	if cp.opaque || pol.prec == PrecisionExact || pol.prec == PrecisionApprox {
 		for k, probs := range probVecs {
-			res, err := cp.evaluate(ctx, probs, prec, tol)
+			res, err := cp.evaluate(ctx, probs, pol)
 			out[k] = BatchOutcome{Result: res, Err: err}
 		}
 		return out
@@ -73,7 +77,7 @@ func (cp *CompiledPlan) EvaluateBatchOptsContext(ctx context.Context, probVecs [
 	ivs, err := cp.prog.ExecFloatBatchCtx(ctx, vecs)
 	for i, k := range valid {
 		if err == nil {
-			if res, ok := cp.serveFloat(ivs[i], prec, tol); ok {
+			if res, ok := cp.serveFloat(ivs[i], pol.prec, pol.tol); ok {
 				out[k] = BatchOutcome{Result: res}
 				continue
 			}

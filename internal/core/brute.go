@@ -110,7 +110,10 @@ func LineageShannonContext(ctx context.Context, q *graph.Graph, h *graph.ProbGra
 	for i := range probs {
 		probs[i] = h.Prob(i)
 	}
-	return dnf.ShannonProb(probs), nil
+	// The Shannon expansion is the second exponential phase of this
+	// baseline; it polls the same ctx, so cancellation covers match
+	// enumeration and expansion alike (ROADMAP item 2).
+	return dnf.ShannonProbContext(ctx, probs)
 }
 
 // MatchLineage builds the DNF lineage of q on the (deterministic part of

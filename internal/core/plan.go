@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"phom/internal/boolform"
 	"phom/internal/graph"
 	"phom/internal/graphio"
 	"phom/internal/phomerr"
@@ -43,14 +44,20 @@ type CompiledPlan struct {
 	// exponential work cancellation exists for).
 	resolve  func(context.Context, []*big.Rat) (*Result, error)
 	numEdges int
-	// precision and floatTol are the compile-time evaluation substrate
-	// (Options.Precision / Options.FloatTolerance, defaults resolved):
-	// Evaluate routes through them, so a plan compiled for fast or auto
+	// pol is the compile-time evaluation policy (Options precision,
+	// tolerance and approx parameters, defaults resolved): Evaluate
+	// routes through it, so a plan compiled for fast, auto or approx
 	// serving keeps that behavior. Plans restored from bytes default to
 	// exact — the serialized form carries arithmetic, not policy — and
 	// the engine overrides per job via EvaluateOpts either way.
-	precision Precision
-	floatTol  float64
+	pol evalPolicy
+	// approx is the Karp–Luby sampling state of an opaque plan: the
+	// lineage extraction and its memoized DNF (see approx.go). Nil on
+	// structural plans — the approx mode never samples where a
+	// polynomial-time exact algorithm exists. It is set on every opaque
+	// plan, not just approx-compiled ones, because the plan cache shares
+	// one plan across precision modes.
+	approx *approxState
 	// key yields the job's structure identity — graphio.StructKeyJob
 	// plus the compile-time canonical edge order — memoized and
 	// computed on first use (sync.OnceValues), so plain Solve callers
@@ -112,14 +119,14 @@ func (cp *CompiledPlan) Method() (m Method, ok bool) {
 // the correspondingly reweighted instance; with fast or auto it may be
 // a certified float64 enclosure instead (Result.Bounds).
 func (cp *CompiledPlan) Evaluate(probs []*big.Rat) (*Result, error) {
-	return cp.evaluate(context.Background(), probs, cp.precision, cp.floatTol)
+	return cp.evaluate(context.Background(), probs, cp.pol)
 }
 
 // EvaluateContext is Evaluate under a context: exact evaluation and
 // opaque re-solves poll ctx at cooperative checkpoints (the float
 // kernel runs to completion — it is microseconds even on huge plans).
 func (cp *CompiledPlan) EvaluateContext(ctx context.Context, probs []*big.Rat) (*Result, error) {
-	return cp.evaluate(ctx, probs, cp.precision, cp.floatTol)
+	return cp.evaluate(ctx, probs, cp.pol)
 }
 
 // EvaluateTree evaluates through the plan tree instead of the
@@ -321,11 +328,22 @@ func CompileContext(ctx context.Context, q *graph.Graph, h *graph.ProbGraph, opt
 		}
 	}
 
-	if opts.disableFallback() {
-		return nil, phomerr.New(phomerr.CodeIntractable,
-			"core: no polynomial-time algorithm applies (the case is #P-hard per Tables 1–3) and fallback is disabled")
-	}
 	bruteLimit, matchLimit := opts.bruteLimit(), opts.matchLimit()
+	extract := cqLineageExtract(q, h.G, matchLimit)
+	if opts.disableFallback() {
+		err := phomerr.New(phomerr.CodeIntractable,
+			"core: no polynomial-time algorithm applies (the case is #P-hard per Tables 1–3) and fallback is disabled")
+		if opts.EffectivePrecision() != PrecisionApprox {
+			return nil, err
+		}
+		// Approx mode under DisableFallback: the caller refused the
+		// exponential baselines, not the sampler. Compile an opaque plan
+		// whose exact re-solve still fails with the pinned intractable
+		// error (an exact job hitting this cached plan behaves exactly as
+		// if it had compiled it) while approx evaluation samples.
+		resolve := func(context.Context, []*big.Rat) (*Result, error) { return nil, err }
+		return opaquePlan(resolve, extract, n, key, opts), nil
+	}
 	resolve := func(ctx context.Context, probs []*big.Rat) (*Result, error) {
 		h2, err := reweighted(h, probs)
 		if err != nil {
@@ -345,7 +363,7 @@ func CompileContext(ctx context.Context, q *graph.Graph, h *graph.ProbGraph, opt
 		}
 		return &Result{Prob: p, Method: MethodLineage}, nil
 	}
-	return opaquePlan(resolve, n, key), nil
+	return opaquePlan(resolve, extract, n, key, opts), nil
 }
 
 // CompileUCQ runs the probability-independent phase of SolveUCQ,
@@ -512,9 +530,17 @@ func CompileUCQContext(ctx context.Context, qs UCQ, h *graph.ProbGraph, opts *Op
 		return seal(ctx, MethodBetaAcyclicDWT, p, n, key, opts)
 	}
 
+	extract := ucqLineageExtract(live, h.G, opts.matchLimit())
 	if opts.disableFallback() {
-		return nil, phomerr.New(phomerr.CodeIntractable,
+		err := phomerr.New(phomerr.CodeIntractable,
 			"core: no lifted polynomial-time algorithm applies to this UCQ and fallback is disabled")
+		if opts.EffectivePrecision() != PrecisionApprox {
+			return nil, err
+		}
+		// Same contract as CompileContext: exact re-solves keep the pinned
+		// intractable error, approx evaluation samples the union lineage.
+		resolve := func(context.Context, []*big.Rat) (*Result, error) { return nil, err }
+		return opaquePlan(resolve, extract, n, key, opts), nil
 	}
 	bruteLimit := opts.bruteLimit()
 	resolve := func(ctx context.Context, probs []*big.Rat) (*Result, error) {
@@ -528,7 +554,7 @@ func CompileUCQContext(ctx context.Context, qs UCQ, h *graph.ProbGraph, opts *Op
 		}
 		return &Result{Prob: p, Method: MethodBruteForce}, nil
 	}
-	return opaquePlan(resolve, n, key), nil
+	return opaquePlan(resolve, extract, n, key, opts), nil
 }
 
 // seal lowers a plan tree to its flattened program and stamps the
@@ -544,20 +570,29 @@ func seal(ctx context.Context, m Method, p plan.Plan, numEdges int, key func() (
 		return nil, err
 	}
 	return &CompiledPlan{
-		method:    m,
-		tree:      p,
-		prog:      prog,
-		numEdges:  numEdges,
-		key:       key,
-		precision: opts.EffectivePrecision(),
-		floatTol:  opts.EffectiveFloatTolerance(),
+		method:   m,
+		tree:     p,
+		prog:     prog,
+		numEdges: numEdges,
+		key:      key,
+		pol:      opts.policy(),
 	}, nil
 }
 
-func opaquePlan(resolve func(context.Context, []*big.Rat) (*Result, error), numEdges int, key func() (string, []int)) *CompiledPlan {
-	// Opaque evaluation is always exact (there is no program to run the
-	// float kernel over), whatever precision the options request.
-	return &CompiledPlan{opaque: true, resolve: resolve, numEdges: numEdges, key: key}
+// opaquePlan builds the plan of an exponential-baseline cell: resolve
+// is the exact re-solve, extract the lineage extraction the approx mode
+// samples over. Every opaque plan carries both — which path an
+// evaluation takes is decided by its policy, and a cached plan serves
+// jobs of every precision mode.
+func opaquePlan(resolve func(context.Context, []*big.Rat) (*Result, error), extract func(context.Context) (*boolform.DNF, error), numEdges int, key func() (string, []int), opts *Options) *CompiledPlan {
+	return &CompiledPlan{
+		opaque:   true,
+		resolve:  resolve,
+		approx:   &approxState{extract: extract},
+		numEdges: numEdges,
+		key:      key,
+		pol:      opts.policy(),
+	}
 }
 
 // reweighted returns h's structure carrying the given probability

@@ -36,11 +36,20 @@ const (
 	// speed when the bound is tight and exact rationals otherwise, and a
 	// fallback answer is byte-identical to PrecisionExact's.
 	PrecisionAuto
+	// PrecisionApprox evaluates #P-hard (opaque) plans with the seeded
+	// Karp–Luby (ε,δ) Monte-Carlo estimator of internal/approx instead
+	// of the exponential exact baselines: the answer is a point estimate
+	// within relative error Options.Epsilon of the exact probability
+	// with probability at least 1−Options.Delta, carrying statistical
+	// Hoeffding bounds in Result.Bounds. Tractable (structural) plans
+	// ignore the mode and evaluate exactly — sampling where a
+	// polynomial-time exact algorithm exists would only lose precision.
+	PrecisionApprox
 
 	numPrecisions = iota // count of defined modes, for validation
 )
 
-var precisionNames = [numPrecisions]string{"exact", "fast", "auto"}
+var precisionNames = [numPrecisions]string{"exact", "fast", "auto", "approx"}
 
 func (p Precision) String() string {
 	if p < 0 || int(p) >= len(precisionNames) {
@@ -50,8 +59,9 @@ func (p Precision) String() string {
 }
 
 // ParsePrecision parses a precision mode name as accepted on the wire
-// and on command lines: "exact", "fast" or "auto". The empty string is
-// PrecisionExact, matching the zero value of Options.Precision.
+// and on command lines: "exact", "fast", "auto" or "approx". The empty
+// string is PrecisionExact, matching the zero value of
+// Options.Precision.
 func ParsePrecision(s string) (Precision, error) {
 	switch s {
 	case "", "exact":
@@ -60,8 +70,10 @@ func ParsePrecision(s string) (Precision, error) {
 		return PrecisionFast, nil
 	case "auto":
 		return PrecisionAuto, nil
+	case "approx":
+		return PrecisionApprox, nil
 	}
-	return 0, fmt.Errorf("core: unknown precision %q (want exact, fast or auto)", s)
+	return 0, fmt.Errorf("core: unknown precision %q (want exact, fast, auto or approx)", s)
 }
 
 // DefaultFloatTolerance is the default cap on the certified interval
@@ -90,37 +102,95 @@ func (o *Options) EffectiveFloatTolerance() float64 {
 	return o.FloatTolerance
 }
 
+// DefaultEpsilon and DefaultDelta are the (ε,δ) guarantee of the approx
+// mode when the request does not choose its own: relative error 5% with
+// failure probability 1%. Both are deliberately loose enough that the
+// Dyer/Karp–Luby sample count stays serveable on lineages with
+// thousands of clauses.
+const (
+	DefaultEpsilon = 0.05
+	DefaultDelta   = 0.01
+)
+
+// EffectiveEpsilon returns the approx-mode relative error bound with
+// nil and zero resolved to DefaultEpsilon.
+func (o *Options) EffectiveEpsilon() float64 {
+	if o == nil || o.Epsilon == 0 {
+		return DefaultEpsilon
+	}
+	return o.Epsilon
+}
+
+// EffectiveDelta returns the approx-mode failure budget with nil and
+// zero resolved to DefaultDelta.
+func (o *Options) EffectiveDelta() float64 {
+	if o == nil || o.Delta == 0 {
+		return DefaultDelta
+	}
+	return o.Delta
+}
+
+// evalPolicy is the full evaluation-time policy of one job — the
+// numeric substrate plus its mode parameters — with every default
+// resolved. It travels as one value so the routing core and the batched
+// path cannot drift on which options matter.
+type evalPolicy struct {
+	prec       Precision
+	tol        float64 // auto-mode certified-width cap
+	eps, delta float64 // approx-mode (ε,δ) guarantee
+	seed       uint64  // approx-mode PCG seed
+}
+
+// policy resolves the options into their evaluation policy.
+func (o *Options) policy() evalPolicy {
+	pol := evalPolicy{
+		prec:  o.EffectivePrecision(),
+		tol:   o.EffectiveFloatTolerance(),
+		eps:   o.EffectiveEpsilon(),
+		delta: o.EffectiveDelta(),
+	}
+	if o != nil {
+		pol.seed = o.Seed
+	}
+	return pol
+}
+
 // EvaluateOpts is Evaluate with the precision mode and tolerance taken
 // from opts instead of from the options the plan was compiled with.
 // The engine evaluates cached and snapshot-restored plans through this
 // (the per-job options decide the substrate; a restored plan carries no
 // precision of its own), and tests use it to force substrates.
 func (cp *CompiledPlan) EvaluateOpts(probs []*big.Rat, opts *Options) (*Result, error) {
-	return cp.evaluate(context.Background(), probs, opts.EffectivePrecision(), opts.EffectiveFloatTolerance())
+	return cp.evaluate(context.Background(), probs, opts.policy())
 }
 
 // EvaluateOptsContext is EvaluateOpts under a context: exact program
 // execution polls ctx every phomerr.CheckInterval ops and opaque plans
-// pass ctx into their exponential re-solve, so cancellation works on
-// the evaluation side of the pipeline too.
+// pass ctx into their exponential re-solve (or, under the approx mode,
+// into the sampling loop), so cancellation works on the evaluation side
+// of the pipeline too.
 func (cp *CompiledPlan) EvaluateOptsContext(ctx context.Context, probs []*big.Rat, opts *Options) (*Result, error) {
-	return cp.evaluate(ctx, probs, opts.EffectivePrecision(), opts.EffectiveFloatTolerance())
+	return cp.evaluate(ctx, probs, opts.policy())
 }
 
 // evaluate is the routing core shared by Evaluate and EvaluateOpts:
 // validate the probability vector, then pick the numeric substrate.
-func (cp *CompiledPlan) evaluate(ctx context.Context, probs []*big.Rat, prec Precision, tol float64) (*Result, error) {
+func (cp *CompiledPlan) evaluate(ctx context.Context, probs []*big.Rat, pol evalPolicy) (*Result, error) {
 	if err := cp.validateProbs(probs); err != nil {
 		return nil, err
 	}
 	if cp.opaque {
-		// Opaque plans have no program, hence no float kernel: every
-		// precision mode evaluates them exactly (the baselines are the
-		// arbiter, not a fast path).
+		// Opaque plans have no program, hence no float kernel. The approx
+		// mode routes them to the Karp–Luby estimator over the plan's
+		// lineage DNF; every other mode evaluates them exactly (the
+		// baselines are the arbiter, not a fast path).
+		if pol.prec == PrecisionApprox {
+			return cp.evaluateApprox(ctx, probs, pol)
+		}
 		return cp.resolve(ctx, probs)
 	}
-	if prec == PrecisionFast || prec == PrecisionAuto {
-		if res, ok := cp.evaluateFloat(probs, prec, tol); ok {
+	if pol.prec == PrecisionFast || pol.prec == PrecisionAuto {
+		if res, ok := cp.evaluateFloat(probs, pol.prec, pol.tol); ok {
 			return res, nil
 		}
 	}

@@ -43,6 +43,8 @@ func TestOptionsValidatePrecision(t *testing.T) {
 		{Precision: PrecisionFast},
 		{Precision: PrecisionAuto, FloatTolerance: 1e-12},
 		{FloatTolerance: 0.5},
+		{Precision: PrecisionApprox},
+		{Precision: PrecisionApprox, Epsilon: 0.1, Delta: 0.05, Seed: 7},
 	}
 	for _, o := range good {
 		if err := o.Validate(); err != nil {
@@ -50,11 +52,19 @@ func TestOptionsValidatePrecision(t *testing.T) {
 		}
 	}
 	bad := []Options{
-		{Precision: Precision(3)},
+		{Precision: Precision(4)},
 		{Precision: Precision(-1)},
 		{FloatTolerance: -1e-9},
 		{FloatTolerance: math.NaN()},
 		{FloatTolerance: math.Inf(1)},
+		{Precision: PrecisionApprox, Epsilon: 1},
+		{Precision: PrecisionApprox, Epsilon: -0.1},
+		{Precision: PrecisionApprox, Delta: 1.5},
+		{Precision: PrecisionApprox, Delta: math.NaN()},
+		{Epsilon: 0.1},
+		{Delta: 0.1},
+		{Seed: 1},
+		{Precision: PrecisionFast, Epsilon: 0.1},
 	}
 	for _, o := range bad {
 		if err := o.Validate(); err == nil {

@@ -27,6 +27,7 @@ const (
 	MethodAutomatonPT                  // Propositions 5.4/5.5 (⊔DWT query, ⊔PT instance) via tree automaton + d-DNNF
 	MethodBruteForce                   // possible-world enumeration (exponential baseline)
 	MethodLineage                      // match enumeration + Shannon expansion (exponential baseline)
+	MethodKarpLuby                     // seeded Karp–Luby (ε,δ) estimator over the lineage DNF (approx mode)
 )
 
 var methodNames = map[Method]string{
@@ -38,6 +39,7 @@ var methodNames = map[Method]string{
 	MethodAutomatonPT:    "automaton-polytree (Props 5.4/5.5)",
 	MethodBruteForce:     "brute-force",
 	MethodLineage:        "lineage-shannon",
+	MethodKarpLuby:       "karp-luby",
 }
 
 func (m Method) String() string {
@@ -48,9 +50,11 @@ func (m Method) String() string {
 }
 
 // PTime reports whether the method has polynomial-time combined
-// complexity.
+// complexity. MethodKarpLuby is polynomial in the *lineage* size but
+// the lineage itself can be exponential-many matches deep, and its
+// answer is statistical rather than exact, so it does not count.
 func (m Method) PTime() bool {
-	return m != MethodBruteForce && m != MethodLineage
+	return m != MethodBruteForce && m != MethodLineage && m != MethodKarpLuby
 }
 
 // DefaultMatchLimit is the default cap on the number of matches
@@ -79,6 +83,19 @@ type Options struct {
 	// probability error. 0 means DefaultFloatTolerance; it must be a
 	// finite, non-negative float.
 	FloatTolerance float64
+	// Epsilon is the PrecisionApprox relative error bound, in (0,1).
+	// 0 means DefaultEpsilon. It must be 0 under every other precision
+	// mode — a non-approx job carrying an ε is a caller bug, and
+	// Validate rejects it rather than silently ignoring it.
+	Epsilon float64
+	// Delta is the PrecisionApprox failure probability budget, in (0,1).
+	// 0 means DefaultDelta; like Epsilon it is rejected outside approx
+	// mode.
+	Delta float64
+	// Seed seeds the PrecisionApprox PCG sampler; equal seeds reproduce
+	// the estimate byte-for-byte. Like Epsilon it is rejected outside
+	// approx mode (0, the default seed, is always accepted).
+	Seed uint64
 }
 
 func (o *Options) bruteLimit() int {
@@ -123,6 +140,18 @@ func (o *Options) Validate() error {
 	if math.IsNaN(o.FloatTolerance) || math.IsInf(o.FloatTolerance, 0) || o.FloatTolerance < 0 {
 		return phomerr.New(phomerr.CodeBadInput, "core: FloatTolerance %v is not a finite non-negative float (use 0 for the default)", o.FloatTolerance)
 	}
+	if o.Precision == PrecisionApprox {
+		if o.Epsilon != 0 && !(o.Epsilon > 0 && o.Epsilon < 1) {
+			return phomerr.New(phomerr.CodeBadInput, "core: Epsilon %v outside (0,1) (use 0 for the default)", o.Epsilon)
+		}
+		if o.Delta != 0 && !(o.Delta > 0 && o.Delta < 1) {
+			return phomerr.New(phomerr.CodeBadInput, "core: Delta %v outside (0,1) (use 0 for the default)", o.Delta)
+		}
+	} else if o.Epsilon != 0 || o.Delta != 0 || o.Seed != 0 {
+		// Approx parameters on a non-approx job would be silently dead;
+		// reject them so a caller who meant precision=approx finds out.
+		return phomerr.New(phomerr.CodeBadInput, "core: Epsilon/Delta/Seed require Precision approx (got %s)", o.EffectivePrecision())
+	}
 	return nil
 }
 
@@ -142,7 +171,19 @@ func (o *Options) Fingerprint() string {
 	if o.EffectivePrecision() == PrecisionAuto {
 		tol = strconv.FormatFloat(o.EffectiveFloatTolerance(), 'x', -1, 64)
 	}
-	return fmt.Sprintf("%s;prec=%s;tol=%s", o.StructFingerprint(), o.EffectivePrecision(), tol)
+	// The approx parameters likewise matter only in approx mode (Validate
+	// rejects them elsewhere, but a nil-options job must fingerprint like
+	// an all-defaults one). Epsilon and delta render as lossless hex
+	// floats; the seed is part of the result contract (equal seeds are
+	// byte-identical), so it keys the cache too.
+	ap := "-"
+	if o.EffectivePrecision() == PrecisionApprox {
+		ap = fmt.Sprintf("%s,%s,%d",
+			strconv.FormatFloat(o.EffectiveEpsilon(), 'x', -1, 64),
+			strconv.FormatFloat(o.EffectiveDelta(), 'x', -1, 64),
+			o.Seed)
+	}
+	return fmt.Sprintf("%s;prec=%s;tol=%s;approx=%s", o.StructFingerprint(), o.EffectivePrecision(), tol, ap)
 }
 
 // StructFingerprint renders only the options that affect plan
@@ -165,14 +206,24 @@ type Result struct {
 	Prob   *big.Rat
 	Method Method
 	// Precision is the numeric substrate that produced Prob:
-	// PrecisionExact (rational arithmetic, including every fallback) or
-	// PrecisionFast (the certified float64 interval kernel). It is
-	// never PrecisionAuto — auto is a routing policy, not a substrate.
+	// PrecisionExact (rational arithmetic, including every fallback),
+	// PrecisionFast (the certified float64 interval kernel), or
+	// PrecisionApprox (the Karp–Luby sampler — only on #P-hard cells; an
+	// approx job on a tractable cell reports PrecisionExact because the
+	// answer IS exact). It is never PrecisionAuto — auto is a routing
+	// policy, not a substrate.
 	Precision Precision
-	// Bounds is the certified enclosure of the exact probability
-	// reported by the float kernel; it is non-nil exactly when
-	// Precision is PrecisionFast.
+	// Bounds encloses the exact probability. Under PrecisionFast it is
+	// the certified enclosure of the float kernel (machine-checked);
+	// under PrecisionApprox it is the (1−δ) Hoeffding confidence
+	// interval of the sampler (statistical — it holds with probability
+	// 1−δ, not always). It is non-nil exactly when Precision is
+	// PrecisionFast or PrecisionApprox.
 	Bounds *plan.Enclosure
+	// ApproxSamples is the number of Monte-Carlo samples the Karp–Luby
+	// estimator drew; non-zero only when Precision is PrecisionApprox
+	// (and zero even there if the lineage short-circuited exactly).
+	ApproxSamples int64
 }
 
 // Solve computes Pr(G ⇝ H), dispatching to the polynomial-time algorithm

@@ -66,6 +66,32 @@ func Estimate(edges int, hard, disableFallback bool, vectors int) float64 {
 	return w * float64(edges+1) * float64(vectors)
 }
 
+// samplesPerUnit converts Karp–Luby samples to cost units: one unit per
+// 256 samples. Like everything else here it is deliberately crude — a
+// sample is a weighted clause draw plus a clause-satisfaction scan,
+// orders of magnitude cheaper than a kernel op over the whole instance,
+// and 256 keeps a default-(ε,δ) job on a mid-size lineage priced within
+// a small multiple of its tractable twin instead of at weight 64.
+const samplesPerUnit = 256
+
+// EstimateApprox prices a hard job answered by the Karp–Luby sampler:
+// the linear extraction pass over the instance plus the sample budget.
+// The sampler's cost scales with its sample count, not with 2^k, which
+// is the whole point of approx mode — the gateway must not shed approx
+// jobs as if they brute-forced.
+func EstimateApprox(edges int, samples int64, vectors int) float64 {
+	if edges < 0 {
+		edges = 0
+	}
+	if samples < 0 {
+		samples = 0
+	}
+	if vectors < 1 {
+		vectors = 1
+	}
+	return (float64(edges+1) + float64(samples)/samplesPerUnit) * float64(vectors)
+}
+
 // Model converts units to predicted latency, learning the scale online.
 type Model struct {
 	mu      sync.Mutex

@@ -26,6 +26,28 @@ func TestEstimateClasses(t *testing.T) {
 	}
 }
 
+func TestEstimateApprox(t *testing.T) {
+	// A hard approx job is priced by its sample budget, not at the
+	// exponential weight 64: with a default-scale budget of a few
+	// thousand samples it must land well under the exact twin's price.
+	exact := Estimate(24, true, false, 1)
+	approx := EstimateApprox(24, 4096, 1)
+	if approx >= exact {
+		t.Fatalf("approx=%v exact=%v, sampler must be cheaper", approx, exact)
+	}
+	// The formula itself: extraction pass plus samples/256, per vector.
+	if got, want := EstimateApprox(9, 512, 1), float64(9+1)+2; got != want {
+		t.Fatalf("EstimateApprox(9, 512, 1) = %v, want %v", got, want)
+	}
+	if got, want := EstimateApprox(9, 512, 4), 4*(float64(9+1)+2); got != want {
+		t.Fatalf("4 vectors = %v, want 4x single %v", got, want)
+	}
+	// Degenerate inputs clamp instead of producing zero/negative cost.
+	if got := EstimateApprox(-3, -100, 0); got != 1 {
+		t.Fatalf("clamped approx estimate = %v, want 1", got)
+	}
+}
+
 func TestModelLearns(t *testing.T) {
 	m := New()
 	// Feed consistent 10µs/unit observations; the EWMA must converge

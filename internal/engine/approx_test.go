@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"phom/internal/core"
+	"phom/internal/gen"
+	"phom/internal/graph"
+)
+
+// hardApproxJob returns a #P-hard job (cyclic unlabeled instance, every
+// edge at probability 1/2) small enough for the exact fallback to serve
+// as an oracle, under the given options.
+func hardApproxJob(t *testing.T, opts *core.Options) Job {
+	t.Helper()
+	r := rand.New(rand.NewSource(7))
+	g := gen.RandConnected(r, 8, 6, nil)
+	h := graph.NewProbGraph(g)
+	for i := 0; i < g.NumEdges(); i++ {
+		if err := h.SetProb(i, graph.RatHalf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.InClass(graph.ClassUPT) || g.InClass(graph.ClassU2WP) || g.InClass(graph.ClassUDWT) {
+		t.Fatal("hard instance accidentally fell in a tractable class")
+	}
+	return Job{Query: graph.UnlabeledPath(3), Instance: h, Opts: opts}
+}
+
+func approxEngineOpts(seed uint64) *core.Options {
+	return &core.Options{Precision: core.PrecisionApprox, Epsilon: 0.4, Delta: 0.3, Seed: seed}
+}
+
+// TestEngineApproxCounters pins the sampler accounting: a hard approx
+// job counts one ApproxRuns and its drawn samples; exact jobs and
+// tractable approx jobs (which evaluate exactly) touch neither the
+// approx nor the float counters.
+func TestEngineApproxCounters(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+
+	// Exact hard job: no approx accounting.
+	if r := e.Do(hardApproxJob(t, nil)); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if st := e.Stats(); st.ApproxRuns != 0 || st.ApproxSamples != 0 {
+		t.Fatalf("exact job touched approx counters: %+v", st)
+	}
+
+	// Hard approx job: one run, a positive sample total.
+	r := e.Do(hardApproxJob(t, approxEngineOpts(1)))
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Result.Precision != core.PrecisionApprox || r.Result.ApproxSamples <= 0 {
+		t.Fatalf("hard approx job served %+v", r.Result)
+	}
+	st := e.Stats()
+	if st.ApproxRuns != 1 || st.ApproxSamples != uint64(r.Result.ApproxSamples) {
+		t.Fatalf("approx counters after one run: %+v", st)
+	}
+	if st.FloatFast != 0 || st.FloatFallbacks != 0 {
+		t.Fatalf("approx job touched float counters: %+v", st)
+	}
+
+	// Tractable approx job: evaluates exactly, counts nothing.
+	q := graph.Path1WP("R")
+	hg := graph.New(3)
+	hg.MustAddEdge(0, 1, "R")
+	hg.MustAddEdge(1, 2, "R")
+	h := graph.NewProbGraph(hg)
+	h.MustSetEdgeProb(0, 1, graph.RatHalf)
+	h.MustSetEdgeProb(1, 2, graph.RatHalf)
+	tr := e.Do(Job{Query: q, Instance: h, Opts: approxEngineOpts(1)})
+	if tr.Err != nil {
+		t.Fatal(tr.Err)
+	}
+	if tr.Result.Precision != core.PrecisionExact {
+		t.Fatalf("tractable approx job served precision %v", tr.Result.Precision)
+	}
+	if st2 := e.Stats(); st2.ApproxRuns != 1 || st2.ApproxSamples != st.ApproxSamples {
+		t.Fatalf("tractable approx job moved the approx counters: %+v", st2)
+	}
+}
+
+// TestEngineApproxResultCaching pins cache hygiene for the sampler:
+// identical (ε,δ,seed) jobs share a cache entry (the estimate is
+// deterministic, so serving it again is sound), a different seed is a
+// different result and must miss, and the cached copy keeps its
+// statistical bounds without aliasing.
+func TestEngineApproxResultCaching(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+
+	first := e.Do(hardApproxJob(t, approxEngineOpts(42)))
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	again := e.Do(hardApproxJob(t, approxEngineOpts(42)))
+	if again.Err != nil {
+		t.Fatal(again.Err)
+	}
+	if !again.CacheHit {
+		t.Fatal("identical approx job missed the result cache")
+	}
+	if again.Result.Prob.Cmp(first.Result.Prob) != 0 ||
+		again.Result.Bounds == nil || *again.Result.Bounds != *first.Result.Bounds ||
+		again.Result.ApproxSamples != first.Result.ApproxSamples {
+		t.Fatalf("cached approx result diverged: %+v vs %+v", again.Result, first.Result)
+	}
+	// The cached copy must not alias the caller's.
+	again.Result.Bounds.Lo = -1
+	third := e.Do(hardApproxJob(t, approxEngineOpts(42)))
+	if third.Result.Bounds.Lo == -1 {
+		t.Fatal("cache entry shares its Bounds struct with callers")
+	}
+
+	// A different seed is a different sampled answer: cache miss, and
+	// (with overwhelming probability on this instance) a different
+	// estimate.
+	other := e.Do(hardApproxJob(t, approxEngineOpts(43)))
+	if other.Err != nil {
+		t.Fatal(other.Err)
+	}
+	if other.CacheHit {
+		t.Fatal("different-seed approx job hit the result cache")
+	}
+	// An exact job on the same structure must not be served the
+	// sampled answer.
+	exact := e.Do(hardApproxJob(t, nil))
+	if exact.Err != nil {
+		t.Fatal(exact.Err)
+	}
+	if exact.CacheHit {
+		t.Fatal("exact job was served the approx job's cached result")
+	}
+	if exact.Result.Precision != core.PrecisionExact {
+		t.Fatalf("exact job answered on substrate %v", exact.Result.Precision)
+	}
+}

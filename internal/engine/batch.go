@@ -453,7 +453,7 @@ func (e *Engine) executeBatch(ctx context.Context, qs []*graph.Graph, opts *core
 // one PlanHit per lane, and float-path lanes update the dual-precision
 // counters exactly as noteFloat would.
 func (e *Engine) finishBatch(outs []core.BatchOutcome, opts *core.Options, planHit bool) []core.BatchOutcome {
-	exact := opts.EffectivePrecision() == core.PrecisionExact
+	prec := opts.EffectivePrecision()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.stats.Solved += uint64(len(outs))
@@ -468,7 +468,17 @@ func (e *Engine) finishBatch(outs []core.BatchOutcome, opts *core.Options, planH
 			}
 			continue
 		}
-		if exact || o.Result == nil {
+		if prec == core.PrecisionExact || o.Result == nil {
+			continue
+		}
+		// Same carve-outs as noteFloat: approx lanes feed the sampler
+		// counters (and only when actually sampled), float lanes the
+		// dual-precision ones.
+		if prec == core.PrecisionApprox {
+			if o.Result.Precision == core.PrecisionApprox {
+				e.stats.ApproxRuns++
+				e.stats.ApproxSamples += uint64(o.Result.ApproxSamples)
+			}
 			continue
 		}
 		if o.Result.Precision == core.PrecisionFast {

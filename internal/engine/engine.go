@@ -190,6 +190,15 @@ type Stats struct {
 	// bound. Fallback results are byte-identical to precision-exact
 	// ones.
 	FloatFallbacks uint64 `json:"float_fallbacks"`
+	// ApproxRuns counts executed jobs answered by the Karp–Luby
+	// estimator (precision approx on a #P-hard cell). Approx jobs that
+	// landed on a tractable cell answered exactly and count nowhere —
+	// neither here nor in the float counters.
+	ApproxRuns uint64 `json:"approx_runs"`
+	// ApproxSamples totals the Monte-Carlo samples drawn across
+	// ApproxRuns (a run whose lineage short-circuited exactly
+	// contributes zero).
+	ApproxSamples uint64 `json:"approx_samples"`
 	// PlansLoaded counts plan records restored into the plan cache by
 	// LoadPlans (including the boot restore of Options.PlanSnapshotPath).
 	PlansLoaded uint64 `json:"plans_loaded"`
@@ -787,9 +796,20 @@ func (e *Engine) runPlanned(ctx context.Context, structKey string, canonOrder []
 // jobs that requested the float fast path (precision fast or auto)
 // count as FloatFast when the float kernel answered and as
 // FloatFallbacks when exact arithmetic did. Exact-precision jobs touch
-// neither counter.
+// neither counter. Approx jobs feed the sampler counters instead: a
+// sampled answer counts ApproxRuns/ApproxSamples, an approx job that
+// landed on a tractable cell (answered exactly) counts nothing.
 func (e *Engine) noteFloat(opts *core.Options, res *core.Result, err error) {
 	if err != nil || res == nil || opts.EffectivePrecision() == core.PrecisionExact {
+		return
+	}
+	if opts.EffectivePrecision() == core.PrecisionApprox {
+		if res.Precision == core.PrecisionApprox {
+			e.mu.Lock()
+			e.stats.ApproxRuns++
+			e.stats.ApproxSamples += uint64(res.ApproxSamples)
+			e.mu.Unlock()
+		}
 		return
 	}
 	e.mu.Lock()
@@ -939,7 +959,7 @@ func (e *Engine) wait(ctx context.Context, c *call, shared bool) (JobResult, boo
 // peers never share a mutable *big.Rat (or bounds struct) with a
 // caller.
 func cloneResult(r *core.Result) *core.Result {
-	c := &core.Result{Prob: new(big.Rat).Set(r.Prob), Method: r.Method, Precision: r.Precision}
+	c := &core.Result{Prob: new(big.Rat).Set(r.Prob), Method: r.Method, Precision: r.Precision, ApproxSamples: r.ApproxSamples}
 	if r.Bounds != nil {
 		b := *r.Bounds
 		c.Bounds = &b

@@ -1,0 +1,99 @@
+package gateway
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"phom/internal/costmodel"
+	"phom/internal/serve"
+)
+
+// hardApproxBody is a #P-hard solve job under approx mode: a cyclic
+// unlabeled instance (24 edges at 1/2, beyond the test-budget
+// brute-force horizon) with loose (ε,δ) so the sample count stays
+// small.
+func hardApproxBody(seed uint64) []byte {
+	var inst strings.Builder
+	inst.WriteString("vertices 9\n")
+	for i := 0; i < 9; i++ {
+		for j := i + 1; j < 9 && j <= i+3; j++ {
+			inst.WriteString("edge ")
+			inst.WriteString(string(rune('0' + i)))
+			inst.WriteString(" ")
+			inst.WriteString(string(rune('0' + j)))
+			inst.WriteString(" R 1/2\n")
+		}
+	}
+	b, _ := json.Marshal(map[string]any{
+		"query_text":    "vertices 3\nedge 0 1 R\nedge 1 2 R\n",
+		"instance_text": inst.String(),
+		"options": map[string]any{
+			"precision": "approx", "epsilon": 0.25, "delta": 0.1, "seed": seed,
+		},
+	})
+	return b
+}
+
+// TestGateProxiesApproxByteIdentical: an approx job through the gate
+// answers exactly what the backend answers directly — the gate forwards
+// the body verbatim and relays the response verbatim, so the seeded
+// estimate, its bounds and its sample count all survive the hop.
+func TestGateProxiesApproxByteIdentical(t *testing.T) {
+	urls, _ := newBackends(t, 1, 2)
+	_, gate := newGate(t, Config{Backends: urls, Replication: 1})
+
+	body := hardApproxBody(7)
+	direct := postJSON(t, urls[0]+"/solve", body)
+	proxied := postJSON(t, gate.URL+"/solve", body)
+
+	var d, p map[string]any
+	if err := json.Unmarshal(direct, &d); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(proxied, &p); err != nil {
+		t.Fatal(err)
+	}
+	if d["precision"] != "approx" || d["prob_lo"] == nil || d["prob_hi"] == nil {
+		t.Fatalf("backend did not answer approx: %s", direct)
+	}
+	a, b := normalize(d), normalize(p)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("gate diverged from backend:\n direct:  %v\n proxied: %v", a, b)
+	}
+}
+
+// TestApproxJobPricing pins the admission-control contract of approx
+// mode: a hard job answered by the sampler is priced by its sample
+// budget — far below the weight-64 exponential price the same
+// structure gets under exact mode — and the routing tier actually
+// surfaces the fields jobUnits needs.
+func TestApproxJobPricing(t *testing.T) {
+	rc := serve.NewRouteCache(16)
+	body := hardApproxBody(1)
+	info := rc.Route(body)
+	if !info.Hard || !info.Approx {
+		t.Fatalf("route info missed the approx facts: %+v", info)
+	}
+	if info.ApproxSamples <= 0 {
+		t.Fatalf("route info has no sample budget: %+v", info)
+	}
+	approxUnits := jobUnits(info)
+	exactInfo := info
+	exactInfo.Approx = false
+	exactInfo.ApproxSamples = 0
+	exactUnits := jobUnits(exactInfo)
+	if approxUnits >= exactUnits {
+		t.Fatalf("approx job priced at %v units, exact twin at %v — sampler must be cheaper", approxUnits, exactUnits)
+	}
+	if want := costmodel.EstimateApprox(info.Edges, info.ApproxSamples, info.Vectors); approxUnits != want {
+		t.Fatalf("jobUnits = %v, want EstimateApprox %v", approxUnits, want)
+	}
+	// A cache hit re-derives the approx facts from the envelope rather
+	// than trusting the structure-keyed entry.
+	again := rc.Route(body)
+	if !again.Approx || again.ApproxSamples != info.ApproxSamples {
+		t.Fatalf("cache-hit route lost the approx facts: %+v", again)
+	}
+}

@@ -22,7 +22,6 @@ import (
 	"sync"
 	"time"
 
-	"phom/internal/costmodel"
 	"phom/internal/engine"
 	"phom/internal/phomerr"
 	"phom/internal/serve"
@@ -84,7 +83,7 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		grp.orig = append(grp.orig, i)
 		grp.raws = append(grp.raws, jobs[i])
-		grp.units += costmodel.Estimate(info.Edges, info.Hard, info.DisableFallback, info.Vectors)
+		grp.units += jobUnits(info)
 	}
 	if len(groups) > 1 {
 		g.crossShardBatches.Add(1)

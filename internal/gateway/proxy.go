@@ -36,6 +36,17 @@ func (g *Gateway) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool
 	return body, true
 }
 
+// jobUnits prices one routed job: approx-mode jobs on hard cells cost
+// their sample budget (the sampler replaces the exponential baseline),
+// everything else the class-weighted estimate. Shared by the single-job
+// and batch admission paths so a job is priced identically on both.
+func jobUnits(info serve.RouteInfo) float64 {
+	if info.Hard && info.Approx {
+		return costmodel.EstimateApprox(info.Edges, info.ApproxSamples, info.Vectors)
+	}
+	return costmodel.Estimate(info.Edges, info.Hard, info.DisableFallback, info.Vectors)
+}
+
 // handleProxy serves /solve and /reweight: route, admit, forward.
 func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -47,7 +58,7 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info := g.routes.Route(body)
-	units := costmodel.Estimate(info.Edges, info.Hard, info.DisableFallback, info.Vectors)
+	units := jobUnits(info)
 	b := g.pick(info.Key)
 	if b == nil {
 		serve.WriteTypedError(w, errUnavailable("no backend alive for shard"))

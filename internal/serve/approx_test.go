@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// approxSolveRequest is the E26 shape in miniature: a #P-hard job whose
+// brute-force horizon (2^24 worlds) is beyond any test budget, under
+// loose approx parameters so the sample count stays small.
+func approxSolveRequest(opts *SolveOptions) SolveRequest {
+	return SolveRequest{
+		QueryText:    hardQueryText,
+		InstanceText: hardInstanceText(),
+		Options:      opts,
+	}
+}
+
+func approxServeOpts(seed uint64) *SolveOptions {
+	return &SolveOptions{Precision: "approx", Epsilon: 0.2, Delta: 0.1, Seed: seed}
+}
+
+// TestSolveApproxRoundTrip: a hard cell the exact mode can only refuse
+// (under disable_fallback) or grind exponentially on answers under
+// precision "approx" with statistical bounds and a sample count, and
+// the healthz counters record the run.
+func TestSolveApproxRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+
+	// The same hard job refuses outright under exact + disable_fallback.
+	resp, body := postJSON(t, ts.URL+"/solve", approxSolveRequest(&SolveOptions{DisableFallback: true}))
+	assertStatusCode(t, resp, body, http.StatusUnprocessableEntity, "intractable")
+
+	// Approx answers it — even with the fallback disabled.
+	opts := approxServeOpts(7)
+	opts.DisableFallback = true
+	resp, body = postJSON(t, ts.URL+"/solve", approxSolveRequest(opts))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("approx status %d: %s", resp.StatusCode, body)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Precision != "approx" || sr.Method != "karp-luby" {
+		t.Fatalf("approx response served precision %q method %q: %s", sr.Precision, sr.Method, body)
+	}
+	if sr.ProbLo == nil || sr.ProbHi == nil {
+		t.Fatalf("approx response is missing its bounds: %s", body)
+	}
+	if sr.ApproxSamples <= 0 {
+		t.Fatalf("approx response drew %d samples: %s", sr.ApproxSamples, body)
+	}
+	if !(*sr.ProbLo <= sr.ProbFloat && sr.ProbFloat <= *sr.ProbHi) {
+		t.Fatalf("estimate %g outside its bounds [%g, %g]", sr.ProbFloat, *sr.ProbLo, *sr.ProbHi)
+	}
+
+	resp, body = getURL(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var hr HealthResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Stats.ApproxRuns != 1 || hr.Stats.ApproxSamples != uint64(sr.ApproxSamples) {
+		t.Fatalf("healthz approx counters = %d/%d, want 1/%d",
+			hr.Stats.ApproxRuns, hr.Stats.ApproxSamples, sr.ApproxSamples)
+	}
+}
+
+// TestApproxSeedDeterminismOverHTTP: equal requests with equal seeds
+// answer identically on every result field; a different seed moves the
+// estimate.
+func TestApproxSeedDeterminismOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	get := func(seed uint64) SolveResponse {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/solve", approxSolveRequest(approxServeOpts(seed)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var sr SolveResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+	a, b := get(7), get(7)
+	if a.Prob != b.Prob || a.ProbFloat != b.ProbFloat ||
+		*a.ProbLo != *b.ProbLo || *a.ProbHi != *b.ProbHi || a.ApproxSamples != b.ApproxSamples {
+		t.Fatalf("equal seeds disagree: %+v vs %+v", a, b)
+	}
+	if c := get(8); c.Prob == a.Prob {
+		t.Fatalf("seeds 7 and 8 produced identical estimates %q", a.Prob)
+	}
+}
+
+// TestApproxMalformedIsA400 pins the hardening contract: malformed or
+// misplaced approx parameters are typed 400s, never silently defaulted
+// and never silently dead.
+func TestApproxMalformedIsA400(t *testing.T) {
+	ts := newTestServer(t)
+	for _, bad := range []*SolveOptions{
+		{Precision: "approx", Epsilon: 1.5},
+		{Precision: "approx", Epsilon: -0.1},
+		{Precision: "approx", Delta: 1},
+		{Precision: "approx", Delta: -2},
+		{Precision: "exact", Epsilon: 0.1},
+		{Precision: "fast", Delta: 0.1},
+		{Seed: 7}, // seed without approx is dead weight → reject
+		{Precision: "aprox"},
+	} {
+		resp, body := postJSON(t, ts.URL+"/solve", approxSolveRequest(bad))
+		assertStatusCode(t, resp, body, http.StatusBadRequest, "bad-input")
+	}
+	// A fractional or negative seed is a JSON decoding error: uint64.
+	for _, raw := range []string{
+		`{"query_text": "vertices 2\nedge 0 1 R\n", "instance_text": "vertices 2\nedge 0 1 R 1/2\n", "options": {"precision": "approx", "seed": -1}}`,
+		`{"query_text": "vertices 2\nedge 0 1 R\n", "instance_text": "vertices 2\nedge 0 1 R 1/2\n", "options": {"precision": "approx", "seed": 0.5}}`,
+	} {
+		resp, body := postRaw(t, ts.URL+"/solve", raw)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("raw seed: status %d, want 400: %s", resp.StatusCode, body)
+		}
+	}
+}
+
+// TestApproxOnReweightAndBatch: /reweight and /batch accept the approx
+// options like /solve does, and a malformed approx lane in a batch
+// fails only itself.
+func TestApproxOnReweightAndBatch(t *testing.T) {
+	ts := newTestServer(t)
+
+	rwReq := ReweightRequest{
+		SolveRequest: approxSolveRequest(approxServeOpts(3)),
+		Probs:        map[string]string{"0>1": "3/5"},
+	}
+	resp, body := postJSON(t, ts.URL+"/reweight", rwReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reweight status %d: %s", resp.StatusCode, body)
+	}
+	var rw SolveResponse
+	if err := json.Unmarshal(body, &rw); err != nil {
+		t.Fatal(err)
+	}
+	if rw.Precision != "approx" || rw.ProbLo == nil || rw.ProbHi == nil || rw.ApproxSamples <= 0 {
+		t.Fatalf("reweight ignored approx options: %s", body)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/batch", BatchRequest{Jobs: []SolveRequest{
+		approxSolveRequest(approxServeOpts(3)),
+		approxSolveRequest(&SolveOptions{Precision: "approx", Epsilon: 2}),
+		precRequest(approxServeOpts(1)), // tractable: answers exactly
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Results[0].Precision != "approx" || br.Results[0].ApproxSamples <= 0 {
+		t.Fatalf("batch approx lane: %+v", br.Results[0])
+	}
+	if br.Results[1].Error == "" || br.Results[1].Code != "bad-input" {
+		t.Fatalf("batch accepted a malformed epsilon: %+v", br.Results[1])
+	}
+	if br.Results[2].Error != "" || br.Results[2].Precision != "exact" {
+		t.Fatalf("tractable approx lane: %+v", br.Results[2])
+	}
+}

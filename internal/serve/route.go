@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"phom/internal/approx"
 	"phom/internal/core"
 	"phom/internal/graphio"
 )
@@ -43,6 +44,16 @@ type RouteInfo struct {
 	// probs_batch), 1 for everything else; evaluation cost scales with
 	// it.
 	Vectors int
+	// Approx reports that the job requested precision "approx": a hard
+	// cell is then answered by the Karp–Luby sampler, whose cost is the
+	// sample count below, not the 2^k of the exponential baselines.
+	Approx bool
+	// ApproxSamples is the gateway's estimate of the sampler's budget
+	// for this job — the Dyer/Karp–Luby sample count at the requested
+	// (ε,δ) with the instance's edge count standing in for the lineage
+	// clause count (the true count is not known without enumerating
+	// matches, which routing must not do). 0 unless Approx.
+	ApproxSamples int64
 	// ParseErr is the parse failure for jobs routed by raw-byte hash.
 	ParseErr error
 }
@@ -95,10 +106,35 @@ func routeParsed(req *ReweightRequest) RouteInfo {
 	if job.Opts != nil {
 		info.DisableFallback = job.Opts.DisableFallback
 	}
+	approxRouteFields(&info, req.Options)
 	if n := len(req.ProbsBatch); n > 1 {
 		info.Vectors = n
 	}
 	return info
+}
+
+// approxRouteFields fills the approx-mode fields of info from the wire
+// options. It is deliberately envelope-based (not parsed-job-based) so
+// the cache-hit path, which never builds a job, derives the same
+// values. Out-of-range (ε,δ) fall back to the solver defaults here —
+// the owning backend produces the authoritative 400; routing only needs
+// a sane price.
+func approxRouteFields(info *RouteInfo, o *SolveOptions) {
+	if o == nil {
+		return
+	}
+	if p, err := core.ParsePrecision(o.Precision); err != nil || p != core.PrecisionApprox {
+		return
+	}
+	eps, delta := o.Epsilon, o.Delta
+	if !(eps > 0 && eps < 1) {
+		eps = core.DefaultEpsilon
+	}
+	if !(delta > 0 && delta < 1) {
+		delta = core.DefaultDelta
+	}
+	info.Approx = true
+	info.ApproxSamples = approx.SampleCount(info.Edges+1, eps, delta)
 }
 
 // rawRoute keys an unparseable job by its raw bytes: deterministic, so
@@ -163,6 +199,7 @@ func (c *RouteCache) Route(raw []byte) RouteInfo {
 		if req.Options != nil {
 			info.DisableFallback = req.Options.DisableFallback
 		}
+		approxRouteFields(&info, req.Options)
 		if n := len(req.ProbsBatch); n > 1 {
 			info.Vectors = n
 		}
@@ -173,6 +210,8 @@ func (c *RouteCache) Route(raw []byte) RouteInfo {
 		cached := info
 		cached.Vectors = 1
 		cached.DisableFallback = false
+		cached.Approx = false
+		cached.ApproxSamples = 0
 		c.put(fp, cached)
 	}
 	return info

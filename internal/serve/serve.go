@@ -65,15 +65,25 @@ type SolveOptions struct {
 	// connection's lifetime and the server's shutdown.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Precision selects the numeric substrate: "exact" (default),
-	// "fast" (float64 with a certified error bound) or "auto" (float64
-	// when the bound is within float_tolerance, exact otherwise).
-	// Anything else is a 400, never a silent default. Accepted on
-	// /solve, /reweight and /batch alike.
+	// "fast" (float64 with a certified error bound), "auto" (float64
+	// when the bound is within float_tolerance, exact otherwise) or
+	// "approx" (the seeded Karp–Luby (ε,δ) estimator on #P-hard cells,
+	// exact on tractable ones). Anything else is a 400, never a silent
+	// default. Accepted on /solve, /reweight and /batch alike.
 	Precision string `json:"precision,omitempty"`
 	// FloatTolerance is the widest certified error the auto mode serves
 	// without falling back to exact arithmetic (absolute probability
 	// error; 0 means the server default).
 	FloatTolerance float64 `json:"float_tolerance,omitempty"`
+	// Epsilon and Delta are the approx-mode guarantee — relative error
+	// epsilon with failure probability delta, each in (0,1); 0 means the
+	// solver default (0.05 / 0.01). Seed makes the estimate reproducible:
+	// equal requests with equal seeds answer byte-identically. All three
+	// are rejected with a 400 unless precision is "approx" — they would
+	// otherwise be silently dead.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
 }
 
 type SolveRequest struct {
@@ -102,27 +112,34 @@ type SolveResponse struct {
 	// "unknown"); empty on success. It is the machine-readable form —
 	// clients should dispatch on it, not on the error text.
 	Code string `json:"code,omitempty"`
-	// Precision is the substrate that produced the answer: "exact" or
-	// "fast". A job requesting fast/auto can legitimately report
-	// "exact" — that is the fallback contract, and the answer is then
-	// byte-identical to an exact-precision solve.
+	// Precision is the substrate that produced the answer: "exact",
+	// "fast" or "approx". A job requesting fast/auto can legitimately
+	// report "exact" — that is the fallback contract, and the answer is
+	// then byte-identical to an exact-precision solve; an approx job
+	// reports "exact" when it landed on a tractable cell (no sampling).
 	Precision string `json:"precision,omitempty"`
-	// ProbLo/ProbHi are the certified enclosure of the exact
-	// probability when the fast path answered (precision "fast"):
-	// exact ∈ [prob_lo, prob_hi] is machine-checked, not estimated.
-	// Pointers, not bare floats: a bound that is exactly 0 must still
-	// serialize (omitempty would drop it), so both fields are present
-	// exactly when precision is "fast".
-	ProbLo    *float64         `json:"prob_lo,omitempty"`
-	ProbHi    *float64         `json:"prob_hi,omitempty"`
-	Method    string           `json:"method,omitempty"`
-	PTime     bool             `json:"ptime,omitempty"`
-	CacheHit  bool             `json:"cache_hit,omitempty"`
-	Shared    bool             `json:"shared,omitempty"`
-	PlanHit   bool             `json:"plan_hit,omitempty"`
-	Predicted *VerdictResponse `json:"predicted,omitempty"`
-	ElapsedUS int64            `json:"elapsed_us"`
-	Error     string           `json:"error,omitempty"`
+	// ProbLo/ProbHi bound the exact probability. Under precision "fast"
+	// they are the certified enclosure of the float kernel — exact ∈
+	// [prob_lo, prob_hi] is machine-checked. Under precision "approx"
+	// they are the (1−δ) Hoeffding confidence interval of the sampler —
+	// statistical, not certified. Pointers, not bare floats: a bound
+	// that is exactly 0 must still serialize (omitempty would drop it),
+	// so both fields are present exactly when precision is "fast" or
+	// "approx".
+	ProbLo *float64 `json:"prob_lo,omitempty"`
+	ProbHi *float64 `json:"prob_hi,omitempty"`
+	// ApproxSamples is the number of Monte-Carlo samples the approx
+	// mode drew; present only when precision is "approx" (and 0 even
+	// then if the lineage short-circuited exactly).
+	ApproxSamples int64            `json:"approx_samples,omitempty"`
+	Method        string           `json:"method,omitempty"`
+	PTime         bool             `json:"ptime,omitempty"`
+	CacheHit      bool             `json:"cache_hit,omitempty"`
+	Shared        bool             `json:"shared,omitempty"`
+	PlanHit       bool             `json:"plan_hit,omitempty"`
+	Predicted     *VerdictResponse `json:"predicted,omitempty"`
+	ElapsedUS     int64            `json:"elapsed_us"`
+	Error         string           `json:"error,omitempty"`
 }
 
 // ReweightRequest is a solve request plus a probability remap: the
@@ -747,6 +764,7 @@ func buildResponse(job engine.Job, jr engine.JobResult, elapsed time.Duration) S
 		lo, hi := jr.Result.Bounds.Lo, jr.Result.Bounds.Hi
 		resp.ProbLo, resp.ProbHi = &lo, &hi
 	}
+	resp.ApproxSamples = jr.Result.ApproxSamples
 	resp.Method = jr.Result.Method.String()
 	resp.PTime = jr.Result.Method.PTime()
 	// The Tables 1–3 verdict is defined per conjunctive query; report it
@@ -818,7 +836,7 @@ func (r *SolveRequest) toJob(defPrec core.Precision, defTol float64) (engine.Job
 		if r.Options.Precision != "" {
 			var err error
 			if prec, err = core.ParsePrecision(r.Options.Precision); err != nil {
-				return job, fmt.Errorf("bad precision %q: want \"exact\", \"fast\" or \"auto\"", r.Options.Precision)
+				return job, fmt.Errorf("bad precision %q: want \"exact\", \"fast\", \"auto\" or \"approx\"", r.Options.Precision)
 			}
 		}
 		tol := r.Options.FloatTolerance
@@ -831,10 +849,14 @@ func (r *SolveRequest) toJob(defPrec core.Precision, defTol float64) (engine.Job
 			DisableFallback: r.Options.DisableFallback,
 			Precision:       prec,
 			FloatTolerance:  tol,
+			Epsilon:         r.Options.Epsilon,
+			Delta:           r.Options.Delta,
+			Seed:            r.Options.Seed,
 		}
-		// One definition of a valid tolerance (finite, non-negative):
-		// the solver's own. Rejecting here turns it into a 400 rather
-		// than a per-job solver error.
+		// One definition of a valid tolerance / (ε,δ) pair: the solver's
+		// own (finite non-negative tolerance; epsilon and delta in (0,1)
+		// and only under approx). Rejecting here turns it into a 400
+		// rather than a per-job solver error.
 		if err := job.Opts.Validate(); err != nil {
 			return job, err
 		}

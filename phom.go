@@ -164,18 +164,32 @@ type Precision = core.Precision
 // reports a certified absolute-error bound (Result.Bounds);
 // PrecisionAuto serves the float answer when its certified bound is
 // within Options.FloatTolerance and falls back to exact arithmetic —
-// byte-identical to PrecisionExact — otherwise.
+// byte-identical to PrecisionExact — otherwise; PrecisionApprox
+// answers #P-hard cells with the seeded Karp–Luby (ε,δ) estimator
+// (Options.Epsilon/Delta/Seed) instead of an exponential baseline,
+// reporting statistical Hoeffding bounds, and evaluates tractable
+// cells exactly.
 const (
-	PrecisionExact = core.PrecisionExact
-	PrecisionFast  = core.PrecisionFast
-	PrecisionAuto  = core.PrecisionAuto
+	PrecisionExact  = core.PrecisionExact
+	PrecisionFast   = core.PrecisionFast
+	PrecisionAuto   = core.PrecisionAuto
+	PrecisionApprox = core.PrecisionApprox
 )
 
 // DefaultFloatTolerance is the default certified-error cap of
 // PrecisionAuto (Options.FloatTolerance = 0).
 const DefaultFloatTolerance = core.DefaultFloatTolerance
 
-// ParsePrecision parses "exact", "fast" or "auto" (and "" as exact).
+// DefaultEpsilon and DefaultDelta are the default (ε,δ) guarantee of
+// PrecisionApprox (Options.Epsilon = 0 / Options.Delta = 0): relative
+// error 5% with failure probability 1%.
+const (
+	DefaultEpsilon = core.DefaultEpsilon
+	DefaultDelta   = core.DefaultDelta
+)
+
+// ParsePrecision parses "exact", "fast", "auto" or "approx" (and "" as
+// exact).
 func ParsePrecision(s string) (Precision, error) { return core.ParsePrecision(s) }
 
 // Enclosure is a certified float64 interval [Lo, Hi] guaranteed to
@@ -193,6 +207,7 @@ const (
 	MethodAutomatonPT    = core.MethodAutomatonPT
 	MethodBruteForce     = core.MethodBruteForce
 	MethodLineage        = core.MethodLineage
+	MethodKarpLuby       = core.MethodKarpLuby
 )
 
 // Solve computes Pr(G ⇝ H) exactly, using a polynomial-time algorithm

@@ -92,7 +92,7 @@ func WithoutFallback() RequestOption {
 }
 
 // WithPrecision selects the numeric substrate of plan evaluation
-// (PrecisionExact, PrecisionFast or PrecisionAuto).
+// (PrecisionExact, PrecisionFast, PrecisionAuto or PrecisionApprox).
 func WithPrecision(p Precision) RequestOption {
 	return func(r *Request) { reqOpts(r).Precision = p }
 }
@@ -102,6 +102,27 @@ func WithPrecision(p Precision) RequestOption {
 // DefaultFloatTolerance).
 func WithFloatTolerance(tol float64) RequestOption {
 	return func(r *Request) { reqOpts(r).FloatTolerance = tol }
+}
+
+// WithEpsilon sets the PrecisionApprox relative error bound, in (0,1)
+// (0 = the default, DefaultEpsilon). Requests carrying an epsilon under
+// any other precision mode are rejected with ErrBadInput.
+func WithEpsilon(eps float64) RequestOption {
+	return func(r *Request) { reqOpts(r).Epsilon = eps }
+}
+
+// WithDelta sets the PrecisionApprox failure probability budget, in
+// (0,1) (0 = the default, DefaultDelta). Like WithEpsilon it is
+// rejected outside approx mode.
+func WithDelta(delta float64) RequestOption {
+	return func(r *Request) { reqOpts(r).Delta = delta }
+}
+
+// WithSeed seeds the PrecisionApprox sampler: equal requests with equal
+// seeds reproduce the estimate byte-for-byte. A non-zero seed is
+// rejected outside approx mode.
+func WithSeed(seed uint64) RequestOption {
+	return func(r *Request) { reqOpts(r).Seed = seed }
 }
 
 // WithTimeout gives the request an execution budget: it fails with
