@@ -1,6 +1,6 @@
 // Command phombench is the experiment harness: for every table and
 // figure of the paper it regenerates the corresponding artifact
-// empirically (see EXPERIMENTS.md for the index E1–E26). For PTIME
+// empirically (see EXPERIMENTS.md for the index E1–E27). For PTIME
 // cells it measures runtime scaling of the dispatched algorithm over
 // growing instances; for #P-hard cells it executes the paper's
 // reduction, checks the exact counting identity, and measures the
@@ -22,11 +22,17 @@
 // runs the Karp–Luby (ε,δ) estimator on #P-hard cells: calibration
 // against the brute-force oracle across fixed seeds, then needles
 // beyond the brute-force horizon where exact evaluation refuses and the
-// seeded sampler answers with statistical bounds, byte-reproducibly.
+// seeded sampler answers with statistical bounds, byte-reproducibly;
+// E27 streams typed deltas into a live named instance
+// (internal/instance through the engine registry) and measures
+// incremental plan maintenance — probability drift reweights without
+// recompiling, sparse edge deltas splice through core.PatchCompile —
+// against from-scratch recompilation at every version, asserting
+// byte-identical answers throughout.
 //
 // Experiments are selected with -run, an unanchored regular expression
-// over experiment ids (like go test -run): -run 'E2[0-6]' runs
-// E20–E26. Every experiment embeds correctness assertions; a failing
+// over experiment ids (like go test -run): -run 'E2[0-7]' runs
+// E20–E27. Every experiment embeds correctness assertions; a failing
 // assertion marks that experiment FAILED and the process exits nonzero
 // after all selected experiments have run.
 //
@@ -40,7 +46,7 @@
 //
 // Usage:
 //
-//	phombench [-run 'E2[0-6]'] [-seed 1] [-maxn 4096] [-csv]
+//	phombench [-run 'E2[0-7]'] [-seed 1] [-maxn 4096] [-csv]
 //	          [-json out/] [-workers 0] [-batchjobs 128] [-reweights 64]
 //	phombench -diff out/BENCH_E20.json old/BENCH_E20.json
 package main
@@ -182,6 +188,7 @@ func experiments() []experimentDef {
 		experimentDef{"E24", "Vectorized reweight throughput vs batch width", runBatchedReweight},
 		experimentDef{"E25", "Sharded serving tier: aggregate throughput vs replicas (phomgate)", runGateTier},
 		experimentDef{"E26", "Karp–Luby (ε,δ) approximation on #P-hard cells beyond the exact horizon", runApproxHardCells},
+		experimentDef{"E27", "Live-instance delta streams: incremental plan maintenance vs from-scratch", runDeltaStream},
 	)
 	return defs
 }
@@ -1130,7 +1137,10 @@ func runBatchedReweight(e *E) {
 // and (4) needle-query throughput through the public request API
 // (phom.SolveContext) with a match limit: walk-derived 1WP queries over
 // fresh probability assignments, every outcome accounted as ok or
-// limit.
+// limit — plus (5) a hard-cell row on a 4× larger instance, past where
+// the lineage fallback's match enumeration is affordable, answered by
+// the seeded Karp–Luby estimator with statistical bounds and a
+// byte-identical same-seed twin.
 func runWorkloadFamilies(e *E) {
 	r := e.r
 	rs := []graph.Label{"R", "S"}
@@ -1258,5 +1268,66 @@ func runWorkloadFamilies(e *E) {
 			mNeedle.OpsPerSec = float64(*reweights) / s
 		}
 		e.emit(mNeedle)
+
+		// (5) The hard-cell size unpinned: the pinned n above exists
+		// because the lineage fallback's match enumeration outgrows any
+		// affordable limit — the reason the needle phase caps n at ~48.
+		// On a 4× larger twin of the family the same public API answers
+		// a hard cell through the seeded Karp–Luby estimator instead: no
+		// match limit, no brute-force horizon, statistical bounds, and a
+		// same-seed twin byte-identical (the serving tier's caching
+		// contract). The needle is the first walk query whose verdict is
+		// #P-hard, so the row genuinely exercises the approx path.
+		nBig := 4 * n
+		gBig := gen.RandFamily(r, f, nBig, rs)
+		// Interior probabilities k/16 ∈ (0,1) on every edge: a single
+		// probability-1 edge would let the estimator short-circuit a
+		// one-variable clause exactly and record a degenerate zero-sample
+		// row instead of a sampling run.
+		hBig := graph.NewProbGraph(gBig)
+		for i := 0; i < gBig.NumEdges(); i++ {
+			e.check(hBig.SetProb(i, big.NewRat(int64(1+r.Intn(15)), 16)))
+		}
+		var qBig *graph.Graph
+		for _, wl := range []int{1, 2, 3} {
+			q := gen.RandWalkQuery(r, gBig, wl)
+			if q == nil {
+				continue
+			}
+			if _, _, _, v := core.PredictInput(q, hBig); !v.Tractable {
+				qBig = q
+				break
+			}
+		}
+		if qBig == nil {
+			e.fatalf("%v n=%d: no walk query landed in a hard cell", f, nBig)
+		}
+		req := phom.NewRequest(qBig, hBig,
+			phom.WithPrecision(phom.PrecisionApprox),
+			phom.WithEpsilon(0.3), phom.WithDelta(0.2), phom.WithSeed(uint64(*seed)))
+		start = time.Now()
+		res, err := phom.SolveContext(ctx, req)
+		e.check(err)
+		dBig := time.Since(start)
+		if res.Method != core.MethodKarpLuby || res.Bounds == nil {
+			e.fatalf("%v n=%d: hard cell served by %v without bounds", f, nBig, res.Method)
+		}
+		p, _ := res.Prob.Float64()
+		if p < res.Bounds.Lo || p > res.Bounds.Hi || res.Bounds.Lo < 0 || res.Bounds.Hi > 1 {
+			e.fatalf("%v n=%d: approx estimate %v outside its bounds %+v", f, nBig, p, res.Bounds)
+		}
+		twin, err := phom.SolveContext(ctx, req)
+		e.check(err)
+		if twin.Prob.Cmp(res.Prob) != 0 || twin.ApproxSamples != res.ApproxSamples {
+			e.fatalf("%v n=%d: same-seed approx twin diverged", f, nBig)
+		}
+		if res.ApproxSamples <= 0 {
+			e.fatalf("%v n=%d: approx needle drew no samples", f, nBig)
+		}
+		mBig := metric(fmt.Sprintf("%s n=%d approx needle", f, nBig),
+			fmt.Sprintf("method=%v twin=equal", res.Method), dBig)
+		mBig.Counters = map[string]int64{"samples": res.ApproxSamples}
+		mBig.OpsPerSec = float64(res.ApproxSamples) / dBig.Seconds()
+		e.emit(mBig)
 	}
 }

@@ -9,9 +9,23 @@
 // list by shard, fans out, and merges — with ?stream=1 the backend
 // NDJSON streams are interleaved into one completion-order client
 // stream, original job indices preserved. /healthz reports the tier:
-// uptime, per-status response counts, shed and cross-shard-batch
-// counters, and the shard map (backend → vnode count, alive/ejected,
-// in-flight load).
+// uptime, per-status response counts, shed, retry and cross-shard-batch
+// counters, per-backend and tier-wide live-instance counts, and the
+// shard map (backend → vnode count, alive/ejected, in-flight load).
+//
+// Live instances (/instances and /instances/{id}/...) route sticky:
+// an instance's state exists on exactly one replica, so the gate
+// hashes the instance id itself on the ring (owner-set width 1) and
+// pins every request for that id to the owning replica. A create
+// without a client-chosen id mints one at the gate before the ring
+// lookup, so the create and every later delta/solve hash identically;
+// GET /instances is the one fan-out, merging the per-replica id
+// lists. Stateless single-job hops that fail at the transport level —
+// no backend byte reached the client — are replayed once against the
+// next live owner before the typed 503 (gate_retries in /healthz);
+// instance hops are never replayed (the next owner does not hold the
+// state), and typed backend errors are relayed untouched, never
+// retried.
 //
 // Replicas are health-probed (-probe); consecutive failures eject one
 // from the ring (its keys drain deterministically to ring successors)

@@ -28,12 +28,17 @@
 //	    -mix reweight-heavy -batchsize 32
 //	phomgen -replay http://gate:8080 -requests 2000   # drive a phomgate tier
 //	phomgen -replay http://a:8081,http://b:8082       # round-robin replicas
+//	phomgen -replay http://localhost:8080 -mix delta -requests 500
 //
 // The mix accepts kind:weight pairs (solve, reweight, reweight_batch,
-// batch, stream, bad, hard) or a preset name: "default", or
+// batch, stream, bad, hard, delta) or a preset name: "default",
 // "reweight-heavy" for a probability-sweep profile dominated by
 // multi-vector /reweight requests (probs_batch, -batchsize vectors per
-// request) that the server routes through the engine's batched kernel.
+// request) that the server routes through the engine's batched kernel,
+// or "delta" for a live-instance profile that creates named instances
+// up front and interleaves delta batches, deliberately stale
+// if_version CAS batches (accounted 409s), and instance-scoped
+// solves/reweights against them.
 //
 // Replay exits nonzero if any response falls outside the typed status
 // taxonomy or violates the wire contract (Report.Unaccounted > 0).
@@ -79,7 +84,7 @@ func main() {
 		replayURL   = flag.String("replay", "", "replay mode: comma-separated base URL(s) to fire traffic at (phomserve replicas or a phomgate)")
 		requests    = flag.Int("requests", 200, "replay: total requests")
 		concurrency = flag.Int("concurrency", 4, "replay: in-flight requests")
-		mixFlag     = flag.String("mix", "", "replay: traffic mix (kind:weight,... or a preset: default, reweight-heavy)")
+		mixFlag     = flag.String("mix", "", "replay: traffic mix (kind:weight,... or a preset: default, reweight-heavy, delta)")
 		batchSize   = flag.Int("batchsize", 4, "replay: jobs per batch/stream request and vectors per reweight_batch")
 		precision   = flag.String("precision", "", "replay: options.precision on every job (exact|fast|auto)")
 		jobTimeout  = flag.Duration("jobtimeout", 0, "replay: per-job timeout_ms budget (default 5s, negative disables)")

@@ -32,6 +32,28 @@
 //	               with its index, then a {"done":true,...} trailer —
 //	               so huge batches start answering immediately and the
 //	               server never buffers the full result slice.
+//	POST /instances  create a named live instance ({"id": "...",
+//	               "instance": {...} | "instance_text": "..."}; an empty
+//	               id mints one). GET lists the live instance ids.
+//	GET  /instances/{id}  version, size, lifetime delta count and the
+//	               per-component class census; DELETE removes the
+//	               instance and evicts its cached plans and results.
+//	POST /instances/{id}/delta  apply a batch of typed deltas
+//	               ({"deltas": [{"op": "set_prob" | "add_edge" |
+//	               "remove_edge", "edge": "from>to", "prob": "1/4",
+//	               "label": "R"}]}) atomically as one new version.
+//	               Optional "if_version" is an optimistic concurrency
+//	               check: a mismatch answers the typed conflict (409)
+//	               and changes nothing. Probability-only batches keep
+//	               every compiled plan valid (the next solve is a pure
+//	               reweight); structural batches migrate plans
+//	               incrementally (engine counters
+//	               incremental_recompiles / full_recompiles).
+//	POST /instances/{id}/solve|reweight|batch  the stateless job
+//	               shapes evaluated against the instance's current
+//	               snapshot; the answering version rides the
+//	               X-Phom-Instance-Version response header. In-flight
+//	               solves finish against their pre-delta snapshot.
 //	GET  /plans/export  binary snapshot of the compiled-plan cache
 //	               (the canonical plan encoding of internal/graphio).
 //	POST /plans/import  restore a snapshot into the plan cache; jobs
@@ -49,7 +71,7 @@
 //
 // Failures carry the typed error taxonomy of the phom package, both as
 // a machine-readable "code" field and as the HTTP status:
-// bad-input → 400, deadline → 408 (including a job's own
+// bad-input → 400, conflict → 409, deadline → 408 (including a job's own
 // "options": {"timeout_ms": N} budget), limit/intractable → 422,
 // canceled → 499, unavailable → 503. Every job runs under its request
 // context plus the server's shutdown context: a dropped connection or

@@ -209,6 +209,21 @@ type Stats struct {
 	// (malformed snapshot files, filesystem errors). A missing boot
 	// snapshot is a cold start, not an error.
 	SnapshotErrors uint64 `json:"snapshot_errors"`
+	// DeltasApplied counts individual instance deltas committed through
+	// ApplyDelta (batches count once per delta, failed batches not at
+	// all).
+	DeltasApplied uint64 `json:"deltas_applied"`
+	// IncrementalRecompiles counts tracked plans carried across a
+	// structural delta by the component-localized splice
+	// (core.PatchCompile reusing untouched parts).
+	IncrementalRecompiles uint64 `json:"incremental_recompiles"`
+	// FullRecompiles counts tracked plans a structural delta forced
+	// through a from-scratch compile — the splice was not provably
+	// local (route change, component merge touching everything, UCQ
+	// plan).
+	FullRecompiles uint64 `json:"full_recompiles"`
+	// Instances is the current number of live registered instances.
+	Instances int `json:"instances"`
 	// CacheLen is the current number of memoized results.
 	CacheLen int `json:"cache_len"`
 	// PlanCacheLen is the current number of cached compiled plans.
@@ -254,6 +269,7 @@ type Engine struct {
 	cache      *lruCache[*core.Result]       // nil when memoization is disabled
 	plans      *lruCache[*core.CompiledPlan] // nil when plan caching is disabled
 	planFlight map[string]chan struct{}      // structures being compiled right now
+	instances  map[string]*instEntry         // live named instances (instances.go)
 	stats      Stats
 }
 
@@ -296,6 +312,7 @@ func New(opts Options) *Engine {
 		cache:      cache,
 		plans:      plans,
 		planFlight: make(map[string]chan struct{}),
+		instances:  make(map[string]*instEntry),
 	}
 	if e.snapPath != "" && e.plans != nil {
 		if f, err := os.Open(e.snapPath); err == nil {
@@ -336,6 +353,7 @@ func (e *Engine) Stats() Stats {
 	if e.plans != nil {
 		s.PlanCacheLen = e.plans.len()
 	}
+	s.Instances = len(e.instances)
 	return s
 }
 
@@ -672,25 +690,37 @@ func (e *Engine) LoadPlans(r io.Reader) (int, error) {
 // fresh and populates the cache. The returned bool is set by the thunk
 // when it served a plan-cache hit.
 func (e *Engine) prepare(job Job) (string, func(context.Context) (*core.Result, error), *bool, error) {
-	qs, err := job.Disjuncts()
+	qs, _, key, structKey, canonOrder, err := jobKeys(job)
 	if err != nil {
 		return "", nil, nil, err
 	}
-
-	canon := make([]string, len(qs))
-	for i, q := range qs {
-		canon[i] = graphio.CanonicalGraph(q)
-	}
-	// Disjunct order is irrelevant to the probability of a union.
-	sort.Strings(canon)
-	key, structKey, canonOrder := graphio.JobKeys(canon, job.Instance,
-		job.Opts.Fingerprint(), job.Opts.StructFingerprint())
-
 	planHit := new(bool)
 	run := func(ctx context.Context) (*core.Result, error) {
 		return e.runPlanned(ctx, structKey, canonOrder, job, qs, planHit)
 	}
 	return key, run, planHit, nil
+}
+
+// jobKeys validates the job (through Job.Disjuncts, the shared
+// validation point) and derives its canonical identities: the resolved
+// disjuncts, their sorted canonical encodings, the full memo key
+// (probabilities included), the structure key (probabilities stripped)
+// and the instance's canonical edge order. It is the single key
+// derivation shared by prepare and the instance registry.
+func jobKeys(job Job) (qs []*graph.Graph, canon []string, key, structKey string, canonOrder []int, err error) {
+	qs, err = job.Disjuncts()
+	if err != nil {
+		return nil, nil, "", "", nil, err
+	}
+	canon = make([]string, len(qs))
+	for i, q := range qs {
+		canon[i] = graphio.CanonicalGraph(q)
+	}
+	// Disjunct order is irrelevant to the probability of a union.
+	sort.Strings(canon)
+	key, structKey, canonOrder = graphio.JobKeys(canon, job.Instance,
+		job.Opts.Fingerprint(), job.Opts.StructFingerprint())
+	return qs, canon, key, structKey, canonOrder, nil
 }
 
 // runPlanned executes a job through the compile/evaluate pipeline,
@@ -1009,6 +1039,17 @@ func (c *lruCache[V]) get(key string) (V, bool) {
 	}
 	c.order.MoveToFront(el)
 	return el.Value.(*lruEntry[V]).val, true
+}
+
+// remove drops the entry under key, if any. It is how the instance
+// registry performs targeted invalidation: a delta evicts exactly the
+// touched instance's memoized results (and its superseded structural
+// plans), never a neighbor's.
+func (c *lruCache[V]) remove(key string) {
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
 }
 
 func (c *lruCache[V]) add(key string, val V) {

@@ -18,8 +18,13 @@
 // zero recompiles.
 //
 // /solve and /reweight proxy bodies verbatim to the owning shard;
-// /batch splits by shard, fans out, and merges — see batch.go.
-// cmd/phomgate is the thin process wrapper.
+// /batch splits by shard, fans out, and merges — see batch.go. A
+// single-job hop that dies on a connection error (no backend response
+// at all) is retried once against the next live owner before the gate
+// sheds it with a typed 503. Live instances (/instances...) are sticky:
+// an instance's mutable state lives on exactly one replica, so every
+// instance-scoped request routes by instance id to the primary alive
+// owner — see instances.go. cmd/phomgate is the thin process wrapper.
 package gateway
 
 import (
@@ -101,11 +106,12 @@ type backend struct {
 
 	inflight atomic.Int64
 
-	mu         sync.Mutex
-	alive      bool
-	fails      int
-	lastUptime int64
-	snapshot   []byte
+	mu            sync.Mutex
+	alive         bool
+	fails         int
+	lastUptime    int64
+	lastInstances int
+	snapshot      []byte
 }
 
 // Gateway routes phomserve traffic across a replica tier.
@@ -119,6 +125,7 @@ type Gateway struct {
 
 	shed              atomic.Uint64
 	crossShardBatches atomic.Uint64
+	retries           atomic.Uint64
 
 	httpMu       sync.Mutex
 	httpByStatus map[int]uint64
@@ -231,6 +238,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/solve", g.handleProxy)
 	mux.HandleFunc("/reweight", g.handleProxy)
 	mux.HandleFunc("/batch", g.handleBatch)
+	mux.HandleFunc("/instances", g.handleInstances)
+	mux.HandleFunc("/instances/", g.handleInstanceScoped)
 	mux.HandleFunc("/healthz", g.handleHealth)
 	return g.instrument(mux)
 }
@@ -301,6 +310,9 @@ type BackendHealth struct {
 	// HasSnapshot reports whether the gate holds a plan snapshot to
 	// warm-start this backend with after a restart.
 	HasSnapshot bool `json:"has_snapshot"`
+	// Instances is the live-instance count the last successful probe
+	// saw on this backend (instance state is sticky per replica).
+	Instances int `json:"instances"`
 }
 
 // Health is the gate's /healthz body: tier-level counters plus the
@@ -316,8 +328,14 @@ type Health struct {
 	Shed uint64 `json:"shed"`
 	// CrossShardBatches counts /batch requests whose jobs spanned more
 	// than one backend and were fanned out and merged.
-	CrossShardBatches uint64            `json:"cross_shard_batches"`
-	HTTP              map[string]uint64 `json:"http,omitempty"`
+	CrossShardBatches uint64 `json:"cross_shard_batches"`
+	// GateRetries counts single-job hops that failed on a connection
+	// error and were retried against the next live owner.
+	GateRetries uint64 `json:"gate_retries"`
+	// Instances is the tier-wide live-instance total as of the last
+	// probe round (sum of the per-backend counts below).
+	Instances int               `json:"instances"`
+	HTTP      map[string]uint64 `json:"http,omitempty"`
 }
 
 func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -331,6 +349,7 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Replication:       g.cfg.Replication,
 		Shed:              g.shed.Load(),
 		CrossShardBatches: g.crossShardBatches.Load(),
+		GateRetries:       g.retries.Load(),
 		HTTP:              make(map[string]uint64),
 	}
 	g.httpMu.Lock()
@@ -340,8 +359,9 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 	g.httpMu.Unlock()
 	for _, b := range g.backends {
 		b.mu.Lock()
-		alive, snap := b.alive, len(b.snapshot) > 0
+		alive, snap, insts := b.alive, len(b.snapshot) > 0, b.lastInstances
 		b.mu.Unlock()
+		h.Instances += insts
 		h.Backends = append(h.Backends, BackendHealth{
 			URL:              b.url,
 			Node:             b.node,
@@ -351,6 +371,7 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Inflight:         b.inflight.Load(),
 			OutstandingUnits: b.ledger.Outstanding(),
 			HasSnapshot:      snap,
+			Instances:        insts,
 		})
 	}
 	serve.WriteJSON(w, http.StatusOK, h)
@@ -388,6 +409,7 @@ func (g *Gateway) probe(b *backend) {
 			snap := b.snapshot
 			b.fails = 0
 			b.lastUptime = hr.UptimeMS
+			b.lastInstances = hr.Stats.Instances
 			b.mu.Unlock()
 			if restarted && len(snap) > 0 {
 				g.pushSnapshot(b, snap)

@@ -1,0 +1,253 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"phom/internal/engine"
+	"phom/internal/serve"
+)
+
+const (
+	gateInstanceText = `
+vertices 3
+edge 0 1 R 1/2
+edge 1 2 R 1/3
+`
+	gateQueryText = `
+vertices 2
+edge 0 1 R
+`
+)
+
+func postGate(t *testing.T, url, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	switch v := body.(type) {
+	case nil:
+		rd = bytes.NewReader(nil)
+	case []byte:
+		rd = bytes.NewReader(v)
+	default:
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	resp, err := http.Post(url+path, "application/json", rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// TestInstanceStickyRouting drives the full live-instance flow through
+// a two-backend gate: each instance must land on exactly one replica,
+// every later delta/solve for it must reach that same replica, and the
+// gate listing must merge both replicas' id sets.
+func TestInstanceStickyRouting(t *testing.T) {
+	urls, engines := newBackends(t, 2, 2)
+	_, gate := newGate(t, Config{Backends: urls, Replication: 2})
+
+	ids := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+	for _, id := range ids {
+		resp, body := postGate(t, gate.URL, "/instances", serve.CreateInstanceRequest{
+			ID: id, InstanceText: gateInstanceText,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("create %s: status %d: %s", id, resp.StatusCode, body)
+		}
+		// Mutate, then solve: Pr = 1 − (3/4)(2/3) = 1/2. The solve only
+		// sees the delta if both hops hit the replica holding the state.
+		resp, body = postGate(t, gate.URL, "/instances/"+id+"/delta", serve.DeltaRequest{
+			Deltas: []serve.DeltaOp{{Op: "set_prob", Edge: "0>1", Prob: "1/4"}},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("delta %s: status %d: %s", id, resp.StatusCode, body)
+		}
+		resp, body = postGate(t, gate.URL, "/instances/"+id+"/solve", serve.SolveRequest{QueryText: gateQueryText})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %s: status %d: %s", id, resp.StatusCode, body)
+		}
+		var sr serve.SolveResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.Prob != "1/2" {
+			t.Fatalf("solve %s: prob %q, want 1/2 (delta lost to a different replica?)", id, sr.Prob)
+		}
+		// The answering version must survive the proxy hop: clients
+		// use the header, not the body, to learn which snapshot spoke.
+		if got := resp.Header.Get(serve.InstanceVersionHeader); got != "2" {
+			t.Fatalf("solve %s: %s = %q, want 2", id, serve.InstanceVersionHeader, got)
+		}
+	}
+
+	// Each instance lives on exactly one backend.
+	perBackend := make([]int, len(engines))
+	for _, id := range ids {
+		n := 0
+		for i, eng := range engines {
+			if _, ok := eng.Instance(id); ok {
+				n++
+				perBackend[i]++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("instance %s exists on %d backends, want exactly 1", id, n)
+		}
+	}
+	if perBackend[0] == 0 || perBackend[1] == 0 {
+		t.Logf("placement %v: all instances on one replica (hash skew)", perBackend)
+	}
+
+	// The gate listing merges both replicas.
+	resp, err := http.Get(gate.URL + "/instances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list serve.InstanceListResponse
+	if derr := json.NewDecoder(resp.Body).Decode(&list); derr != nil {
+		t.Fatal(derr)
+	}
+	resp.Body.Close()
+	if len(list.Instances) != len(ids) {
+		t.Fatalf("gate listing = %v, want %d ids", list.Instances, len(ids))
+	}
+
+	// Unknown ids and stale CAS keep their backend status through the gate.
+	if resp, _ := postGate(t, gate.URL, "/instances/ghost/solve", serve.SolveRequest{QueryText: gateQueryText}); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost solve via gate: status %d, want 404", resp.StatusCode)
+	}
+	stale := int64(99)
+	resp2, _ := postGate(t, gate.URL, "/instances/alpha/delta", serve.DeltaRequest{
+		IfVersion: &stale,
+		Deltas:    []serve.DeltaOp{{Op: "set_prob", Edge: "0>1", Prob: "1/8"}},
+	})
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("stale CAS via gate: status %d, want 409", resp2.StatusCode)
+	}
+}
+
+// TestInstanceMintedIDThroughGate checks the gate mints the id before
+// placement, so the create and every follow-up hash identically.
+func TestInstanceMintedIDThroughGate(t *testing.T) {
+	urls, _ := newBackends(t, 2, 2)
+	_, gate := newGate(t, Config{Backends: urls})
+
+	resp, body := postGate(t, gate.URL, "/instances", serve.CreateInstanceRequest{InstanceText: gateInstanceText})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("minted create: status %d: %s", resp.StatusCode, body)
+	}
+	var info serve.InstanceInfoResponse
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(info.ID, "inst-") {
+		t.Fatalf("minted id = %q, want inst- prefix", info.ID)
+	}
+	resp, body = postGate(t, gate.URL, "/instances/"+info.ID+"/solve", serve.SolveRequest{QueryText: gateQueryText})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve on minted id: status %d: %s", resp.StatusCode, body)
+	}
+	var sr serve.SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Prob != "2/3" {
+		t.Fatalf("prob = %q, want 2/3", sr.Prob)
+	}
+}
+
+// TestGateRetriesOnConnectionError kills one of two backends without
+// telling the gate: single-job hops routed to the corpse must be
+// replayed once against the surviving owner and still answer 200, with
+// the rescues visible as gate_retries in /healthz.
+func TestGateRetriesOnConnectionError(t *testing.T) {
+	liveEng := engine.New(engine.Options{Workers: 2})
+	t.Cleanup(func() { _ = liveEng.Close() })
+	live := httptest.NewServer(serve.New(liveEng).Handler())
+	t.Cleanup(live.Close)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from the first byte
+
+	g, gate := newGate(t, Config{Backends: []string{dead.URL, live.URL}, ProbeFailures: 100})
+
+	// Distinct instances spread keys over both owners; every request
+	// must succeed whether it routed to the live backend directly or
+	// was rescued by the retry.
+	for seed := 0; seed < 8; seed++ {
+		resp, body := postGate(t, gate.URL, "/solve", serve.SolveRequest{
+			QueryText:    pathQuery(2),
+			InstanceText: pathInstance(6, seed),
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", seed, resp.StatusCode, body)
+		}
+	}
+	var h Health
+	getHealth(t, gate.URL, &h)
+	if h.GateRetries == 0 {
+		t.Fatal("no hop was rescued by the gate retry (expected some keys on the dead owner)")
+	}
+	if int(h.GateRetries) > 8 {
+		t.Fatalf("gate_retries = %d > requests", h.GateRetries)
+	}
+	_ = g
+}
+
+// TestGateRetryStopsAtTypedError: a backend that answers — even with an
+// error status — produced a response, and the gate must relay it
+// untouched rather than retry it elsewhere.
+func TestGateRetryStopsAtTypedError(t *testing.T) {
+	urls, _ := newBackends(t, 2, 2)
+	_, gate := newGate(t, Config{Backends: urls})
+
+	resp, body := postGate(t, gate.URL, "/solve", serve.SolveRequest{QueryText: "vertices banana"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("typed error via gate: status %d: %s", resp.StatusCode, body)
+	}
+	var h Health
+	getHealth(t, gate.URL, &h)
+	if h.GateRetries != 0 {
+		t.Fatalf("typed backend error was retried: gate_retries = %d", h.GateRetries)
+	}
+}
+
+// TestGateHealthReportsInstances: probes surface each backend's
+// live-instance count and the tier total.
+func TestGateHealthReportsInstances(t *testing.T) {
+	urls, _ := newBackends(t, 2, 2)
+	g, gate := newGate(t, Config{Backends: urls})
+
+	for _, id := range []string{"h1", "h2", "h3"} {
+		if resp, body := postGate(t, gate.URL, "/instances", serve.CreateInstanceRequest{
+			ID: id, InstanceText: gateInstanceText,
+		}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("create %s: status %d: %s", id, resp.StatusCode, body)
+		}
+	}
+	g.ProbeNow()
+	var h Health
+	getHealth(t, gate.URL, &h)
+	if h.Instances != 3 {
+		t.Fatalf("tier instances = %d, want 3", h.Instances)
+	}
+	sum := 0
+	for _, b := range h.Backends {
+		sum += b.Instances
+	}
+	if sum != 3 {
+		t.Fatalf("per-backend instance counts sum to %d, want 3", sum)
+	}
+}

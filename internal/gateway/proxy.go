@@ -71,10 +71,34 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	defer b.ledger.Release(units)
 	status, err := g.forward(w, r, b, body, units)
 	if err != nil {
+		// A connection error means no backend byte reached the client,
+		// so the hop is safe to replay: retry once against the next
+		// live owner before shedding with the typed 503. (A typed
+		// backend error is a response — it is relayed, never retried.)
+		if nb := g.pickOther(info.Key, b); nb != nil && nb.ledger.Admit(units) {
+			g.retries.Add(1)
+			defer nb.ledger.Release(units)
+			if _, rerr := g.forward(w, r, nb, body, units); rerr == nil {
+				return
+			}
+		}
 		serve.WriteTypedError(w, errUnavailable("backend unreachable: "+err.Error()))
 		return
 	}
 	_ = status
+}
+
+// pickOther returns the first alive owner of key other than not, or
+// nil when no such backend exists — the retry target after a transport
+// failure on the preferred owner.
+func (g *Gateway) pickOther(key string, not *backend) *backend {
+	owners := g.ring.Owners(key, 1, func(node int) bool {
+		return node != not.node && g.isAlive(node)
+	})
+	if len(owners) == 0 {
+		return nil
+	}
+	return g.backends[owners[0]]
 }
 
 // forward sends body to b and relays the backend response to w
@@ -98,7 +122,7 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, b *backend, bo
 	if r.URL.RawQuery != "" {
 		url += "?" + r.URL.RawQuery
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
@@ -119,6 +143,9 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, b *backend, bo
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
+	}
+	if v := resp.Header.Get(serve.InstanceVersionHeader); v != "" {
+		w.Header().Set(serve.InstanceVersionHeader, v)
 	}
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)

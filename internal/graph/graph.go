@@ -193,6 +193,26 @@ func (g *Graph) Clone() *Graph {
 	return h
 }
 
+// WithoutEdge returns a fresh graph equal to g with the i-th edge
+// removed; the remaining edges keep their relative insertion order
+// (edge j > i becomes edge j−1). Graphs have no in-place edge removal
+// by design — a removal renumbers the edge list, and every consumer of
+// a *Graph (plans, caches, concurrent solves) relies on a published
+// graph never mutating structurally — so removal is rebuild-as-copy.
+// The copy also starts with a fresh class memo.
+func (g *Graph) WithoutEdge(i int) *Graph {
+	if i < 0 || i >= len(g.edges) {
+		panic(fmt.Sprintf("graph: WithoutEdge index %d out of range (m=%d)", i, len(g.edges)))
+	}
+	h := New(g.n)
+	for j, e := range g.edges {
+		if j != i {
+			h.MustAddEdge(e.From, e.To, e.Label)
+		}
+	}
+	return h
+}
+
 // SubgraphKeeping returns the subgraph of g (same vertex set, per the
 // paper's convention) whose edges are exactly those of g with keep[i]
 // true, indexed by g's edge order.

@@ -47,12 +47,17 @@ const (
 	// CodeUnavailable: the serving component cannot accept work (a
 	// closed engine, a shutting-down server).
 	CodeUnavailable
+	// CodeConflict: an optimistic concurrency check failed — the
+	// caller's if_version no longer matches the instance's current
+	// version. The request was well-formed; retrying against the fresh
+	// version may succeed.
+	CodeConflict
 
 	numCodes = iota // count of defined codes, for validation
 )
 
 var codeNames = [numCodes]string{
-	"unknown", "bad-input", "limit", "intractable", "canceled", "deadline", "unavailable",
+	"unknown", "bad-input", "limit", "intractable", "canceled", "deadline", "unavailable", "conflict",
 }
 
 func (c Code) String() string {
@@ -100,6 +105,7 @@ var (
 	ErrCanceled    = &Error{Code: CodeCanceled}
 	ErrDeadline    = &Error{Code: CodeDeadline}
 	ErrUnavailable = &Error{Code: CodeUnavailable}
+	ErrConflict    = &Error{Code: CodeConflict}
 )
 
 // New builds a typed error from a format string.

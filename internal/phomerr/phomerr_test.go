@@ -13,7 +13,7 @@ func TestSentinelIs(t *testing.T) {
 	if !errors.Is(err, ErrLimit) {
 		t.Fatalf("errors.Is(%v, ErrLimit) = false", err)
 	}
-	for _, other := range []*Error{ErrBadInput, ErrIntractable, ErrCanceled, ErrDeadline, ErrUnavailable} {
+	for _, other := range []*Error{ErrBadInput, ErrIntractable, ErrCanceled, ErrDeadline, ErrUnavailable, ErrConflict} {
 		if errors.Is(err, other) {
 			t.Fatalf("errors.Is(%v, %v) = true", err, other)
 		}
@@ -102,6 +102,19 @@ func TestCheckpoint(t *testing.T) {
 	}
 	if err := cp.CheckNow(); !errors.Is(err, ErrCanceled) {
 		t.Fatalf("CheckNow after cancel = %v", err)
+	}
+}
+
+func TestConflictSentinel(t *testing.T) {
+	err := New(CodeConflict, "instance at version %d, caller expected %d", 7, 3)
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("errors.Is(%v, ErrConflict) = false", err)
+	}
+	if CodeOf(err) != CodeConflict {
+		t.Fatalf("CodeOf = %v, want CodeConflict", CodeOf(err))
+	}
+	if ErrConflict.Error() != "conflict" {
+		t.Fatalf("sentinel text = %q", ErrConflict.Error())
 	}
 }
 

@@ -17,6 +17,29 @@ import (
 // the same structure. The dispatching between cells stays in package
 // core (the guard table of core.Compile), which owns the classification
 // logic.
+//
+// Every compiler is factored as Lemma 3.7 composition over an exported
+// per-component Part* function: the full compiler is "ComponentsWithEdges,
+// then one Part* call per component". The Part* functions are the seam
+// of incremental maintenance (core.PatchCompile): an edge delta confined
+// to one component recompiles only that component's part and splices it
+// into the existing Components composite.
+
+// Part1WPOnDWT compiles one DWT component's chain part of
+// Proposition 4.10: the β-acyclic chain lineage of the labeled 1WP
+// query q on comp, with node→edge references mapped through edgeMap
+// into the full instance edge list.
+func Part1WPOnDWT(q *graph.Graph, comp *graph.ProbGraph, edgeMap []int) (Plan, error) {
+	lin, err := lineage.Path1WPOnDWT(q, comp)
+	if err != nil {
+		return nil, err
+	}
+	cc, err := lin.System.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return Chain{System: cc, NodeEdge: mapEdges(lin.ParentEdge, edgeMap)}, nil
+}
 
 // Path1WPOnDWT compiles Proposition 4.10 extended to forests by
 // Lemma 3.7: the β-acyclic chain lineage of a labeled 1WP query with at
@@ -25,20 +48,23 @@ func Path1WPOnDWT(q *graph.Graph, h *graph.ProbGraph) (Plan, error) {
 	comps, edgeMaps := h.ComponentsWithEdges()
 	parts := make([]Plan, len(comps))
 	for ci, comp := range comps {
-		lin, err := lineage.Path1WPOnDWT(q, comp)
+		part, err := Part1WPOnDWT(q, comp, edgeMaps[ci])
 		if err != nil {
 			return nil, err
 		}
-		cc, err := lin.System.Compile()
-		if err != nil {
-			return nil, err
-		}
-		parts[ci] = Chain{
-			System:   cc,
-			NodeEdge: mapEdges(lin.ParentEdge, edgeMaps[ci]),
-		}
+		parts[ci] = part
 	}
 	return Components{Parts: parts}, nil
+}
+
+// PartConnectedOn2WP compiles one 2WP component's interval part of
+// Proposition 4.11 for the connected query q.
+func PartConnectedOn2WP(q *graph.Graph, comp *graph.ProbGraph, edgeMap []int) (Plan, error) {
+	lin, err := lineage.ConnectedOn2WP(q, comp)
+	if err != nil {
+		return nil, err
+	}
+	return Interval{System: lin.System, VarEdge: mapEdges(lin.EdgeAt, edgeMap)}, nil
 }
 
 // ConnectedOn2WP compiles Proposition 4.11 extended to forests of paths
@@ -48,16 +74,46 @@ func ConnectedOn2WP(q *graph.Graph, h *graph.ProbGraph) (Plan, error) {
 	comps, edgeMaps := h.ComponentsWithEdges()
 	parts := make([]Plan, len(comps))
 	for ci, comp := range comps {
-		lin, err := lineage.ConnectedOn2WP(q, comp)
+		part, err := PartConnectedOn2WP(q, comp, edgeMaps[ci])
 		if err != nil {
 			return nil, err
 		}
-		parts[ci] = Interval{
-			System:  lin.System,
-			VarEdge: mapEdges(lin.EdgeAt, edgeMaps[ci]),
-		}
+		parts[ci] = part
 	}
 	return Components{Parts: parts}, nil
+}
+
+// PartDirectedPathOnDWT compiles one DWT component's chain part of
+// Proposition 3.6's workhorse: the chain system deciding whether a
+// world of comp contains a directed path of m (> 0) edges.
+func PartDirectedPathOnDWT(comp *graph.ProbGraph, m int, edgeMap []int) (Plan, error) {
+	g := comp.G
+	n := g.NumVertices()
+	parent := make([]int, n)
+	chain := make([]int, n)
+	nodeEdge := make([]int, n)
+	depth := make([]int, n)
+	order, _ := g.TopologicalOrder() // a DWT is a DAG
+	for v := 0; v < n; v++ {
+		parent[v] = -1
+		nodeEdge[v] = -1
+	}
+	for _, v := range order {
+		if in := g.InEdges(v); len(in) == 1 {
+			e := g.Edge(in[0])
+			parent[v] = int(e.From)
+			nodeEdge[v] = in[0]
+			depth[v] = depth[e.From] + 1
+		}
+		if depth[v] >= m {
+			chain[v] = m
+		}
+	}
+	cc, err := (&betadnf.ChainSystem{Parent: parent, ChainLen: chain}).Compile()
+	if err != nil {
+		return nil, err
+	}
+	return Chain{System: cc, NodeEdge: mapEdges(nodeEdge, edgeMap)}, nil
 }
 
 // DirectedPathOnDWTs compiles the workhorse of Proposition 3.6: the
@@ -76,38 +132,26 @@ func DirectedPathOnDWTs(h *graph.ProbGraph, m int) (Plan, error) {
 	comps, edgeMaps := h.ComponentsWithEdges()
 	parts := make([]Plan, len(comps))
 	for ci, comp := range comps {
-		g := comp.G
-		n := g.NumVertices()
-		parent := make([]int, n)
-		chain := make([]int, n)
-		nodeEdge := make([]int, n)
-		depth := make([]int, n)
-		order, _ := g.TopologicalOrder() // a DWT is a DAG
-		for v := 0; v < n; v++ {
-			parent[v] = -1
-			nodeEdge[v] = -1
-		}
-		for _, v := range order {
-			if in := g.InEdges(v); len(in) == 1 {
-				e := g.Edge(in[0])
-				parent[v] = int(e.From)
-				nodeEdge[v] = in[0]
-				depth[v] = depth[e.From] + 1
-			}
-			if depth[v] >= m {
-				chain[v] = m
-			}
-		}
-		cc, err := (&betadnf.ChainSystem{Parent: parent, ChainLen: chain}).Compile()
+		part, err := PartDirectedPathOnDWT(comp, m, edgeMaps[ci])
 		if err != nil {
 			return nil, err
 		}
-		parts[ci] = Chain{
-			System:   cc,
-			NodeEdge: mapEdges(nodeEdge, edgeMaps[ci]),
-		}
+		parts[ci] = part
 	}
 	return Components{Parts: parts}, nil
+}
+
+// PartDirectedPathOnPolytree compiles one polytree component's d-DNNF
+// circuit part of Proposition 5.4 for the unlabeled path query →^m
+// (m > 0).
+func PartDirectedPathOnPolytree(comp *graph.ProbGraph, m int, edgeMap []int) (Plan, error) {
+	root, err := treeauto.Encode(comp)
+	if err != nil {
+		return nil, err
+	}
+	a := &treeauto.Automaton{M: m}
+	c, out := a.CompileLineage(root, comp.G.NumEdges())
+	return Circuit{C: c, Out: out, VarEdge: edgeMap}, nil
 }
 
 // DirectedPathOnPolytrees compiles Proposition 5.4 (with Lemma 3.7): the
@@ -123,13 +167,11 @@ func DirectedPathOnPolytrees(h *graph.ProbGraph, m int) (Plan, error) {
 	comps, edgeMaps := h.ComponentsWithEdges()
 	parts := make([]Plan, len(comps))
 	for ci, comp := range comps {
-		root, err := treeauto.Encode(comp)
+		part, err := PartDirectedPathOnPolytree(comp, m, edgeMaps[ci])
 		if err != nil {
 			return nil, err
 		}
-		a := &treeauto.Automaton{M: m}
-		c, out := a.CompileLineage(root, comp.G.NumEdges())
-		parts[ci] = Circuit{C: c, Out: out, VarEdge: edgeMaps[ci]}
+		parts[ci] = part
 	}
 	return Components{Parts: parts}, nil
 }
@@ -212,4 +254,63 @@ func mapEdges(local, toGlobal []int) []int {
 		}
 	}
 	return out
+}
+
+// RemapEdges returns p with every global edge reference i rewritten to
+// remap[i], sharing the compiled systems/circuits of p (the returned
+// plan is a fresh value over the same immutable structural artifacts —
+// copy-on-write). It is how incremental maintenance carries the parts
+// of untouched components across a structural delta that renumbers the
+// instance's edge list. A reference to an edge with no new index
+// (remap[i] < 0) is an error: such a part belongs to a touched
+// component and must be recompiled, not remapped. The −1 "no edge"
+// sentinel inside a part is preserved.
+func RemapEdges(p Plan, remap []int) (Plan, error) {
+	apply := func(refs []int) ([]int, error) {
+		out := make([]int, len(refs))
+		for i, ei := range refs {
+			if ei < 0 {
+				out[i] = -1
+				continue
+			}
+			if ei >= len(remap) || remap[ei] < 0 {
+				return nil, fmt.Errorf("plan: RemapEdges: edge %d has no image", ei)
+			}
+			out[i] = remap[ei]
+		}
+		return out, nil
+	}
+	switch t := p.(type) {
+	case Const:
+		return t, nil
+	case Chain:
+		ne, err := apply(t.NodeEdge)
+		if err != nil {
+			return nil, err
+		}
+		return Chain{System: t.System, NodeEdge: ne}, nil
+	case Interval:
+		ve, err := apply(t.VarEdge)
+		if err != nil {
+			return nil, err
+		}
+		return Interval{System: t.System, VarEdge: ve}, nil
+	case Circuit:
+		ve, err := apply(t.VarEdge)
+		if err != nil {
+			return nil, err
+		}
+		return Circuit{C: t.C, Out: t.Out, VarEdge: ve}, nil
+	case Components:
+		parts := make([]Plan, len(t.Parts))
+		for i, part := range t.Parts {
+			np, err := RemapEdges(part, remap)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = np
+		}
+		return Components{Parts: parts}, nil
+	}
+	return nil, fmt.Errorf("plan: RemapEdges: unsupported plan %T", p)
 }

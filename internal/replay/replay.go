@@ -2,8 +2,9 @@
 // accounts for every response: the load-generation half of the phomgen
 // workload suite. A replay run builds a deterministic corpus from a
 // generator family (instances, walk-derived needle queries, reweight
-// maps, deliberately malformed and intractable requests), fires it at
-// the configured solve/reweight/batch/stream ratios, and reports
+// maps, live-instance delta streams, deliberately malformed and
+// intractable requests), fires it at
+// the configured solve/reweight/batch/stream/delta ratios, and reports
 // latency, throughput, per-status counts, and — the hard requirement —
 // whether any response fell outside the server's typed error taxonomy
 // or any streamed NDJSON line went missing.
@@ -34,7 +35,9 @@ import (
 var TaxonomyStatuses = map[int]bool{
 	http.StatusOK:                  true, // 200
 	http.StatusBadRequest:          true, // 400 bad-input
+	http.StatusNotFound:            true, // 404 no such instance
 	http.StatusRequestTimeout:      true, // 408 deadline
+	http.StatusConflict:            true, // 409 stale if_version CAS
 	http.StatusUnprocessableEntity: true, // 422 limit / intractable
 	499:                            true, // client closed request (canceled)
 	http.StatusServiceUnavailable:  true, // 503 unavailable
@@ -46,7 +49,11 @@ var TaxonomyStatuses = map[int]bool{
 // (the probs_batch wire form the engine routes through its vectorized
 // kernel). Bad requests are syntactically malformed (expect 400); Hard
 // requests pair a needle query with disable_fallback on a #P-hard cell
-// (expect 422).
+// (expect 422). Delta requests drive the live-instance surface: a run
+// with Delta > 0 creates a small set of named instances up front, then
+// interleaves delta batches, deliberately stale if_version batches
+// (expect 409), instance-scoped solves and reweights, and fresh
+// creates against them.
 type Mix struct {
 	Solve         int `json:"solve"`
 	Reweight      int `json:"reweight"`
@@ -55,6 +62,7 @@ type Mix struct {
 	Stream        int `json:"stream"`
 	Bad           int `json:"bad"`
 	Hard          int `json:"hard"`
+	Delta         int `json:"delta"`
 }
 
 // DefaultMix is the balanced production shape: mostly probability
@@ -68,6 +76,11 @@ var DefaultMix = Mix{Solve: 4, Reweight: 8, Batch: 1, Stream: 1, Bad: 1, Hard: 1
 // path end to end.
 var ReweightHeavyMix = Mix{Solve: 2, Reweight: 4, ReweightBatch: 8, Stream: 1, Bad: 1}
 
+// DeltaMix is the "delta" preset: a live-instance serving profile
+// dominated by instance mutations and instance-scoped evaluation, with
+// a floor of stateless traffic.
+var DeltaMix = Mix{Solve: 2, Reweight: 2, Delta: 8, Bad: 1}
+
 // ParseMix parses "solve:4,reweight:8,stream:1" command-line syntax.
 // The named presets "default" and "reweight-heavy" are also accepted.
 func ParseMix(s string) (Mix, error) {
@@ -77,6 +90,8 @@ func ParseMix(s string) (Mix, error) {
 		return DefaultMix, nil
 	case "reweight-heavy":
 		return ReweightHeavyMix, nil
+	case "delta":
+		return DeltaMix, nil
 	}
 	for _, part := range strings.Split(s, ",") {
 		kind, val, ok := strings.Cut(strings.TrimSpace(part), ":")
@@ -102,11 +117,13 @@ func ParseMix(s string) (Mix, error) {
 			m.Bad = w
 		case "hard":
 			m.Hard = w
+		case "delta":
+			m.Delta = w
 		default:
 			return m, fmt.Errorf("replay: unknown mix kind %q", kind)
 		}
 	}
-	if m.Solve+m.Reweight+m.ReweightBatch+m.Batch+m.Stream+m.Bad+m.Hard == 0 {
+	if m.Solve+m.Reweight+m.ReweightBatch+m.Batch+m.Stream+m.Bad+m.Hard+m.Delta == 0 {
 		return m, fmt.Errorf("replay: mix has zero total weight")
 	}
 	return m, nil
@@ -202,10 +219,11 @@ func (rep *Report) Throughput() float64 {
 // vary with scheduling.
 type request struct {
 	kind   string
-	path   string // "/solve", "/reweight", "/batch", "/batch?stream=1"
+	path   string // "/solve", "/reweight", "/batch", "/instances/...", ...
 	body   []byte
 	jobs   int  // batch/stream job count, for line accounting
 	stream bool // parse NDJSON instead of a JSON object
+	plain  bool // response is a plain JSON object, not a solve result
 }
 
 // wire mirrors of phomserve's request/response JSON (kept local: replay
@@ -227,6 +245,22 @@ type wireJob struct {
 
 type wireBatch struct {
 	Jobs []wireJob `json:"jobs"`
+}
+
+type wireDeltaOp struct {
+	Op   string `json:"op"`
+	Edge string `json:"edge"`
+	Prob string `json:"prob,omitempty"`
+}
+
+type wireDeltaRequest struct {
+	IfVersion *int64        `json:"if_version,omitempty"`
+	Deltas    []wireDeltaOp `json:"deltas"`
+}
+
+type wireCreateInstance struct {
+	ID           string `json:"id,omitempty"`
+	InstanceText string `json:"instance_text,omitempty"`
 }
 
 type wireResult struct {
@@ -283,6 +317,21 @@ func probGraphText(p *graph.ProbGraph) string {
 	return buf.String()
 }
 
+// deltaInstanceIDs names the pre-created live instances a delta-mix
+// run mutates. Ids are seed-scoped so parallel runs against one server
+// do not collide.
+func deltaInstanceIDs(seed int64) []string {
+	ids := make([]string, 3)
+	for k := range ids {
+		ids[k] = fmt.Sprintf("replay-%d-%d", seed, k)
+	}
+	return ids
+}
+
+// staleVersion is an if_version no live instance ever reaches in a
+// replay run: CAS batches carrying it are the mix's deliberate 409s.
+const staleVersion = int64(1 << 40)
+
 // buildRequests pregenerates the full request sequence.
 func buildRequests(r *rand.Rand, opts Options, corpus *Corpus) ([]request, error) {
 	instText := probGraphText(corpus.Instance)
@@ -308,6 +357,15 @@ func buildRequests(r *rand.Rand, opts Options, corpus *Corpus) ([]request, error
 		job := solveBody()
 		job.Probs = probsVec()
 		return job
+	}
+	deltaIDs := deltaInstanceIDs(opts.Seed)
+	randEdgeKey := func() string {
+		edges := corpus.Instance.G.Edges()
+		if len(edges) == 0 {
+			return "0>1"
+		}
+		e := edges[r.Intn(len(edges))]
+		return fmt.Sprintf("%d>%d", e.From, e.To)
 	}
 	kinds := weightedKinds(opts.Mix)
 	if len(kinds) == 0 {
@@ -367,6 +425,33 @@ func buildRequests(r *rand.Rand, opts Options, corpus *Corpus) ([]request, error
 			job.Options = &wireOptions{DisableFallback: true, Precision: wopts.Precision, TimeoutMS: wopts.TimeoutMS}
 			b, _ := json.Marshal(job)
 			rq = request{kind: kind, path: "/solve", body: b}
+		case "delta":
+			// Live-instance traffic against the pre-created instances
+			// (Run creates them before firing, so ordering under
+			// concurrency cannot race a mutation ahead of its create).
+			id := deltaIDs[r.Intn(len(deltaIDs))]
+			switch r.Intn(5) {
+			case 0, 1: // unconditional delta batch → 200
+				var ops []wireDeltaOp
+				for k := 0; k < 1+r.Intn(2); k++ {
+					ops = append(ops, wireDeltaOp{Op: "set_prob", Edge: randEdgeKey(), Prob: fmt.Sprintf("%d/16", r.Intn(17))})
+				}
+				b, _ := json.Marshal(wireDeltaRequest{Deltas: ops})
+				rq = request{kind: kind, path: "/instances/" + id + "/delta", body: b, plain: true}
+			case 2: // deliberately stale CAS → accounted 409
+				stale := staleVersion
+				b, _ := json.Marshal(wireDeltaRequest{
+					IfVersion: &stale,
+					Deltas:    []wireDeltaOp{{Op: "set_prob", Edge: randEdgeKey(), Prob: "1/2"}},
+				})
+				rq = request{kind: kind, path: "/instances/" + id + "/delta", body: b, plain: true}
+			case 3: // instance-scoped solve → 200
+				b, _ := json.Marshal(wireJob{QueryText: queryText(), Options: wopts})
+				rq = request{kind: kind, path: "/instances/" + id + "/solve", body: b}
+			default: // interleaved instance-scoped reweight → 200
+				b, _ := json.Marshal(wireJob{QueryText: queryText(), Probs: probsVec(), Options: wopts})
+				rq = request{kind: kind, path: "/instances/" + id + "/reweight", body: b}
+			}
 		}
 		reqs = append(reqs, rq)
 	}
@@ -403,6 +488,7 @@ func weightedKinds(m Mix) []string {
 	add("stream", m.Stream)
 	add("bad", m.Bad)
 	add("hard", m.Hard)
+	add("delta", m.Delta)
 	return kinds
 }
 
@@ -439,6 +525,14 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	client := opts.Client
 	if client == nil {
 		client = &http.Client{}
+	}
+	if hasKind(reqs, "delta") {
+		// Create the run's live instances before any traffic fires:
+		// concurrency can then never race a delta ahead of its create,
+		// so every instance-scoped status is deterministic taxonomy.
+		if err := createDeltaInstances(ctx, client, targets, opts.Seed, probGraphText(corpus.Instance)); err != nil {
+			return nil, err
+		}
 	}
 
 	rep := &Report{ByKind: map[string]int{}, ByStatus: map[int]int{}}
@@ -515,6 +609,41 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	return rep, nil
 }
 
+func hasKind(reqs []request, kind string) bool {
+	for _, rq := range reqs {
+		if rq.kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// createDeltaInstances registers the delta mix's live instances on
+// every target. A duplicate-id 400 is tolerated (the ids are
+// deterministic, so a rerun against a long-lived server finds its
+// instances already there); anything else is a setup failure.
+func createDeltaInstances(ctx context.Context, client *http.Client, targets []string, seed int64, instText string) error {
+	for _, target := range targets {
+		for _, id := range deltaInstanceIDs(seed) {
+			body, _ := json.Marshal(wireCreateInstance{ID: id, InstanceText: instText})
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/instances", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(req)
+			if err != nil {
+				return fmt.Errorf("replay: creating instance %s on %s: %v", id, target, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusBadRequest {
+				return fmt.Errorf("replay: creating instance %s on %s: status %d", id, target, resp.StatusCode)
+			}
+		}
+	}
+	return nil
+}
+
 // fire sends one request and validates the response body against the
 // wire contract. It returns the HTTP status (0 on transport failure),
 // the request latency, the stream line/trailer counts for stream
@@ -566,6 +695,13 @@ func fire(ctx context.Context, client *http.Client, baseURL string, id int, rq r
 		}
 		if status == http.StatusOK && len(br.Results) != rq.jobs {
 			return status, lat, 0, 0, fmt.Errorf("batch returned %d results for %d jobs", len(br.Results), rq.jobs)
+		}
+		return status, lat, 0, 0, nil
+	}
+	if rq.plain { // delta apply: a JSON object, not a solve result
+		var m map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+			return status, lat, 0, 0, fmt.Errorf("delta body: %v", err)
 		}
 		return status, lat, 0, 0, nil
 	}

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"testing"
 
+	"time"
+
 	"phom/internal/gen"
 	"phom/internal/replay"
 )
@@ -174,5 +176,65 @@ func TestReplayReweightHeavy(t *testing.T) {
 	if health.Stats.BatchRuns == 0 || health.Stats.BatchLanes == 0 {
 		t.Errorf("batch_runs=%d batch_lanes=%d after reweight-heavy replay: lanes did not batch",
 			health.Stats.BatchRuns, health.Stats.BatchLanes)
+	}
+}
+
+// TestReplayDeltaMix: the delta preset creates live instances up
+// front, then interleaves delta batches (200), deliberately stale CAS
+// batches (409), and instance-scoped solves/reweights — with every
+// status accounted inside the taxonomy and the engine's delta counter
+// moving.
+func TestReplayDeltaMix(t *testing.T) {
+	ts := newTestServer(t)
+	rep, err := replay.Run(context.Background(), replay.Options{
+		BaseURL:     ts.URL,
+		Requests:    48,
+		Concurrency: 4,
+		Seed:        13,
+		Mix:         replay.DeltaMix,
+		Family:      gen.FamBA,
+		N:           24,
+		JobTimeout:  500 * time.Millisecond,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unaccounted() != 0 {
+		t.Fatalf("%d unaccounted responses (off-taxonomy %d, body errors %d): %v",
+			rep.Unaccounted(), rep.OffTaxonomy, rep.BodyErrors, rep.Failures)
+	}
+	if rep.ByKind["delta"] == 0 {
+		t.Fatal("delta mix fired no delta requests")
+	}
+	// The seeded mix must hit both halves of the CAS contract.
+	if rep.ByStatus[http.StatusOK] == 0 {
+		t.Error("no successful responses")
+	}
+	if rep.ByStatus[http.StatusConflict] == 0 {
+		t.Error("no 409 observed: the stale-CAS sub-kind never fired or was misaccounted")
+	}
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Stats.Instances == 0 || health.Stats.DeltasApplied == 0 {
+		t.Errorf("instances=%d deltas_applied=%d after delta replay",
+			health.Stats.Instances, health.Stats.DeltasApplied)
+	}
+}
+
+func TestParseMixDelta(t *testing.T) {
+	m, err := replay.ParseMix("delta:6,solve:1")
+	if err != nil || m.Delta != 6 || m.Solve != 1 {
+		t.Fatalf("ParseMix delta: %+v, %v", m, err)
+	}
+	if m, err := replay.ParseMix("delta"); err != nil || m != replay.DeltaMix || m.Delta == 0 {
+		t.Fatalf("delta preset: %+v, %v", m, err)
 	}
 }

@@ -205,16 +205,19 @@ type ErrorResponse struct {
 const StatusClientClosedRequest = 499
 
 // StatusOf maps the typed error taxonomy onto HTTP statuses:
-// bad-input → 400, deadline → 408, limit and intractable → 422 (the
-// request is well-formed but cannot be answered under its constraints),
-// canceled → 499, unavailable → 503, and anything unknown → 422 (the
-// historical catch-all for solver failures).
+// bad-input → 400, deadline → 408, conflict → 409 (a stale if_version
+// optimistic check on an instance delta), limit and intractable → 422
+// (the request is well-formed but cannot be answered under its
+// constraints), canceled → 499, unavailable → 503, and anything
+// unknown → 422 (the historical catch-all for solver failures).
 func StatusOf(err error) int {
 	switch phomerr.CodeOf(err) {
 	case phomerr.CodeBadInput:
 		return http.StatusBadRequest
 	case phomerr.CodeDeadline:
 		return http.StatusRequestTimeout
+	case phomerr.CodeConflict:
+		return http.StatusConflict
 	case phomerr.CodeCanceled:
 		return StatusClientClosedRequest
 	case phomerr.CodeUnavailable:
@@ -300,6 +303,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/reweight", s.handleReweight)
 	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/instances", s.handleInstances)
+	mux.HandleFunc("/instances/", s.handleInstanceScoped)
 	mux.HandleFunc("/plans/export", s.handlePlansExport)
 	mux.HandleFunc("/plans/import", s.handlePlansImport)
 	mux.HandleFunc("/healthz", s.handleHealth)
@@ -616,6 +621,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	s.serveBatch(w, r, req, func(jr SolveRequest) (engine.Job, error) {
+		return jr.toJob(s.defPrec, s.defTol)
+	})
+}
+
+// serveBatch runs a parsed batch request with toJob resolving each wire
+// job. The indirection is what lets /instances/{id}/batch reuse the
+// whole batch machinery (validation, streaming, per-job accounting)
+// with jobs bound to a live instance snapshot instead of an inline
+// instance field.
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, req BatchRequest, toJob func(SolveRequest) (engine.Job, error)) {
 	if len(req.Jobs) == 0 {
 		WriteError(w, http.StatusBadRequest, "batch has no jobs")
 		return
@@ -625,7 +641,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if streamRequested(r) {
-		s.streamBatch(w, r, req)
+		s.streamBatch(w, r, req, toJob)
 		return
 	}
 	// Parse every job first; parse failures surface per job, and only
@@ -636,7 +652,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i, jr := range req.Jobs {
-		job, err := jr.toJob(s.defPrec, s.defTol)
+		job, err := toJob(jr)
 		if err != nil {
 			results[i] = parseFailure(err)
 			continue
@@ -694,7 +710,7 @@ type StreamTrailer struct {
 // and the server never buffers the full result slice; cancelling the
 // request (client disconnect) aborts the remaining jobs at their next
 // cooperative checkpoint.
-func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, req BatchRequest) {
+func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, req BatchRequest, toJob func(SolveRequest) (engine.Job, error)) {
 	start := time.Now()
 	reqID := r.Header.Get(RequestIDHeader) // set by instrument when absent
 	// Parse first: malformed jobs yield immediate error lines and never
@@ -704,7 +720,7 @@ func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, req BatchRe
 	idx := make([]int, 0, len(req.Jobs))
 	parseFailures := make([]StreamLine, 0)
 	for i, jr := range req.Jobs {
-		job, err := jr.toJob(s.defPrec, s.defTol)
+		job, err := toJob(jr)
 		if err != nil {
 			parseFailures = append(parseFailures, StreamLine{Index: i, SolveResponse: parseFailure(err), RequestID: reqID})
 			continue
@@ -786,6 +802,32 @@ func buildResponse(job engine.Job, jr engine.JobResult, elapsed time.Duration) S
 // are the server's default precision mode and auto tolerance, applied
 // when the request does not choose its own.
 func (r *SolveRequest) toJob(defPrec core.Precision, defTol float64) (engine.Job, error) {
+	job, err := r.jobSkeleton(defPrec, defTol)
+	if err != nil {
+		return job, err
+	}
+	switch {
+	case r.Instance != nil && r.InstanceText != "":
+		return job, fmt.Errorf("provide instance or instance_text, not both")
+	case r.Instance != nil:
+		job.Instance, err = graphio.UnmarshalProbGraphJSON(r.Instance)
+	case r.InstanceText != "":
+		job.Instance, err = graphio.ParseProbGraph(strings.NewReader(r.InstanceText))
+	default:
+		return job, fmt.Errorf("no instance: provide instance or instance_text")
+	}
+	if err != nil {
+		return job, fmt.Errorf("bad instance: %v", err)
+	}
+	return job, nil
+}
+
+// jobSkeleton parses everything of the wire request except the instance
+// — queries, options, timeout — leaving job.Instance nil. It is the
+// shared front half of toJob and of the instance-scoped endpoints,
+// whose instance is the live registered one rather than a request
+// field.
+func (r *SolveRequest) jobSkeleton(defPrec core.Precision, defTol float64) (engine.Job, error) {
 	var job engine.Job
 
 	queries, err := r.parseQueries()
@@ -799,20 +841,6 @@ func (r *SolveRequest) toJob(defPrec core.Precision, defTol float64) (engine.Job
 		job.Query = queries[0]
 	default:
 		job.Queries = queries
-	}
-
-	switch {
-	case r.Instance != nil && r.InstanceText != "":
-		return job, fmt.Errorf("provide instance or instance_text, not both")
-	case r.Instance != nil:
-		job.Instance, err = graphio.UnmarshalProbGraphJSON(r.Instance)
-	case r.InstanceText != "":
-		job.Instance, err = graphio.ParseProbGraph(strings.NewReader(r.InstanceText))
-	default:
-		return job, fmt.Errorf("no instance: provide instance or instance_text")
-	}
-	if err != nil {
-		return job, fmt.Errorf("bad instance: %v", err)
 	}
 
 	if r.Options != nil {
